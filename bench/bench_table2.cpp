@@ -1,0 +1,63 @@
+//===- bench_table2.cpp - Regenerates Table 2 ---------------------------------===//
+///
+/// Elaborates models A-F and prints the component-reuse metrics of the
+/// paper's Table 2: instance counts, modules, library fraction, explicit
+/// type instantiations with and without inference, inferred port widths,
+/// and connections — followed by the paper's reference row so the shapes
+/// can be compared directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/Stats.h"
+#include "models/Models.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace liberty;
+
+int main() {
+  std::cout << "=== Table 2: Quantity of Component-based Reuse ===\n\n";
+  driver::printTable2Header(std::cout);
+
+  std::vector<driver::ModelStats> All;
+  for (const std::string &Id : models::modelIds()) {
+    driver::Compiler C;
+    if (!models::loadModel(C, Id) || !C.elaborate() || !C.inferTypes()) {
+      std::cerr << "model " << Id << " failed to compile:\n"
+                << C.diagnosticsText();
+      return 1;
+    }
+    driver::ModelStats S = driver::computeModelStats(
+        *C.getNetlist(), C.getLibraryModules(),
+        C.getNumUserTypeAnnotations(), Id);
+    driver::printTable2Row(std::cout, S);
+    All.push_back(S);
+  }
+  driver::ModelStats Total = driver::totalStats(All);
+  driver::printTable2Row(std::cout, Total);
+
+  double Reduction =
+      Total.ExplicitTypesWithoutInference
+          ? 100.0 *
+                (Total.ExplicitTypesWithoutInference -
+                 Total.ExplicitTypesWithInference) /
+                Total.ExplicitTypesWithoutInference
+          : 0.0;
+  std::printf("\nType inference removed %.0f%% of explicit type "
+              "instantiations (paper: 66%%, 679 -> 226).\n",
+              Reduction);
+  std::printf("Use-based specialization inferred %u port widths across %u "
+              "connections (paper: 3904 widths / 12050 connections).\n",
+              Total.InferredPortWidths, Total.Connections);
+  std::printf("%.0f%% of the %u instances came from the component library "
+              "(paper: 80%% of 1324 from a library of 22).\n",
+              Total.pctFromLibrary(), Total.TotalInstances);
+
+  std::cout << "\nPaper reference (Table 2, Total row): 1324 instances, "
+               "69 hierarchical (19 non-trivial), 39 modules, 12.26 "
+               "inst/module, 80% from library, 679 vs 226 explicit type "
+               "instantiations, 3904 inferred widths, 12050 connections.\n";
+  return 0;
+}

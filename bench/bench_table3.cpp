@@ -1,0 +1,57 @@
+//===- bench_table3.cpp - Regenerates Table 3 + Section 7's 35% claim ---------===//
+///
+/// Prints the model roster of Table 3 and reproduces Section 7's
+/// specification-size comparison: the LSS source of each model versus the
+/// equivalent fully static structural specification (obtained by
+/// flattening the elaborated netlist). The paper reports a 35% line-count
+/// reduction when the static SimpleScalar model (Model C) was converted to
+/// LSS; flattening removes *all* parametric structure, so the measured
+/// reduction here is a strict upper bound with the same direction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/StaticNet.h"
+#include "driver/Compiler.h"
+#include "models/Models.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace liberty;
+
+int main() {
+  std::cout << "=== Table 3: Models developed with LSS ===\n\n";
+  for (const std::string &Id : models::modelIds())
+    std::printf("  %s  %s\n", Id.c_str(), models::modelDescription(Id).c_str());
+
+  std::cout << "\n=== Section 7: specification size, LSS vs static "
+               "structural ===\n\n";
+  std::printf("%-6s %10s %12s %12s %10s\n", "Model", "LSS LoC",
+              "LSS+shared", "Static LoC", "Reduction");
+
+  unsigned Shared = models::sharedSourceLines();
+  for (const std::string &Id : models::modelIds()) {
+    driver::Compiler C;
+    if (!models::loadModel(C, Id) || !C.elaborate() || !C.inferTypes()) {
+      std::cerr << "model " << Id << " failed:\n" << C.diagnosticsText();
+      return 1;
+    }
+    std::string Flat = baseline::emitFlatStaticSpec(*C.getNetlist());
+    unsigned StaticLines = baseline::countSpecLines(Flat);
+    unsigned LssLines = models::modelSourceLines(Id);
+    unsigned WithShared = LssLines + Shared;
+    double Reduction =
+        StaticLines ? 100.0 * (double(StaticLines) - WithShared) /
+                          StaticLines
+                    : 0.0;
+    std::printf("%-6s %10u %12u %12u %9.0f%%\n", Id.c_str(), LssLines,
+                WithShared, StaticLines, Reduction);
+  }
+
+  std::cout << "\nPaper reference: converting the static-structural "
+               "SimpleScalar model to LSS reduced its line count by 35%. "
+               "Flattening removes all parametric structure, so the "
+               "reductions above bound that figure from above (same "
+               "direction, larger magnitude).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- cpu_explorer.cpp - Design-space exploration with flexible components ---===//
+///
+/// The paper's motivation is design-space exploration rate: "The quality
+/// of the resulting high-level design is directly related to the rate at
+/// which high-level design candidates can be explored." This example
+/// explores a microarchitectural design space by re-parameterizing the
+/// *same* reusable cpu_core component — no model code changes — and
+/// reports CPI for every candidate (the Model E study in Section 7 did
+/// exactly this: functional-unit mix, issue discipline, window size).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "models/Models.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace liberty;
+
+namespace {
+
+struct Candidate {
+  int FetchWidth;
+  int NumFus;
+  int Window;
+  bool InOrder;
+};
+
+std::string coreSpec(const Candidate &C, int NumInstrs) {
+  std::string S = "instance core:cpu_core;\n";
+  S += "core.fetch_width = " + std::to_string(C.FetchWidth) + ";\n";
+  S += "core.num_fus = " + std::to_string(C.NumFus) + ";\n";
+  S += "core.window = " + std::to_string(C.Window) + ";\n";
+  S += std::string("core.inorder = ") + (C.InOrder ? "true" : "false") +
+       ";\n";
+  S += "core.num_instrs = " + std::to_string(NumInstrs) + ";\n";
+  S += "core.seed = 2026;\n";
+  S += "instance ret:sink;\ncore.retired[0] -> ret.in;\n";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  const int NumInstrs = 5000;
+  const uint64_t MaxCycles = 40000;
+
+  std::printf("=== CPU design-space exploration (one reusable core, many "
+              "parameterizations) ===\n\n");
+  std::printf("%6s %5s %7s %9s | %9s %8s %7s\n", "fetch", "fus", "window",
+              "issue", "cycles", "retired", "CPI");
+
+  const Candidate Grid[] = {
+      {1, 1, 4, true},  {1, 2, 8, true},   {2, 2, 8, true},
+      {2, 4, 16, true}, {4, 4, 16, true},  {4, 4, 16, false},
+      {4, 8, 32, false}, {6, 8, 48, false},
+  };
+
+  double BestCpi = 1e9;
+  Candidate Best = Grid[0];
+  for (const Candidate &Cand : Grid) {
+    driver::Compiler C;
+    if (!C.addCoreLibrary() || !C.addFile(models::uarchLssPath()) ||
+        !C.addSource("candidate.lss", coreSpec(Cand, NumInstrs)) ||
+        !C.elaborate() || !C.inferTypes() || !C.buildSimulator()) {
+      std::fprintf(stderr, "candidate failed:\n%s",
+                   C.diagnosticsText().c_str());
+      return 1;
+    }
+    sim::Simulator *Sim = C.getSimulator();
+    uint64_t Cycles = 0;
+    int64_t Retired = 0;
+    while (Cycles < MaxCycles && Retired < NumInstrs) {
+      Sim->step(256);
+      Cycles += 256;
+      interp::Value *R = Sim->findState("core.r", "retired");
+      Retired = (R && R->isInt()) ? R->getInt() : 0;
+    }
+    double Cpi = Retired ? double(Cycles) / double(Retired) : 0.0;
+    std::printf("%6d %5d %7d %9s | %9llu %8lld %7.3f\n", Cand.FetchWidth,
+                Cand.NumFus, Cand.Window,
+                Cand.InOrder ? "in-order" : "ooo",
+                (unsigned long long)Cycles, (long long)Retired, Cpi);
+    if (Cpi > 0 && Cpi < BestCpi) {
+      BestCpi = Cpi;
+      Best = Cand;
+    }
+  }
+
+  std::printf("\nbest candidate: fetch=%d fus=%d window=%d %s (CPI %.3f)\n",
+              Best.FetchWidth, Best.NumFus, Best.Window,
+              Best.InOrder ? "in-order" : "out-of-order", BestCpi);
+  std::printf("every candidate reused the same cpu_core module — zero "
+              "structural code was rewritten between runs.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- instrument_demo.cpp - One model, three data-collection needs -----------===//
+///
+/// Demonstrates the paper's Section 4.5: instrumentation lives entirely
+/// outside the model. Model C (the SimpleScalar-equivalent) is compiled
+/// once and run three times with different collector sets — performance
+/// measurement, debugging, and visualization-style tracing — without
+/// modifying the internals of any component.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corelib/TraceGen.h"
+#include "driver/Compiler.h"
+#include "models/Models.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace liberty;
+
+static std::unique_ptr<driver::Compiler> compileModelC() {
+  auto C = std::make_unique<driver::Compiler>();
+  if (!models::loadModel(*C, "C") || !C->elaborate() || !C->inferTypes() ||
+      !C->buildSimulator()) {
+    std::fprintf(stderr, "model C failed:\n%s", C->diagnosticsText().c_str());
+    return nullptr;
+  }
+  return C;
+}
+
+int main() {
+  const uint64_t Cycles = 3000;
+
+  // ---- Need 1: performance measurement. ----
+  {
+    auto C = compileModelC();
+    if (!C)
+      return 1;
+    sim::Simulator *Sim = C->getSimulator();
+    auto &I = Sim->getInstrumentation();
+    uint64_t &Fetched = I.attachCounter("core.f", "fetched");
+    uint64_t &Retired = I.attachCounter("core.r", "retire");
+    uint64_t &Stalls = I.attachCounter("core.w", "issue_stall");
+    uint64_t &Hits = I.attachCounter("core.icache*", "hit");
+    uint64_t &Misses = I.attachCounter("core.icache*", "miss");
+    Sim->step(Cycles);
+    std::printf("== performance collectors ==\n");
+    std::printf("fetched %llu, retired %llu (CPI %.3f), issue stalls %llu, "
+                "icache hit rate %.1f%%\n\n",
+                (unsigned long long)Fetched, (unsigned long long)Retired,
+                Retired ? double(Cycles) / Retired : 0.0,
+                (unsigned long long)Stalls,
+                Hits + Misses ? 100.0 * Hits / (Hits + Misses) : 0.0);
+  }
+
+  // ---- Need 2: debugging — watch for anomalies, same model. ----
+  {
+    auto C = compileModelC();
+    if (!C)
+      return 1;
+    sim::Simulator *Sim = C->getSimulator();
+    auto &I = Sim->getInstrumentation();
+    uint64_t QueueFull = 0;
+    uint64_t OutOfRange = 0;
+    I.attach("*", "full", [&](const sim::Event &) { ++QueueFull; });
+    I.attach("core.r", "retire", [&](const sim::Event &E) {
+      corelib::MicroInstr MI = corelib::TraceGen::fromValue(*E.Payload);
+      if (MI.Dest < 0 || MI.Dest >= 32)
+        ++OutOfRange;
+    });
+    Sim->step(Cycles);
+    std::printf("== debugging collectors ==\n");
+    std::printf("queue-overflow events: %llu, retired tokens with bad dest "
+                "register: %llu %s\n\n",
+                (unsigned long long)QueueFull,
+                (unsigned long long)OutOfRange,
+                OutOfRange == 0 ? "(invariant holds)" : "(BUG!)");
+  }
+
+  // ---- Need 3: visualization-style trace of pipeline activity. ----
+  {
+    auto C = compileModelC();
+    if (!C)
+      return 1;
+    sim::Simulator *Sim = C->getSimulator();
+    auto &I = Sim->getInstrumentation();
+    std::map<int64_t, uint64_t> OpMix;
+    I.attach("core.r", "retire", [&](const sim::Event &E) {
+      OpMix[corelib::TraceGen::fromValue(*E.Payload).Op]++;
+    });
+    uint64_t &PortFires = I.attachCounter("core.*", "port:*");
+    Sim->step(Cycles);
+    std::printf("== trace/visualization collectors ==\n");
+    static const char *Names[] = {"alu", "mul", "load", "store", "branch"};
+    std::printf("retired op mix:");
+    for (const auto &[Op, N] : OpMix)
+      std::printf(" %s=%llu",
+                  Op >= 0 && Op < 5 ? Names[Op] : "?",
+                  (unsigned long long)N);
+    std::printf("\nautomatic port events observed inside the core: %llu\n",
+                (unsigned long long)PortFires);
+  }
+
+  std::printf("\nall three runs used the identical model binary — only the "
+              "attached collectors differed (Section 4.5).\n");
+  return 0;
+}

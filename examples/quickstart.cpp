@@ -1,0 +1,105 @@
+//===- quickstart.cpp - The paper's running example, end to end ---------------===//
+///
+/// Walks the full LSS pipeline (paper Figure 4) on the running example of
+/// Figures 5-9: declare a flexible n-stage delay chain, instantiate it,
+/// let inference resolve the polymorphism and use-based specialization
+/// count the widths, generate the simulator, attach an instrumentation
+/// collector, and run.
+///
+/// Build & run:  cmake --build build && ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "types/Type.h"
+
+#include <iostream>
+
+using namespace liberty;
+
+static const char Spec[] = R"(
+// Figure 8: the delayn flexible hierarchical module. The chain length is
+// a structural parameter; the port type 'a is inferred; the port widths
+// are counted from use.
+module delayn {
+  parameter n:int;
+  inport in: 'a;
+  outport out: 'a;
+
+  var delays:instance ref[];
+  delays = new instance[n](delay, "delays");
+
+  in -> delays[0].in;
+  var i:int;
+  for (i = 1; i < n; i = i + 1) {
+    delays[i-1].out -> delays[i].in;
+  }
+  delays[n-1].out -> out;
+};
+
+// Figure 9: a 3-stage delay pipeline between a generator and a sink.
+instance gen:counter_source;
+instance hole:sink;
+instance delay3:delayn;
+
+delay3.n = 3;
+
+gen.out -> delay3.in;
+delay3.out -> hole.in;
+)";
+
+int main() {
+  std::cout << "== 1. Parse + compile-time elaboration (Figure 4) ==\n";
+  driver::Compiler C;
+  if (!C.addCoreLibrary() || !C.addSource("quickstart.lss", Spec) ||
+      !C.elaborate()) {
+    std::cerr << C.diagnosticsText();
+    return 1;
+  }
+  std::cout << "elaborated " << C.getNetlist()->getInstances().size() - 1
+            << " instances, " << C.getNetlist()->getConnections().size()
+            << " connections\n\n";
+
+  std::cout << "== 2. Static analysis: structure-based type inference ==\n";
+  if (!C.inferTypes()) {
+    std::cerr << C.diagnosticsText();
+    return 1;
+  }
+  const netlist::Port *In = C.getNetlist()->findByPath("delay3")->findPort("in");
+  std::cout << "delay3.in  : annotated '" << In->Scheme->str()
+            << "', resolved to '" << In->Resolved->str()
+            << "' (width " << In->Width << ", inferred from use)\n\n";
+
+  std::cout << "== 3. Simulator generation + instrumentation ==\n";
+  sim::Simulator *Sim = C.buildSimulator();
+  if (!Sim) {
+    std::cerr << C.diagnosticsText();
+    return 1;
+  }
+  const auto &Info = Sim->getBuildInfo();
+  std::cout << "generated simulator: " << Info.NumLeaves << " leaf instances, "
+            << Info.NumNets << " nets, " << Info.NumGroups
+            << " schedule groups (" << Info.NumCyclicGroups
+            << " cyclic)\n";
+
+  // AOP-style collector: observe every value the chain's last stage sends,
+  // without modifying any component (paper Section 4.5).
+  uint64_t &Fires = Sim->getInstrumentation().attachCounter(
+      "delay3.delays[2]", "port:out");
+  std::vector<int64_t> Seen;
+  Sim->getInstrumentation().attach(
+      "delay3.delays[2]", "port:out", [&](const sim::Event &E) {
+        if (E.Payload->isInt() && Seen.size() < 8)
+          Seen.push_back(E.Payload->getInt());
+      });
+
+  std::cout << "\n== 4. Simulate ==\n";
+  Sim->step(100);
+  std::cout << "after 100 cycles: chain output fired " << Fires
+            << " times; first values out of the 3-stage chain:";
+  for (int64_t V : Seen)
+    std::cout << " " << V;
+  std::cout << "\n(values lag the cycle counter by the chain depth "
+               "+ initial state — the delay semantics of Figure 5)\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- HandCodedSim.cpp - Hand-coded reference simulator ----------------------===//
+
+#include "baseline/HandCodedSim.h"
+
+#include "corelib/TraceGen.h"
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace liberty;
+using namespace liberty::baseline;
+using corelib::MicroInstr;
+using corelib::TraceGen;
+
+namespace {
+
+/// One functional unit's pipeline, mirroring corelib/fu exactly.
+struct FuState {
+  std::deque<std::pair<MicroInstr, int64_t>> Pipe;
+  int EmittedIdx = -1;
+  std::optional<MicroInstr> DoneNet;
+  bool BusyNet = false;
+};
+
+} // namespace
+
+PipelineResult
+liberty::baseline::runHandCodedPipeline(const PipelineConfig &Config) {
+  TraceGen Gen(Config.Seed, Config.MemFrac, Config.BranchFrac);
+
+  // Architectural state mirroring each LSS component behavior.
+  int64_t FetchRemaining = Config.NumInstrs;
+  bool FetchStalledLast = false;
+  std::vector<std::optional<MicroInstr>> DecodeHeld(Config.FetchWidth);
+  std::deque<MicroInstr> Window;
+  std::multiset<int64_t> BusyRegs;
+  std::vector<bool> FuBusyState(Config.NumFus, false);
+  std::vector<FuState> Fus(Config.NumFus);
+  uint64_t Retired = 0;
+
+  PipelineResult Result;
+  for (uint64_t Cycle = 0; Cycle != Config.MaxCycles; ++Cycle) {
+    // ---- Combinational phase: produce this cycle's net values. ----
+    // fetch
+    std::vector<std::optional<MicroInstr>> FetchNet(Config.FetchWidth);
+    if (!FetchStalledLast && FetchRemaining > 0)
+      for (int I = 0; I != Config.FetchWidth && FetchRemaining > 0; ++I) {
+        FetchNet[I] = Gen.next();
+        --FetchRemaining;
+      }
+    // decode
+    std::vector<std::optional<MicroInstr>> UopNet = DecodeHeld;
+    // issue (dispatch from state; mutates window and scoreboard)
+    std::vector<std::optional<MicroInstr>> DispatchNet(Config.NumFus);
+    {
+      std::vector<bool> FuUsed = FuBusyState;
+      std::vector<bool> Issued(Window.size(), false);
+      for (size_t W = 0; W != Window.size(); ++W) {
+        const MicroInstr &MI = Window[W];
+        bool Ready = !BusyRegs.count(MI.Src1) && !BusyRegs.count(MI.Src2);
+        if (!Ready) {
+          if (Config.InOrder)
+            break;
+          continue;
+        }
+        int Fu = -1;
+        for (int F = 0; F != Config.NumFus; ++F)
+          if (!FuUsed[F]) {
+            Fu = F;
+            break;
+          }
+        if (Fu < 0) {
+          if (Config.InOrder)
+            break;
+          continue;
+        }
+        FuUsed[Fu] = true;
+        Issued[W] = true;
+        DispatchNet[Fu] = MI;
+      }
+      std::deque<MicroInstr> Rest;
+      for (size_t W = 0; W != Window.size(); ++W) {
+        if (Issued[W])
+          BusyRegs.insert(Window[W].Dest);
+        else
+          Rest.push_back(Window[W]);
+      }
+      Window.swap(Rest);
+    }
+    bool StallNet = Window.size() >= static_cast<size_t>(Config.WindowSize);
+    // fus
+    for (FuState &F : Fus) {
+      F.EmittedIdx = -1;
+      F.DoneNet.reset();
+      for (size_t I = 0; I != F.Pipe.size(); ++I) {
+        if (F.Pipe[I].second != 0)
+          continue;
+        F.DoneNet = F.Pipe[I].first;
+        F.EmittedIdx = static_cast<int>(I);
+        break;
+      }
+      F.BusyNet = Config.FuPipelined
+                      ? F.Pipe.size() >=
+                            static_cast<size_t>(Config.FuLatency + 2)
+                      : !F.Pipe.empty();
+    }
+
+    // ---- Sequential phase: absorb this cycle's nets. ----
+    FetchStalledLast = StallNet;
+    for (int I = 0; I != Config.FetchWidth; ++I)
+      DecodeHeld[I] = FetchNet[I];
+    for (const FuState &F : Fus)
+      if (F.DoneNet) {
+        auto It = BusyRegs.find(F.DoneNet->Dest);
+        if (It != BusyRegs.end())
+          BusyRegs.erase(It);
+      }
+    for (int F = 0; F != Config.NumFus; ++F)
+      FuBusyState[F] = Fus[F].BusyNet;
+    for (int I = 0; I != Config.FetchWidth; ++I)
+      if (UopNet[I])
+        Window.push_back(*UopNet[I]);
+    for (int F = 0; F != Config.NumFus; ++F) {
+      FuState &Fu = Fus[F];
+      if (Fu.EmittedIdx >= 0)
+        Fu.Pipe.erase(Fu.Pipe.begin() + Fu.EmittedIdx);
+      for (auto &[MI, Remaining] : Fu.Pipe)
+        if (Remaining > 0)
+          --Remaining;
+      if (DispatchNet[F]) {
+        int64_t Lat = std::max<int64_t>(Config.FuLatency, DispatchNet[F]->Lat);
+        Fu.Pipe.emplace_back(*DispatchNet[F], Lat - 1);
+      }
+      if (Fu.DoneNet)
+        ++Retired;
+    }
+
+    Result.Cycles = Cycle + 1;
+    Result.Retired = Retired;
+    if (Retired >= static_cast<uint64_t>(Config.NumInstrs))
+      break;
+  }
+  return Result;
+}
+
+int64_t liberty::baseline::runHandCodedDelayChain(int Stages,
+                                                  uint64_t Cycles) {
+  std::vector<int64_t> Held(Stages, 0);
+  int64_t SinkLast = 0;
+  for (uint64_t C = 0; C != Cycles; ++C) {
+    // Combinational phase: every delay drives its held value; the counter
+    // source drives the cycle number; the sink observes the last stage.
+    SinkLast = Held[Stages - 1];
+    // Sequential phase, mirroring the generated simulator: each delay
+    // latches its input net (the previous stage's *driven* value).
+    for (int I = Stages - 1; I > 0; --I)
+      Held[I] = Held[I - 1];
+    Held[0] = static_cast<int64_t>(C);
+  }
+  return SinkLast;
+}

@@ -1,0 +1,59 @@
+//===- HandCodedSim.h - Hand-coded reference simulator -----------*- C++ -*-===//
+///
+/// \file
+/// A hand-coded C++ cycle simulator of the same µRISC pipeline timing
+/// model that the LSS-built CPU models implement. It plays two roles from
+/// the paper's evaluation:
+///
+///  - Validation (Model F "within a few percent of hardware CPI"): the
+///    generated simulator's CPI is cross-checked against this independent
+///    implementation of the same microarchitecture on the same trace.
+///  - Simulation speed (Section 8: "reusable components ... at least as
+///    fast as custom components"): this is the custom hand-written
+///    comparator for bench_simspeed, alongside a hand-coded delay chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_BASELINE_HANDCODEDSIM_H
+#define LIBERTY_BASELINE_HANDCODEDSIM_H
+
+#include <cstdint>
+
+namespace liberty {
+namespace baseline {
+
+/// Configuration mirroring the LSS model parameters.
+struct PipelineConfig {
+  int64_t NumInstrs = 1000;
+  uint64_t Seed = 42;
+  int MemFrac = 30;
+  int BranchFrac = 15;
+  int FetchWidth = 1;
+  int WindowSize = 8;
+  bool InOrder = true;
+  int NumFus = 2;
+  int64_t FuLatency = 1;
+  bool FuPipelined = true;
+  uint64_t MaxCycles = 1000000;
+};
+
+struct PipelineResult {
+  uint64_t Cycles = 0;
+  uint64_t Retired = 0;
+  double cpi() const { return Retired ? double(Cycles) / Retired : 0.0; }
+};
+
+/// Runs the hand-coded pipeline until all instructions retire (or
+/// MaxCycles). Cycle-for-cycle equivalent to the LSS model built from
+/// fetch/decode/issue/fu/rob corelib components.
+PipelineResult runHandCodedPipeline(const PipelineConfig &Config);
+
+/// Hand-coded n-stage integer delay chain driven by a cycle counter;
+/// returns the sink's last received value after \p Cycles cycles (for
+/// cross-checking and speed comparison with the LSS delayn model).
+int64_t runHandCodedDelayChain(int Stages, uint64_t Cycles);
+
+} // namespace baseline
+} // namespace liberty
+
+#endif // LIBERTY_BASELINE_HANDCODEDSIM_H

@@ -1,0 +1,38 @@
+//===- OopSim.cpp - Structural-OOP baseline -----------------------------------===//
+
+#include "baseline/OopSim.h"
+
+using namespace liberty;
+using namespace liberty::baseline::oop;
+
+Component::~Component() = default;
+
+Component *Engine::add(std::unique_ptr<Component> C) {
+  Components.push_back(std::move(C));
+  return Components.back().get();
+}
+
+void Engine::reset() {
+  Cycle = 0;
+  Evaluations = 0;
+  for (auto &C : Components)
+    C->init();
+}
+
+void Engine::step(uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I) {
+    for (auto &Clear : Clearers)
+      Clear();
+    // Without static structure there is no schedule: sweep repeatedly so
+    // values propagate through combinational chains.
+    for (unsigned Sweep = 0; Sweep != MaxSweeps; ++Sweep) {
+      for (auto &C : Components) {
+        C->evaluate();
+        ++Evaluations;
+      }
+    }
+    for (auto &C : Components)
+      C->endOfTimestep();
+    ++Cycle;
+  }
+}

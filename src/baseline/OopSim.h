@@ -1,0 +1,257 @@
+//===- OopSim.h - Structural-OOP baseline ------------------------*- C++ -*-===//
+///
+/// \file
+/// The structural-OOP modeling baseline (paper Section 3.2, SystemC-style):
+/// components are objects, structure is composed by *run-time* code, and
+/// therefore nothing structural can be analyzed statically — port types
+/// must be chosen by the user (template parameter), port-array extents
+/// must be passed explicitly, and no static schedule exists (the engine
+/// repeatedly sweeps all components to a fixpoint each cycle).
+///
+/// Used by bench_table1 (capability matrix), the Figure 3 test (delayn in
+/// OOP style), and bench_simspeed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_BASELINE_OOPSIM_H
+#define LIBERTY_BASELINE_OOPSIM_H
+
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace baseline {
+namespace oop {
+
+/// A typed wire. Structural-OOP systems fix the data type at object
+/// construction; there is no inference.
+template <typename T> class Signal {
+public:
+  bool hasValue() const { return Has; }
+  const T &get() const { return V; }
+  void set(const T &NewV) {
+    V = NewV;
+    Has = true;
+  }
+  void clear() { Has = false; }
+
+private:
+  T V{};
+  bool Has = false;
+};
+
+class Component {
+public:
+  virtual ~Component();
+  virtual void init() {}
+  virtual void evaluate() = 0;
+  virtual void endOfTimestep() {}
+};
+
+/// Run-time composition engine. No structure is known statically, so each
+/// cycle sweeps every component until no signal changes (bounded passes) —
+/// the cost Section 3.2 attributes to run-time composition.
+class Engine {
+public:
+  /// Adds a component; the engine owns it.
+  Component *add(std::unique_ptr<Component> C);
+
+  /// Registers a signal for per-cycle clearing. The engine does not own it.
+  template <typename T> void track(Signal<T> *S) {
+    Clearers.push_back([S] { S->clear(); });
+  }
+
+  void reset();
+  void step(uint64_t N = 1);
+  uint64_t getCycle() const { return Cycle; }
+
+  /// Number of evaluate() calls performed (to quantify the lack of a
+  /// static schedule vs the LSS simulator).
+  uint64_t getEvaluations() const { return Evaluations; }
+
+  /// Upper bound on fixpoint sweeps per cycle.
+  unsigned MaxSweeps = 4;
+
+private:
+  std::vector<std::unique_ptr<Component>> Components;
+  std::vector<std::function<void()>> Clearers;
+  uint64_t Cycle = 0;
+  uint64_t Evaluations = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// A small OOP component library (what a SystemC user would hand-write)
+//===----------------------------------------------------------------------===//
+
+/// Single-cycle delay element, typed at construction.
+template <typename T> class Delay : public Component {
+public:
+  Delay(Signal<T> *In, Signal<T> *Out, T Initial)
+      : In(In), Out(Out), Held(Initial), Initial(Initial) {}
+
+  void init() override { Held = Initial; }
+  void evaluate() override { Out->set(Held); }
+  void endOfTimestep() override {
+    if (In->hasValue())
+      Held = In->get();
+  }
+
+private:
+  Signal<T> *In;
+  Signal<T> *Out;
+  T Held;
+  T Initial;
+};
+
+/// Figure 3's delayn: an n-stage delay chain composed at run time. Note
+/// everything LSS infers must be passed explicitly: the element type (as
+/// the template parameter) and the stage count.
+template <typename T> class DelayN : public Component {
+public:
+  DelayN(Engine &E, Signal<T> *In, Signal<T> *Out, int N, T Initial) {
+    Signal<T> *Prev = In;
+    for (int I = 0; I != N; ++I) {
+      Signal<T> *Next = (I == N - 1) ? Out : makeWire(E);
+      E.add(std::make_unique<Delay<T>>(Prev, Next, Initial));
+      Prev = Next;
+    }
+  }
+  void evaluate() override {} // Composition-only wrapper.
+
+private:
+  Signal<T> *makeWire(Engine &E) {
+    Wires.push_back(std::make_unique<Signal<T>>());
+    E.track(Wires.back().get());
+    return Wires.back().get();
+  }
+  std::vector<std::unique_ptr<Signal<T>>> Wires;
+};
+
+/// Counter source for driving chains.
+class CounterSource : public Component {
+public:
+  CounterSource(Signal<int64_t> *Out, Engine &E) : Out(Out), E(E) {}
+  void evaluate() override { Out->set(static_cast<int64_t>(E.getCycle())); }
+
+private:
+  Signal<int64_t> *Out;
+  Engine &E;
+};
+
+/// Terminal sink counting received values.
+template <typename T> class Sink : public Component {
+public:
+  explicit Sink(Signal<T> *In) : In(In) {}
+  void evaluate() override {}
+  void endOfTimestep() override {
+    if (In->hasValue()) {
+      ++Received;
+      Last = In->get();
+    }
+  }
+  uint64_t getReceived() const { return Received; }
+  const T &getLast() const { return Last; }
+
+private:
+  Signal<T> *In;
+  uint64_t Received = 0;
+  T Last{};
+};
+
+//===----------------------------------------------------------------------===//
+// Generic (reusable) OOP components
+//===----------------------------------------------------------------------===//
+//
+// The templates above are *custom* components: monomorphic, wired by
+// pointer. A reusable component in a run-time-composed framework pays for
+// its generality with boxed values and name-keyed port lookup (cf. the
+// paper's discussion of Balboa and SystemC's channel interfaces). These
+// classes model that cost so bench_simspeed can compare like with like:
+// LSS-generated reusable components vs OOP reusable components.
+
+namespace boxed {
+
+using BoxedSignal = Signal<liberty::interp::Value>;
+
+class BoxedComponent : public Component {
+public:
+  void bindPort(const std::string &Name, BoxedSignal *S) {
+    Ports[Name] = S;
+  }
+
+protected:
+  BoxedSignal *port(const std::string &Name) {
+    auto It = Ports.find(Name);
+    return It == Ports.end() ? nullptr : It->second;
+  }
+
+private:
+  std::map<std::string, BoxedSignal *> Ports;
+};
+
+class BoxedDelay : public BoxedComponent {
+public:
+  explicit BoxedDelay(int64_t Initial)
+      : Held(liberty::interp::Value::makeInt(Initial)), Initial(Initial) {}
+  void init() override {
+    Held = liberty::interp::Value::makeInt(Initial);
+  }
+  void evaluate() override {
+    if (BoxedSignal *Out = port("out"))
+      Out->set(Held);
+  }
+  void endOfTimestep() override {
+    BoxedSignal *In = port("in");
+    if (In && In->hasValue())
+      Held = In->get();
+  }
+
+private:
+  liberty::interp::Value Held;
+  int64_t Initial;
+};
+
+class BoxedCounterSource : public BoxedComponent {
+public:
+  explicit BoxedCounterSource(Engine &E) : E(E) {}
+  void evaluate() override {
+    if (BoxedSignal *Out = port("out"))
+      Out->set(liberty::interp::Value::makeInt(
+          static_cast<int64_t>(E.getCycle())));
+  }
+
+private:
+  Engine &E;
+};
+
+class BoxedSink : public BoxedComponent {
+public:
+  void evaluate() override {}
+  void endOfTimestep() override {
+    BoxedSignal *In = port("in");
+    if (In && In->hasValue()) {
+      ++Received;
+      Last = In->get();
+    }
+  }
+  uint64_t getReceived() const { return Received; }
+  const liberty::interp::Value &getLast() const { return Last; }
+
+private:
+  uint64_t Received = 0;
+  liberty::interp::Value Last;
+};
+
+} // namespace boxed
+
+} // namespace oop
+} // namespace baseline
+} // namespace liberty
+
+#endif // LIBERTY_BASELINE_OOPSIM_H

@@ -1,0 +1,74 @@
+//===- StaticNet.cpp - Static-structural baseline -----------------------------===//
+
+#include "baseline/StaticNet.h"
+
+#include "lss/AST.h"
+#include "netlist/Netlist.h"
+#include "types/Type.h"
+
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::baseline;
+
+std::string liberty::baseline::emitFlatStaticSpec(const netlist::Netlist &NL) {
+  std::ostringstream OS;
+  OS << "// Static structural specification (flattened; no parametric "
+        "structure)\n";
+
+  for (const auto &Inst : NL.getInstances()) {
+    if (!Inst->Module || !Inst->isLeaf())
+      continue;
+    OS << "instance " << Inst->Path << " : " << Inst->Module->getName()
+       << ";\n";
+    for (const auto &[Name, V] : Inst->Params)
+      OS << "set " << Inst->Path << "." << Name << " = " << V.str() << ";\n";
+    for (const auto &[Name, UV] : Inst->Userpoints)
+      OS << "set " << Inst->Path << "." << Name << " = <userpoint:"
+         << UV.Code.size() << " chars>;\n";
+    for (const netlist::Port &P : Inst->Ports) {
+      // A static system cannot infer widths or types: both are explicit.
+      OS << "setwidth " << Inst->Path << "." << P.Name << " = " << P.Width
+         << ";\n";
+      if (P.Resolved)
+        OS << "settype " << Inst->Path << "." << P.Name << " : "
+           << P.Resolved->str() << ";\n";
+    }
+  }
+
+  // Flattened connections: walk each net down to leaf endpoints. Since the
+  // netlist stores point-to-point connections (possibly through
+  // hierarchical pass-through ports), emit them verbatim; pass-through
+  // nodes become named junctions.
+  for (const auto &Conn : NL.getConnections()) {
+    if (!Conn->isFullyResolved())
+      continue;
+    OS << "connect " << Conn->From.Inst->Path << "." << Conn->From.Port << "["
+       << Conn->From.Index << "] -> " << Conn->To.Inst->Path << "."
+       << Conn->To.Port << "[" << Conn->To.Index << "];\n";
+  }
+  return OS.str();
+}
+
+unsigned liberty::baseline::countSpecLines(const std::string &Text) {
+  unsigned N = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    // Trim and classify.
+    size_t B = Pos, E = End;
+    while (B < E && (Text[B] == ' ' || Text[B] == '\t'))
+      ++B;
+    while (E > B && (Text[E - 1] == ' ' || Text[E - 1] == '\t' ||
+                     Text[E - 1] == '\r'))
+      --E;
+    bool Blank = (B == E);
+    bool Comment = (E - B >= 2 && Text[B] == '/' && Text[B + 1] == '/');
+    if (!Blank && !Comment)
+      ++N;
+    Pos = End + 1;
+  }
+  return N;
+}

@@ -1,0 +1,65 @@
+//===- BslProgram.h - Userpoint BSL programs --------------------*- C++ -*-===//
+///
+/// \file
+/// The behavior-specification-language substrate for userpoint parameters.
+/// The paper keeps the BSL abstract ("LSS is independent of the BSL"); this
+/// implementation compiles userpoint code strings with the LSS parser's
+/// statement grammar (plus `return`) and interprets them at simulation time
+/// against the instance's arguments, runtime variables, and parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_BSL_BSLPROGRAM_H
+#define LIBERTY_BSL_BSLPROGRAM_H
+
+#include "interp/Value.h"
+#include "lss/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace bsl {
+
+/// The mutable/readable state a BSL invocation runs against.
+struct BslEnv {
+  /// Userpoint arguments (by the signature's names).
+  std::map<std::string, interp::Value> Args;
+  /// The instance's runtime variables (Section 4.3); writable.
+  std::map<std::string, interp::Value> *RuntimeVars = nullptr;
+  /// The instance's structural parameters; read-only.
+  const std::map<std::string, interp::Value> *Params = nullptr;
+};
+
+/// A compiled userpoint body.
+class BslProgram {
+public:
+  /// Parses \p Code (registered with \p SM under \p BufferName so
+  /// diagnostics point into the userpoint string). Returns null on parse
+  /// errors, which are reported through \p Diags.
+  static std::unique_ptr<BslProgram> compile(const std::string &Code,
+                                             const std::string &BufferName,
+                                             SourceMgr &SM,
+                                             DiagnosticEngine &Diags);
+
+  /// Executes the program; the result is the value of the first executed
+  /// `return`, or Unset if none runs. Runtime errors are reported through
+  /// \p Diags (execution continues best-effort and returns Unset).
+  interp::Value run(BslEnv &Env, DiagnosticEngine &Diags) const;
+
+  const std::vector<lss::Stmt *> &getBody() const { return Body; }
+
+private:
+  BslProgram() = default;
+
+  lss::ASTContext Ctx;
+  std::vector<lss::Stmt *> Body;
+};
+
+} // namespace bsl
+} // namespace liberty
+
+#endif // LIBERTY_BSL_BSLPROGRAM_H

@@ -1,0 +1,753 @@
+//===- CoreBehaviors.cpp - Generic library component behaviors ---------------===//
+///
+/// The LSS declarations and C++ behaviors of the generic (non-CPU) library
+/// components: sources, sinks, delays, registers, arithmetic, routing,
+/// arbitration, queues, and storage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corelib/CoreLib.h"
+
+#include "bsl/BehaviorRegistry.h"
+#include "corelib/TraceGen.h"
+#include "types/Type.h"
+
+#include <deque>
+
+using namespace liberty;
+using namespace liberty::corelib;
+using namespace liberty::bsl;
+using interp::Value;
+
+// Defined in CpuBehaviors.cpp.
+namespace liberty {
+namespace corelib {
+namespace detail {
+void registerCpuBehaviors(BehaviorRegistry &R);
+}
+} // namespace corelib
+} // namespace liberty
+
+//===----------------------------------------------------------------------===//
+// LSS module declarations for the whole library
+//===----------------------------------------------------------------------===//
+
+static const char CoreLibraryLss[] = R"LSS(
+// ---------------------------------------------------------------------------
+// The Liberty standard component library.
+// Sources and sinks.
+// ---------------------------------------------------------------------------
+
+module const_source {
+  parameter value = 0:int;
+  outport out: int;
+  tar_file = "corelib/const_source";
+};
+
+module counter_source {
+  parameter start = 0:int;
+  parameter stride = 1:int;
+  outport out: int;
+  tar_file = "corelib/counter_source";
+};
+
+// A generic data generator. Overloaded over int and float; the produced
+// value may be customized with the generate userpoint.
+module source {
+  parameter pattern = "counter":string;   // counter | const | random
+  parameter value = 0:int;
+  parameter seed = 1:int;
+  parameter range = 0:int;                // >0: values are taken modulo range
+  parameter generate : userpoint(cycle:int => int) = "";
+  outport out: 'a;
+  // float is deliberately the first alternative: a naive inference order
+  // guesses it, discovers the mismatch only at the far end of the
+  // constraint list, and backtracks exponentially — the failure mode the
+  // paper's heuristics eliminate (Section 5).
+  constrain 'a : (float | int);
+  tar_file = "corelib/source";
+};
+
+module sink {
+  inport in: 'a;
+  event received;
+  tar_file = "corelib/sink";
+};
+
+// Boolean stimulus for control inputs (branch outcomes, stalls, enables).
+module bool_source {
+  parameter pattern = "toggle":string;   // toggle | const_true | const_false | random
+  parameter seed = 7:int;
+  outport out: bool;
+  tar_file = "corelib/bool_source";
+};
+
+// ---------------------------------------------------------------------------
+// State elements.
+// ---------------------------------------------------------------------------
+
+// The single-cycle delay element of Figure 5 (int-typed, always driving).
+module delay {
+  parameter initial_state = 0:int;
+  inport in: int;
+  outport out: int;
+  tar_file = "corelib/delay.tar";
+};
+
+// A polymorphic register with an optional enable (unconnected-port
+// semantics: with en unconnected the register is always enabled).
+module reg {
+  inport in: 'a;
+  inport en: bool;
+  outport out: 'a;
+  tar_file = "corelib/reg";
+};
+
+// A pipeline latch over a whole bus: in and out must have equal widths.
+module pipe_latch {
+  inport in: 'a;
+  outport out: 'a;
+  inport stall: bool;
+  LSS_assert(in.width == out.width, "pipe_latch bus widths must match");
+  tar_file = "corelib/pipe_latch";
+};
+
+// ---------------------------------------------------------------------------
+// Arithmetic (overloaded over int and float — component overloading).
+// ---------------------------------------------------------------------------
+
+module adder {
+  inport in1: 'a;
+  inport in2: 'a;
+  outport out: 'a;
+  constrain 'a : (int | float);
+  tar_file = "corelib/adder";
+};
+
+module alu {
+  parameter op = "add":string;   // add | sub | mul | div | min | max
+  inport a: 'a;
+  inport b: 'a;
+  outport out: 'a;
+  constrain 'a : (int | float);
+  tar_file = "corelib/alu";
+};
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+module mux {
+  inport in: 'a;
+  inport sel: int;
+  outport out: 'a;
+  tar_file = "corelib/mux";
+};
+
+module demux {
+  inport in: 'a;
+  inport sel: int;
+  outport out: 'a;
+  tar_file = "corelib/demux";
+};
+
+// Broadcasts in[0] to every out instance.
+module fanout {
+  inport in: 'a;
+  outport out: 'a;
+  tar_file = "corelib/fanout";
+};
+
+// N-to-1 arbiter with a userpoint arbitration policy (default round
+// robin). policy receives a bitmask of requesting inputs, the previously
+// granted index, and the width, and returns the granted index.
+module arbiter {
+  inport in: 'a;
+  outport out: 'a;
+  parameter policy : userpoint(mask:int, last:int, width:int => int) =
+    "var i:int;
+     for (i = 1; i <= width; i = i + 1) {
+       var c:int;
+       c = (last + i) % width;
+       if (bit(mask, c) == 1) { return c; }
+     }
+     return -1;";
+  event grant;
+  tar_file = "corelib/arbiter";
+};
+
+// ---------------------------------------------------------------------------
+// Buffering and storage.
+// ---------------------------------------------------------------------------
+
+module queue {
+  parameter depth = 4:int;
+  inport in: 'a;
+  inport stall: bool;
+  outport out: 'a;
+  event enqueue;
+  event dequeue;
+  event full;
+  tar_file = "corelib/queue";
+};
+
+module memory {
+  parameter size = 1024:int;
+  inport raddr: int;
+  outport rdata: 'a;
+  inport waddr: int;
+  inport wdata: 'a;
+  LSS_assert(raddr.width == rdata.width, "memory read port widths differ");
+  LSS_assert(waddr.width == wdata.width, "memory write port widths differ");
+  tar_file = "corelib/memory";
+};
+
+// A register file with use-based-specialized read/write port counts: the
+// number of ports is whatever the enclosing model connects.
+module regfile {
+  parameter nregs = 32:int;
+  inport raddr: int;
+  outport rdata: 'a;
+  inport waddr: int;
+  inport wdata: 'a;
+  LSS_assert(raddr.width == rdata.width, "regfile read port widths differ");
+  LSS_assert(waddr.width == wdata.width, "regfile write port widths differ");
+  tar_file = "corelib/regfile";
+};
+
+// ---------------------------------------------------------------------------
+// Microarchitecture components (behaviors in CpuBehaviors.cpp).
+// ---------------------------------------------------------------------------
+
+module cache {
+  parameter sets = 64:int;
+  parameter ways = 4:int;
+  parameter repl = "lru":string;    // lru | fifo | random
+  parameter miss_latency = 10:int;
+  inport addr: int;
+  outport ready: bool;
+  outport mem_addr: int;            // optional next-level request port
+  event hit;
+  event miss;
+  LSS_assert(addr.width == ready.width, "cache port widths differ");
+  tar_file = "corelib/cache";
+};
+
+// Branch predictor with optional BTB functionality: the paper's use-based
+// specialization example — BTB state exists only when branch_target is
+// connected.
+module branch_pred {
+  parameter entries = 256:int;
+  inport pc: int;
+  outport pred: bool;
+  outport branch_target: int;
+  inport resolve_pc: int;
+  inport resolve_taken: bool;
+  inport resolve_target: int;
+  event lookup;
+  event mispredict;
+  tar_file = "corelib/branch_pred";
+};
+
+// Trace-driven fetch unit producing µRISC instruction tokens.
+module fetch {
+  parameter num_instrs = 1000:int;
+  parameter seed = 42:int;
+  parameter mem_frac = 30:int;
+  parameter branch_frac = 15:int;
+  inport stall: bool;
+  outport instr: struct{pc:int; op:int; dest:int; src1:int; src2:int; lat:int};
+  event fetched;
+  tar_file = "corelib/fetch";
+};
+
+// One-cycle decode latch (token pass-through).
+module decode {
+  inport instr: 'a;
+  outport uop: 'a;
+  inport stall: bool;
+  LSS_assert(instr.width == uop.width, "decode widths differ");
+  tar_file = "corelib/decode";
+};
+
+// Issue window with a scoreboard; dispatches to one port per functional
+// unit. inorder selects in-order vs out-of-order issue.
+module issue {
+  parameter window = 8:int;
+  parameter inorder = true:bool;
+  inport uop: 'a;
+  inport fu_busy: bool;
+  inport complete: 'a;
+  outport dispatch: 'a;
+  outport stall: bool;
+  event issue_stall;
+  tar_file = "corelib/issue";
+};
+
+// A (pipelined or blocking) functional unit with configurable latency.
+module fu {
+  parameter latency = 1:int;
+  parameter pipelined = true:bool;
+  inport uop: 'a;
+  outport done: 'a;
+  outport busy: bool;
+  tar_file = "corelib/fu";
+};
+
+// Retire unit: counts completed instructions.
+module rob {
+  inport done: 'a;
+  outport retired: int;
+  event retire;
+  tar_file = "corelib/rob";
+};
+)LSS";
+
+const char *liberty::corelib::getCoreLibraryLss() { return CoreLibraryLss; }
+
+std::vector<std::string> liberty::corelib::getLibraryModuleNames() {
+  return {"const_source", "counter_source", "source", "sink", "bool_source",
+          "delay",        "reg",            "pipe_latch", "adder",
+          "alu",          "mux",            "demux",      "fanout",
+          "arbiter",      "queue",          "memory",     "regfile",
+          "cache",        "branch_pred",    "fetch",      "decode",
+          "issue",        "fu",             "rob"};
+}
+
+//===----------------------------------------------------------------------===//
+// Generic behaviors
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t paramInt(BehaviorContext &Ctx, const char *Name, int64_t Default) {
+  const Value *V = Ctx.getParam(Name);
+  return V && V->isInt() ? V->getInt() : Default;
+}
+
+std::string paramString(BehaviorContext &Ctx, const char *Name,
+                        const char *Default) {
+  const Value *V = Ctx.getParam(Name);
+  return V && V->isString() ? V->getString() : Default;
+}
+
+/// True if the (optional) stall port reads true this cycle.
+bool stallAsserted(BehaviorContext &Ctx, const char *Port = "stall") {
+  if (Ctx.getWidth(Port) == 0)
+    return false;
+  const Value *V = Ctx.getInput(Port, 0);
+  return V && V->isBool() && V->getBool();
+}
+
+class ConstSource : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    Value V = Value::makeInt(paramInt(Ctx, "value", 0));
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      Ctx.setOutput("out", I, V);
+  }
+};
+
+class CounterSource : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    int64_t V = paramInt(Ctx, "start", 0) +
+                paramInt(Ctx, "stride", 1) *
+                    static_cast<int64_t>(Ctx.getCycle());
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      Ctx.setOutput("out", I, Value::makeInt(V));
+  }
+};
+
+class GenericSource : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Rng = static_cast<uint64_t>(paramInt(Ctx, "seed", 1));
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    // A customized generate userpoint wins; otherwise follow the pattern.
+    Value V = Ctx.callUserpoint(
+        "generate", {Value::makeInt(static_cast<int64_t>(Ctx.getCycle()))});
+    if (V.isUnset()) {
+      std::string Pattern = paramString(Ctx, "pattern", "counter");
+      int64_t N;
+      if (Pattern == "const")
+        N = paramInt(Ctx, "value", 0);
+      else if (Pattern == "random") {
+        Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        N = static_cast<int64_t>(Rng >> 40);
+      } else
+        N = static_cast<int64_t>(Ctx.getCycle());
+      int64_t Range = paramInt(Ctx, "range", 0);
+      if (Range > 0)
+        N = ((N % Range) + Range) % Range;
+      V = Value::makeInt(N);
+    }
+    // Adapt to the inferred port type (type-dependent BSL fragment).
+    const types::Type *Ty = Ctx.getPortType("out");
+    if (Ty && Ty->getKind() == types::Type::Kind::Float && V.isInt())
+      V = Value::makeFloat(static_cast<double>(V.getInt()));
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      Ctx.setOutput("out", I, V);
+  }
+
+private:
+  uint64_t Rng = 1;
+};
+
+class BoolSource : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Rng = static_cast<uint64_t>(paramInt(Ctx, "seed", 7)) * 2654435761u + 1;
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    std::string Pattern = paramString(Ctx, "pattern", "toggle");
+    bool B;
+    if (Pattern == "const_true")
+      B = true;
+    else if (Pattern == "const_false")
+      B = false;
+    else if (Pattern == "random") {
+      Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      B = (Rng >> 40) & 1;
+    } else
+      B = Ctx.getCycle() % 2 == 1;
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      Ctx.setOutput("out", I, Value::makeBool(B));
+  }
+
+private:
+  uint64_t Rng = 1;
+};
+
+class Sink : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
+      const Value *V = Ctx.getInput("in", I);
+      if (!V)
+        continue;
+      Value &Count = Ctx.state("received");
+      Count = Value::makeInt(Count.isInt() ? Count.getInt() + 1 : 1);
+      Ctx.emitEvent("received", *V);
+    }
+  }
+};
+
+class Delay : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    // The state map's nodes are pointer-stable, so the hot path can cache
+    // the slot across cycles (re-acquired on every reset).
+    Held = &Ctx.state("held");
+    *Held = Value::makeInt(paramInt(Ctx, "initial_state", 0));
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      Ctx.setOutput("out", I, *Held);
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    if (const Value *V = Ctx.getInput("in", 0))
+      *Held = *V;
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  Value *Held = nullptr;
+};
+
+class Reg : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value &Held = Ctx.state("held");
+    if (Held.isData())
+      for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+        Ctx.setOutput("out", I, Held);
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    if (Ctx.getWidth("en") > 0) {
+      const Value *En = Ctx.getInput("en", 0);
+      if (!En || !En->isBool() || !En->getBool())
+        return; // Disabled: hold.
+    }
+    if (const Value *V = Ctx.getInput("in", 0))
+      Ctx.state("held") = *V;
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+};
+
+class PipeLatch : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Held.assign(Ctx.getWidth("out"), Value());
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+      if (I < static_cast<int>(Held.size()) && Held[I].isData())
+        Ctx.setOutput("out", I, Held[I]);
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    if (stallAsserted(Ctx))
+      return;
+    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
+      if (I >= static_cast<int>(Held.size()))
+        break;
+      const Value *V = Ctx.getInput("in", I);
+      Held[I] = V ? *V : Value();
+    }
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  std::vector<Value> Held;
+};
+
+/// Numeric add working on either int or float operands.
+static Value numericAdd(const Value &A, const Value &B) {
+  if (A.isInt() && B.isInt())
+    return Value::makeInt(A.getInt() + B.getInt());
+  return Value::makeFloat(A.getNumeric() + B.getNumeric());
+}
+
+class Adder : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value *A = Ctx.getInput("in1", 0);
+    const Value *B = Ctx.getInput("in2", 0);
+    if (A && B)
+      Ctx.setOutput("out", 0, numericAdd(*A, *B));
+  }
+};
+
+class Alu : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value *A = Ctx.getInput("a", 0);
+    if (!A)
+      return;
+    if (Ctx.getWidth("b") == 0) { // Unary configuration.
+      Ctx.setOutput("out", 0, *A);
+      return;
+    }
+    const Value *B = Ctx.getInput("b", 0);
+    if (!B)
+      return;
+    std::string Op = paramString(Ctx, "op", "add");
+    bool Ints = A->isInt() && B->isInt();
+    auto AsF = [](const Value &V) { return V.getNumeric(); };
+    Value R;
+    if (Op == "add")
+      R = numericAdd(*A, *B);
+    else if (Op == "sub")
+      R = Ints ? Value::makeInt(A->getInt() - B->getInt())
+               : Value::makeFloat(AsF(*A) - AsF(*B));
+    else if (Op == "mul")
+      R = Ints ? Value::makeInt(A->getInt() * B->getInt())
+               : Value::makeFloat(AsF(*A) * AsF(*B));
+    else if (Op == "div") {
+      if (Ints)
+        R = Value::makeInt(B->getInt() == 0 ? 0 : A->getInt() / B->getInt());
+      else
+        R = Value::makeFloat(AsF(*B) == 0 ? 0 : AsF(*A) / AsF(*B));
+    } else if (Op == "min")
+      R = Ints ? Value::makeInt(std::min(A->getInt(), B->getInt()))
+               : Value::makeFloat(std::min(AsF(*A), AsF(*B)));
+    else if (Op == "max")
+      R = Ints ? Value::makeInt(std::max(A->getInt(), B->getInt()))
+               : Value::makeFloat(std::max(AsF(*A), AsF(*B)));
+    else
+      R = numericAdd(*A, *B);
+    Ctx.setOutput("out", 0, R);
+  }
+};
+
+class Mux : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value *Sel = Ctx.getInput("sel", 0);
+    if (!Sel || !Sel->isInt())
+      return;
+    int64_t S = Sel->getInt();
+    if (S < 0 || S >= Ctx.getWidth("in"))
+      return;
+    if (const Value *V = Ctx.getInput("in", static_cast<int>(S)))
+      Ctx.setOutput("out", 0, *V);
+  }
+};
+
+class Demux : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value *Sel = Ctx.getInput("sel", 0);
+    const Value *V = Ctx.getInput("in", 0);
+    if (!Sel || !Sel->isInt() || !V)
+      return;
+    int64_t S = Sel->getInt();
+    if (S >= 0 && S < Ctx.getWidth("out"))
+      Ctx.setOutput("out", static_cast<int>(S), *V);
+  }
+};
+
+class Fanout : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    if (const Value *V = Ctx.getInput("in", 0))
+      for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+        Ctx.setOutput("out", I, *V);
+  }
+};
+
+class Arbiter : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Ctx.state("last") = Value::makeInt(-1);
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    int W = std::min(Ctx.getWidth("in"), 62);
+    int64_t Mask = 0;
+    for (int I = 0; I != W; ++I)
+      if (Ctx.getInput("in", I))
+        Mask |= int64_t(1) << I;
+    if (!Mask)
+      return;
+    Value Idx = Ctx.callUserpoint(
+        "policy", {Value::makeInt(Mask), Ctx.state("last"),
+                   Value::makeInt(W)});
+    if (!Idx.isInt() || Idx.getInt() < 0 || Idx.getInt() >= W)
+      return;
+    int Granted = static_cast<int>(Idx.getInt());
+    if (const Value *V = Ctx.getInput("in", Granted)) {
+      Ctx.setOutput("out", 0, *V);
+      Ctx.state("last") = Value::makeInt(Granted);
+      Ctx.emitEvent("grant", Value::makeInt(Granted));
+    }
+  }
+};
+
+class Queue : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Q.clear();
+    Depth = static_cast<size_t>(std::max<int64_t>(1, paramInt(Ctx, "depth", 4)));
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    SentThisCycle = !Q.empty();
+    if (SentThisCycle)
+      Ctx.setOutput("out", 0, Q.front());
+    Ctx.state("occupancy") = Value::makeInt(static_cast<int64_t>(Q.size()));
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    bool Stalled = stallAsserted(Ctx);
+    if (SentThisCycle && !Stalled) {
+      Ctx.emitEvent("dequeue", Q.front());
+      Q.pop_front();
+    }
+    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
+      const Value *V = Ctx.getInput("in", I);
+      if (!V)
+        continue;
+      if (Q.size() >= Depth) {
+        Ctx.emitEvent("full", *V);
+        continue;
+      }
+      Q.push_back(*V);
+      Ctx.emitEvent("enqueue", *V);
+    }
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  std::deque<Value> Q;
+  size_t Depth = 4;
+  bool SentThisCycle = false;
+};
+
+/// Shared implementation of memory and regfile: combinational reads,
+/// sequential writes, use-based-specialized port counts.
+class StorageArray : public LeafBehavior {
+public:
+  explicit StorageArray(const char *SizeParam, int64_t DefaultSize)
+      : SizeParam(SizeParam), DefaultSize(DefaultSize) {}
+
+  void init(BehaviorContext &Ctx) override {
+    Size = std::max<int64_t>(1, paramInt(Ctx, SizeParam, DefaultSize));
+    Cells.assign(static_cast<size_t>(Size), Value::makeInt(0));
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int R = 0, W = Ctx.getWidth("raddr"); R != W; ++R) {
+      const Value *A = Ctx.getInput("raddr", R);
+      if (!A || !A->isInt())
+        continue;
+      int64_t Addr = ((A->getInt() % Size) + Size) % Size;
+      Ctx.setOutput("rdata", R, Cells[static_cast<size_t>(Addr)]);
+    }
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    for (int Wp = 0, W = Ctx.getWidth("waddr"); Wp != W; ++Wp) {
+      const Value *A = Ctx.getInput("waddr", Wp);
+      const Value *D = Ctx.getInput("wdata", Wp);
+      if (!A || !A->isInt() || !D)
+        continue;
+      int64_t Addr = ((A->getInt() % Size) + Size) % Size;
+      Cells[static_cast<size_t>(Addr)] = *D;
+    }
+  }
+  bool readsCombinationally(const std::string &Port) const override {
+    return Port == "raddr"; // Writes are sequential.
+  }
+
+private:
+  const char *SizeParam;
+  int64_t DefaultSize;
+  int64_t Size = 1;
+  std::vector<Value> Cells;
+};
+
+} // namespace
+
+void liberty::corelib::registerCoreBehaviors() {
+  BehaviorRegistry &R = BehaviorRegistry::global();
+  if (R.contains("corelib/delay.tar"))
+    return; // Already registered.
+  R.registerBehavior("corelib/const_source",
+                     [] { return std::make_unique<ConstSource>(); });
+  R.registerBehavior("corelib/counter_source",
+                     [] { return std::make_unique<CounterSource>(); });
+  R.registerBehavior("corelib/source",
+                     [] { return std::make_unique<GenericSource>(); });
+  R.registerBehavior("corelib/sink", [] { return std::make_unique<Sink>(); });
+  R.registerBehavior("corelib/bool_source",
+                     [] { return std::make_unique<BoolSource>(); });
+  R.registerBehavior("corelib/delay.tar",
+                     [] { return std::make_unique<Delay>(); });
+  R.registerBehavior("corelib/reg", [] { return std::make_unique<Reg>(); });
+  R.registerBehavior("corelib/pipe_latch",
+                     [] { return std::make_unique<PipeLatch>(); });
+  R.registerBehavior("corelib/adder",
+                     [] { return std::make_unique<Adder>(); });
+  R.registerBehavior("corelib/alu", [] { return std::make_unique<Alu>(); });
+  R.registerBehavior("corelib/mux", [] { return std::make_unique<Mux>(); });
+  R.registerBehavior("corelib/demux",
+                     [] { return std::make_unique<Demux>(); });
+  R.registerBehavior("corelib/fanout",
+                     [] { return std::make_unique<Fanout>(); });
+  R.registerBehavior("corelib/arbiter",
+                     [] { return std::make_unique<Arbiter>(); });
+  R.registerBehavior("corelib/queue",
+                     [] { return std::make_unique<Queue>(); });
+  R.registerBehavior("corelib/memory", [] {
+    return std::make_unique<StorageArray>("size", 1024);
+  });
+  R.registerBehavior("corelib/regfile", [] {
+    return std::make_unique<StorageArray>("nregs", 32);
+  });
+  detail::registerCpuBehaviors(R);
+}

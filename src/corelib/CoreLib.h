@@ -1,0 +1,33 @@
+//===- CoreLib.h - The reusable component library ---------------*- C++ -*-===//
+///
+/// \file
+/// The standard Liberty component library: the LSS module declarations
+/// (returned as embedded source by getCoreLibraryLss()) and the matching
+/// C++ leaf behaviors (registered by registerCoreBehaviors()). Table 2's
+/// "Instances from Library" column counts instances of these modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_CORELIB_CORELIB_H
+#define LIBERTY_CORELIB_CORELIB_H
+
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace corelib {
+
+/// Registers every corelib behavior with BehaviorRegistry::global().
+/// Idempotent.
+void registerCoreBehaviors();
+
+/// The LSS source of the component library (module declarations only).
+const char *getCoreLibraryLss();
+
+/// Names of the library's modules, for reuse statistics.
+std::vector<std::string> getLibraryModuleNames();
+
+} // namespace corelib
+} // namespace liberty
+
+#endif // LIBERTY_CORELIB_CORELIB_H

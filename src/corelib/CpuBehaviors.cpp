@@ -1,0 +1,492 @@
+//===- CpuBehaviors.cpp - Microarchitecture component behaviors --------------===//
+///
+/// Behaviors for the CPU-flavoured library components: cache, branch
+/// predictor (with use-based-specialized BTB), trace-driven fetch, decode,
+/// issue window with scoreboard, functional units, and the retire unit.
+///
+/// These are timing models over µRISC instruction tokens (see TraceGen.h),
+/// not functional ISA emulators — the same substitution the evaluation of
+/// the original paper's models would tolerate, since Table 2/3 measure
+/// specification structure and CPI-level timing behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bsl/BehaviorRegistry.h"
+#include "corelib/CoreLib.h"
+#include "corelib/TraceGen.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace liberty;
+using namespace liberty::corelib;
+using namespace liberty::bsl;
+using interp::Value;
+
+namespace liberty {
+namespace corelib {
+namespace detail {
+void registerCpuBehaviors(BehaviorRegistry &R);
+}
+} // namespace corelib
+} // namespace liberty
+
+namespace {
+
+int64_t paramInt(BehaviorContext &Ctx, const char *Name, int64_t Default) {
+  const Value *V = Ctx.getParam(Name);
+  return V && V->isInt() ? V->getInt() : Default;
+}
+
+bool paramBool(BehaviorContext &Ctx, const char *Name, bool Default) {
+  const Value *V = Ctx.getParam(Name);
+  return V && V->isBool() ? V->getBool() : Default;
+}
+
+std::string paramString(BehaviorContext &Ctx, const char *Name,
+                        const char *Default) {
+  const Value *V = Ctx.getParam(Name);
+  return V && V->isString() ? V->getString() : Default;
+}
+
+bool stallAsserted(BehaviorContext &Ctx, const char *Port = "stall") {
+  if (Ctx.getWidth(Port) == 0)
+    return false;
+  const Value *V = Ctx.getInput(Port, 0);
+  return V && V->isBool() && V->getBool();
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+/// Set-associative cache timing model: hits answer ready=true in the same
+/// cycle; misses hold the port for miss_latency cycles (and send the block
+/// address on mem_addr if that optional port is connected), then install
+/// the line using the selected replacement policy.
+class Cache : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Sets = std::max<int64_t>(1, paramInt(Ctx, "sets", 64));
+    Ways = std::max<int64_t>(1, paramInt(Ctx, "ways", 4));
+    MissLatency = std::max<int64_t>(1, paramInt(Ctx, "miss_latency", 10));
+    Repl = paramString(Ctx, "repl", "lru");
+    Tags.assign(Sets * Ways, -1);
+    Stamp.assign(Sets * Ways, 0);
+    Pending.clear();
+    Tick = 0;
+    Rng = 0x9e3779b97f4a7c15ULL;
+  }
+
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int P = 0, W = Ctx.getWidth("addr"); P != W; ++P) {
+      auto PendIt = Pending.find(P);
+      if (PendIt != Pending.end()) {
+        Ctx.setOutput("ready", P, Value::makeBool(false));
+        continue;
+      }
+      const Value *A = Ctx.getInput("addr", P);
+      if (!A || !A->isInt())
+        continue;
+      int64_t Block = A->getInt() / 32;
+      if (lookup(Block)) {
+        Ctx.emitEvent("hit", *A);
+        Ctx.setOutput("ready", P, Value::makeBool(true));
+        continue;
+      }
+      Ctx.emitEvent("miss", *A);
+      Ctx.setOutput("ready", P, Value::makeBool(false));
+      if (P < Ctx.getWidth("mem_addr"))
+        Ctx.setOutput("mem_addr", P, Value::makeInt(Block * 32));
+      Pending.emplace(P, PendingMiss{Block, MissLatency});
+    }
+  }
+
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    (void)Ctx;
+    ++Tick;
+    for (auto It = Pending.begin(); It != Pending.end();) {
+      if (--It->second.Remaining > 0) {
+        ++It;
+        continue;
+      }
+      install(It->second.Block);
+      It = Pending.erase(It);
+    }
+  }
+
+private:
+  struct PendingMiss {
+    int64_t Block;
+    int64_t Remaining;
+  };
+
+  bool lookup(int64_t Block) {
+    int64_t Set = ((Block % Sets) + Sets) % Sets;
+    for (int64_t W = 0; W != Ways; ++W) {
+      size_t Slot = static_cast<size_t>(Set * Ways + W);
+      if (Tags[Slot] == Block) {
+        if (Repl == "lru")
+          Stamp[Slot] = ++Tick;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void install(int64_t Block) {
+    int64_t Set = ((Block % Sets) + Sets) % Sets;
+    size_t Victim = static_cast<size_t>(Set * Ways);
+    if (Repl == "random") {
+      Rng ^= Rng << 13;
+      Rng ^= Rng >> 7;
+      Rng ^= Rng << 17;
+      Victim = static_cast<size_t>(Set * Ways + (Rng % Ways));
+    } else {
+      // lru and fifo both evict the smallest stamp; they differ in whether
+      // lookup() refreshes it.
+      uint64_t Best = UINT64_MAX;
+      for (int64_t W = 0; W != Ways; ++W) {
+        size_t Slot = static_cast<size_t>(Set * Ways + W);
+        if (Tags[Slot] == -1) {
+          Victim = Slot;
+          break;
+        }
+        if (Stamp[Slot] < Best) {
+          Best = Stamp[Slot];
+          Victim = Slot;
+        }
+      }
+    }
+    Tags[Victim] = Block;
+    Stamp[Victim] = ++Tick;
+  }
+
+  int64_t Sets = 64, Ways = 4, MissLatency = 10;
+  std::string Repl = "lru";
+  std::vector<int64_t> Tags;
+  std::vector<uint64_t> Stamp;
+  std::map<int, PendingMiss> Pending;
+  uint64_t Tick = 0;
+  uint64_t Rng = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Branch predictor (the paper's use-based specialization example)
+//===----------------------------------------------------------------------===//
+
+class BranchPred : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Entries = std::max<int64_t>(16, paramInt(Ctx, "entries", 256));
+    Table.assign(static_cast<size_t>(Entries), 1); // Weakly not-taken.
+    Btb.clear();
+    // Use-based specialization at run time: BTB machinery only exists when
+    // the branch_target port was connected by the enclosing model.
+    BtbEnabled = Ctx.getWidth("branch_target") > 0;
+  }
+
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int P = 0, W = Ctx.getWidth("pc"); P != W; ++P) {
+      const Value *Pc = Ctx.getInput("pc", P);
+      if (!Pc || !Pc->isInt())
+        continue;
+      Ctx.emitEvent("lookup", *Pc);
+      size_t Idx = index(Pc->getInt());
+      bool Taken = Table[Idx] >= 2;
+      if (P < Ctx.getWidth("pred"))
+        Ctx.setOutput("pred", P, Value::makeBool(Taken));
+      if (BtbEnabled && Taken) {
+        auto It = Btb.find(Pc->getInt());
+        if (It != Btb.end() && P < Ctx.getWidth("branch_target"))
+          Ctx.setOutput("branch_target", P, Value::makeInt(It->second));
+      }
+      LastPred[Pc->getInt()] = Taken;
+    }
+  }
+
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    for (int P = 0, W = Ctx.getWidth("resolve_pc"); P != W; ++P) {
+      const Value *Pc = Ctx.getInput("resolve_pc", P);
+      const Value *TakenV = Ctx.getInput("resolve_taken", P);
+      if (!Pc || !Pc->isInt() || !TakenV || !TakenV->isBool())
+        continue;
+      bool Taken = TakenV->getBool();
+      size_t Idx = index(Pc->getInt());
+      if (Taken && Table[Idx] < 3)
+        ++Table[Idx];
+      else if (!Taken && Table[Idx] > 0)
+        --Table[Idx];
+      auto PredIt = LastPred.find(Pc->getInt());
+      if (PredIt != LastPred.end() && PredIt->second != Taken)
+        Ctx.emitEvent("mispredict", *Pc);
+      if (BtbEnabled && Taken)
+        if (const Value *T = Ctx.getInput("resolve_target", P))
+          if (T->isInt())
+            Btb[Pc->getInt()] = T->getInt();
+    }
+  }
+
+private:
+  size_t index(int64_t Pc) const {
+    return static_cast<size_t>(((Pc / 4) % Entries + Entries) % Entries);
+  }
+
+  int64_t Entries = 256;
+  std::vector<uint8_t> Table;
+  std::map<int64_t, int64_t> Btb;
+  std::map<int64_t, bool> LastPred;
+  bool BtbEnabled = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Fetch / decode / issue / fu / rob
+//===----------------------------------------------------------------------===//
+
+class Fetch : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Remaining = paramInt(Ctx, "num_instrs", 1000);
+    Gen = std::make_unique<TraceGen>(
+        static_cast<uint64_t>(paramInt(Ctx, "seed", 42)),
+        static_cast<int>(paramInt(Ctx, "mem_frac", 30)),
+        static_cast<int>(paramInt(Ctx, "branch_frac", 15)));
+    StalledLastCycle = false;
+  }
+
+  void evaluate(BehaviorContext &Ctx) override {
+    if (StalledLastCycle || Remaining <= 0)
+      return;
+    for (int I = 0, W = Ctx.getWidth("instr"); I != W && Remaining > 0; ++I) {
+      MicroInstr MI = Gen->next();
+      --Remaining;
+      Value Token = TraceGen::toValue(MI);
+      Ctx.emitEvent("fetched", Token);
+      Ctx.setOutput("instr", I, std::move(Token));
+    }
+  }
+
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    StalledLastCycle = stallAsserted(Ctx);
+  }
+
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  int64_t Remaining = 0;
+  std::unique_ptr<TraceGen> Gen;
+  bool StalledLastCycle = false;
+};
+
+class Decode : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Held.assign(Ctx.getWidth("uop"), Value());
+  }
+  void evaluate(BehaviorContext &Ctx) override {
+    for (int I = 0, W = Ctx.getWidth("uop"); I != W; ++I)
+      if (I < static_cast<int>(Held.size()) && Held[I].isData())
+        Ctx.setOutput("uop", I, Held[I]);
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    if (stallAsserted(Ctx))
+      return;
+    for (int I = 0, W = Ctx.getWidth("instr"); I != W; ++I) {
+      if (I >= static_cast<int>(Held.size()))
+        break;
+      const Value *V = Ctx.getInput("instr", I);
+      Held[I] = V ? *V : Value();
+    }
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  std::vector<Value> Held;
+};
+
+/// Issue window with a register scoreboard. Dispatch decisions are made
+/// from last cycle's state (fully sequential timing), so arbitrarily deep
+/// pipelines schedule without combinational cycles.
+class Issue : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    WindowSize = std::max<int64_t>(1, paramInt(Ctx, "window", 8));
+    InOrder = paramBool(Ctx, "inorder", true);
+    Window.clear();
+    BusyRegs.clear();
+    FuBusy.assign(Ctx.getWidth("dispatch"), false);
+  }
+
+  void evaluate(BehaviorContext &Ctx) override {
+    int NumFus = Ctx.getWidth("dispatch");
+    std::vector<bool> FuUsed(FuBusy.begin(), FuBusy.end());
+    std::vector<bool> Issued(Window.size(), false);
+    unsigned Dispatched = 0;
+
+    for (size_t W = 0; W != Window.size(); ++W) {
+      const MicroInstr &MI = Window[W];
+      bool Ready = !BusyRegs.count(MI.Src1) && !BusyRegs.count(MI.Src2);
+      if (!Ready) {
+        if (InOrder)
+          break;
+        continue;
+      }
+      int Fu = -1;
+      for (int F = 0; F != NumFus; ++F) {
+        if (FuUsed[F])
+          continue;
+        Fu = F;
+        break;
+      }
+      if (Fu < 0) {
+        if (InOrder)
+          break;
+        continue;
+      }
+      FuUsed[Fu] = true;
+      Issued[W] = true;
+      Ctx.setOutput("dispatch", Fu, TraceGen::toValue(MI));
+      ++Dispatched;
+    }
+
+    // Retain un-issued entries; mark issued dests busy.
+    std::deque<MicroInstr> Rest;
+    for (size_t W = 0; W != Window.size(); ++W) {
+      if (Issued[W])
+        BusyRegs.insert(Window[W].Dest);
+      else
+        Rest.push_back(Window[W]);
+    }
+    Window.swap(Rest);
+
+    (void)Dispatched;
+    bool Stall = Window.size() >= static_cast<size_t>(WindowSize);
+    Ctx.setOutput("stall", 0, Value::makeBool(Stall));
+    if (Stall)
+      Ctx.emitEvent("issue_stall", Value::makeInt((int64_t)Window.size()));
+  }
+
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    // Absorb completions first (frees registers for next cycle)...
+    for (int F = 0, W = Ctx.getWidth("complete"); F != W; ++F)
+      if (const Value *V = Ctx.getInput("complete", F)) {
+        auto It = BusyRegs.find(TraceGen::fromValue(*V).Dest);
+        if (It != BusyRegs.end())
+          BusyRegs.erase(It); // One completion frees one in-flight dest.
+      }
+    // ...then FU occupancy...
+    FuBusy.assign(Ctx.getWidth("dispatch"), false);
+    for (int F = 0, W = Ctx.getWidth("fu_busy"); F != W; ++F)
+      if (const Value *V = Ctx.getInput("fu_busy", F))
+        if (F < static_cast<int>(FuBusy.size()))
+          FuBusy[F] = V->isBool() && V->getBool();
+    // ...then new micro-ops. Absorption is unconditional: the stall signal
+    // throttles fetch with a one-cycle lag, so the window may transiently
+    // overshoot by up to two fetch groups — a soft limit guarantees no
+    // instruction is ever lost.
+    for (int I = 0, W = Ctx.getWidth("uop"); I != W; ++I)
+      if (const Value *V = Ctx.getInput("uop", I))
+        Window.push_back(TraceGen::fromValue(*V));
+  }
+
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  int64_t WindowSize = 8;
+  bool InOrder = true;
+  std::deque<MicroInstr> Window;
+  std::multiset<int64_t> BusyRegs;
+  std::vector<bool> FuBusy;
+};
+
+class Fu : public LeafBehavior {
+public:
+  void init(BehaviorContext &Ctx) override {
+    Latency = std::max<int64_t>(1, paramInt(Ctx, "latency", 1));
+    Pipelined = paramBool(Ctx, "pipelined", true);
+    Pipe.clear();
+  }
+
+  void evaluate(BehaviorContext &Ctx) override {
+    // At most one completion per cycle: done is a single port instance, so
+    // simultaneous completions would overwrite each other. The oldest
+    // finished entry drains first; the rest wait.
+    EmittedIdx = -1;
+    for (size_t I = 0; I != Pipe.size(); ++I) {
+      if (Pipe[I].second != 0)
+        continue;
+      Ctx.setOutput("done", 0, TraceGen::toValue(Pipe[I].first));
+      EmittedIdx = static_cast<int>(I);
+      break;
+    }
+    bool Busy = Pipelined ? Pipe.size() >= static_cast<size_t>(Latency + 2)
+                          : !Pipe.empty();
+    Ctx.setOutput("busy", 0, Value::makeBool(Busy));
+  }
+
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    if (EmittedIdx >= 0)
+      Pipe.erase(Pipe.begin() + EmittedIdx);
+    for (auto &[MI, Remaining] : Pipe)
+      if (Remaining > 0)
+        --Remaining;
+    if (const Value *V = Ctx.getInput("uop", 0)) {
+      MicroInstr MI = TraceGen::fromValue(*V);
+      int64_t Lat = std::max<int64_t>(Latency, MI.Lat);
+      Pipe.emplace_back(MI, Lat - 1);
+    }
+  }
+
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+
+private:
+  int64_t Latency = 1;
+  bool Pipelined = true;
+  int EmittedIdx = -1;
+  std::deque<std::pair<MicroInstr, int64_t>> Pipe;
+};
+
+class Rob : public LeafBehavior {
+public:
+  void evaluate(BehaviorContext &Ctx) override {
+    const Value &Count = Ctx.state("retired");
+    Ctx.setOutput("retired", 0,
+                  Count.isInt() ? Count : Value::makeInt(0));
+  }
+  void endOfTimestep(BehaviorContext &Ctx) override {
+    for (int F = 0, W = Ctx.getWidth("done"); F != W; ++F) {
+      const Value *V = Ctx.getInput("done", F);
+      if (!V)
+        continue;
+      Value &Count = Ctx.state("retired");
+      Count = Value::makeInt(Count.isInt() ? Count.getInt() + 1 : 1);
+      Ctx.emitEvent("retire", *V);
+    }
+  }
+  bool readsCombinationally(const std::string &) const override {
+    return false;
+  }
+};
+
+} // namespace
+
+void liberty::corelib::detail::registerCpuBehaviors(BehaviorRegistry &R) {
+  R.registerBehavior("corelib/cache", [] { return std::make_unique<Cache>(); });
+  R.registerBehavior("corelib/branch_pred",
+                     [] { return std::make_unique<BranchPred>(); });
+  R.registerBehavior("corelib/fetch", [] { return std::make_unique<Fetch>(); });
+  R.registerBehavior("corelib/decode",
+                     [] { return std::make_unique<Decode>(); });
+  R.registerBehavior("corelib/issue", [] { return std::make_unique<Issue>(); });
+  R.registerBehavior("corelib/fu", [] { return std::make_unique<Fu>(); });
+  R.registerBehavior("corelib/rob", [] { return std::make_unique<Rob>(); });
+}

@@ -1,0 +1,87 @@
+//===- TraceGen.cpp - Synthetic µRISC instruction traces ---------------------===//
+
+#include "corelib/TraceGen.h"
+
+using namespace liberty;
+using namespace liberty::corelib;
+using interp::Value;
+
+TraceGen::TraceGen(uint64_t Seed, int MemPercent, int BranchPercent)
+    : State(Seed * 6364136223846793005ULL + 1442695040888963407ULL),
+      MemPercent(MemPercent), BranchPercent(BranchPercent) {}
+
+uint32_t TraceGen::rand32() {
+  // xorshift64* mixed down to 32 bits; deterministic across platforms.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return static_cast<uint32_t>((State * 2685821657736338717ULL) >> 32);
+}
+
+int64_t TraceGen::latencyFor(OpClass Op) {
+  switch (Op) {
+  case OpClass::Alu:
+    return 1;
+  case OpClass::Mul:
+    return 3;
+  case OpClass::Load:
+    return 2;
+  case OpClass::Store:
+    return 1;
+  case OpClass::Branch:
+    return 1;
+  }
+  return 1;
+}
+
+MicroInstr TraceGen::next() {
+  MicroInstr I;
+  I.Pc = Pc;
+  Pc += 4;
+  int Roll = rand32() % 100;
+  OpClass Op;
+  if (Roll < MemPercent / 2)
+    Op = OpClass::Load;
+  else if (Roll < MemPercent)
+    Op = OpClass::Store;
+  else if (Roll < MemPercent + BranchPercent)
+    Op = OpClass::Branch;
+  else if (Roll < MemPercent + BranchPercent +
+                      (100 - MemPercent - BranchPercent) / 5)
+    Op = OpClass::Mul;
+  else
+    Op = OpClass::Alu;
+  I.Op = static_cast<int64_t>(Op);
+  I.Dest = rand32() % 32;
+  I.Src1 = rand32() % 32;
+  I.Src2 = rand32() % 32;
+  I.Lat = latencyFor(Op);
+  return I;
+}
+
+Value TraceGen::toValue(const MicroInstr &I) {
+  return Value::makeStruct({{"pc", Value::makeInt(I.Pc)},
+                            {"op", Value::makeInt(I.Op)},
+                            {"dest", Value::makeInt(I.Dest)},
+                            {"src1", Value::makeInt(I.Src1)},
+                            {"src2", Value::makeInt(I.Src2)},
+                            {"lat", Value::makeInt(I.Lat)}});
+}
+
+MicroInstr TraceGen::fromValue(const Value &V) {
+  MicroInstr I;
+  if (!V.isStruct())
+    return I;
+  auto Get = [&](const char *Name, int64_t &Out) {
+    if (const Value *F = V.getField(Name))
+      if (F->isInt())
+        Out = F->getInt();
+  };
+  Get("pc", I.Pc);
+  Get("op", I.Op);
+  Get("dest", I.Dest);
+  Get("src1", I.Src1);
+  Get("src2", I.Src2);
+  Get("lat", I.Lat);
+  return I;
+}

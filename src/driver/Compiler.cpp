@@ -1,0 +1,153 @@
+//===- Compiler.cpp - End-to-end LSS compilation driver ----------------------===//
+
+#include "driver/Compiler.h"
+
+#include "corelib/CoreLib.h"
+#include "lss/Parser.h"
+#include "support/Casting.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+Compiler::Compiler() : Diags(SM) {}
+
+Compiler::~Compiler() = default;
+
+/// Counts explicit type annotations in a statement tree (connection
+/// annotations and constrain statements — the manual type instantiations
+/// Table 2's "w/ inference" column counts).
+static unsigned countAnnotations(const std::vector<lss::Stmt *> &Body) {
+  unsigned N = 0;
+  for (const lss::Stmt *S : Body) {
+    switch (S->getKind()) {
+    case lss::Stmt::Kind::Connect:
+      if (cast<lss::ConnectStmt>(S)->getAnnotation())
+        ++N;
+      break;
+    case lss::Stmt::Kind::Constrain:
+      ++N;
+      break;
+    case lss::Stmt::Kind::If: {
+      const auto *I = cast<lss::IfStmt>(S);
+      N += countAnnotations({I->getThen()});
+      if (I->getElse())
+        N += countAnnotations({I->getElse()});
+      break;
+    }
+    case lss::Stmt::Kind::For:
+      N += countAnnotations({cast<lss::ForStmt>(S)->getBody()});
+      break;
+    case lss::Stmt::Kind::While:
+      N += countAnnotations({cast<lss::WhileStmt>(S)->getBody()});
+      break;
+    case lss::Stmt::Kind::Block:
+      N += countAnnotations(cast<lss::BlockStmt>(S)->getBody());
+      break;
+    default:
+      break;
+    }
+  }
+  return N;
+}
+
+bool Compiler::parseInto(uint32_t BufferId, bool IsLibrary) {
+  unsigned ErrorsBefore = Diags.getNumErrors();
+  lss::Parser P(BufferId, Ctx, Diags);
+  lss::SpecFile File = P.parseFile();
+  for (lss::ModuleDecl *M : File.Modules)
+    AllModules.push_back(M);
+  for (lss::Stmt *S : File.TopLevel)
+    TopLevel.push_back(S);
+  if (IsLibrary) {
+    for (const lss::ModuleDecl *M : File.Modules)
+      LibraryModules.insert(M->getName());
+  } else {
+    for (const lss::ModuleDecl *M : File.Modules)
+      NumUserAnnotations += countAnnotations(M->getBody());
+    NumUserAnnotations += countAnnotations(File.TopLevel);
+  }
+  return Diags.getNumErrors() == ErrorsBefore;
+}
+
+bool Compiler::addCoreLibrary() {
+  if (LibraryAdded)
+    return true;
+  LibraryAdded = true;
+  corelib::registerCoreBehaviors();
+  uint32_t BufferId = SM.addBuffer("<corelib>", corelib::getCoreLibraryLss());
+  return parseInto(BufferId, /*IsLibrary=*/true);
+}
+
+bool Compiler::addSource(const std::string &Name, const std::string &Text) {
+  uint32_t BufferId = SM.addBuffer(Name, Text);
+  return parseInto(BufferId, /*IsLibrary=*/false);
+}
+
+bool Compiler::addFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open file '" + Path + "'");
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return addSource(Path, SS.str());
+}
+
+bool Compiler::elaborate() {
+  return elaborate(interp::Interpreter::Options());
+}
+
+bool Compiler::elaborate(const interp::Interpreter::Options &Opts) {
+  Interp = std::make_unique<interp::Interpreter>(TC, Diags, Opts);
+  lss::SpecFile All;
+  All.Modules = AllModules;
+  Interp->addModules(All); // Duplicate module names are diagnosed here.
+  NL = Interp->run(TopLevel);
+  return !Diags.hasErrors();
+}
+
+bool Compiler::inferTypes() { return inferTypes(infer::SolveOptions()); }
+
+bool Compiler::inferTypes(const infer::SolveOptions &Opts) {
+  if (!NL) {
+    Diags.error(SourceLoc(), "inferTypes called before elaborate");
+    return false;
+  }
+  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Opts);
+  return !Diags.hasErrors();
+}
+
+sim::Simulator *Compiler::buildSimulator() {
+  if (!NL) {
+    Diags.error(SourceLoc(), "buildSimulator called before elaborate");
+    return nullptr;
+  }
+  Sim = sim::Simulator::build(*NL, SM, Diags);
+  return Sim.get();
+}
+
+std::unique_ptr<Compiler> Compiler::compileForSim(const std::string &Name,
+                                                  const std::string &Text) {
+  auto C = std::make_unique<Compiler>();
+  if (!C->addCoreLibrary())
+    return nullptr;
+  if (!C->addSource(Name, Text))
+    return nullptr;
+  if (!C->elaborate())
+    return nullptr;
+  if (!C->inferTypes())
+    return nullptr;
+  if (!C->buildSimulator())
+    return nullptr;
+  return C;
+}
+
+std::string Compiler::diagnosticsText() const {
+  std::ostringstream OS;
+  Diags.printAll(OS);
+  return OS.str();
+}

@@ -1,0 +1,105 @@
+//===- Compiler.h - End-to-end LSS compilation driver -----------*- C++ -*-===//
+///
+/// \file
+/// Owns one full LSS compilation (paper Figure 4): parse → interpreted
+/// elaboration → static analysis (type inference) → simulator
+/// construction. Also the unit the benches drive to regenerate the paper's
+/// tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_DRIVER_COMPILER_H
+#define LIBERTY_DRIVER_COMPILER_H
+
+#include "infer/InferenceEngine.h"
+#include "interp/Interpreter.h"
+#include "lss/AST.h"
+#include "netlist/Netlist.h"
+#include "sim/Simulator.h"
+#include "support/Diagnostics.h"
+#include "support/SourceMgr.h"
+#include "types/TypeContext.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace liberty {
+namespace driver {
+
+class Compiler {
+public:
+  Compiler();
+  ~Compiler();
+
+  /// Parses and registers the standard component library (and registers
+  /// its behaviors). Call once, before user sources.
+  bool addCoreLibrary();
+
+  /// Parses LSS source text. Modules are registered; top-level statements
+  /// accumulate as the system description.
+  bool addSource(const std::string &Name, const std::string &Text);
+
+  /// Reads and parses an LSS file from disk.
+  bool addFile(const std::string &Path);
+
+  /// Runs compile-time elaboration. Returns false on any diagnosed error.
+  bool elaborate();
+  bool elaborate(const interp::Interpreter::Options &Opts);
+
+  /// Runs structure-based type inference over the elaborated netlist.
+  bool inferTypes();
+  bool inferTypes(const infer::SolveOptions &Opts);
+
+  /// Builds the executable simulator (elaborate + inferTypes must have
+  /// succeeded). The Compiler owns the result.
+  sim::Simulator *buildSimulator();
+
+  /// Convenience: addCoreLibrary + addSource + elaborate + inferTypes +
+  /// buildSimulator. Returns null on error.
+  static std::unique_ptr<Compiler> compileForSim(const std::string &Name,
+                                                 const std::string &Text);
+
+  // Accessors.
+  SourceMgr &getSourceMgr() { return SM; }
+  DiagnosticEngine &getDiags() { return Diags; }
+  types::TypeContext &getTypeContext() { return TC; }
+  netlist::Netlist *getNetlist() { return NL.get(); }
+  sim::Simulator *getSimulator() { return Sim.get(); }
+  interp::Interpreter *getInterpreter() { return Interp.get(); }
+  const infer::NetlistInferenceStats &getInferenceStats() const {
+    return InferStats;
+  }
+  /// Names of library modules (for reuse statistics).
+  const std::set<std::string> &getLibraryModules() const {
+    return LibraryModules;
+  }
+  /// Number of explicit type annotations written in *user* sources
+  /// (connection annotations); the "w/ inference" column of Table 2.
+  unsigned getNumUserTypeAnnotations() const { return NumUserAnnotations; }
+
+  /// All diagnostics rendered as text (for error reporting in tools).
+  std::string diagnosticsText() const;
+
+private:
+  bool parseInto(uint32_t BufferId, bool IsLibrary);
+
+  SourceMgr SM;
+  DiagnosticEngine Diags;
+  types::TypeContext TC;
+  lss::ASTContext Ctx;
+  std::unique_ptr<interp::Interpreter> Interp;
+  std::vector<lss::ModuleDecl *> AllModules;
+  std::vector<lss::Stmt *> TopLevel;
+  std::unique_ptr<netlist::Netlist> NL;
+  std::unique_ptr<sim::Simulator> Sim;
+  infer::NetlistInferenceStats InferStats;
+  std::set<std::string> LibraryModules;
+  unsigned NumUserAnnotations = 0;
+  bool LibraryAdded = false;
+};
+
+} // namespace driver
+} // namespace liberty
+
+#endif // LIBERTY_DRIVER_COMPILER_H

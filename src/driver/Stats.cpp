@@ -1,0 +1,116 @@
+//===- Stats.cpp - Reuse statistics (Table 2) --------------------------------===//
+
+#include "driver/Stats.h"
+
+#include "lss/AST.h"
+#include "netlist/Netlist.h"
+
+#include <iomanip>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+/// A "trivial" hierarchical instance wraps a collection of identical
+/// sub-components without parameterization (the paper discounts these in
+/// the parenthesized Table 2 figures).
+static bool isTrivialWrapper(const netlist::InstanceNode &Inst) {
+  if (Inst.isLeaf() || Inst.Children.empty())
+    return false;
+  if (!Inst.Params.empty())
+    return false;
+  const lss::ModuleDecl *First = Inst.Children.front()->Module;
+  for (const netlist::InstanceNode *Child : Inst.Children)
+    if (Child->Module != First)
+      return false;
+  return true;
+}
+
+ModelStats
+liberty::driver::computeModelStats(const netlist::Netlist &NL,
+                                   const std::set<std::string> &LibraryModules,
+                                   unsigned NumUserAnnotations,
+                                   std::string Name) {
+  ModelStats S;
+  S.Name = std::move(Name);
+  S.ExplicitTypesWithInference = NumUserAnnotations;
+
+  std::set<std::string> Modules, LeafModules, HierModules, LibUsed;
+  for (const auto &Inst : NL.getInstances()) {
+    if (!Inst->Module)
+      continue; // Synthetic root.
+    ++S.TotalInstances;
+    const std::string &ModName = Inst->Module->getName();
+    Modules.insert(ModName);
+    if (Inst->isLeaf()) {
+      ++S.LeafInstances;
+      LeafModules.insert(ModName);
+    } else {
+      ++S.HierarchicalInstances;
+      HierModules.insert(ModName);
+      if (isTrivialWrapper(*Inst))
+        ++S.TrivialHierarchicalInstances;
+    }
+    if (LibraryModules.count(ModName)) {
+      ++S.InstancesFromLibrary;
+      LibUsed.insert(ModName);
+    }
+    S.ExplicitTypesWithoutInference += Inst->NumTypeVars;
+    for (const netlist::Port &P : Inst->Ports)
+      if (P.WidthInferred && P.Width > 0)
+        ++S.InferredPortWidths;
+  }
+  S.DistinctModules = Modules.size();
+  S.DistinctLeafModules = LeafModules.size();
+  S.DistinctHierarchicalModules = HierModules.size();
+  S.ModulesFromLibrary = LibUsed.size();
+
+  for (const auto &Conn : NL.getConnections())
+    if (Conn->isFullyResolved())
+      ++S.Connections;
+  return S;
+}
+
+ModelStats liberty::driver::totalStats(const std::vector<ModelStats> &All) {
+  ModelStats T;
+  T.Name = "Total";
+  for (const ModelStats &S : All) {
+    T.TotalInstances += S.TotalInstances;
+    T.HierarchicalInstances += S.HierarchicalInstances;
+    T.LeafInstances += S.LeafInstances;
+    T.TrivialHierarchicalInstances += S.TrivialHierarchicalInstances;
+    // Distinct-module totals are upper bounds (models share the library).
+    T.DistinctModules = std::max(T.DistinctModules, S.DistinctModules);
+    T.DistinctLeafModules =
+        std::max(T.DistinctLeafModules, S.DistinctLeafModules);
+    T.DistinctHierarchicalModules =
+        std::max(T.DistinctHierarchicalModules, S.DistinctHierarchicalModules);
+    T.InstancesFromLibrary += S.InstancesFromLibrary;
+    T.ModulesFromLibrary = std::max(T.ModulesFromLibrary, S.ModulesFromLibrary);
+    T.ExplicitTypesWithoutInference += S.ExplicitTypesWithoutInference;
+    T.ExplicitTypesWithInference += S.ExplicitTypesWithInference;
+    T.InferredPortWidths += S.InferredPortWidths;
+    T.Connections += S.Connections;
+  }
+  return T;
+}
+
+void liberty::driver::printTable2Header(std::ostream &OS) {
+  OS << std::left << std::setw(8) << "Model" << std::right << std::setw(10)
+     << "Instances" << std::setw(8) << "Hier" << std::setw(7) << "Leaf"
+     << std::setw(9) << "Modules" << std::setw(10) << "Inst/Mod"
+     << std::setw(8) << "FromLib" << std::setw(12) << "TypesW/O-TI"
+     << std::setw(11) << "TypesW-TI" << std::setw(10) << "InfWidth"
+     << std::setw(8) << "Conns" << "\n";
+}
+
+void liberty::driver::printTable2Row(std::ostream &OS, const ModelStats &S) {
+  OS << std::left << std::setw(8) << S.Name << std::right << std::setw(10)
+     << S.TotalInstances << std::setw(8) << S.HierarchicalInstances
+     << std::setw(7) << S.LeafInstances << std::setw(9) << S.DistinctModules
+     << std::setw(10) << std::fixed << std::setprecision(2)
+     << S.instancesPerModule() << std::setw(7) << std::setprecision(0)
+     << S.pctFromLibrary() << "%" << std::setw(12)
+     << S.ExplicitTypesWithoutInference << std::setw(11)
+     << S.ExplicitTypesWithInference << std::setw(10) << S.InferredPortWidths
+     << std::setw(8) << S.Connections << "\n";
+}

@@ -1,0 +1,83 @@
+//===- Stats.h - Reuse statistics (Table 2) ---------------------*- C++ -*-===//
+///
+/// \file
+/// Computes the component-reuse metrics the paper reports in Table 2 from
+/// an elaborated netlist: instance counts by kind, module counts, fraction
+/// of instances drawn from the component library, the number of explicit
+/// type instantiations needed with and without inference, inferred port
+/// widths, and connection counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_DRIVER_STATS_H
+#define LIBERTY_DRIVER_STATS_H
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+namespace netlist {
+class Netlist;
+}
+
+namespace driver {
+
+struct ModelStats {
+  std::string Name;
+
+  unsigned TotalInstances = 0; ///< Excluding the synthetic root.
+  unsigned HierarchicalInstances = 0;
+  unsigned LeafInstances = 0;
+  /// Hierarchical instances whose module contains exactly one kind of
+  /// sub-module and no structural parameters — the "trivial wrappers" the
+  /// paper discounts in parentheses.
+  unsigned TrivialHierarchicalInstances = 0;
+
+  unsigned DistinctModules = 0;
+  unsigned DistinctLeafModules = 0;
+  unsigned DistinctHierarchicalModules = 0;
+
+  unsigned InstancesFromLibrary = 0;
+  unsigned ModulesFromLibrary = 0;
+
+  /// Sum over instances of the number of type variables in their port
+  /// schemes: each is an explicit instantiation a user would have to write
+  /// without inference.
+  unsigned ExplicitTypesWithoutInference = 0;
+  /// Explicit annotations actually present in the user specification.
+  unsigned ExplicitTypesWithInference = 0;
+
+  /// Ports whose (non-zero) width was inferred from connectivity.
+  unsigned InferredPortWidths = 0;
+  unsigned Connections = 0;
+
+  double pctFromLibrary() const {
+    return TotalInstances
+               ? 100.0 * InstancesFromLibrary / TotalInstances
+               : 0.0;
+  }
+  double instancesPerModule() const {
+    return DistinctModules ? double(TotalInstances) / DistinctModules : 0.0;
+  }
+};
+
+/// Computes Table 2 metrics for one elaborated model.
+ModelStats computeModelStats(const netlist::Netlist &NL,
+                             const std::set<std::string> &LibraryModules,
+                             unsigned NumUserAnnotations,
+                             std::string Name = "");
+
+/// Column-wise sum of several models' stats (the paper's "Total" row).
+ModelStats totalStats(const std::vector<ModelStats> &All);
+
+/// Prints one Table 2 row (or the header with Header=true).
+void printTable2Row(std::ostream &OS, const ModelStats &S);
+void printTable2Header(std::ostream &OS);
+
+} // namespace driver
+} // namespace liberty
+
+#endif // LIBERTY_DRIVER_STATS_H

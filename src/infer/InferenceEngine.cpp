@@ -1,0 +1,350 @@
+//===- InferenceEngine.cpp - LSS type inference ------------------------------===//
+
+#include "infer/InferenceEngine.h"
+
+#include "netlist/Netlist.h"
+#include "types/Type.h"
+
+#include <cassert>
+#include <list>
+#include <map>
+#include <numeric>
+
+using namespace liberty;
+using namespace liberty::infer;
+using types::Type;
+
+/// True if a disjunct node occurs anywhere in \p T (syntactically; the
+/// caller resolves bindings as needed).
+static bool containsDisjunct(const Type *T) {
+  switch (T->getKind()) {
+  case Type::Kind::Disjunct:
+    return true;
+  case Type::Kind::Array:
+    return containsDisjunct(T->getElem());
+  case Type::Kind::Struct:
+    for (const auto &[Name, FieldTy] : T->getFields())
+      if (containsDisjunct(FieldTy))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+bool InferenceEngine::overBudget(const SolveOptions &Opts,
+                                 SolveStats &Stats) const {
+  if (U.getSteps() <= Opts.MaxSteps)
+    return false;
+  Stats.HitLimit = true;
+  return true;
+}
+
+bool InferenceEngine::solveList(std::vector<TypePair> Work,
+                                const SolveOptions &Opts, SolveStats &Stats,
+                                unsigned Depth) {
+  for (size_t I = 0; I < Work.size(); ++I) {
+    if (overBudget(Opts, Stats))
+      return false;
+    const Type *A = U.find(Work[I].A);
+    const Type *B = U.find(Work[I].B);
+    if (A->isDisjunct() || B->isDisjunct()) {
+      const Type *D = A->isDisjunct() ? A : B;
+      const Type *O = A->isDisjunct() ? B : A;
+      ++Stats.BranchPoints;
+      for (const Type *Alt : D->getAlternatives()) {
+        Unifier::Checkpoint CP = U.checkpoint();
+        std::vector<TypePair> Rest;
+        Rest.reserve(Work.size() - I);
+        Rest.push_back(TypePair{Alt, O});
+        Rest.insert(Rest.end(), Work.begin() + I + 1, Work.end());
+        if (solveList(std::move(Rest), Opts, Stats, Depth + 1))
+          return true;
+        U.rollback(CP);
+        if (overBudget(Opts, Stats))
+          return false;
+      }
+      return false;
+    }
+    std::vector<TypePair> Deferred;
+    if (!U.unifyStructural(A, B, Deferred))
+      return false;
+    Work.insert(Work.begin() + I + 1, Deferred.begin(), Deferred.end());
+  }
+  return true;
+}
+
+SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
+                                  const SolveOptions &Opts) {
+  SolveStats Stats;
+  Stats.NumConstraints = Constraints.size();
+  uint64_t StepsBefore = U.getSteps();
+
+  auto Fail = [&](const std::string &Msg, SourceLoc Loc) {
+    Stats.Success = false;
+    Stats.FailMessage = Msg;
+    Stats.FailLoc = Loc;
+    Stats.UnifySteps = U.getSteps() - StepsBefore;
+    return Stats;
+  };
+
+  // Pending disjunctive work, with provenance for diagnostics.
+  struct PendingItem {
+    TypePair P;
+    SourceLoc Loc;
+    std::string Context;
+  };
+  std::list<PendingItem> Pending;
+
+  if (Opts.ReorderSimpleFirst) {
+    // Heuristic 1: unify the non-disjunctive constraints up front. They can
+    // never branch, and their bindings prune disjuncts later.
+    for (const Constraint &C : Constraints) {
+      if (containsDisjunct(C.A) || containsDisjunct(C.B)) {
+        ++Stats.NumDisjunctive;
+        Pending.push_back(PendingItem{{C.A, C.B}, C.Loc, C.Context});
+        continue;
+      }
+      std::vector<TypePair> Deferred;
+      if (!U.unifyStructural(C.A, C.B, Deferred))
+        return Fail(U.getLastFailure() + " (" + C.Context + ")", C.Loc);
+      assert(Deferred.empty() && "non-disjunctive constraint deferred work");
+    }
+  } else {
+    for (const Constraint &C : Constraints) {
+      if (containsDisjunct(C.A) || containsDisjunct(C.B))
+        ++Stats.NumDisjunctive;
+      Pending.push_back(PendingItem{{C.A, C.B}, C.Loc, C.Context});
+    }
+  }
+
+  if (Opts.ForcedDisjunctElimination) {
+    // Heuristic 2: solve forced disjuncts without recursion. Trial-unify
+    // each alternative in isolation; prune the impossible ones; commit when
+    // exactly one remains.
+    bool Progress = true;
+    while (Progress && !Pending.empty()) {
+      Progress = false;
+      for (auto It = Pending.begin(); It != Pending.end();) {
+        if (overBudget(Opts, Stats))
+          return Fail("type inference exceeded its work budget", It->Loc);
+        const Type *A = U.find(It->P.A);
+        const Type *B = U.find(It->P.B);
+        if (!A->isDisjunct() && !B->isDisjunct()) {
+          // The constraint became simple under current bindings: solve it
+          // directly, queueing any nested disjuncts it exposes.
+          std::vector<TypePair> Deferred;
+          if (!U.unifyStructural(A, B, Deferred))
+            return Fail(U.getLastFailure() + " (" + It->Context + ")",
+                        It->Loc);
+          for (const TypePair &D : Deferred)
+            Pending.push_back(PendingItem{D, It->Loc, It->Context});
+          It = Pending.erase(It);
+          Progress = true;
+          continue;
+        }
+        const Type *D = A->isDisjunct() ? A : B;
+        const Type *O = A->isDisjunct() ? B : A;
+        std::vector<const Type *> Viable;
+        for (const Type *Alt : D->getAlternatives()) {
+          Unifier::Checkpoint CP = U.checkpoint();
+          bool Ok = solveList({TypePair{Alt, O}}, Opts, Stats, 0);
+          U.rollback(CP);
+          if (Ok)
+            Viable.push_back(Alt);
+        }
+        if (Viable.empty())
+          return Fail("no alternative of " + D->str() + " is compatible "
+                      "with " + O->str() + " (" + It->Context + ")",
+                      It->Loc);
+        if (Viable.size() == 1) {
+          bool Ok = solveList({TypePair{Viable.front(), O}}, Opts, Stats, 0);
+          assert(Ok && "forced alternative no longer unifiable");
+          (void)Ok;
+          It = Pending.erase(It);
+          Progress = true;
+          continue;
+        }
+        if (Viable.size() < D->getAlternatives().size()) {
+          // Shrink the disjunct to the viable alternatives.
+          It->P = TypePair{TC.getDisjunct(Viable), O};
+          Progress = true;
+        }
+        ++It;
+      }
+    }
+  }
+
+  // Collect the residual (genuinely ambiguous) disjunctive constraints.
+  std::vector<PendingItem> Residual(Pending.begin(), Pending.end());
+
+  if (Residual.empty()) {
+    Stats.Success = true;
+    Stats.UnifySteps = U.getSteps() - StepsBefore;
+    return Stats;
+  }
+
+  if (!Opts.Partition) {
+    std::vector<TypePair> Work;
+    Work.reserve(Residual.size());
+    for (const PendingItem &P : Residual)
+      Work.push_back(P.P);
+    Stats.NumComponents = 1;
+    if (!solveList(std::move(Work), Opts, Stats, 0))
+      return Fail(Stats.HitLimit
+                      ? "type inference exceeded its work budget"
+                      : "no consistent assignment for overloaded components",
+                  Residual.front().Loc);
+    Stats.Success = true;
+    Stats.UnifySteps = U.getSteps() - StepsBefore;
+    return Stats;
+  }
+
+  // Heuristic 3: partition the residual constraints into variable-disjoint
+  // components and search each independently.
+  unsigned N = Residual.size();
+  std::vector<unsigned> Rep(N);
+  std::iota(Rep.begin(), Rep.end(), 0u);
+  std::function<unsigned(unsigned)> FindRep = [&](unsigned X) {
+    while (Rep[X] != X)
+      X = Rep[X] = Rep[Rep[X]];
+    return X;
+  };
+  std::map<uint32_t, unsigned> VarOwner;
+  for (unsigned I = 0; I != N; ++I) {
+    std::vector<uint32_t> Vars;
+    U.collectUnboundVars(Residual[I].P.A, Vars);
+    U.collectUnboundVars(Residual[I].P.B, Vars);
+    for (uint32_t V : Vars) {
+      auto [It, Inserted] = VarOwner.emplace(V, I);
+      if (!Inserted)
+        Rep[FindRep(I)] = FindRep(It->second);
+    }
+  }
+  std::map<unsigned, std::vector<unsigned>> Components;
+  for (unsigned I = 0; I != N; ++I)
+    Components[FindRep(I)].push_back(I);
+  Stats.NumComponents = Components.size();
+
+  for (const auto &[Root, Members] : Components) {
+    std::vector<TypePair> Work;
+    Work.reserve(Members.size());
+    for (unsigned I : Members)
+      Work.push_back(Residual[I].P);
+    if (!solveList(std::move(Work), Opts, Stats, 0))
+      return Fail(Stats.HitLimit
+                      ? "type inference exceeded its work budget"
+                      : "no consistent assignment for overloaded components",
+                  Residual[Members.front()].Loc);
+  }
+
+  Stats.Success = true;
+  Stats.UnifySteps = U.getSteps() - StepsBefore;
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Netlist integration
+//===----------------------------------------------------------------------===//
+
+std::vector<Constraint>
+liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
+                                        types::TypeContext &TC) {
+  std::vector<Constraint> Cs;
+  // One fresh variable per port; the port's annotated scheme constrains it.
+  for (const auto &Inst : NL.getInstances()) {
+    for (netlist::Port &P : Inst->Ports) {
+      P.InferVar = TC.freshVar(Inst->Path + "." + P.Name);
+      if (P.Scheme)
+        Cs.push_back(Constraint{P.InferVar, P.Scheme, P.Loc,
+                                "annotation of port '" + P.Name +
+                                    "' on instance '" + Inst->Path + "'"});
+    }
+    for (const auto &[LHS, RHS] : Inst->ExtraConstraints)
+      Cs.push_back(Constraint{LHS, RHS, Inst->Loc,
+                              "constrain statement of instance '" +
+                                  Inst->Path + "'"});
+  }
+  // Connected ports share a type (modulo unresolved endpoints, which were
+  // already diagnosed during elaboration).
+  for (const auto &Conn : NL.getConnections()) {
+    if (!Conn->isFullyResolved())
+      continue;
+    netlist::Port *PF = Conn->From.Inst->findPort(Conn->From.Port);
+    netlist::Port *PT = Conn->To.Inst->findPort(Conn->To.Port);
+    if (!PF || !PT || !PF->InferVar || !PT->InferVar)
+      continue;
+    Cs.push_back(Constraint{PF->InferVar, PT->InferVar, Conn->Loc,
+                            "connection"});
+    if (Conn->Annotation)
+      Cs.push_back(Constraint{PF->InferVar, Conn->Annotation, Conn->Loc,
+                              "connection annotation"});
+  }
+  return Cs;
+}
+
+/// Replaces any residual type variables (unconstrained polymorphism) with
+/// int and residual disjuncts (unconstrained overloading) with their first
+/// alternative, counting the substitutions.
+static const Type *groundDefault(const Type *T, types::TypeContext &TC,
+                                 unsigned &NumDefaulted) {
+  switch (T->getKind()) {
+  case Type::Kind::Int:
+  case Type::Kind::Bool:
+  case Type::Kind::Float:
+  case Type::Kind::String:
+    return T;
+  case Type::Kind::Var:
+    ++NumDefaulted;
+    return TC.getInt();
+  case Type::Kind::Disjunct:
+    ++NumDefaulted;
+    return groundDefault(T->getAlternatives().front(), TC, NumDefaulted);
+  case Type::Kind::Array:
+    return TC.getArray(groundDefault(T->getElem(), TC, NumDefaulted),
+                       T->getArraySize());
+  case Type::Kind::Struct: {
+    std::vector<std::pair<std::string, const Type *>> Fields;
+    for (const auto &[Name, FieldTy] : T->getFields())
+      Fields.emplace_back(Name, groundDefault(FieldTy, TC, NumDefaulted));
+    return TC.getStruct(std::move(Fields));
+  }
+  }
+  return T;
+}
+
+NetlistInferenceStats
+liberty::infer::inferNetlistTypes(netlist::Netlist &NL, types::TypeContext &TC,
+                                  DiagnosticEngine &Diags,
+                                  const SolveOptions &Opts) {
+  NetlistInferenceStats Stats;
+  std::vector<Constraint> Cs = buildNetlistConstraints(NL, TC);
+  InferenceEngine Engine(TC);
+  Stats.Solve = Engine.solve(Cs, Opts);
+  if (!Stats.Solve.Success) {
+    Diags.error(Stats.Solve.FailLoc,
+                "type inference failed: " + Stats.Solve.FailMessage);
+    return Stats;
+  }
+  for (const auto &Inst : NL.getInstances()) {
+    for (netlist::Port &P : Inst->Ports) {
+      if (!P.InferVar)
+        continue;
+      ++Stats.NumPorts;
+      if (P.Scheme && !P.Scheme->isGround())
+        ++Stats.NumPolymorphicPorts;
+      const Type *R = Engine.resolve(P.InferVar);
+      if (!R->isGround()) {
+        unsigned Before = Stats.NumDefaulted;
+        R = groundDefault(R, TC, Stats.NumDefaulted);
+        if (Stats.NumDefaulted != Before && P.Width > 0)
+          Diags.warning(P.Loc, "type of port '" + P.Name + "' on instance '" +
+                                   Inst->Path +
+                                   "' is unconstrained; defaulting to " +
+                                   R->str());
+      }
+      P.Resolved = R;
+    }
+  }
+  return Stats;
+}

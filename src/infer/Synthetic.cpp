@@ -1,0 +1,74 @@
+//===- Synthetic.cpp - Synthetic inference workloads ---------------------------===//
+
+#include "infer/Synthetic.h"
+
+#include "types/Type.h"
+
+using namespace liberty;
+using namespace liberty::infer;
+using types::Type;
+
+std::vector<Constraint>
+liberty::infer::makeAdversarialPairs(types::TypeContext &TC, unsigned K) {
+  std::vector<Constraint> Cs;
+  std::vector<const Type *> As, Bs;
+  const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  const Type *FloatInt = TC.getDisjunct({TC.getFloat(), TC.getInt()});
+  for (unsigned I = 0; I != K; ++I) {
+    As.push_back(TC.freshVar("a" + std::to_string(I)));
+    Bs.push_back(TC.freshVar("b" + std::to_string(I)));
+    // Opposite preference orders: the naive solver's first guesses clash.
+    Cs.push_back(Constraint{As.back(), IntFloat, SourceLoc(), "pair-a"});
+    Cs.push_back(Constraint{Bs.back(), FloatInt, SourceLoc(), "pair-b"});
+  }
+  for (unsigned I = 0; I != K; ++I)
+    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "pair-eq"});
+  return Cs;
+}
+
+std::vector<Constraint>
+liberty::infer::makeIntersectionFamily(types::TypeContext &TC, unsigned K) {
+  std::vector<Constraint> Cs;
+  const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  const Type *FloatString = TC.getDisjunct({TC.getFloat(), TC.getString()});
+  std::vector<const Type *> Vs;
+  for (unsigned I = 0; I != K; ++I) {
+    Vs.push_back(TC.freshVar("v" + std::to_string(I)));
+    Cs.push_back(Constraint{Vs.back(), IntFloat, SourceLoc(), "isect-1"});
+  }
+  for (unsigned I = 0; I != K; ++I)
+    Cs.push_back(Constraint{Vs[I], FloatString, SourceLoc(), "isect-2"});
+  return Cs;
+}
+
+std::vector<Constraint>
+liberty::infer::makeForcedChain(types::TypeContext &TC, unsigned N) {
+  std::vector<Constraint> Cs;
+  const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  const Type *Prev = TC.freshVar("c0");
+  Cs.push_back(Constraint{Prev, TC.getInt(), SourceLoc(), "anchor"});
+  for (unsigned I = 1; I <= N; ++I) {
+    const Type *Next = TC.freshVar("c" + std::to_string(I));
+    Cs.push_back(Constraint{Next, IntFloat, SourceLoc(), "chain-overload"});
+    Cs.push_back(Constraint{Prev, Next, SourceLoc(), "chain-link"});
+    Prev = Next;
+  }
+  return Cs;
+}
+
+std::vector<Constraint>
+liberty::infer::makeUnsatPairs(types::TypeContext &TC, unsigned K) {
+  std::vector<Constraint> Cs;
+  const Type *IntBool = TC.getDisjunct({TC.getInt(), TC.getBool()});
+  const Type *FloatString = TC.getDisjunct({TC.getFloat(), TC.getString()});
+  std::vector<const Type *> As, Bs;
+  for (unsigned I = 0; I != K; ++I) {
+    As.push_back(TC.freshVar("ua" + std::to_string(I)));
+    Bs.push_back(TC.freshVar("ub" + std::to_string(I)));
+    Cs.push_back(Constraint{As.back(), IntBool, SourceLoc(), "unsat-a"});
+    Cs.push_back(Constraint{Bs.back(), FloatString, SourceLoc(), "unsat-b"});
+  }
+  for (unsigned I = 0; I != K; ++I)
+    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "unsat-eq"});
+  return Cs;
+}

@@ -1,0 +1,47 @@
+//===- Synthetic.h - Synthetic inference workloads ---------------*- C++ -*-===//
+///
+/// \file
+/// Constraint-system families for benchmarking and property-testing the
+/// type-inference solver. Each family isolates one of the paper's three
+/// heuristics: without the heuristic the search is exponential in the
+/// family's size parameter; with it, (near-)linear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_INFER_SYNTHETIC_H
+#define LIBERTY_INFER_SYNTHETIC_H
+
+#include "infer/InferenceEngine.h"
+
+namespace liberty {
+namespace infer {
+
+/// K independent overloaded pairs, adversarially ordered: all disjunctive
+/// constraints precede the equalities that couple them. Plain unification
+/// order (no H1) backtracks ~4^K; with H1 the equalities solve first and
+/// the search collapses. Always satisfiable (both sides resolve to int).
+std::vector<Constraint> makeAdversarialPairs(types::TypeContext &TC,
+                                             unsigned K);
+
+/// K independent variables, each constrained by two overlapping disjuncts
+/// ((int|float) and (float|string), intersection float), with all the
+/// first disjuncts ordered before all the second. With partitioning (H3)
+/// each variable is a 2-constraint component; without it one 2K-deep
+/// search re-enumerates ~2^K combinations before converging. Satisfiable.
+std::vector<Constraint> makeIntersectionFamily(types::TypeContext &TC,
+                                               unsigned K);
+
+/// A chain of N overloaded components anchored to int at one end —
+/// the "long chains of polymorphic data routing components" the paper
+/// calls common. Every disjunct is *forced*; H2 resolves them all without
+/// a single branch point. Satisfiable.
+std::vector<Constraint> makeForcedChain(types::TypeContext &TC, unsigned N);
+
+/// Like makeAdversarialPairs but unsatisfiable (the coupled pair's
+/// disjuncts don't intersect), to measure failure-path behavior.
+std::vector<Constraint> makeUnsatPairs(types::TypeContext &TC, unsigned K);
+
+} // namespace infer
+} // namespace liberty
+
+#endif // LIBERTY_INFER_SYNTHETIC_H

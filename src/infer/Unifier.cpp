@@ -1,0 +1,204 @@
+//===- Unifier.cpp - Structural unification with rollback -------------------===//
+
+#include "infer/Unifier.h"
+
+#include "types/Type.h"
+
+#include <cassert>
+
+using namespace liberty;
+using namespace liberty::infer;
+using types::Type;
+
+const Type *Unifier::getBinding(uint32_t VarId) const {
+  return VarId < Bindings.size() ? Bindings[VarId] : nullptr;
+}
+
+const Type *Unifier::find(const Type *T) const {
+  while (T->isVar()) {
+    const Type *Bound = getBinding(T->getVarId());
+    if (!Bound)
+      return T;
+    T = Bound;
+  }
+  return T;
+}
+
+void Unifier::bind(uint32_t VarId, const Type *T) {
+  if (VarId >= Bindings.size())
+    Bindings.resize(VarId + 1, nullptr);
+  assert(!Bindings[VarId] && "rebinding a bound variable");
+  Bindings[VarId] = T;
+  Trail.push_back(VarId);
+}
+
+void Unifier::rollback(Checkpoint C) {
+  assert(C <= Trail.size() && "rollback past the trail");
+  while (Trail.size() > C) {
+    Bindings[Trail.back()] = nullptr;
+    Trail.pop_back();
+  }
+}
+
+bool Unifier::occurs(uint32_t VarId, const Type *T) const {
+  T = find(T);
+  switch (T->getKind()) {
+  case Type::Kind::Var:
+    return T->getVarId() == VarId;
+  case Type::Kind::Array:
+    return occurs(VarId, T->getElem());
+  case Type::Kind::Struct:
+    for (const auto &[Name, FieldTy] : T->getFields())
+      if (occurs(VarId, FieldTy))
+        return true;
+    return false;
+  case Type::Kind::Disjunct:
+    for (const Type *Alt : T->getAlternatives())
+      if (occurs(VarId, Alt))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+bool Unifier::unifyStructural(const Type *A, const Type *B,
+                              std::vector<TypePair> &Deferred) {
+  ++Steps;
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return true;
+
+  // A disjunct cannot be unified locally: the solver must choose an
+  // alternative. Defer the pair. (Checked before variable binding so a
+  // variable is never bound to a disjunctive scheme.)
+  if (A->isDisjunct() || B->isDisjunct()) {
+    Deferred.push_back(TypePair{A, B});
+    return true;
+  }
+
+  if (A->isVar()) {
+    if (occurs(A->getVarId(), B)) {
+      LastFailure = "occurs check failed: " + A->str() + " in " + B->str();
+      return false;
+    }
+    bind(A->getVarId(), B);
+    return true;
+  }
+  if (B->isVar()) {
+    if (occurs(B->getVarId(), A)) {
+      LastFailure = "occurs check failed: " + B->str() + " in " + A->str();
+      return false;
+    }
+    bind(B->getVarId(), A);
+    return true;
+  }
+
+  if (A->getKind() != B->getKind()) {
+    LastFailure = "cannot unify " + A->str() + " with " + B->str();
+    return false;
+  }
+
+  switch (A->getKind()) {
+  case Type::Kind::Int:
+  case Type::Kind::Bool:
+  case Type::Kind::Float:
+  case Type::Kind::String:
+    return true;
+  case Type::Kind::Array:
+    if (A->getArraySize() != B->getArraySize()) {
+      LastFailure = "array extents differ: " + A->str() + " vs " + B->str();
+      return false;
+    }
+    return unifyStructural(A->getElem(), B->getElem(), Deferred);
+  case Type::Kind::Struct: {
+    const auto &FA = A->getFields();
+    const auto &FB = B->getFields();
+    if (FA.size() != FB.size()) {
+      LastFailure = "struct field counts differ: " + A->str() + " vs " +
+                    B->str();
+      return false;
+    }
+    for (unsigned I = 0; I != FA.size(); ++I) {
+      if (FA[I].first != FB[I].first) {
+        LastFailure = "struct field names differ: " + A->str() + " vs " +
+                      B->str();
+        return false;
+      }
+      if (!unifyStructural(FA[I].second, FB[I].second, Deferred))
+        return false;
+    }
+    return true;
+  }
+  case Type::Kind::Var:
+  case Type::Kind::Disjunct:
+    break; // Handled above.
+  }
+  assert(false && "unreachable unification case");
+  return false;
+}
+
+const Type *Unifier::resolveDeep(const Type *T) {
+  T = find(T);
+  switch (T->getKind()) {
+  case Type::Kind::Int:
+  case Type::Kind::Bool:
+  case Type::Kind::Float:
+  case Type::Kind::String:
+  case Type::Kind::Var:
+    return T;
+  case Type::Kind::Array: {
+    const Type *Elem = resolveDeep(T->getElem());
+    if (Elem == T->getElem())
+      return T;
+    return TC.getArray(Elem, T->getArraySize());
+  }
+  case Type::Kind::Struct: {
+    bool Changed = false;
+    std::vector<std::pair<std::string, const Type *>> Fields;
+    Fields.reserve(T->getFields().size());
+    for (const auto &[Name, FieldTy] : T->getFields()) {
+      const Type *R = resolveDeep(FieldTy);
+      Changed |= (R != FieldTy);
+      Fields.emplace_back(Name, R);
+    }
+    return Changed ? TC.getStruct(std::move(Fields)) : T;
+  }
+  case Type::Kind::Disjunct: {
+    bool Changed = false;
+    std::vector<const Type *> Alts;
+    Alts.reserve(T->getAlternatives().size());
+    for (const Type *Alt : T->getAlternatives()) {
+      const Type *R = resolveDeep(Alt);
+      Changed |= (R != Alt);
+      Alts.push_back(R);
+    }
+    return Changed ? TC.getDisjunct(std::move(Alts)) : T;
+  }
+  }
+  return T;
+}
+
+void Unifier::collectUnboundVars(const Type *T,
+                                 std::vector<uint32_t> &Out) const {
+  T = find(T);
+  switch (T->getKind()) {
+  case Type::Kind::Var:
+    Out.push_back(T->getVarId());
+    return;
+  case Type::Kind::Array:
+    collectUnboundVars(T->getElem(), Out);
+    return;
+  case Type::Kind::Struct:
+    for (const auto &[Name, FieldTy] : T->getFields())
+      collectUnboundVars(FieldTy, Out);
+    return;
+  case Type::Kind::Disjunct:
+    for (const Type *Alt : T->getAlternatives())
+      collectUnboundVars(Alt, Out);
+    return;
+  default:
+    return;
+  }
+}

@@ -1,0 +1,76 @@
+//===- Unifier.h - Structural unification with rollback ---------*- C++ -*-===//
+///
+/// \file
+/// Trail-based unifier over types::Type terms. Disjunctive schemes are not
+/// unified here: when a disjunct meets another term, the pair is *deferred*
+/// to the caller (the solver branches over alternatives). Bindings can be
+/// rolled back to a checkpoint, which is what makes the exponential search
+/// over disjuncts and the trial-unification heuristics affordable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_INFER_UNIFIER_H
+#define LIBERTY_INFER_UNIFIER_H
+
+#include "types/TypeContext.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace infer {
+
+/// An equality between two type terms, pending solution.
+struct TypePair {
+  const types::Type *A = nullptr;
+  const types::Type *B = nullptr;
+};
+
+class Unifier {
+public:
+  explicit Unifier(types::TypeContext &TC) : TC(TC) {}
+
+  /// Follows variable bindings at the top level only.
+  const types::Type *find(const types::Type *T) const;
+
+  /// Substitutes bindings everywhere; unbound variables remain.
+  const types::Type *resolveDeep(const types::Type *T);
+
+  /// Structurally unifies \p A and \p B. Nested (disjunct, other) pairs are
+  /// appended to \p Deferred and treated as locally satisfied; the caller
+  /// must branch over them. Returns false on a hard mismatch (bindings made
+  /// before the failure remain; callers roll back via checkpoints).
+  bool unifyStructural(const types::Type *A, const types::Type *B,
+                       std::vector<TypePair> &Deferred);
+
+  using Checkpoint = size_t;
+  Checkpoint checkpoint() const { return Trail.size(); }
+  void rollback(Checkpoint C);
+
+  /// Collects the ids of unbound variables occurring in \p T (after
+  /// resolving bindings) into \p Out.
+  void collectUnboundVars(const types::Type *T,
+                          std::vector<uint32_t> &Out) const;
+
+  uint64_t getSteps() const { return Steps; }
+
+  /// Human-readable description of the last hard mismatch.
+  const std::string &getLastFailure() const { return LastFailure; }
+
+private:
+  bool occurs(uint32_t VarId, const types::Type *T) const;
+  void bind(uint32_t VarId, const types::Type *T);
+  const types::Type *getBinding(uint32_t VarId) const;
+
+  types::TypeContext &TC;
+  std::vector<const types::Type *> Bindings; ///< Indexed by variable id.
+  std::vector<uint32_t> Trail;
+  uint64_t Steps = 0;
+  std::string LastFailure;
+};
+
+} // namespace infer
+} // namespace liberty
+
+#endif // LIBERTY_INFER_UNIFIER_H

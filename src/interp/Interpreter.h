@@ -1,0 +1,164 @@
+//===- Interpreter.h - Compile-time LSS elaboration -------------*- C++ -*-===//
+///
+/// \file
+/// The elaboration interpreter: executes LSS module bodies at compile time
+/// to build the static netlist, implementing the paper's novel evaluation
+/// semantics (Section 6.2).
+///
+/// The 7-tuple machine state (M, Is, L, A, B, e, S) maps onto this
+/// implementation as follows:
+///   M  — the netlist::Netlist under construction
+///   Is — InstStack, the stack of instances whose bodies are deferred
+///   L  — BodyState::E, the lexical environment of the running body
+///   A  — InstanceNode::APendingAssigns/APendingConns of the instance whose
+///        body is running (recorded by its parent, consumed by parameter
+///        and port declarations — use-based specialization)
+///   B  — the same pending lists on *child* nodes while the parent runs
+///        (extract(c.n, B) is implicit in this distribution)
+///   e/S — the C++ call stack walking the AST
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_INTERP_INTERPRETER_H
+#define LIBERTY_INTERP_INTERPRETER_H
+
+#include "interp/Value.h"
+#include "lss/AST.h"
+#include "netlist/Netlist.h"
+#include "support/Diagnostics.h"
+#include "types/TypeContext.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace interp {
+
+class Interpreter {
+public:
+  struct Options {
+    /// Abort elaboration after this many statement/expression steps
+    /// (guards against non-terminating compile-time loops).
+    uint64_t MaxSteps = 100000000;
+    /// Abort after creating this many instances.
+    uint64_t MaxInstances = 1000000;
+    /// Stop elaborating new instances once this many errors accumulated.
+    unsigned MaxErrors = 50;
+  };
+
+  Interpreter(types::TypeContext &TC, DiagnosticEngine &Diags);
+  Interpreter(types::TypeContext &TC, DiagnosticEngine &Diags, Options Opts);
+
+  /// Registers the module declarations of \p File. Duplicate module names
+  /// are diagnosed.
+  void addModules(const lss::SpecFile &File);
+
+  /// Returns the registered module with the given name, or null.
+  const lss::ModuleDecl *lookupModule(const std::string &Name) const;
+
+  /// Elaborates \p TopLevel (the system description S0) into a netlist.
+  /// Always returns a netlist; callers must check Diags.hasErrors().
+  std::unique_ptr<netlist::Netlist> run(const std::vector<lss::Stmt *> &TopLevel);
+
+  /// Hierarchical paths in body-evaluation order — the pop order of the
+  /// instantiation stack, used by the semantics tests (Figure 13).
+  const std::vector<std::string> &getProcessingOrder() const {
+    return ProcessingOrder;
+  }
+
+  /// Messages produced by the print() builtin during elaboration.
+  const std::vector<std::string> &getPrintLog() const { return PrintLog; }
+
+  /// Total statement/expression steps executed (used by benches).
+  uint64_t getSteps() const { return Steps; }
+
+private:
+  enum class Flow { Normal, Break, Continue };
+
+  /// Lexical environment of one module body.
+  struct Env {
+    std::vector<std::map<std::string, Value>> Scopes;
+
+    void push() { Scopes.emplace_back(); }
+    void pop() { Scopes.pop_back(); }
+    Value *lookup(const std::string &Name);
+    void define(const std::string &Name, Value V) {
+      Scopes.back()[Name] = std::move(V);
+    }
+  };
+
+  /// All state for the body currently being evaluated.
+  struct BodyState {
+    netlist::InstanceNode *Node = nullptr;
+    Env E;
+    /// Per-instance type-variable map shared by all the body's ports.
+    std::map<std::string, const types::Type *> VarMap;
+    std::set<std::string> DeclaredParams;
+    std::set<std::string> DeclaredPorts;
+    /// Auto-index counters for unindexed internal uses of own ports.
+    std::map<std::string, int> SelfPortAutoIdx;
+  };
+
+  void evalBody(netlist::InstanceNode *Node,
+                const std::vector<lss::Stmt *> &Body);
+
+  Flow execStmt(BodyState &BS, const lss::Stmt *S);
+  Flow execBlockBody(BodyState &BS, const std::vector<lss::Stmt *> &Body);
+  void execParamDecl(BodyState &BS, const lss::ParamDeclStmt *S);
+  void execPortDecl(BodyState &BS, const lss::PortDeclStmt *S);
+  void execInstanceDecl(BodyState &BS, const lss::InstanceDeclStmt *S);
+  void execVarDecl(BodyState &BS, const lss::VarDeclStmt *S);
+  void execAssign(BodyState &BS, const lss::AssignStmt *S);
+  void execConnect(BodyState &BS, const lss::ConnectStmt *S);
+
+  Value evalExpr(BodyState &BS, const lss::Expr *E);
+  Value evalCall(BodyState &BS, const lss::CallExpr *E);
+  Value *resolveLValue(BodyState &BS, const lss::Expr *E);
+
+  /// Creates one sub-instance, pushes it on the instantiation stack, and
+  /// returns it (null on error).
+  netlist::InstanceNode *makeInstance(BodyState &BS, const std::string &Name,
+                                      const std::string &ModuleName,
+                                      SourceLoc Loc);
+
+  /// Creates a connection between two endpoint handles, recording pending
+  /// resolutions on child endpoints (the B context).
+  void makeConnection(BodyState &BS, const PortHandle &From,
+                      const PortHandle &To, const lss::TypeExpr *Annotation,
+                      SourceLoc Loc);
+
+  /// Resolves one endpoint that refers to the current module's own port.
+  void resolveSelfEndpoint(BodyState &BS, netlist::Connection *Conn,
+                           bool IsFrom, const PortHandle &H, SourceLoc Loc);
+
+  /// Converts a syntactic type in the current body's scope (type variables
+  /// shared per instance; extents evaluated in the environment).
+  const types::Type *convertType(BodyState &BS, const lss::TypeExpr *TE);
+
+  /// True once elaboration must stop (step limit or error budget).
+  bool aborted();
+
+  types::TypeContext &TC;
+  DiagnosticEngine &Diags;
+  Options Opts;
+
+  std::map<std::string, const lss::ModuleDecl *> ModuleTable;
+  /// Deterministic registration order, for printing and stats.
+  std::vector<const lss::ModuleDecl *> ModuleOrder;
+
+  netlist::Netlist *NL = nullptr;
+  std::vector<netlist::InstanceNode *> InstStack;
+  std::vector<std::string> ProcessingOrder;
+  std::vector<std::string> PrintLog;
+  uint64_t Steps = 0;
+  uint64_t NumInstances = 0;
+  bool Aborted = false;
+};
+
+} // namespace interp
+} // namespace liberty
+
+#endif // LIBERTY_INTERP_INTERPRETER_H

@@ -1,0 +1,321 @@
+//===- Value.cpp - LSS elaboration & simulation values ---------------------===//
+
+#include "interp/Value.h"
+
+#include "types/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::interp;
+
+Value Value::makeInt(int64_t V) {
+  Value R;
+  R.K = Kind::Int;
+  R.IntVal = V;
+  return R;
+}
+
+Value Value::makeBool(bool V) {
+  Value R;
+  R.K = Kind::Bool;
+  R.BoolVal = V;
+  return R;
+}
+
+Value Value::makeFloat(double V) {
+  Value R;
+  R.K = Kind::Float;
+  R.FloatVal = V;
+  return R;
+}
+
+Value Value::makeString(std::string V) {
+  Value R;
+  R.K = Kind::String;
+  R.StrVal = std::move(V);
+  return R;
+}
+
+Value Value::makeArray(std::vector<Value> Elems) {
+  Value R;
+  R.K = Kind::Array;
+  R.Elems = std::move(Elems);
+  return R;
+}
+
+Value Value::makeStruct(std::vector<std::pair<std::string, Value>> Fields) {
+  Value R;
+  R.K = Kind::Struct;
+  R.Fields = std::move(Fields);
+  return R;
+}
+
+Value Value::makeInstanceRef(netlist::InstanceNode *Inst) {
+  Value R;
+  R.K = Kind::InstanceRef;
+  R.Inst = Inst;
+  return R;
+}
+
+Value Value::makePort(PortHandle H) {
+  Value R;
+  R.K = Kind::Port;
+  R.Handle = std::move(H);
+  return R;
+}
+
+bool Value::isData() const {
+  switch (K) {
+  case Kind::Int:
+  case Kind::Bool:
+  case Kind::Float:
+  case Kind::String:
+  case Kind::Array:
+  case Kind::Struct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+int64_t Value::getInt() const {
+  assert(K == Kind::Int && "not an int value");
+  return IntVal;
+}
+
+bool Value::getBool() const {
+  assert(K == Kind::Bool && "not a bool value");
+  return BoolVal;
+}
+
+double Value::getFloat() const {
+  assert(K == Kind::Float && "not a float value");
+  return FloatVal;
+}
+
+double Value::getNumeric() const {
+  assert((K == Kind::Int || K == Kind::Float) && "not a numeric value");
+  return K == Kind::Int ? static_cast<double>(IntVal) : FloatVal;
+}
+
+const std::string &Value::getString() const {
+  assert(K == Kind::String && "not a string value");
+  return StrVal;
+}
+
+const std::vector<Value> &Value::getElems() const {
+  assert(K == Kind::Array && "not an array value");
+  return Elems;
+}
+
+std::vector<Value> &Value::getElemsMutable() {
+  assert(K == Kind::Array && "not an array value");
+  return Elems;
+}
+
+const std::vector<std::pair<std::string, Value>> &Value::getFields() const {
+  assert(K == Kind::Struct && "not a struct value");
+  return Fields;
+}
+
+std::vector<std::pair<std::string, Value>> &Value::getFieldsMutable() {
+  assert(K == Kind::Struct && "not a struct value");
+  return Fields;
+}
+
+const Value *Value::getField(const std::string &Name) const {
+  assert(K == Kind::Struct && "not a struct value");
+  for (const auto &[FieldName, FieldValue] : Fields)
+    if (FieldName == Name)
+      return &FieldValue;
+  return nullptr;
+}
+
+Value *Value::getFieldMutable(const std::string &Name) {
+  assert(K == Kind::Struct && "not a struct value");
+  for (auto &[FieldName, FieldValue] : Fields)
+    if (FieldName == Name)
+      return &FieldValue;
+  return nullptr;
+}
+
+netlist::InstanceNode *Value::getInstance() const {
+  assert(K == Kind::InstanceRef && "not an instance reference");
+  return Inst;
+}
+
+const PortHandle &Value::getPort() const {
+  assert(K == Kind::Port && "not a port handle");
+  return Handle;
+}
+
+PortHandle &Value::getPortMutable() {
+  assert(K == Kind::Port && "not a port handle");
+  return Handle;
+}
+
+bool Value::equals(const Value &Other) const {
+  if (K != Other.K)
+    return false;
+  switch (K) {
+  case Kind::Unset:
+    return true;
+  case Kind::Int:
+    return IntVal == Other.IntVal;
+  case Kind::Bool:
+    return BoolVal == Other.BoolVal;
+  case Kind::Float:
+    return FloatVal == Other.FloatVal;
+  case Kind::String:
+    return StrVal == Other.StrVal;
+  case Kind::Array: {
+    if (Elems.size() != Other.Elems.size())
+      return false;
+    for (unsigned I = 0; I != Elems.size(); ++I)
+      if (!Elems[I].equals(Other.Elems[I]))
+        return false;
+    return true;
+  }
+  case Kind::Struct: {
+    if (Fields.size() != Other.Fields.size())
+      return false;
+    for (unsigned I = 0; I != Fields.size(); ++I)
+      if (Fields[I].first != Other.Fields[I].first ||
+          !Fields[I].second.equals(Other.Fields[I].second))
+        return false;
+    return true;
+  }
+  case Kind::InstanceRef:
+    return Inst == Other.Inst;
+  case Kind::Port:
+    return Handle.Inst == Other.Handle.Inst &&
+           Handle.Port == Other.Handle.Port &&
+           Handle.Index == Other.Handle.Index;
+  }
+  return false;
+}
+
+bool Value::conformsTo(const types::Type *Ty) const {
+  using types::Type;
+  switch (Ty->getKind()) {
+  case Type::Kind::Int:
+    return K == Kind::Int;
+  case Type::Kind::Bool:
+    return K == Kind::Bool;
+  case Type::Kind::Float:
+    // Integer literals are accepted where a float is expected; the paper's
+    // Figure 5 writes `parameter initial_state = 0:int`, and the analogous
+    // float parameters are commonly defaulted with integer literals.
+    return K == Kind::Float || K == Kind::Int;
+  case Type::Kind::String:
+    return K == Kind::String;
+  case Type::Kind::Array: {
+    if (K != Kind::Array)
+      return false;
+    if (Ty->getArraySize() >= 0 &&
+        static_cast<int64_t>(Elems.size()) != Ty->getArraySize())
+      return false;
+    for (const Value &E : Elems)
+      if (!E.conformsTo(Ty->getElem()))
+        return false;
+    return true;
+  }
+  case Type::Kind::Struct: {
+    if (K != Kind::Struct)
+      return false;
+    const auto &FieldTys = Ty->getFields();
+    if (Fields.size() != FieldTys.size())
+      return false;
+    for (unsigned I = 0; I != Fields.size(); ++I)
+      if (Fields[I].first != FieldTys[I].first ||
+          !Fields[I].second.conformsTo(FieldTys[I].second))
+        return false;
+    return true;
+  }
+  case Type::Kind::Var:
+    return isData(); // Polymorphic slot accepts any data value.
+  case Type::Kind::Disjunct:
+    for (const types::Type *Alt : Ty->getAlternatives())
+      if (conformsTo(Alt))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+Value Value::defaultFor(const types::Type *Ty) {
+  using types::Type;
+  switch (Ty->getKind()) {
+  case Type::Kind::Int:
+    return makeInt(0);
+  case Type::Kind::Bool:
+    return makeBool(false);
+  case Type::Kind::Float:
+    return makeFloat(0.0);
+  case Type::Kind::String:
+    return makeString("");
+  case Type::Kind::Array: {
+    std::vector<Value> Elems;
+    int64_t N = Ty->getArraySize() < 0 ? 0 : Ty->getArraySize();
+    Elems.reserve(N);
+    for (int64_t I = 0; I != N; ++I)
+      Elems.push_back(defaultFor(Ty->getElem()));
+    return makeArray(std::move(Elems));
+  }
+  case Type::Kind::Struct: {
+    std::vector<std::pair<std::string, Value>> Fields;
+    for (const auto &[Name, FieldTy] : Ty->getFields())
+      Fields.emplace_back(Name, defaultFor(FieldTy));
+    return makeStruct(std::move(Fields));
+  }
+  case Type::Kind::Var:
+  case Type::Kind::Disjunct:
+    return makeInt(0); // Unresolved polymorphism defaults like int.
+  }
+  return Value();
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Unset:
+    return "<unset>";
+  case Kind::Int:
+    return std::to_string(IntVal);
+  case Kind::Bool:
+    return BoolVal ? "true" : "false";
+  case Kind::Float: {
+    std::ostringstream OS;
+    OS << FloatVal;
+    return OS.str();
+  }
+  case Kind::String:
+    return "\"" + StrVal + "\"";
+  case Kind::Array: {
+    std::string S = "[";
+    for (unsigned I = 0; I != Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Elems[I].str();
+    }
+    return S + "]";
+  }
+  case Kind::Struct: {
+    std::string S = "{";
+    for (unsigned I = 0; I != Fields.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Fields[I].first + ": " + Fields[I].second.str();
+    }
+    return S + "}";
+  }
+  case Kind::InstanceRef:
+    return "<instance>";
+  case Kind::Port:
+    return "<port " + Handle.Port +
+           (Handle.hasIndex() ? "[" + std::to_string(Handle.Index) + "]" : "") +
+           ">";
+  }
+  return "<invalid>";
+}

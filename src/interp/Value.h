@@ -1,0 +1,131 @@
+//===- Value.h - LSS elaboration & simulation values ------------*- C++ -*-===//
+///
+/// \file
+/// The dynamic value representation shared by the elaboration interpreter
+/// (compile-time LSS execution) and the BSL runtime (userpoint execution and
+/// signal values). Plain data kinds (Int/Bool/Float/String/Array/Struct)
+/// flow on simulated wires; InstanceRef and PortHandle exist only at
+/// elaboration time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_INTERP_VALUE_H
+#define LIBERTY_INTERP_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace liberty {
+
+namespace netlist {
+class InstanceNode;
+}
+
+namespace types {
+class Type;
+class TypeContext;
+}
+
+namespace interp {
+
+/// An elaboration-time reference to a port, possibly narrowed to a single
+/// port instance by an index. `OnSelf` distinguishes the current module's
+/// own ports from a sub-instance's ports.
+struct PortHandle {
+  netlist::InstanceNode *Inst = nullptr;
+  std::string Port;
+  int Index = -1; ///< -1 while no port instance has been selected.
+  bool OnSelf = false;
+
+  bool hasIndex() const { return Index >= 0; }
+};
+
+class Value {
+public:
+  enum class Kind {
+    Unset,
+    Int,
+    Bool,
+    Float,
+    String,
+    Array,
+    Struct,
+    InstanceRef,
+    Port,
+  };
+
+  Value() = default;
+
+  static Value makeInt(int64_t V);
+  static Value makeBool(bool V);
+  static Value makeFloat(double V);
+  static Value makeString(std::string V);
+  static Value makeArray(std::vector<Value> Elems);
+  static Value makeStruct(std::vector<std::pair<std::string, Value>> Fields);
+  static Value makeInstanceRef(netlist::InstanceNode *Inst);
+  static Value makePort(PortHandle H);
+
+  Kind getKind() const { return K; }
+  bool isUnset() const { return K == Kind::Unset; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStruct() const { return K == Kind::Struct; }
+  bool isInstanceRef() const { return K == Kind::InstanceRef; }
+  bool isPort() const { return K == Kind::Port; }
+  /// True for the kinds that may flow on simulated wires.
+  bool isData() const;
+
+  int64_t getInt() const;
+  bool getBool() const;
+  double getFloat() const;
+  /// Numeric accessor that widens Int to double.
+  double getNumeric() const;
+  const std::string &getString() const;
+
+  const std::vector<Value> &getElems() const;
+  std::vector<Value> &getElemsMutable();
+
+  const std::vector<std::pair<std::string, Value>> &getFields() const;
+  std::vector<std::pair<std::string, Value>> &getFieldsMutable();
+  /// Returns the field named \p Name, or null if absent.
+  const Value *getField(const std::string &Name) const;
+  Value *getFieldMutable(const std::string &Name);
+
+  netlist::InstanceNode *getInstance() const;
+  const PortHandle &getPort() const;
+  PortHandle &getPortMutable();
+
+  /// Structural equality on data kinds (Unset equals Unset; InstanceRef and
+  /// Port compare by identity).
+  bool equals(const Value &Other) const;
+
+  /// True if this data value conforms to ground type \p Ty.
+  bool conformsTo(const types::Type *Ty) const;
+
+  /// A default value (zero/false/empty) of ground type \p Ty.
+  static Value defaultFor(const types::Type *Ty);
+
+  /// Renders the value for diagnostics and collectors.
+  std::string str() const;
+
+private:
+  Kind K = Kind::Unset;
+  int64_t IntVal = 0;
+  double FloatVal = 0.0;
+  bool BoolVal = false;
+  std::string StrVal;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Fields;
+  netlist::InstanceNode *Inst = nullptr;
+  PortHandle Handle;
+};
+
+} // namespace interp
+} // namespace liberty
+
+#endif // LIBERTY_INTERP_VALUE_H

@@ -1,0 +1,417 @@
+//===- Lexer.cpp - LSS lexer ----------------------------------------------===//
+
+#include "lss/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace liberty;
+using namespace liberty::lss;
+
+const char *liberty::lss::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::TypeVar:
+    return "type variable";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwModule:
+    return "'module'";
+  case TokenKind::KwParameter:
+    return "'parameter'";
+  case TokenKind::KwInport:
+    return "'inport'";
+  case TokenKind::KwOutport:
+    return "'outport'";
+  case TokenKind::KwInstance:
+    return "'instance'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwRuntime:
+    return "'runtime'";
+  case TokenKind::KwEvent:
+    return "'event'";
+  case TokenKind::KwUserpoint:
+    return "'userpoint'";
+  case TokenKind::KwConstrain:
+    return "'constrain'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwEnum:
+    return "'enum'";
+  case TokenKind::KwRef:
+    return "'ref'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwString:
+    return "'string'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::FatArrow:
+    return "'=>'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  }
+  return "unknown";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"module", TokenKind::KwModule},
+      {"parameter", TokenKind::KwParameter},
+      {"inport", TokenKind::KwInport},
+      {"outport", TokenKind::KwOutport},
+      {"instance", TokenKind::KwInstance},
+      {"var", TokenKind::KwVar},
+      {"runtime", TokenKind::KwRuntime},
+      {"event", TokenKind::KwEvent},
+      {"userpoint", TokenKind::KwUserpoint},
+      {"constrain", TokenKind::KwConstrain},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},
+      {"new", TokenKind::KwNew},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"struct", TokenKind::KwStruct},
+      {"enum", TokenKind::KwEnum},
+      {"ref", TokenKind::KwRef},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+      {"float", TokenKind::KwFloat},
+      {"string", TokenKind::KwString},
+  };
+  return Table;
+}
+
+Lexer::Lexer(uint32_t BufferId, DiagnosticEngine &Diags)
+    : BufferId(BufferId), Diags(Diags),
+      Text(Diags.getSourceMgr().getBufferText(BufferId)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(Pos < Text.size() && "advanced past end of buffer");
+  return Text[Pos++];
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  ++Pos;
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Text.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Text.size() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = getLoc();
+      Pos += 2;
+      while (Pos < Text.size() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (Pos >= Text.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Spelling) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Spelling = std::move(Spelling);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  uint32_t Start = Pos;
+  while (Pos < Text.size() && (std::isalnum((unsigned char)peek()) ||
+                               peek() == '_'))
+    ++Pos;
+  std::string Spelling = Text.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Spelling);
+  if (It != keywordTable().end())
+    return makeToken(It->second, Loc, std::move(Spelling));
+  return makeToken(TokenKind::Identifier, Loc, std::move(Spelling));
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  uint32_t Start = Pos;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    Pos += 2;
+    while (std::isxdigit((unsigned char)peek()))
+      ++Pos;
+  } else {
+    while (std::isdigit((unsigned char)peek()))
+      ++Pos;
+  }
+  bool IsFloat = false;
+  if (!IsHex && peek() == '.' && std::isdigit((unsigned char)peek(1))) {
+    IsFloat = true;
+    ++Pos;
+    while (std::isdigit((unsigned char)peek()))
+      ++Pos;
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (std::isdigit((unsigned char)peek()))
+        ++Pos;
+    }
+  }
+  std::string Spelling = Text.substr(Start, Pos - Start);
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral
+                              : TokenKind::IntLiteral,
+                      Loc, Spelling);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(Spelling.c_str(), nullptr, IsHex ? 16 : 10);
+  return T;
+}
+
+Token Lexer::lexString(SourceLoc Loc) {
+  assert(peek() == '"');
+  ++Pos;
+  std::string Value;
+  while (Pos < Text.size() && peek() != '"') {
+    char C = advance();
+    if (C != '\\') {
+      Value.push_back(C);
+      continue;
+    }
+    if (Pos >= Text.size())
+      break;
+    char Esc = advance();
+    switch (Esc) {
+    case 'n':
+      Value.push_back('\n');
+      break;
+    case 't':
+      Value.push_back('\t');
+      break;
+    case '\\':
+      Value.push_back('\\');
+      break;
+    case '"':
+      Value.push_back('"');
+      break;
+    default:
+      Diags.warning(Loc, std::string("unknown escape sequence '\\") + Esc +
+                             "' in string literal");
+      Value.push_back(Esc);
+      break;
+    }
+  }
+  if (Pos >= Text.size()) {
+    Diags.error(Loc, "unterminated string literal");
+    return makeToken(TokenKind::Error, Loc, Value);
+  }
+  ++Pos; // Closing quote.
+  return makeToken(TokenKind::StringLiteral, Loc, std::move(Value));
+}
+
+Token Lexer::lexTypeVar(SourceLoc Loc) {
+  assert(peek() == '\'');
+  ++Pos;
+  if (!std::isalpha((unsigned char)peek()) && peek() != '_') {
+    Diags.error(Loc, "expected identifier after ' in type variable");
+    return makeToken(TokenKind::Error, Loc, "'");
+  }
+  uint32_t Start = Pos;
+  while (Pos < Text.size() &&
+         (std::isalnum((unsigned char)peek()) || peek() == '_'))
+    ++Pos;
+  return makeToken(TokenKind::TypeVar, Loc, Text.substr(Start, Pos - Start));
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLoc Loc = getLoc();
+  if (Pos >= Text.size())
+    return makeToken(TokenKind::Eof, Loc, "");
+
+  char C = peek();
+  if (std::isalpha((unsigned char)C) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit((unsigned char)C))
+    return lexNumber(Loc);
+  if (C == '"')
+    return lexString(Loc);
+  if (C == '\'')
+    return lexTypeVar(Loc);
+
+  ++Pos;
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc, ";");
+  case ':':
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '.':
+    return makeToken(TokenKind::Dot, Loc, ".");
+  case '+':
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '*':
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '-':
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc, "->");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqEq, Loc, "==");
+    if (match('>'))
+      return makeToken(TokenKind::FatArrow, Loc, "=>");
+    return makeToken(TokenKind::Assign, Loc, "=");
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEq, Loc, "<=");
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEq, Loc, ">=");
+    return makeToken(TokenKind::Greater, Loc, ">");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEq, Loc, "!=");
+    return makeToken(TokenKind::Not, Loc, "!");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    return makeToken(TokenKind::Pipe, Loc, "|");
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Loc, std::string(1, C));
+}

@@ -1,0 +1,78 @@
+//===- Parser.h - LSS recursive-descent parser ------------------*- C++ -*-===//
+///
+/// \file
+/// Parser for LSS specification files and for BSL userpoint bodies (which
+/// share the statement/expression grammar plus `return`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_LSS_PARSER_H
+#define LIBERTY_LSS_PARSER_H
+
+#include "lss/AST.h"
+#include "lss/Lexer.h"
+
+namespace liberty {
+namespace lss {
+
+class Parser {
+public:
+  /// Parses buffer \p BufferId into \p Ctx. AST nodes live as long as Ctx.
+  Parser(uint32_t BufferId, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses a whole LSS file: module declarations + top-level statements.
+  /// On error, diagnostics are reported and the returned SpecFile contains
+  /// whatever parsed successfully.
+  SpecFile parseFile();
+
+  /// Parses a BSL userpoint body: a bare statement list (with `return`).
+  std::vector<Stmt *> parseBslBody();
+
+private:
+  // Token management.
+  const Token &cur() const { return CurTok; }
+  void consume();
+  bool consumeIf(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void skipToRecoveryPoint();
+
+  // Grammar productions.
+  ModuleDecl *parseModuleDecl();
+  Stmt *parseStmt();
+  Stmt *parseParamDecl();
+  Stmt *parsePortDecl(bool IsInput);
+  Stmt *parseInstanceDecl();
+  Stmt *parseVarDecl(bool IsRuntime);
+  Stmt *parseEventDecl();
+  Stmt *parseConstrain();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseWhile();
+  Stmt *parseBlock();
+  Stmt *parseReturn();
+  /// Assignment / connection / expression statement (shared by `for` headers
+  /// which omit the trailing semicolon).
+  Stmt *parseSimpleStmt(bool RequireSemicolon);
+
+  Expr *parseExpr();
+  Expr *parseBinaryRHS(int MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  TypeExpr *parseTypeExpr();
+  TypeExpr *parseTypePostfix();
+  TypeExpr *parseTypeAtom();
+
+  std::unique_ptr<UserpointSig> parseUserpointSig();
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  Token CurTok;
+};
+
+} // namespace lss
+} // namespace liberty
+
+#endif // LIBERTY_LSS_PARSER_H

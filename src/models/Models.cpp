@@ -1,0 +1,72 @@
+//===- Models.cpp - The paper's models A-F -------------------------------------===//
+
+#include "models/Models.h"
+
+#include "baseline/StaticNet.h"
+#include "driver/Compiler.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::models;
+
+#ifndef LIBERTY_MODELS_DIR
+#define LIBERTY_MODELS_DIR "models"
+#endif
+
+std::vector<std::string> liberty::models::modelIds() {
+  return {"A", "B", "C", "D", "E", "F"};
+}
+
+std::string liberty::models::modelDescription(const std::string &Id) {
+  if (Id == "A")
+    return "A Tomasulo-style machine for the DLX instruction set.";
+  if (Id == "B")
+    return "Same as A, but with a single issue window.";
+  if (Id == "C")
+    return "A model equivalent to the SimpleScalar simulator.";
+  if (Id == "D")
+    return "An out-of-order processor core for IA-64.";
+  if (Id == "E")
+    return "Two of the cores from D sharing a cache hierarchy.";
+  if (Id == "F")
+    return "A validated Itanium 2-style processor model.";
+  return "(unknown model)";
+}
+
+std::string liberty::models::modelLssPath(const std::string &Id) {
+  std::string Lower;
+  for (char C : Id)
+    Lower.push_back(static_cast<char>(std::tolower((unsigned char)C)));
+  return std::string(LIBERTY_MODELS_DIR) + "/" + Lower + ".lss";
+}
+
+std::string liberty::models::uarchLssPath() {
+  return std::string(LIBERTY_MODELS_DIR) + "/uarch.lss";
+}
+
+bool liberty::models::loadModel(driver::Compiler &C, const std::string &Id) {
+  if (!C.addCoreLibrary())
+    return false;
+  if (!C.addFile(uarchLssPath()))
+    return false;
+  return C.addFile(modelLssPath(Id));
+}
+
+static unsigned countFileLines(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return 0;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return baseline::countSpecLines(SS.str());
+}
+
+unsigned liberty::models::modelSourceLines(const std::string &Id) {
+  return countFileLines(modelLssPath(Id));
+}
+
+unsigned liberty::models::sharedSourceLines() {
+  return countFileLines(uarchLssPath());
+}

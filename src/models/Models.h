@@ -1,0 +1,48 @@
+//===- Models.h - The paper's models A-F -------------------------*- C++ -*-===//
+///
+/// \file
+/// Loader and metadata for the six models of Table 3. The LSS sources live
+/// in the repository's models/ directory (uarch.lss holds the shared
+/// hierarchical components; <id>.lss the per-model system descriptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_MODELS_MODELS_H
+#define LIBERTY_MODELS_MODELS_H
+
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+namespace driver {
+class Compiler;
+}
+
+namespace models {
+
+/// The model ids, in Table 3 order: "A" .. "F".
+std::vector<std::string> modelIds();
+
+/// Table 3's description of a model.
+std::string modelDescription(const std::string &Id);
+
+/// Absolute path of a model's LSS source file.
+std::string modelLssPath(const std::string &Id);
+/// Absolute path of the shared uarch.lss component file.
+std::string uarchLssPath();
+
+/// Loads the core library, the shared components, and the model's system
+/// description into \p C. Does not elaborate.
+bool loadModel(driver::Compiler &C, const std::string &Id);
+
+/// Non-blank, non-comment line count of the model's own LSS source
+/// (Table 3 / Section 7 size comparisons).
+unsigned modelSourceLines(const std::string &Id);
+/// Same for the shared uarch.lss file.
+unsigned sharedSourceLines();
+
+} // namespace models
+} // namespace liberty
+
+#endif // LIBERTY_MODELS_MODELS_H

@@ -1,0 +1,80 @@
+//===- DotEmitter.cpp - Graphviz rendering of netlists ------------------------===//
+
+#include "netlist/DotEmitter.h"
+
+#include "lss/AST.h"
+#include "netlist/Netlist.h"
+#include "types/Type.h"
+
+#include <map>
+#include <string>
+
+using namespace liberty;
+using namespace liberty::netlist;
+
+namespace {
+
+/// Graphviz node ids must be bare identifiers; paths contain '.', '[', ']'.
+std::string sanitize(const std::string &Path) {
+  std::string Id = "n_";
+  for (char C : Path)
+    Id += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+  return Id;
+}
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void emitInstance(const InstanceNode *Node, std::ostream &OS,
+                  unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  if (Node->isLeaf() || Node->Children.empty()) {
+    OS << Pad << sanitize(Node->Path) << " [label=\""
+       << escape(Node->Name.empty() ? "<top>" : Node->Name) << "\\n"
+       << escape(Node->Module ? Node->Module->getName() : "") << "\"";
+    if (!Node->isLeaf())
+      OS << ", shape=plaintext";
+    OS << "];\n";
+    return;
+  }
+  OS << Pad << "subgraph cluster_" << sanitize(Node->Path) << " {\n";
+  OS << Pad << "  label=\"" << escape(Node->Name) << " : "
+     << escape(Node->Module ? Node->Module->getName() : "") << "\";\n";
+  for (const InstanceNode *Child : Node->Children)
+    emitInstance(Child, OS, Indent + 1);
+  OS << Pad << "}\n";
+}
+
+} // namespace
+
+void liberty::netlist::emitDot(const Netlist &NL, std::ostream &OS) {
+  OS << "digraph model {\n";
+  OS << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  for (const InstanceNode *Child : NL.getRoot()->Children)
+    emitInstance(Child, OS, 1);
+
+  // Connections between *leaf* endpoints only: hierarchical pass-through
+  // ports are resolved transitively by net identity, but for a drawing,
+  // the recorded point-to-point connections are the honest picture.
+  for (const auto &Conn : NL.getConnections()) {
+    if (!Conn->isFullyResolved())
+      continue;
+    OS << "  " << sanitize(Conn->From.Inst->Path) << " -> "
+       << sanitize(Conn->To.Inst->Path) << " [label=\""
+       << escape(Conn->From.Port) << "[" << Conn->From.Index << "] -> "
+       << escape(Conn->To.Port) << "[" << Conn->To.Index << "]";
+    if (const netlist::Port *P = Conn->From.Inst->findPort(Conn->From.Port))
+      if (P->Resolved)
+        OS << " : " << escape(P->Resolved->str());
+    OS << "\", fontsize=8];\n";
+  }
+  OS << "}\n";
+}

@@ -1,0 +1,28 @@
+//===- DotEmitter.h - Graphviz rendering of netlists -------------*- C++ -*-===//
+///
+/// \file
+/// Renders an elaborated netlist as a Graphviz digraph: leaf instances as
+/// nodes (labelled with module name and behavior), the module hierarchy as
+/// nested clusters, and resolved connections as edges labelled with the
+/// inferred type. Serves the paper's visualization use case (Section 4.5)
+/// and gives models a human-checkable artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_NETLIST_DOTEMITTER_H
+#define LIBERTY_NETLIST_DOTEMITTER_H
+
+#include <ostream>
+
+namespace liberty {
+namespace netlist {
+
+class Netlist;
+
+/// Writes \p NL as a Graphviz digraph to \p OS.
+void emitDot(const Netlist &NL, std::ostream &OS);
+
+} // namespace netlist
+} // namespace liberty
+
+#endif // LIBERTY_NETLIST_DOTEMITTER_H

@@ -1,0 +1,99 @@
+//===- Netlist.cpp - Elaborated static structure ---------------------------===//
+
+#include "netlist/Netlist.h"
+
+#include "types/Type.h"
+
+#include <ostream>
+
+using namespace liberty;
+using namespace liberty::netlist;
+
+Port *InstanceNode::findPort(const std::string &PortName) {
+  for (Port &P : Ports)
+    if (P.Name == PortName)
+      return &P;
+  return nullptr;
+}
+
+const Port *InstanceNode::findPort(const std::string &PortName) const {
+  for (const Port &P : Ports)
+    if (P.Name == PortName)
+      return &P;
+  return nullptr;
+}
+
+unsigned InstanceNode::subtreeSize() const {
+  unsigned N = 1;
+  for (const InstanceNode *Child : Children)
+    N += Child->subtreeSize();
+  return N;
+}
+
+Netlist::Netlist() {
+  auto RootNode = std::make_unique<InstanceNode>();
+  RootNode->Name = "<top>";
+  RootNode->Path = "";
+  Root = RootNode.get();
+  Instances.push_back(std::move(RootNode));
+}
+
+InstanceNode *Netlist::createInstance(InstanceNode *Parent, std::string Name,
+                                      const lss::ModuleDecl *Module,
+                                      SourceLoc Loc) {
+  auto Node = std::make_unique<InstanceNode>();
+  Node->Name = std::move(Name);
+  Node->Path = (Parent == Root || Parent->Path.empty())
+                   ? Node->Name
+                   : Parent->Path + "." + Node->Name;
+  Node->Module = Module;
+  Node->Parent = Parent;
+  Node->Loc = Loc;
+  InstanceNode *Ptr = Node.get();
+  Parent->Children.push_back(Ptr);
+  Instances.push_back(std::move(Node));
+  return Ptr;
+}
+
+Connection *Netlist::createConnection(SourceLoc Loc) {
+  auto Conn = std::make_unique<Connection>();
+  Conn->Loc = Loc;
+  Connection *Ptr = Conn.get();
+  Connections.push_back(std::move(Conn));
+  return Ptr;
+}
+
+InstanceNode *Netlist::findByPath(const std::string &Path) {
+  for (const auto &Inst : Instances)
+    if (Inst->Path == Path)
+      return Inst.get();
+  return nullptr;
+}
+
+static void printInstance(std::ostream &OS, const InstanceNode *Node,
+                          unsigned Indent) {
+  for (unsigned I = 0; I != Indent; ++I)
+    OS << "  ";
+  OS << (Node->Name.empty() ? "<top>" : Node->Name);
+  if (Node->isLeaf())
+    OS << " [leaf:" << Node->BehaviorId << "]";
+  OS << "\n";
+  for (const Port &P : Node->Ports) {
+    for (unsigned I = 0; I != Indent + 1; ++I)
+      OS << "  ";
+    OS << (P.isInput() ? "inport " : "outport ") << P.Name
+       << " width=" << P.Width;
+    if (P.Resolved)
+      OS << " : " << P.Resolved->str();
+    else if (P.Scheme)
+      OS << " :~ " << P.Scheme->str();
+    OS << "\n";
+  }
+  for (const InstanceNode *Child : Node->Children)
+    printInstance(OS, Child, Indent + 1);
+}
+
+void Netlist::print(std::ostream &OS) const {
+  printInstance(OS, Root, 0);
+  OS << Connections.size() << " connections\n";
+}

@@ -1,0 +1,215 @@
+//===- Netlist.h - Elaborated static structure ------------------*- C++ -*-===//
+///
+/// \file
+/// The netlist `M` of the paper's evaluation semantics: the static structure
+/// produced by compile-time execution of an LSS specification. It records
+/// the instance hierarchy, per-port widths and type schemes, connections
+/// between port instances, resolved parameter/userpoint values, declared
+/// events, and runtime variables — everything downstream analyses (type
+/// inference, scheduling, code generation) consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_NETLIST_NETLIST_H
+#define LIBERTY_NETLIST_NETLIST_H
+
+#include "interp/Value.h"
+#include "support/SourceMgr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+namespace lss {
+class ModuleDecl;
+class TypeExpr;
+struct UserpointSig;
+class Expr;
+}
+
+namespace types {
+class Type;
+}
+
+namespace netlist {
+
+class InstanceNode;
+class Connection;
+
+enum class PortDirection { In, Out };
+
+/// A resolved connection endpoint: one port instance.
+struct PortRef {
+  InstanceNode *Inst = nullptr;
+  std::string Port;
+  int Index = -1;
+
+  bool isResolved() const { return Index >= 0; }
+};
+
+/// A port on an instance. Per the paper (Section 4.2), every port is a
+/// variable-length array of port instances; Width is the number of
+/// connections made to it, counted by use-based specialization.
+class Port {
+public:
+  std::string Name;
+  PortDirection Dir = PortDirection::In;
+  SourceLoc Loc;
+
+  /// The syntactic annotation from the module body (for reuse statistics).
+  const lss::TypeExpr *AnnotationTE = nullptr;
+  /// The per-instance semantic scheme; contains this instance's fresh type
+  /// variables if the annotation was polymorphic.
+  const types::Type *Scheme = nullptr;
+  /// Filled by inference: the resolved ground type, one for all instances
+  /// of the port.
+  const types::Type *Resolved = nullptr;
+  /// The inference engine's variable standing for this port's type.
+  const types::Type *InferVar = nullptr;
+
+  /// Number of port instances in use (external connections).
+  int Width = 0;
+  /// True if Width was inferred by counting connections (always, in LSS —
+  /// kept explicit so Table 2 can count inferred widths faithfully).
+  bool WidthInferred = false;
+
+  bool isInput() const { return Dir == PortDirection::In; }
+};
+
+/// A userpoint value attached to an instance: the signature from the module
+/// declaration plus the BSL code string chosen by the user (or default).
+struct UserpointValue {
+  const lss::UserpointSig *Sig = nullptr;
+  std::string Code;
+  SourceLoc Loc;
+  bool IsDefault = false;
+};
+
+/// A runtime variable declared by the module (Section 4.3): simulation
+/// state readable/writable from userpoints.
+struct RuntimeVar {
+  std::string Name;
+  interp::Value Init;
+  SourceLoc Loc;
+};
+
+/// Pending (use-site) records for an instance whose body has not yet run —
+/// the per-child slice of the semantics' B context, turned into the child's
+/// A context when the child is popped from the instantiation stack.
+struct PendingAssign {
+  std::string Field;
+  interp::Value V;
+  SourceLoc Loc;
+  bool Consumed = false;
+};
+
+struct PendingConn {
+  Connection *Conn = nullptr;
+  bool IsFrom = false; ///< Which endpoint of Conn refers to this instance.
+  std::string Port;
+  int ExplicitIndex = -1;
+  SourceLoc Loc;
+  bool Consumed = false;
+};
+
+/// One module instance in the elaborated hierarchy.
+class InstanceNode {
+public:
+  std::string Name; ///< Local name, e.g. "delays[2]".
+  std::string Path; ///< Hierarchical path, e.g. "delay3.delays[2]".
+  const lss::ModuleDecl *Module = nullptr; ///< Null for the synthetic root.
+  InstanceNode *Parent = nullptr;
+  std::vector<InstanceNode *> Children;
+  SourceLoc Loc;
+
+  /// Set when the body assigns tar_file; identifies the leaf behavior.
+  std::string BehaviorId;
+  bool isLeaf() const { return !BehaviorId.empty(); }
+
+  /// Parameter values after defaulting and use-based assignment.
+  std::map<std::string, interp::Value> Params;
+  /// Userpoint parameter values.
+  std::map<std::string, UserpointValue> Userpoints;
+  /// Declared instrumentation events.
+  std::vector<std::string> Events;
+  /// Runtime variables with evaluated initial values.
+  std::vector<RuntimeVar> RuntimeVars;
+
+  std::vector<Port> Ports;
+  /// Extra type constraints from `constrain` statements (lhs = rhs).
+  std::vector<std::pair<const types::Type *, const types::Type *>>
+      ExtraConstraints;
+  /// Number of distinct type variables minted for this instance's ports —
+  /// the count of explicit type instantiations a user would need without
+  /// inference (Table 2).
+  unsigned NumTypeVars = 0;
+
+  /// Pending use-site records (consumed by the instance's own body).
+  std::vector<PendingAssign> APendingAssigns;
+  std::vector<PendingConn> APendingConns;
+
+  Port *findPort(const std::string &Name);
+  const Port *findPort(const std::string &Name) const;
+
+  /// Total number of instances in this subtree, including this node.
+  unsigned subtreeSize() const;
+};
+
+/// A connection between two port instances. Endpoints referring to
+/// sub-instances are resolved (index assigned, existence checked) when the
+/// sub-instance's own body declares the port.
+class Connection {
+public:
+  PortRef From;
+  PortRef To;
+  SourceLoc Loc;
+  /// Optional user type annotation (Section 5), already converted.
+  const types::Type *Annotation = nullptr;
+
+  bool isFullyResolved() const {
+    return From.isResolved() && To.isResolved();
+  }
+};
+
+/// The whole elaborated design.
+class Netlist {
+public:
+  Netlist();
+
+  InstanceNode *getRoot() { return Root; }
+  const InstanceNode *getRoot() const { return Root; }
+
+  /// Creates a child of \p Parent named \p Name instantiating \p Module.
+  InstanceNode *createInstance(InstanceNode *Parent, std::string Name,
+                               const lss::ModuleDecl *Module, SourceLoc Loc);
+
+  Connection *createConnection(SourceLoc Loc);
+
+  /// All instances in creation order (root first).
+  const std::vector<std::unique_ptr<InstanceNode>> &getInstances() const {
+    return Instances;
+  }
+  const std::vector<std::unique_ptr<Connection>> &getConnections() const {
+    return Connections;
+  }
+
+  /// Finds an instance by hierarchical path (e.g. "cpu.fetch"); returns
+  /// null if absent.
+  InstanceNode *findByPath(const std::string &Path);
+
+  /// Pretty-prints the hierarchy with widths and resolved types.
+  void print(std::ostream &OS) const;
+
+private:
+  InstanceNode *Root;
+  std::vector<std::unique_ptr<InstanceNode>> Instances;
+  std::vector<std::unique_ptr<Connection>> Connections;
+};
+
+} // namespace netlist
+} // namespace liberty
+
+#endif // LIBERTY_NETLIST_NETLIST_H

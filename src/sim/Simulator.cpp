@@ -1,0 +1,434 @@
+//===- Simulator.cpp - Generated executable simulator ------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "types/Type.h"
+
+#include <cassert>
+
+using namespace liberty;
+using namespace liberty::sim;
+using interp::Value;
+
+//===----------------------------------------------------------------------===//
+// Runtime: per-instance simulation record
+//===----------------------------------------------------------------------===//
+
+class Simulator::Runtime : public bsl::BehaviorContext {
+public:
+  Runtime(Simulator &Sim, netlist::InstanceNode *Node)
+      : Sim(Sim), Node(Node) {}
+
+  Simulator &Sim;
+  netlist::InstanceNode *Node;
+  /// Null for hierarchical instances (which may still carry userpoints and
+  /// runtime variables).
+  std::unique_ptr<bsl::LeafBehavior> Behavior;
+  /// Port name -> net id per port instance (index-addressed). A flat
+  /// vector: components have a handful of ports and this sits on the
+  /// per-access hot path, where a linear scan beats a map.
+  std::vector<std::pair<std::string, std::vector<int>>> PortNets;
+  std::map<std::string, Value> StateVars;
+
+  const std::vector<int> *findSlots(const std::string &Port) const {
+    for (const auto &[Name, Slots] : PortNets)
+      if (Name == Port)
+        return &Slots;
+    return nullptr;
+  }
+  std::vector<int> &addSlots(const std::string &Port) {
+    PortNets.emplace_back(Port, std::vector<int>());
+    return PortNets.back().second;
+  }
+
+  struct CompiledUserpoint {
+    const lss::UserpointSig *Sig = nullptr;
+    std::unique_ptr<bsl::BslProgram> Prog;
+  };
+  std::map<std::string, CompiledUserpoint> Userpoints;
+  /// Precomputed "port:<name>" event names for automatic port events.
+  std::vector<std::pair<std::string, std::string>> PortEventNames;
+  int ScheduleNode = -1;
+
+  void resetState() {
+    StateVars.clear();
+    for (const netlist::RuntimeVar &RV : Node->RuntimeVars)
+      StateVars[RV.Name] = RV.Init;
+  }
+
+  // BehaviorContext implementation.
+  int getWidth(const std::string &Port) const override {
+    // For leaves the slot table is authoritative (its length is the
+    // inferred width); hierarchical runtimes fall back to the netlist.
+    if (const std::vector<int> *Slots = findSlots(Port))
+      return static_cast<int>(Slots->size());
+    const netlist::Port *P = Node->findPort(Port);
+    return P ? P->Width : 0;
+  }
+
+  const types::Type *getPortType(const std::string &Port) const override {
+    const netlist::Port *P = Node->findPort(Port);
+    return P ? P->Resolved : nullptr;
+  }
+
+  const Value *getInput(const std::string &Port, int Index) const override {
+    const std::vector<int> *Slots = findSlots(Port);
+    if (!Slots || Index < 0 || Index >= static_cast<int>(Slots->size()))
+      return nullptr;
+    int NetId = (*Slots)[Index];
+    if (NetId < 0)
+      return nullptr;
+    const Net &N = Sim.Nets[NetId];
+    return N.Has ? &N.V : nullptr;
+  }
+
+  void setOutput(const std::string &Port, int Index, Value V) override {
+    const std::vector<int> *Slots = findSlots(Port);
+    if (!Slots || Index < 0 || Index >= static_cast<int>(Slots->size()))
+      return; // Unconnected port instance: the value vanishes.
+    int NetId = (*Slots)[Index];
+    if (NetId < 0)
+      return;
+    Net &N = Sim.Nets[NetId];
+    if (!N.Has || !N.V.equals(V)) {
+      Sim.NetChanged = true;
+      N.V = std::move(V);
+      N.Has = true;
+    }
+    if (!Sim.Instr.empty()) {
+      for (const auto &[EvPort, EvName] : PortEventNames) {
+        if (EvPort != Port)
+          continue;
+        Event E;
+        E.InstancePath = &Node->Path;
+        E.Name = &EvName;
+        E.Cycle = Sim.Cycle;
+        E.Payload = &N.V;
+        Sim.Instr.emit(E);
+        break;
+      }
+    }
+  }
+
+  const Value *getParam(const std::string &Name) const override {
+    auto It = Node->Params.find(Name);
+    return It == Node->Params.end() ? nullptr : &It->second;
+  }
+
+  bool hasUserpoint(const std::string &Name) const override {
+    return Userpoints.count(Name) != 0;
+  }
+
+  Value callUserpoint(const std::string &Name,
+                      std::vector<Value> Args) override {
+    auto It = Userpoints.find(Name);
+    if (It == Userpoints.end() || !It->second.Prog)
+      return Value();
+    bsl::BslEnv Env;
+    if (const lss::UserpointSig *Sig = It->second.Sig) {
+      unsigned N = std::min(Args.size(), Sig->Args.size());
+      for (unsigned I = 0; I != N; ++I)
+        Env.Args[Sig->Args[I].first] = std::move(Args[I]);
+    }
+    Env.RuntimeVars = &StateVars;
+    Env.Params = &Node->Params;
+    unsigned ErrorsBefore = Sim.Diags.getNumErrors();
+    Value Result = It->second.Prog->run(Env, Sim.Diags);
+    if (Sim.Diags.getNumErrors() != ErrorsBefore)
+      Sim.RuntimeErrors = true;
+    return Result;
+  }
+
+  Value &state(const std::string &Name) override { return StateVars[Name]; }
+
+  void emitEvent(const std::string &EventName, Value Payload) override {
+    if (Sim.Instr.empty())
+      return;
+    Event E;
+    E.InstancePath = &Node->Path;
+    E.Name = &EventName;
+    E.Cycle = Sim.Cycle;
+    E.Payload = &Payload;
+    Sim.Instr.emit(E);
+  }
+
+  uint64_t getCycle() const override { return Sim.Cycle; }
+
+  const std::string &getInstancePath() const override { return Node->Path; }
+};
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+Simulator::Simulator(netlist::Netlist &NL, SourceMgr &SM,
+                     DiagnosticEngine &Diags, Options Opts)
+    : NL(NL), SM(SM), Diags(Diags), Opts(Opts) {}
+
+Simulator::~Simulator() = default;
+
+std::unique_ptr<Simulator> Simulator::build(netlist::Netlist &NL,
+                                            SourceMgr &SM,
+                                            DiagnosticEngine &Diags) {
+  return build(NL, SM, Diags, Options());
+}
+
+std::unique_ptr<Simulator> Simulator::build(netlist::Netlist &NL,
+                                            SourceMgr &SM,
+                                            DiagnosticEngine &Diags,
+                                            Options Opts) {
+  std::unique_ptr<Simulator> Sim(new Simulator(NL, SM, Diags, Opts));
+  if (!Sim->construct())
+    return nullptr;
+  Sim->reset();
+  return Sim;
+}
+
+static std::string nodeKey(const netlist::InstanceNode *Inst,
+                           const std::string &Port, int Index) {
+  return Inst->Path + "|" + Port + "|" + std::to_string(Index);
+}
+
+bool Simulator::construct() {
+  unsigned ErrorsBefore = Diags.getNumErrors();
+
+  // 1. Enumerate port-instance nodes and union them through connections.
+  std::vector<int> Parent; // Union-find over provisional node ids.
+  auto FindRoot = [&](int X) {
+    while (Parent[X] != X)
+      X = Parent[X] = Parent[Parent[X]];
+    return X;
+  };
+  auto GetNode = [&](const netlist::InstanceNode *Inst,
+                     const std::string &Port, int Index) {
+    std::string Key = nodeKey(Inst, Port, Index);
+    auto [It, Inserted] = NodeToNet.emplace(Key, (int)Parent.size());
+    if (Inserted)
+      Parent.push_back(It->second);
+    return It->second;
+  };
+
+  for (const auto &Inst : NL.getInstances())
+    for (const netlist::Port &P : Inst->Ports)
+      for (int I = 0; I != P.Width; ++I)
+        GetNode(Inst.get(), P.Name, I);
+
+  for (const auto &Conn : NL.getConnections()) {
+    if (!Conn->isFullyResolved())
+      continue;
+    int A = GetNode(Conn->From.Inst, Conn->From.Port, Conn->From.Index);
+    int B = GetNode(Conn->To.Inst, Conn->To.Port, Conn->To.Index);
+    Parent[FindRoot(A)] = FindRoot(B);
+  }
+
+  // 2. Compress to dense net ids.
+  std::map<int, int> RootToNet;
+  for (auto &[Key, NodeId] : NodeToNet) {
+    int Root = FindRoot(NodeId);
+    auto [It, Inserted] = RootToNet.emplace(Root, (int)RootToNet.size());
+    NodeId = It->second;
+  }
+  Nets.assign(RootToNet.size(), Net());
+  Info.NumNets = Nets.size();
+
+  // 3. Create runtimes: every leaf, plus any instance carrying userpoints
+  //    or runtime variables (they participate in the userpoint phases).
+  std::vector<int> LeafRuntimes;
+  for (const auto &Inst : NL.getInstances()) {
+    bool NeedsRuntime = Inst->isLeaf() || !Inst->Userpoints.empty() ||
+                        !Inst->RuntimeVars.empty();
+    if (!NeedsRuntime)
+      continue;
+    auto RT = std::make_unique<Runtime>(*this, Inst.get());
+    if (Inst->isLeaf()) {
+      RT->Behavior = bsl::BehaviorRegistry::global().create(Inst->BehaviorId);
+      if (!RT->Behavior) {
+        Diags.error(Inst->Loc, "no behavior registered for tar_file '" +
+                                   Inst->BehaviorId + "' (instance '" +
+                                   Inst->Path + "')");
+        continue;
+      }
+      for (const netlist::Port &P : Inst->Ports) {
+        std::vector<int> &Slots = RT->addSlots(P.Name);
+        Slots.resize(P.Width, -1);
+        for (int I = 0; I != P.Width; ++I) {
+          auto It = NodeToNet.find(nodeKey(Inst.get(), P.Name, I));
+          if (It != NodeToNet.end())
+            Slots[I] = It->second;
+        }
+        if (!P.isInput())
+          RT->PortEventNames.emplace_back(P.Name, "port:" + P.Name);
+      }
+      LeafRuntimes.push_back(Runtimes.size());
+    }
+    // Compile userpoints.
+    for (const auto &[Name, UV] : Inst->Userpoints) {
+      Runtime::CompiledUserpoint CU;
+      CU.Sig = UV.Sig;
+      CU.Prog = bsl::BslProgram::compile(
+          UV.Code, "userpoint:" + Inst->Path + "." + Name, SM, Diags);
+      if (!CU.Prog)
+        Diags.note(UV.Loc, "while compiling userpoint '" + Name +
+                               "' of instance '" + Inst->Path + "'");
+      ++Info.NumUserpoints;
+      RT->Userpoints.emplace(Name, std::move(CU));
+    }
+    Runtimes.push_back(std::move(RT));
+  }
+  Info.NumLeaves = LeafRuntimes.size();
+
+  // 4. Determine net drivers (the unique leaf outport on each net) and
+  //    collect combinational readers.
+  struct Reader {
+    int ScheduleNode;
+    const std::string *Port;
+  };
+  std::vector<std::vector<Reader>> NetReaders(Nets.size());
+  for (unsigned SN = 0; SN != LeafRuntimes.size(); ++SN) {
+    Runtime *RT = Runtimes[LeafRuntimes[SN]].get();
+    RT->ScheduleNode = SN;
+    for (const netlist::Port &P : RT->Node->Ports) {
+      const std::vector<int> *SlotsPtr = RT->findSlots(P.Name);
+      if (!SlotsPtr)
+        continue;
+      for (int NetId : *SlotsPtr) {
+        if (NetId < 0)
+          continue;
+        if (P.isInput()) {
+          NetReaders[NetId].push_back(Reader{(int)SN, &P.Name});
+          continue;
+        }
+        Net &N = Nets[NetId];
+        if (N.DriverRuntime >= 0 &&
+            N.DriverRuntime != (int)LeafRuntimes[SN]) {
+          Diags.error(P.Loc, "net has multiple drivers: port '" + P.Name +
+                                 "' of instance '" + RT->Node->Path + "'");
+          continue;
+        }
+        N.DriverRuntime = LeafRuntimes[SN];
+      }
+    }
+  }
+
+  // 5. Build the combinational dependency graph and the static schedule.
+  std::vector<std::vector<int>> Successors(LeafRuntimes.size());
+  for (unsigned NetId = 0; NetId != Nets.size(); ++NetId) {
+    int Driver = Nets[NetId].DriverRuntime;
+    if (Driver < 0)
+      continue;
+    int DriverSN = Runtimes[Driver]->ScheduleNode;
+    for (const Reader &R : NetReaders[NetId]) {
+      Runtime *RT = Runtimes[LeafRuntimes[R.ScheduleNode]].get();
+      if (RT->Behavior && RT->Behavior->readsCombinationally(*R.Port))
+        Successors[DriverSN].push_back(R.ScheduleNode);
+    }
+  }
+  Sched = computeSchedule(LeafRuntimes.size(), Successors);
+  // Re-express schedule nodes as runtime indices.
+  for (auto &Group : Sched.Groups)
+    for (int &N : Group)
+      N = LeafRuntimes[N];
+  Info.NumGroups = Sched.Groups.size();
+  Info.NumCyclicGroups = Sched.numCyclicGroups();
+  Info.MaxGroupSize = Sched.maxGroupSize();
+
+  return Diags.getNumErrors() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void Simulator::reset() {
+  Cycle = 0;
+  RuntimeErrors = false;
+  for (Net &N : Nets)
+    N.Has = false;
+  for (auto &RT : Runtimes)
+    RT->resetState();
+  for (auto &RT : Runtimes)
+    if (RT->Behavior)
+      RT->Behavior->init(*RT);
+  runUserpointPhase("init");
+}
+
+void Simulator::runUserpointPhase(const std::string &Name) {
+  for (auto &RT : Runtimes)
+    if (RT->hasUserpoint(Name))
+      RT->callUserpoint(Name, {});
+}
+
+void Simulator::runEndOfTimestepUserpoints() {
+  // Hot path: the per-cycle phase touches only runtimes that carry the
+  // userpoint (precomputed at first use).
+  if (!EotRuntimesValid) {
+    EotRuntimes.clear();
+    for (auto &RT : Runtimes)
+      if (RT->hasUserpoint("end_of_timestep"))
+        EotRuntimes.push_back(RT.get());
+    EotRuntimesValid = true;
+  }
+  for (Runtime *RT : EotRuntimes)
+    RT->callUserpoint("end_of_timestep", {});
+}
+
+void Simulator::evaluateGroup(const std::vector<int> &Group) {
+  if (Group.size() == 1) {
+    Runtime *RT = Runtimes[Group.front()].get();
+    if (RT->Behavior)
+      RT->Behavior->evaluate(*RT);
+    return;
+  }
+  // Combinational cycle: iterate to a fixpoint.
+  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIters; ++Iter) {
+    NetChanged = false;
+    for (int RTIdx : Group) {
+      Runtime *RT = Runtimes[RTIdx].get();
+      if (RT->Behavior)
+        RT->Behavior->evaluate(*RT);
+    }
+    if (!NetChanged)
+      return;
+  }
+  if (!RuntimeErrors) {
+    Diags.error(SourceLoc(),
+                "combinational cycle did not converge within " +
+                    std::to_string(Opts.MaxFixpointIters) + " iterations");
+    RuntimeErrors = true;
+  }
+}
+
+void Simulator::step(uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I) {
+    for (Net &Nt : Nets)
+      Nt.Has = false;
+    for (const auto &Group : Sched.Groups)
+      evaluateGroup(Group);
+    for (auto &RT : Runtimes)
+      if (RT->Behavior)
+        RT->Behavior->endOfTimestep(*RT);
+    runEndOfTimestepUserpoints();
+    ++Cycle;
+  }
+}
+
+const Value *Simulator::peekPort(const std::string &InstPath,
+                                 const std::string &Port, int Index) const {
+  auto It = NodeToNet.find(InstPath + "|" + Port + "|" +
+                           std::to_string(Index));
+  if (It == NodeToNet.end())
+    return nullptr;
+  const Net &N = Nets[It->second];
+  return N.Has ? &N.V : nullptr;
+}
+
+interp::Value *Simulator::findState(const std::string &InstPath,
+                                    const std::string &Name) {
+  for (auto &RT : Runtimes) {
+    if (RT->Node->Path != InstPath)
+      continue;
+    auto It = RT->StateVars.find(Name);
+    return It == RT->StateVars.end() ? nullptr : &It->second;
+  }
+  return nullptr;
+}

@@ -1,0 +1,135 @@
+//===- Simulator.h - Generated executable simulator -------------*- C++ -*-===//
+///
+/// \file
+/// The back end of the LSS pipeline (paper Figure 4): combines the analyzed
+/// netlist with leaf behavior implementations and userpoint code into an
+/// executable simulator. LSE emitted a compiled binary; this implementation
+/// builds an in-process simulator object over the same inputs (see the
+/// substitution table in DESIGN.md).
+///
+/// Execution model: synchronous digital hardware. Each cycle has a
+/// combinational phase — leaf instances evaluated in the statically
+/// computed schedule, cyclic groups iterated to a fixpoint — followed by a
+/// sequential phase (endOfTimestep + end_of_timestep userpoints).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_SIM_SIMULATOR_H
+#define LIBERTY_SIM_SIMULATOR_H
+
+#include "bsl/BehaviorRegistry.h"
+#include "bsl/BslProgram.h"
+#include "netlist/Netlist.h"
+#include "sim/Instrumentation.h"
+#include "sim/Scheduler.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace sim {
+
+class Simulator {
+public:
+  struct Options {
+    /// Iteration cap for combinational cycles before declaring
+    /// non-convergence.
+    unsigned MaxFixpointIters = 64;
+  };
+
+  /// Structural facts about the generated simulator.
+  struct BuildInfo {
+    unsigned NumNets = 0;
+    unsigned NumLeaves = 0;
+    unsigned NumGroups = 0;
+    unsigned NumCyclicGroups = 0;
+    unsigned MaxGroupSize = 0;
+    unsigned NumUserpoints = 0;
+  };
+
+  /// Builds a simulator from an elaborated, type-inferred netlist. Returns
+  /// null (with diagnostics) if a leaf behavior is missing, a userpoint
+  /// fails to compile, or a net has multiple drivers. \p NL must outlive
+  /// the simulator.
+  static std::unique_ptr<Simulator> build(netlist::Netlist &NL, SourceMgr &SM,
+                                          DiagnosticEngine &Diags);
+  static std::unique_ptr<Simulator> build(netlist::Netlist &NL, SourceMgr &SM,
+                                          DiagnosticEngine &Diags,
+                                          Options Opts);
+
+  ~Simulator();
+
+  /// (Re)initializes all state and invokes init behaviors and userpoints.
+  void reset();
+
+  /// Advances \p N clock cycles.
+  void step(uint64_t N = 1);
+
+  uint64_t getCycle() const { return Cycle; }
+
+  Instrumentation &getInstrumentation() { return Instr; }
+  const BuildInfo &getBuildInfo() const { return Info; }
+
+  /// The value most recently driven on (instance path, output port, index),
+  /// or null if none was sent this cycle / the node does not exist.
+  const interp::Value *peekPort(const std::string &InstPath,
+                                const std::string &Port, int Index) const;
+
+  /// Mutable per-instance state (runtime variables and behavior state);
+  /// null if the instance has no runtime record or slot.
+  interp::Value *findState(const std::string &InstPath,
+                           const std::string &Name);
+
+  /// True if any diagnostics-reported runtime error occurred while
+  /// stepping (the simulator keeps running best-effort).
+  bool hadRuntimeErrors() const { return RuntimeErrors; }
+
+private:
+  Simulator(netlist::Netlist &NL, SourceMgr &SM, DiagnosticEngine &Diags,
+            Options Opts);
+
+  bool construct();
+
+  struct Net {
+    interp::Value V;
+    bool Has = false;
+    int DriverRuntime = -1; ///< Runtime index of the driving leaf, or -1.
+  };
+
+  class Runtime; // One per instance with behavior/userpoints/state.
+
+  void evaluateGroup(const std::vector<int> &Group);
+  void runUserpointPhase(const std::string &Name);
+  void runEndOfTimestepUserpoints();
+
+  netlist::Netlist &NL;
+  SourceMgr &SM;
+  DiagnosticEngine &Diags;
+  Options Opts;
+  Instrumentation Instr;
+  BuildInfo Info;
+
+  std::vector<Net> Nets;
+  std::vector<std::unique_ptr<Runtime>> Runtimes;
+  /// Runtime indices of leaves, in schedule order groups.
+  Schedule Sched;
+  /// Map from port-instance key "path|port|index" to net id.
+  std::map<std::string, int> NodeToNet;
+
+  uint64_t Cycle = 0;
+  bool RuntimeErrors = false;
+  bool NetChanged = false;
+  /// Runtimes carrying an end_of_timestep userpoint (hot-path cache).
+  std::vector<Runtime *> EotRuntimes;
+  bool EotRuntimesValid = false;
+
+  friend class SimulatorTestPeer;
+};
+
+} // namespace sim
+} // namespace liberty
+
+#endif // LIBERTY_SIM_SIMULATOR_H

@@ -1,0 +1,39 @@
+//===- Diagnostics.cpp - Source-located diagnostics -----------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace liberty;
+
+static const char *levelName(DiagLevel Level) {
+  switch (Level) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::getFirstErrorMessage() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Level == DiagLevel::Error)
+      return D.Message;
+  return std::string();
+}
+
+void DiagnosticEngine::printAll(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    OS << SM.getLocString(D.Loc) << ": " << levelName(D.Level) << ": "
+       << D.Message << "\n";
+    if (!D.Loc.isValid())
+      continue;
+    std::string Line = SM.getLineText(D.Loc);
+    LineCol LC = SM.getLineCol(D.Loc);
+    OS << "  " << Line << "\n  ";
+    for (unsigned I = 1; I < LC.Col; ++I)
+      OS << (I - 1 < Line.size() && Line[I - 1] == '\t' ? '\t' : ' ');
+    OS << "^\n";
+  }
+}

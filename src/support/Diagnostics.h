@@ -1,0 +1,83 @@
+//===- Diagnostics.h - Source-located diagnostics ---------------*- C++ -*-===//
+///
+/// \file
+/// The diagnostics engine used by every phase of the LSS pipeline. The
+/// library never throws: phases report through this engine and callers test
+/// hasErrors(). Messages follow the LLVM style: lowercase first word, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_SUPPORT_DIAGNOSTICS_H
+#define LIBERTY_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceMgr.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for a compilation.
+///
+/// The engine is deliberately simple: phases push diagnostics, drivers print
+/// them. It owns nothing but the message list; the SourceMgr is borrowed so
+/// printed diagnostics can show file/line/caret context.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceMgr &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Warning, Loc, std::move(Message)});
+    ++NumWarnings;
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  unsigned getNumWarnings() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Returns the message of the first error, or "" if none. Convenient for
+  /// tests asserting on a particular failure.
+  std::string getFirstErrorMessage() const;
+
+  /// Pretty-prints every diagnostic with source context to \p OS.
+  void printAll(std::ostream &OS) const;
+
+  /// Drops all collected diagnostics and resets the counters.
+  void clear() {
+    Diags.clear();
+    NumErrors = NumWarnings = 0;
+  }
+
+  const SourceMgr &getSourceMgr() const { return SM; }
+
+private:
+  const SourceMgr &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace liberty
+
+#endif // LIBERTY_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,450 @@
+//===- CorelibTest.cpp - Component library behavior tests ----------------------===//
+
+#include "driver/Compiler.h"
+#include "corelib/CoreLib.h"
+#include "types/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace liberty;
+
+namespace {
+
+std::unique_ptr<driver::Compiler> compile(const std::string &Src) {
+  return driver::Compiler::compileForSim("t.lss", Src);
+}
+
+int64_t peekInt(sim::Simulator *Sim, const std::string &Path,
+                const std::string &Port, int Idx = 0) {
+  const interp::Value *V = Sim->peekPort(Path, Port, Idx);
+  return V && V->isInt() ? V->getInt() : INT64_MIN;
+}
+
+TEST(Corelib, LibraryHas23Modules) {
+  // The paper's library had 22 components; ours is the same scale.
+  EXPECT_EQ(corelib::getLibraryModuleNames().size(), 24u);
+}
+
+TEST(Corelib, ConstAndCounterSources) {
+  auto C = compile(R"(
+instance k:const_source;
+k.value = 77;
+instance g:counter_source;
+g.start = 100;
+g.stride = 10;
+instance s1:sink;
+instance s2:sink;
+k.out -> s1.in;
+g.out -> s2.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(3); // Last evaluated cycle index: 2.
+  EXPECT_EQ(peekInt(Sim, "k", "out"), 77);
+  EXPECT_EQ(peekInt(Sim, "g", "out"), 120);
+}
+
+TEST(Corelib, GenericSourcePatterns) {
+  auto C = compile(R"(
+instance a:source;
+a.pattern = "const";
+a.value = 5;
+instance b:source;
+b.pattern = "counter";
+instance c:source;
+c.pattern = "random";
+c.range = 8;
+instance s:sink;
+a.out -> s.in : int;
+b.out -> s.in : int;
+c.out -> s.in : int;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(4);
+  EXPECT_EQ(peekInt(Sim, "a", "out"), 5);
+  EXPECT_EQ(peekInt(Sim, "b", "out"), 3);
+  int64_t R = peekInt(Sim, "c", "out");
+  EXPECT_GE(R, 0);
+  EXPECT_LT(R, 8);
+}
+
+TEST(Corelib, SourceGenerateUserpointWins) {
+  auto C = compile(R"(
+instance g:source;
+g.generate = "return cycle * cycle;";
+instance s:sink;
+g.out -> s.in : int;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(5);
+  EXPECT_EQ(peekInt(Sim, "g", "out"), 16);
+}
+
+TEST(Corelib, DelayHoldsInitialStateThenTracks) {
+  auto C = compile(R"(
+instance g:counter_source;
+instance d:delay;
+d.initial_state = 42;
+instance s:sink;
+g.out -> d.in;
+d.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "d", "out"), 42); // Initial state first.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "d", "out"), 0); // Then last cycle's input.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "d", "out"), 1);
+}
+
+TEST(Corelib, RegWithEnableHolds) {
+  auto C = compile(R"(
+instance g:counter_source;
+instance en:bool_source;
+en.pattern = "toggle";
+instance r:reg;
+instance s:sink;
+g.out -> r.in;
+en.out -> r.en;
+r.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  // Toggle enables on odd cycles only: the register captures on 1, 3, ...
+  Sim->step(3);
+  EXPECT_EQ(peekInt(Sim, "r", "out"), 1); // Captured at end of cycle 1.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "r", "out"), 1); // Cycle 2 disabled: held.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "r", "out"), 3); // Captured at end of cycle 3.
+}
+
+TEST(Corelib, AdderIntAndFloatFamilies) {
+  auto C = compile(R"(
+instance gi:counter_source;
+instance ai:adder;
+instance si:sink;
+gi.out -> ai.in1;
+gi.out -> ai.in2;
+ai.out -> si.in;
+
+instance gf:source;
+instance af:adder;
+instance sf:sink;
+gf.out -> af.in1 : float;
+gf.out -> af.in2;
+af.out -> sf.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(4); // counter = 3 on the last cycle.
+  EXPECT_EQ(peekInt(Sim, "ai", "out"), 6);
+  const interp::Value *F = Sim->peekPort("af", "out", 0);
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->isFloat());
+  EXPECT_DOUBLE_EQ(F->getFloat(), 6.0);
+}
+
+TEST(Corelib, AluOps) {
+  auto C = compile(R"(
+instance a:const_source;
+a.value = 10;
+instance b:const_source;
+b.value = 3;
+instance sub:alu;
+sub.op = "sub";
+instance mul:alu;
+mul.op = "mul";
+instance divu:alu;
+divu.op = "div";
+instance s:sink;
+a.out -> sub.a;  b.out -> sub.b;  sub.out -> s.in;
+a.out -> mul.a;  b.out -> mul.b;  mul.out -> s.in;
+a.out -> divu.a; b.out -> divu.b; divu.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "sub", "out"), 7);
+  EXPECT_EQ(peekInt(Sim, "mul", "out"), 30);
+  EXPECT_EQ(peekInt(Sim, "divu", "out"), 3);
+}
+
+TEST(Corelib, MuxSelectsAndDemuxRoutes) {
+  auto C = compile(R"(
+instance a:const_source;
+a.value = 11;
+instance b:const_source;
+b.value = 22;
+instance sel:const_source;
+sel.value = 1;
+instance m:mux;
+instance dm:demux;
+instance s:sink;
+a.out -> m.in[0];
+b.out -> m.in[1];
+sel.out -> m.sel;
+m.out -> dm.in;
+sel.out -> dm.sel;
+dm.out[0] -> s.in;
+dm.out[1] -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "m", "out"), 22);
+  EXPECT_EQ(peekInt(Sim, "dm", "out", 1), 22);
+  EXPECT_EQ(Sim->peekPort("dm", "out", 0), nullptr); // Not driven.
+}
+
+TEST(Corelib, FanoutBroadcasts) {
+  auto C = compile(R"(
+instance g:counter_source;
+instance f:fanout;
+instance s1:sink;
+instance s2:sink;
+instance s3:sink;
+g.out -> f.in;
+f.out -> s1.in;
+f.out -> s2.in;
+f.out -> s3.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(5);
+  EXPECT_EQ(Sim->findState("s1", "received")->getInt(), 5);
+  EXPECT_EQ(Sim->findState("s3", "received")->getInt(), 5);
+}
+
+TEST(Corelib, ArbiterRoundRobinDefault) {
+  auto C = compile(R"(
+instance a:const_source;
+a.value = 100;
+instance b:const_source;
+b.value = 200;
+instance arb:arbiter;
+instance s:sink;
+a.out -> arb.in;
+b.out -> arb.in;
+arb.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  std::vector<int64_t> Grants;
+  Sim->getInstrumentation().attach("arb", "grant", [&](const sim::Event &E) {
+    Grants.push_back(E.Payload->getInt());
+  });
+  Sim->step(4);
+  // Round robin alternates between the two requesters.
+  ASSERT_EQ(Grants.size(), 4u);
+  EXPECT_EQ(Grants[0], 0);
+  EXPECT_EQ(Grants[1], 1);
+  EXPECT_EQ(Grants[2], 0);
+  EXPECT_EQ(Grants[3], 1);
+}
+
+TEST(Corelib, ArbiterCustomPolicy) {
+  auto C = compile(R"(
+instance a:const_source;
+a.value = 100;
+instance b:const_source;
+b.value = 200;
+instance arb:arbiter;
+arb.policy = "return width - 1;";   // Always grant the highest index.
+instance s:sink;
+a.out -> arb.in;
+b.out -> arb.in;
+arb.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(3);
+  EXPECT_EQ(peekInt(Sim, "arb", "out"), 200);
+}
+
+TEST(Corelib, QueueBuffersAndDropsWhenFull) {
+  auto C = compile(R"(
+instance g:counter_source;
+instance q:queue;
+q.depth = 2;
+instance stall:bool_source;
+stall.pattern = "const_true";
+instance s:sink;
+g.out -> q.in;
+stall.out -> q.stall;
+q.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  uint64_t &Full = Sim->getInstrumentation().attachCounter("q", "full");
+  uint64_t &Deq = Sim->getInstrumentation().attachCounter("q", "dequeue");
+  Sim->step(10);
+  // Permanently stalled: 2 entries fit, everything else drops, nothing
+  // dequeues.
+  EXPECT_EQ(Deq, 0u);
+  EXPECT_EQ(Full, 8u);
+}
+
+TEST(Corelib, QueueFlowsWhenUnstalled) {
+  auto C = compile(R"(
+instance g:counter_source;
+instance q:queue;
+q.depth = 4;
+instance s:sink;
+g.out -> q.in;
+q.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(10);
+  // One-cycle latency pass-through at steady state.
+  EXPECT_EQ(peekInt(Sim, "q", "out"), 8);
+}
+
+TEST(Corelib, MemoryWritesThenReads) {
+  auto C = compile(R"(
+instance addr:const_source;
+addr.value = 5;
+instance data:counter_source;
+instance m:memory;
+m.size = 16;
+instance s:sink;
+addr.out -> m.waddr;
+data.out -> m.wdata;
+addr.out -> m.raddr;
+m.rdata -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "m", "rdata"), 0); // Nothing written yet.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "m", "rdata"), 0); // Wrote 0 at end of cycle 0.
+  Sim->step(1);
+  EXPECT_EQ(peekInt(Sim, "m", "rdata"), 1);
+}
+
+TEST(Corelib, RegfileMultiportWidthInference) {
+  auto C = compile(R"(
+instance a0:const_source;
+a0.value = 1;
+instance a1:const_source;
+a1.value = 2;
+instance rf:regfile;
+instance s:sink;
+a0.out -> rf.raddr;
+a1.out -> rf.raddr;
+rf.rdata -> s.in;
+rf.rdata -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  netlist::InstanceNode *RF = C->getNetlist()->findByPath("rf");
+  EXPECT_EQ(RF->findPort("raddr")->Width, 2);
+  EXPECT_EQ(RF->findPort("rdata")->Width, 2);
+  EXPECT_EQ(RF->findPort("waddr")->Width, 0); // Write side unused: fine.
+}
+
+TEST(Corelib, CacheHitsAfterWarmup) {
+  auto C = compile(R"(
+instance addr:const_source;
+addr.value = 64;
+instance ca:cache;
+ca.sets = 4;
+ca.ways = 1;
+ca.miss_latency = 3;
+instance s:sink;
+addr.out -> ca.addr;
+ca.ready -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  uint64_t &Hits = Sim->getInstrumentation().attachCounter("ca", "hit");
+  uint64_t &Misses = Sim->getInstrumentation().attachCounter("ca", "miss");
+  Sim->step(10);
+  // One cold miss at cycle 0; the fill completes at the end of cycle 2;
+  // cycles 3..9 all hit.
+  EXPECT_EQ(Misses, 1u);
+  EXPECT_EQ(Hits, 7u);
+}
+
+TEST(Corelib, BranchPredictorBtbOnlyWhenConnected) {
+  // Without branch_target connected there is no BTB (Section 6.1 example).
+  auto C1 = compile(R"(
+instance pc:counter_source;
+instance bp:branch_pred;
+instance s:sink;
+pc.out -> bp.pc;
+bp.pred -> s.in;
+)");
+  ASSERT_NE(C1, nullptr);
+  EXPECT_EQ(C1->getNetlist()->findByPath("bp")->findPort("branch_target")
+                ->Width,
+            0);
+
+  auto C2 = compile(R"(
+instance pc:counter_source;
+instance bp:branch_pred;
+instance s1:sink;
+instance s2:sink;
+pc.out -> bp.pc;
+bp.pred -> s1.in;
+bp.branch_target -> s2.in;
+)");
+  ASSERT_NE(C2, nullptr);
+  EXPECT_EQ(C2->getNetlist()->findByPath("bp")->findPort("branch_target")
+                ->Width,
+            1);
+}
+
+TEST(Corelib, FetchProducesExactlyNumInstrs) {
+  auto C = compile(R"(
+instance f:fetch;
+f.num_instrs = 25;
+instance s:sink;
+f.instr -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  uint64_t &Fetched = Sim->getInstrumentation().attachCounter("f", "fetched");
+  Sim->step(100);
+  EXPECT_EQ(Fetched, 25u);
+  EXPECT_EQ(Sim->findState("s", "received")->getInt(), 25);
+}
+
+TEST(Corelib, PipelineEndToEndRetiresEverything) {
+  auto C = compile(R"(
+instance f:fetch;
+f.num_instrs = 200;
+instance d:decode;
+instance w:issue;
+w.window = 8;
+instance eu0:fu;
+instance eu1:fu;
+instance r:rob;
+instance s:sink;
+f.instr -> d.instr;
+d.uop -> w.uop;
+w.stall[0] -> f.stall;
+w.dispatch[0] -> eu0.uop;
+w.dispatch[1] -> eu1.uop;
+eu0.busy[0] -> w.fu_busy[0];
+eu1.busy[0] -> w.fu_busy[1];
+eu0.done[0] -> r.done[0];
+eu1.done[0] -> r.done[1];
+eu0.done[0] -> w.complete[0];
+eu1.done[0] -> w.complete[1];
+r.retired[0] -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  auto *Sim = C->getSimulator();
+  Sim->step(2000);
+  EXPECT_FALSE(Sim->hadRuntimeErrors());
+  EXPECT_EQ(Sim->findState("r", "retired")->getInt(), 200)
+      << "every fetched instruction must retire exactly once";
+}
+
+} // namespace

@@ -1,0 +1,433 @@
+//===- InferenceTest.cpp - Unifier and inference-engine tests ------------------===//
+
+#include "driver/Compiler.h"
+#include "infer/Synthetic.h"
+#include "types/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace liberty;
+using namespace liberty::infer;
+using types::Type;
+using types::TypeContext;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Unifier
+//===----------------------------------------------------------------------===//
+
+TEST(Unifier, BindsVarToGround) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(V, TC.getInt(), D));
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(U.find(V), TC.getInt());
+}
+
+TEST(Unifier, VarVarChainsResolve) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *A = TC.freshVar("a");
+  const Type *B = TC.freshVar("b");
+  const Type *C = TC.freshVar("c");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(A, B, D));
+  ASSERT_TRUE(U.unifyStructural(B, C, D));
+  ASSERT_TRUE(U.unifyStructural(C, TC.getFloat(), D));
+  EXPECT_EQ(U.find(A), TC.getFloat());
+}
+
+TEST(Unifier, ScalarMismatchFails) {
+  TypeContext TC;
+  Unifier U(TC);
+  std::vector<TypePair> D;
+  EXPECT_FALSE(U.unifyStructural(TC.getInt(), TC.getBool(), D));
+  EXPECT_FALSE(U.getLastFailure().empty());
+}
+
+TEST(Unifier, ArraysUnifyElementwise) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(TC.getArray(V, 4),
+                                TC.getArray(TC.getInt(), 4), D));
+  EXPECT_EQ(U.find(V), TC.getInt());
+  // Extent mismatch fails.
+  EXPECT_FALSE(U.unifyStructural(TC.getArray(TC.getInt(), 4),
+                                 TC.getArray(TC.getInt(), 5), D));
+}
+
+TEST(Unifier, StructsUnifyFieldwise) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  const Type *S1 = TC.getStruct({{"x", TC.getInt()}, {"y", V}});
+  const Type *S2 = TC.getStruct({{"x", TC.getInt()}, {"y", TC.getBool()}});
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(S1, S2, D));
+  EXPECT_EQ(U.find(V), TC.getBool());
+  // Field-name mismatch fails.
+  const Type *S3 = TC.getStruct({{"x", TC.getInt()}, {"z", TC.getBool()}});
+  EXPECT_FALSE(U.unifyStructural(S2, S3, D));
+}
+
+TEST(Unifier, OccursCheck) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  std::vector<TypePair> D;
+  EXPECT_FALSE(U.unifyStructural(V, TC.getArray(V, 2), D));
+  EXPECT_NE(U.getLastFailure().find("occurs"), std::string::npos);
+}
+
+TEST(Unifier, DisjunctsAreDeferredNotSolved) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  const Type *D2 = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  std::vector<TypePair> Deferred;
+  ASSERT_TRUE(U.unifyStructural(V, D2, Deferred));
+  ASSERT_EQ(Deferred.size(), 1u);
+  EXPECT_EQ(U.find(V), V) << "variable must stay unbound";
+}
+
+TEST(Unifier, NestedDisjunctDeferredFromStructure) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  const Type *ArrD =
+      TC.getArray(TC.getDisjunct({TC.getInt(), TC.getFloat()}), 2);
+  const Type *ArrV = TC.getArray(V, 2);
+  std::vector<TypePair> Deferred;
+  ASSERT_TRUE(U.unifyStructural(ArrD, ArrV, Deferred));
+  ASSERT_EQ(Deferred.size(), 1u);
+}
+
+TEST(Unifier, RollbackUndoesBindings) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *A = TC.freshVar("a");
+  const Type *B = TC.freshVar("b");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(A, TC.getInt(), D));
+  Unifier::Checkpoint CP = U.checkpoint();
+  ASSERT_TRUE(U.unifyStructural(B, TC.getBool(), D));
+  EXPECT_EQ(U.find(B), TC.getBool());
+  U.rollback(CP);
+  EXPECT_EQ(U.find(B), B) << "B unbound again";
+  EXPECT_EQ(U.find(A), TC.getInt()) << "A still bound";
+}
+
+TEST(Unifier, ResolveDeepSubstitutes) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *V = TC.freshVar("a");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(V, TC.getInt(), D));
+  const Type *T = U.resolveDeep(TC.getStruct({{"f", TC.getArray(V, 3)}}));
+  EXPECT_TRUE(T->isGround());
+  EXPECT_EQ(T->str(), "struct{f:int[3];}");
+}
+
+TEST(Unifier, CollectUnboundVars) {
+  TypeContext TC;
+  Unifier U(TC);
+  const Type *A = TC.freshVar("a");
+  const Type *B = TC.freshVar("b");
+  std::vector<TypePair> D;
+  ASSERT_TRUE(U.unifyStructural(A, TC.getInt(), D));
+  std::vector<uint32_t> Vars;
+  U.collectUnboundVars(TC.getStruct({{"x", A}, {"y", B}}), Vars);
+  ASSERT_EQ(Vars.size(), 1u);
+  EXPECT_EQ(Vars[0], B->getVarId());
+}
+
+//===----------------------------------------------------------------------===//
+// Solver: correctness across heuristic configurations
+//===----------------------------------------------------------------------===//
+
+struct HeuristicConfig {
+  bool H1, H2, H3;
+};
+
+class SolverConfigTest : public ::testing::TestWithParam<HeuristicConfig> {
+protected:
+  SolveOptions opts() const {
+    SolveOptions O;
+    O.ReorderSimpleFirst = GetParam().H1;
+    O.ForcedDisjunctElimination = GetParam().H2;
+    O.Partition = GetParam().H3;
+    O.MaxSteps = 100000000;
+    return O;
+  }
+};
+
+TEST_P(SolverConfigTest, AdversarialPairsSatisfiable) {
+  TypeContext TC;
+  auto Cs = makeAdversarialPairs(TC, 6);
+  InferenceEngine E(TC);
+  SolveStats S = E.solve(Cs, opts());
+  EXPECT_TRUE(S.Success) << S.FailMessage;
+}
+
+TEST_P(SolverConfigTest, IntersectionFamilyResolvesToFloat) {
+  TypeContext TC;
+  auto Cs = makeIntersectionFamily(TC, 5);
+  InferenceEngine E(TC);
+  SolveStats S = E.solve(Cs, opts());
+  ASSERT_TRUE(S.Success) << S.FailMessage;
+  // Every variable must have resolved to float (the only intersection).
+  for (const Constraint &C : Cs)
+    if (C.A->isVar()) {
+      EXPECT_EQ(E.resolve(C.A), TC.getFloat());
+    }
+}
+
+TEST_P(SolverConfigTest, ForcedChainResolvesToInt) {
+  TypeContext TC;
+  auto Cs = makeForcedChain(TC, 20);
+  InferenceEngine E(TC);
+  SolveStats S = E.solve(Cs, opts());
+  ASSERT_TRUE(S.Success) << S.FailMessage;
+  for (const Constraint &C : Cs)
+    if (C.A->isVar()) {
+      EXPECT_EQ(E.resolve(C.A), TC.getInt());
+    }
+}
+
+TEST_P(SolverConfigTest, UnsatPairsRejected) {
+  TypeContext TC;
+  auto Cs = makeUnsatPairs(TC, 3);
+  InferenceEngine E(TC);
+  SolveStats S = E.solve(Cs, opts());
+  EXPECT_FALSE(S.Success);
+  EXPECT_FALSE(S.HitLimit) << "must fail by search, not by budget";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristicConfigs, SolverConfigTest,
+    ::testing::Values(HeuristicConfig{false, false, false},
+                      HeuristicConfig{true, false, false},
+                      HeuristicConfig{true, true, false},
+                      HeuristicConfig{false, false, true},
+                      HeuristicConfig{true, true, true}),
+    [](const auto &Info) {
+      std::string Name;
+      Name += Info.param.H1 ? "H1" : "x";
+      Name += Info.param.H2 ? "H2" : "x";
+      Name += Info.param.H3 ? "H3" : "x";
+      return Name;
+    });
+
+TEST(Solver, HeuristicsEliminateBranchingOnForcedChains) {
+  TypeContext TC;
+  auto Cs = makeForcedChain(TC, 50);
+  InferenceEngine E(TC);
+  SolveOptions O; // All heuristics on.
+  SolveStats S = E.solve(Cs, O);
+  ASSERT_TRUE(S.Success);
+  EXPECT_EQ(S.BranchPoints, 0u)
+      << "H2 must resolve forced disjuncts without recursion";
+}
+
+TEST(Solver, NaiveIsExponentialHeuristicIsNot) {
+  uint64_t NaiveSteps[2], HeurSteps[2];
+  unsigned Ks[2] = {6, 10};
+  for (int I = 0; I != 2; ++I) {
+    {
+      TypeContext TC;
+      auto Cs = makeAdversarialPairs(TC, Ks[I]);
+      InferenceEngine E(TC);
+      SolveStats S = E.solve(Cs, SolveOptions::naive());
+      ASSERT_TRUE(S.Success);
+      NaiveSteps[I] = S.UnifySteps;
+    }
+    {
+      TypeContext TC;
+      auto Cs = makeAdversarialPairs(TC, Ks[I]);
+      InferenceEngine E(TC);
+      SolveStats S = E.solve(Cs, SolveOptions());
+      ASSERT_TRUE(S.Success);
+      HeurSteps[I] = S.UnifySteps;
+    }
+  }
+  // Naive work grows superlinearly (x16 per +2 here); heuristic stays
+  // proportional to the constraint count.
+  EXPECT_GT(NaiveSteps[1], NaiveSteps[0] * 20);
+  EXPECT_LT(HeurSteps[1], HeurSteps[0] * 4);
+}
+
+TEST(Solver, BudgetCapReports) {
+  TypeContext TC;
+  auto Cs = makeAdversarialPairs(TC, 16);
+  InferenceEngine E(TC);
+  SolveOptions O = SolveOptions::naive();
+  O.MaxSteps = 10000;
+  SolveStats S = E.solve(Cs, O);
+  EXPECT_FALSE(S.Success);
+  EXPECT_TRUE(S.HitLimit);
+}
+
+TEST(Solver, PartitionCountsComponents) {
+  TypeContext TC;
+  auto Cs = makeIntersectionFamily(TC, 7);
+  InferenceEngine E(TC);
+  SolveOptions O;
+  O.ForcedDisjunctElimination = false; // Leave work for the partitioner.
+  SolveStats S = E.solve(Cs, O);
+  ASSERT_TRUE(S.Success);
+  EXPECT_EQ(S.NumComponents, 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Netlist-level inference
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<driver::Compiler> infer(const std::string &Src, bool &Ok) {
+  auto C = std::make_unique<driver::Compiler>();
+  Ok = C->addCoreLibrary() && C->addSource("t.lss", Src) && C->elaborate() &&
+       C->inferTypes();
+  return C;
+}
+
+const types::Type *portType(driver::Compiler &C, const std::string &Path,
+                            const std::string &Port) {
+  netlist::InstanceNode *N = C.getNetlist()->findByPath(Path);
+  if (!N)
+    return nullptr;
+  const netlist::Port *P = N->findPort(Port);
+  return P ? P->Resolved : nullptr;
+}
+
+TEST(NetlistInference, PolymorphismResolvedThroughChain) {
+  bool Ok;
+  auto C = infer(R"(
+instance g:counter_source;
+instance r1:reg;
+instance r2:reg;
+instance s:sink;
+g.out -> r1.in;
+r1.out -> r2.in;
+r2.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok) << C->diagnosticsText();
+  EXPECT_EQ(portType(*C, "r2", "out")->getKind(), Type::Kind::Int);
+  EXPECT_EQ(portType(*C, "s", "in")->getKind(), Type::Kind::Int);
+}
+
+TEST(NetlistInference, SharedVarTiesPortsOfOneInstance) {
+  bool Ok;
+  auto C = infer(R"(
+instance g:counter_source;
+instance r:reg;
+instance s:sink;
+g.out -> r.in;
+r.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok);
+  // reg's in and out share 'a: both must resolve to int.
+  EXPECT_EQ(portType(*C, "r", "in"), portType(*C, "r", "out"));
+}
+
+TEST(NetlistInference, OverloadedAdderPicksFloat) {
+  bool Ok;
+  auto C = infer(R"(
+instance gen:source;
+instance a:adder;
+instance s:sink;
+gen.out -> a.in1 : float;
+gen.out -> a.in2;
+a.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok) << C->diagnosticsText();
+  EXPECT_EQ(portType(*C, "a", "out")->getKind(), Type::Kind::Float);
+  EXPECT_EQ(portType(*C, "gen", "out")->getKind(), Type::Kind::Float);
+}
+
+TEST(NetlistInference, OverloadedAdderPicksIntFromNeighbor) {
+  bool Ok;
+  auto C = infer(R"(
+instance g:counter_source;
+instance a:adder;
+instance s:sink;
+g.out -> a.in1;
+g.out -> a.in2;
+a.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok) << C->diagnosticsText();
+  // counter_source is int; the (int|float) family member int is selected
+  // purely by connectivity — component overloading.
+  EXPECT_EQ(portType(*C, "a", "out")->getKind(), Type::Kind::Int);
+}
+
+TEST(NetlistInference, ConflictingAnnotationsRejected) {
+  bool Ok;
+  auto C = infer(R"(
+instance g:counter_source;
+instance s:sink;
+g.out -> s.in : float;
+)", Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(C->diagnosticsText().find("type inference failed"),
+            std::string::npos);
+}
+
+TEST(NetlistInference, IncompatibleConnectionRejected) {
+  bool Ok;
+  auto C = infer(R"(
+instance b:bool_source;
+instance d:delay;
+b.out -> d.in;
+)", Ok);
+  EXPECT_FALSE(Ok); // bool -> int port.
+}
+
+TEST(NetlistInference, UnconstrainedPolymorphismDefaultsWithWarning) {
+  bool Ok;
+  auto C = infer(R"(
+instance r1:reg;
+instance r2:reg;
+r1.out -> r2.in;
+)", Ok);
+  ASSERT_TRUE(Ok) << C->diagnosticsText();
+  EXPECT_GT(C->getDiags().getNumWarnings(), 0u);
+  EXPECT_EQ(portType(*C, "r1", "out")->getKind(), Type::Kind::Int);
+}
+
+TEST(NetlistInference, StructTokensFlowThroughPolymorphicQueue) {
+  bool Ok;
+  auto C = infer(R"(
+instance f:fetch;
+instance q:queue;
+instance s:sink;
+f.instr -> q.in;
+q.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok) << C->diagnosticsText();
+  const Type *T = portType(*C, "q", "out");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->getKind(), Type::Kind::Struct);
+  EXPECT_EQ(T->getFields().size(), 6u);
+}
+
+TEST(NetlistInference, StatsCountPolymorphicPorts) {
+  bool Ok;
+  auto C = infer(R"(
+instance g:counter_source;
+instance r:reg;
+instance s:sink;
+g.out -> r.in;
+r.out -> s.in;
+)", Ok);
+  ASSERT_TRUE(Ok);
+  const auto &Stats = C->getInferenceStats();
+  EXPECT_TRUE(Stats.Solve.Success);
+  EXPECT_GT(Stats.NumPorts, 0u);
+  EXPECT_GE(Stats.NumPolymorphicPorts, 3u); // reg.in/out + sink.in at least.
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- LexerTest.cpp - LSS lexer unit tests -----------------------------------===//
+
+#include "lss/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace liberty;
+using namespace liberty::lss;
+
+namespace {
+
+/// Lexes all of \p Src, asserting no diagnostics unless \p ExpectErrors.
+std::vector<Token> lexAll(const std::string &Src, SourceMgr &SM,
+                          DiagnosticEngine &Diags) {
+  uint32_t Id = SM.addBuffer("test.lss", Src);
+  Lexer L(Id, Diags);
+  std::vector<Token> Toks;
+  while (true) {
+    Token T = L.lex();
+    if (T.is(TokenKind::Eof))
+      break;
+    Toks.push_back(T);
+  }
+  return Toks;
+}
+
+std::vector<TokenKind> kindsOf(const std::string &Src) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lexAll(Src, SM, Diags))
+    Kinds.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors());
+  return Kinds;
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kindsOf("module parameter inport outport instance var runtime "
+                   "event userpoint constrain if else for while new return "
+                   "break continue struct enum ref true false int bool "
+                   "float string");
+  ASSERT_EQ(K.size(), 27u);
+  EXPECT_EQ(K[0], TokenKind::KwModule);
+  EXPECT_EQ(K[1], TokenKind::KwParameter);
+  EXPECT_EQ(K[26], TokenKind::KwString);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll("modules in out delay3 _x x_1", SM, Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  for (const Token &T : Toks)
+    EXPECT_EQ(T.Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[3].Spelling, "delay3");
+}
+
+TEST(Lexer, IntLiterals) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll("0 42 0x1F 123456789", SM, Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 31);
+  EXPECT_EQ(Toks[3].IntValue, 123456789);
+}
+
+TEST(Lexer, FloatLiterals) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll("1.5 0.25 2.5e3 1.0e-2", SM, Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_DOUBLE_EQ(Toks[0].FloatValue, 1.5);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 2500.0);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 0.01);
+}
+
+TEST(Lexer, IntThenDotIsNotFloat) {
+  // "delays[0].out": the '.' must not glue to the int.
+  auto K = kindsOf("delays[0].out");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::LBracket,
+                                     TokenKind::IntLiteral,
+                                     TokenKind::RBracket, TokenKind::Dot,
+                                     TokenKind::Identifier};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, StringLiteralsAndEscapes) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll(R"("hello" "a\nb" "q\"q" "\\")", SM, Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Spelling, "hello");
+  EXPECT_EQ(Toks[1].Spelling, "a\nb");
+  EXPECT_EQ(Toks[2].Spelling, "q\"q");
+  EXPECT_EQ(Toks[3].Spelling, "\\");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  lexAll("\"never closed", SM, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, TypeVariables) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll("'a 'foo 'x9", SM, Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::TypeVar);
+  EXPECT_EQ(Toks[0].Spelling, "a");
+  EXPECT_EQ(Toks[1].Spelling, "foo");
+  EXPECT_EQ(Toks[2].Spelling, "x9");
+}
+
+TEST(Lexer, BareQuoteIsError) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  lexAll("' ", SM, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, Operators) {
+  auto K = kindsOf("-> => = == != < <= > >= + - * / % && || ! | . , ; :");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Arrow,   TokenKind::FatArrow, TokenKind::Assign,
+      TokenKind::EqEq,    TokenKind::NotEq,    TokenKind::Less,
+      TokenKind::LessEq,  TokenKind::Greater,  TokenKind::GreaterEq,
+      TokenKind::Plus,    TokenKind::Minus,    TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,  TokenKind::AmpAmp,
+      TokenKind::PipePipe, TokenKind::Not,     TokenKind::Pipe,
+      TokenKind::Dot,     TokenKind::Comma,    TokenKind::Semicolon,
+      TokenKind::Colon};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, LineComments) {
+  auto K = kindsOf("a // comment -> ; all ignored\nb");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, BlockComments) {
+  auto K = kindsOf("a /* multi\nline\ncomment */ b");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  lexAll("a /* never closed", SM, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacter) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  lexAll("a @ b", SM, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, LocationsAreAccurate) {
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  auto Toks = lexAll("ab\n  cd", SM, Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  LineCol L0 = SM.getLineCol(Toks[0].Loc);
+  LineCol L1 = SM.getLineCol(Toks[1].Loc);
+  EXPECT_EQ(L0.Line, 1u);
+  EXPECT_EQ(L0.Col, 1u);
+  EXPECT_EQ(L1.Line, 2u);
+  EXPECT_EQ(L1.Col, 3u);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+  auto K = kindsOf("a-b a->b a - > b");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Minus,   TokenKind::Identifier,
+      TokenKind::Identifier, TokenKind::Arrow,   TokenKind::Identifier,
+      TokenKind::Identifier, TokenKind::Minus,   TokenKind::Greater,
+      TokenKind::Identifier};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, FatArrowVsAssign) {
+  auto K = kindsOf("= => == =");
+  std::vector<TokenKind> Expected = {TokenKind::Assign, TokenKind::FatArrow,
+                                     TokenKind::EqEq, TokenKind::Assign};
+  EXPECT_EQ(K, Expected);
+}
+
+} // namespace

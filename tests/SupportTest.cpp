@@ -1,0 +1,82 @@
+//===- SupportTest.cpp - SourceMgr and diagnostics tests -------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace liberty;
+
+namespace {
+
+TEST(SourceMgr, LineColDecoding) {
+  SourceMgr SM;
+  uint32_t Id = SM.addBuffer("a.lss", "one\ntwo\n\nfour");
+  auto LC = [&](uint32_t Off) { return SM.getLineCol(SourceLoc{Id, Off}); };
+  EXPECT_EQ(LC(0).Line, 1u);
+  EXPECT_EQ(LC(0).Col, 1u);
+  EXPECT_EQ(LC(2).Col, 3u);
+  EXPECT_EQ(LC(4).Line, 2u); // 't' of "two"
+  EXPECT_EQ(LC(8).Line, 3u); // The blank line's newline slot.
+  EXPECT_EQ(LC(9).Line, 4u);
+  EXPECT_EQ(LC(12).Col, 4u);
+}
+
+TEST(SourceMgr, LineText) {
+  SourceMgr SM;
+  uint32_t Id = SM.addBuffer("a.lss", "first line\nsecond");
+  EXPECT_EQ(SM.getLineText(SourceLoc{Id, 3}), "first line");
+  EXPECT_EQ(SM.getLineText(SourceLoc{Id, 12}), "second");
+}
+
+TEST(SourceMgr, MultipleBuffers) {
+  SourceMgr SM;
+  uint32_t A = SM.addBuffer("a.lss", "aaa");
+  uint32_t B = SM.addBuffer("b.lss", "bbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.getBufferName(A), "a.lss");
+  EXPECT_EQ(SM.getBufferText(B), "bbb");
+  EXPECT_EQ(SM.getLocString(SourceLoc{B, 1}), "b.lss:1:2");
+}
+
+TEST(SourceMgr, InvalidLocRendering) {
+  SourceMgr SM;
+  EXPECT_EQ(SM.getLocString(SourceLoc()), "<unknown>");
+  EXPECT_EQ(SM.getLineText(SourceLoc()), "");
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  SourceMgr SM;
+  DiagnosticEngine D(SM);
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(), "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(), "e1");
+  D.error(SourceLoc(), "e2");
+  D.note(SourceLoc(), "n");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.getNumErrors(), 2u);
+  EXPECT_EQ(D.getNumWarnings(), 1u);
+  EXPECT_EQ(D.getDiagnostics().size(), 4u);
+  EXPECT_EQ(D.getFirstErrorMessage(), "e1");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.getDiagnostics().empty());
+}
+
+TEST(Diagnostics, PrintShowsCaret) {
+  SourceMgr SM;
+  uint32_t Id = SM.addBuffer("a.lss", "instance x:nothing;");
+  DiagnosticEngine D(SM);
+  D.error(SourceLoc{Id, 11}, "unknown module 'nothing'");
+  std::ostringstream OS;
+  D.printAll(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("a.lss:1:12: error: unknown module 'nothing'"),
+            std::string::npos);
+  EXPECT_NE(Out.find("instance x:nothing;"), std::string::npos);
+  EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- ToolTest.cpp - End-to-end lssc CLI tests ----------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef LSSC_PATH
+#define LSSC_PATH "./lssc"
+#endif
+#ifndef LIBERTY_MODELS_DIR
+#define LIBERTY_MODELS_DIR "models"
+#endif
+
+struct ToolResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+ToolResult runTool(const std::string &Args) {
+  ToolResult R;
+  std::string Cmd = std::string(LSSC_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string modelArgs(const char *Model) {
+  return std::string(LIBERTY_MODELS_DIR) + "/uarch.lss " +
+         LIBERTY_MODELS_DIR + "/" + Model;
+}
+
+TEST(Lssc, StatsAndRun) {
+  ToolResult R = runTool("--stats --run 300 --watch 'core.r retire' " +
+                         modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("Instances"), std::string::npos);
+  EXPECT_NE(R.Output.find("ran 300 cycles"), std::string::npos);
+  EXPECT_NE(R.Output.find("watch 'core.r retire':"), std::string::npos);
+}
+
+TEST(Lssc, EmitDotIsGraphviz) {
+  ToolResult R = runTool("--emit-dot " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("digraph model {"), std::string::npos);
+  EXPECT_NE(R.Output.find("cluster_n_core"), std::string::npos);
+}
+
+TEST(Lssc, EmitStaticFlattens) {
+  ToolResult R = runTool("--emit-static " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("instance core.f : fetch;"), std::string::npos);
+  EXPECT_NE(R.Output.find("setwidth"), std::string::npos);
+}
+
+TEST(Lssc, ErrorsHaveSourceLocations) {
+  // A spec with an unknown-parameter assignment must fail with a located
+  // diagnostic, not crash.
+  std::string Bad = "/tmp/lssc_bad_test.lss";
+  FILE *F = fopen(Bad.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs("instance d:delay;\nd.bogus = 3;\n", F);
+  fclose(F);
+  ToolResult R = runTool(Bad);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("lssc_bad_test.lss:2"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("no parameter named 'bogus'"), std::string::npos);
+  std::remove(Bad.c_str());
+}
+
+TEST(Lssc, UnknownOptionRejected) {
+  ToolResult R = runTool("--frobnicate " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("unknown option"), std::string::npos);
+}
+
+TEST(Lssc, NoInputsRejected) {
+  ToolResult R = runTool("--stats");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- lssc.cpp - The LSS compiler driver ---------------------------------------===//
+///
+/// Command-line front end for the LSS pipeline, in the spirit of the
+/// original Liberty Simulation Environment's lss compiler:
+///
+///   lssc [options] file.lss [more.lss ...]
+///
+///   --print-netlist     dump the elaborated hierarchy with widths/types
+///   --stats             print Table 2-style reuse statistics
+///   --emit-static       print the flattened static structural spec
+///   --run N             build the simulator and run N cycles
+///   --watch PATTERN     with --run: count events matching "path event"
+///   --no-infer-heuristics  solve types with the naive algorithm (slow!)
+///   --trace-order       print the instantiation-stack processing order
+///
+/// Multiple .lss inputs are concatenated into one compilation (library
+/// modules first), matching the Compiler API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/StaticNet.h"
+#include "driver/Compiler.h"
+#include "driver/Stats.h"
+#include "netlist/DotEmitter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace liberty;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> Inputs;
+  bool PrintNetlist = false;
+  bool Stats = false;
+  bool EmitStatic = false;
+  bool EmitDot = false;
+  bool TraceOrder = false;
+  bool NaiveInference = false;
+  uint64_t RunCycles = 0;
+  std::vector<std::pair<std::string, std::string>> Watches;
+};
+
+void printUsage() {
+  std::cerr <<
+      "usage: lssc [options] file.lss [more.lss ...]\n"
+      "  --print-netlist        dump the elaborated hierarchy\n"
+      "  --stats                print reuse statistics\n"
+      "  --emit-static          print the flattened static spec\n"
+      "  --emit-dot             print a Graphviz digraph of the model\n"
+      "  --run N                simulate N cycles\n"
+      "  --watch 'PATH EVENT'   count matching events while running\n"
+      "  --no-infer-heuristics  use the naive exponential solver\n"
+      "  --trace-order          print instance processing order\n";
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--print-netlist") {
+      Opts.PrintNetlist = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--emit-static") {
+      Opts.EmitStatic = true;
+    } else if (Arg == "--emit-dot") {
+      Opts.EmitDot = true;
+    } else if (Arg == "--trace-order") {
+      Opts.TraceOrder = true;
+    } else if (Arg == "--no-infer-heuristics") {
+      Opts.NaiveInference = true;
+    } else if (Arg == "--run") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --run requires a cycle count\n";
+        return false;
+      }
+      Opts.RunCycles = std::strtoull(Argv[I], nullptr, 10);
+    } else if (Arg == "--watch") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
+        return false;
+      }
+      std::string Spec = Argv[I];
+      size_t Space = Spec.find(' ');
+      if (Space == std::string::npos) {
+        Opts.Watches.emplace_back(Spec, "*");
+      } else {
+        Opts.Watches.emplace_back(Spec.substr(0, Space),
+                                  Spec.substr(Space + 1));
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "lssc: unknown option '" << Arg << "'\n";
+      return false;
+    } else {
+      Opts.Inputs.push_back(Arg);
+    }
+  }
+  if (Opts.Inputs.empty()) {
+    std::cerr << "lssc: no input files\n";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+
+  driver::Compiler C;
+  auto Bail = [&](const char *Phase) {
+    std::cerr << "lssc: " << Phase << " failed\n" << C.diagnosticsText();
+    return 1;
+  };
+
+  if (!C.addCoreLibrary())
+    return Bail("loading the component library");
+  for (const std::string &Path : Opts.Inputs)
+    if (!C.addFile(Path))
+      return Bail("parsing");
+  if (!C.elaborate())
+    return Bail("elaboration");
+
+  if (Opts.TraceOrder) {
+    std::cout << "== instance processing order ==\n";
+    for (const std::string &Path : C.getInterpreter()->getProcessingOrder())
+      std::cout << "  " << Path << "\n";
+  }
+
+  infer::SolveOptions SolveOpts =
+      Opts.NaiveInference ? infer::SolveOptions::naive()
+                          : infer::SolveOptions();
+  if (!C.inferTypes(SolveOpts))
+    return Bail("type inference");
+
+  // Warnings (if any) still matter to users.
+  if (C.getDiags().getNumWarnings())
+    std::cerr << C.diagnosticsText();
+
+  if (Opts.PrintNetlist)
+    C.getNetlist()->print(std::cout);
+
+  if (Opts.Stats) {
+    driver::ModelStats S = driver::computeModelStats(
+        *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
+        Opts.Inputs.front());
+    driver::printTable2Header(std::cout);
+    driver::printTable2Row(std::cout, S);
+    const auto &IS = C.getInferenceStats();
+    std::printf("inference: %u constraints, %llu unify steps, "
+                "%llu branch points, %u ports (%u polymorphic, "
+                "%u defaulted)\n",
+                IS.Solve.NumConstraints,
+                (unsigned long long)IS.Solve.UnifySteps,
+                (unsigned long long)IS.Solve.BranchPoints, IS.NumPorts,
+                IS.NumPolymorphicPorts, IS.NumDefaulted);
+  }
+
+  if (Opts.EmitStatic)
+    std::cout << baseline::emitFlatStaticSpec(*C.getNetlist());
+
+  if (Opts.EmitDot)
+    netlist::emitDot(*C.getNetlist(), std::cout);
+
+  if (Opts.RunCycles) {
+    sim::Simulator *Sim = C.buildSimulator();
+    if (!Sim)
+      return Bail("simulator construction");
+    std::vector<uint64_t *> Counters;
+    for (const auto &[Path, Event] : Opts.Watches)
+      Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
+    Sim->step(Opts.RunCycles);
+    std::printf("ran %llu cycles (%u leaves, %u nets, %u schedule groups)\n",
+                (unsigned long long)Sim->getCycle(),
+                Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
+                Sim->getBuildInfo().NumGroups);
+    for (unsigned I = 0; I != Opts.Watches.size(); ++I)
+      std::printf("watch '%s %s': %llu events\n",
+                  Opts.Watches[I].first.c_str(),
+                  Opts.Watches[I].second.c_str(),
+                  (unsigned long long)*Counters[I]);
+    if (Sim->hadRuntimeErrors()) {
+      std::cerr << C.diagnosticsText();
+      return 1;
+    }
+  }
+  return 0;
+}
