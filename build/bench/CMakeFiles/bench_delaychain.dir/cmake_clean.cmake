@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delaychain.dir/bench_delaychain.cpp.o"
+  "CMakeFiles/bench_delaychain.dir/bench_delaychain.cpp.o.d"
+  "bench_delaychain"
+  "bench_delaychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delaychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usebased.dir/bench_usebased.cpp.o"
+  "CMakeFiles/bench_usebased.dir/bench_usebased.cpp.o.d"
+  "bench_usebased"
+  "bench_usebased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usebased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

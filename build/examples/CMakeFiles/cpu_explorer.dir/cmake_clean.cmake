@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_explorer.dir/cpu_explorer.cpp.o"
+  "CMakeFiles/cpu_explorer.dir/cpu_explorer.cpp.o.d"
+  "cpu_explorer"
+  "cpu_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_demo.dir/instrument_demo.cpp.o"
+  "CMakeFiles/instrument_demo.dir/instrument_demo.cpp.o.d"
+  "instrument_demo"
+  "instrument_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_scaling.dir/multicore_scaling.cpp.o"
+  "CMakeFiles/multicore_scaling.dir/multicore_scaling.cpp.o.d"
+  "multicore_scaling"
+  "multicore_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/HandCodedSim.cpp" "src/CMakeFiles/liberty.dir/baseline/HandCodedSim.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/baseline/HandCodedSim.cpp.o.d"
+  "/root/repo/src/baseline/OopSim.cpp" "src/CMakeFiles/liberty.dir/baseline/OopSim.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/baseline/OopSim.cpp.o.d"
+  "/root/repo/src/baseline/StaticNet.cpp" "src/CMakeFiles/liberty.dir/baseline/StaticNet.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/baseline/StaticNet.cpp.o.d"
+  "/root/repo/src/bsl/BehaviorRegistry.cpp" "src/CMakeFiles/liberty.dir/bsl/BehaviorRegistry.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/bsl/BehaviorRegistry.cpp.o.d"
+  "/root/repo/src/bsl/BslProgram.cpp" "src/CMakeFiles/liberty.dir/bsl/BslProgram.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/bsl/BslProgram.cpp.o.d"
+  "/root/repo/src/corelib/CoreBehaviors.cpp" "src/CMakeFiles/liberty.dir/corelib/CoreBehaviors.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/corelib/CoreBehaviors.cpp.o.d"
+  "/root/repo/src/corelib/CpuBehaviors.cpp" "src/CMakeFiles/liberty.dir/corelib/CpuBehaviors.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/corelib/CpuBehaviors.cpp.o.d"
+  "/root/repo/src/corelib/TraceGen.cpp" "src/CMakeFiles/liberty.dir/corelib/TraceGen.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/corelib/TraceGen.cpp.o.d"
+  "/root/repo/src/driver/Compiler.cpp" "src/CMakeFiles/liberty.dir/driver/Compiler.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/driver/Compiler.cpp.o.d"
+  "/root/repo/src/driver/Stats.cpp" "src/CMakeFiles/liberty.dir/driver/Stats.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/driver/Stats.cpp.o.d"
+  "/root/repo/src/infer/InferenceEngine.cpp" "src/CMakeFiles/liberty.dir/infer/InferenceEngine.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/infer/InferenceEngine.cpp.o.d"
+  "/root/repo/src/infer/Synthetic.cpp" "src/CMakeFiles/liberty.dir/infer/Synthetic.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/infer/Synthetic.cpp.o.d"
+  "/root/repo/src/infer/Unifier.cpp" "src/CMakeFiles/liberty.dir/infer/Unifier.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/infer/Unifier.cpp.o.d"
+  "/root/repo/src/interp/ExprEvaluator.cpp" "src/CMakeFiles/liberty.dir/interp/ExprEvaluator.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/interp/ExprEvaluator.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/liberty.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/CMakeFiles/liberty.dir/interp/Value.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/interp/Value.cpp.o.d"
+  "/root/repo/src/lss/AST.cpp" "src/CMakeFiles/liberty.dir/lss/AST.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/lss/AST.cpp.o.d"
+  "/root/repo/src/lss/Lexer.cpp" "src/CMakeFiles/liberty.dir/lss/Lexer.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/lss/Lexer.cpp.o.d"
+  "/root/repo/src/lss/Parser.cpp" "src/CMakeFiles/liberty.dir/lss/Parser.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/lss/Parser.cpp.o.d"
+  "/root/repo/src/models/Models.cpp" "src/CMakeFiles/liberty.dir/models/Models.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/models/Models.cpp.o.d"
+  "/root/repo/src/netlist/DotEmitter.cpp" "src/CMakeFiles/liberty.dir/netlist/DotEmitter.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/netlist/DotEmitter.cpp.o.d"
+  "/root/repo/src/netlist/Netlist.cpp" "src/CMakeFiles/liberty.dir/netlist/Netlist.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/netlist/Netlist.cpp.o.d"
+  "/root/repo/src/sim/Instrumentation.cpp" "src/CMakeFiles/liberty.dir/sim/Instrumentation.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/sim/Instrumentation.cpp.o.d"
+  "/root/repo/src/sim/Scheduler.cpp" "src/CMakeFiles/liberty.dir/sim/Scheduler.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/sim/Scheduler.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/liberty.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/liberty.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/SourceMgr.cpp" "src/CMakeFiles/liberty.dir/support/SourceMgr.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/support/SourceMgr.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "src/CMakeFiles/liberty.dir/types/Type.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/types/Type.cpp.o.d"
+  "/root/repo/src/types/TypeContext.cpp" "src/CMakeFiles/liberty.dir/types/TypeContext.cpp.o" "gcc" "src/CMakeFiles/liberty.dir/types/TypeContext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

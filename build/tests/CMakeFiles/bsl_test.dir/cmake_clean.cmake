@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsl_test.dir/BslTest.cpp.o"
+  "CMakeFiles/bsl_test.dir/BslTest.cpp.o.d"
+  "bsl_test"
+  "bsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelib2_test.dir/Corelib2Test.cpp.o"
+  "CMakeFiles/corelib2_test.dir/Corelib2Test.cpp.o.d"
+  "corelib2_test"
+  "corelib2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelib2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

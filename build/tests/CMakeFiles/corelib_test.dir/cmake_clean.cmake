@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelib_test.dir/CorelibTest.cpp.o"
+  "CMakeFiles/corelib_test.dir/CorelibTest.cpp.o.d"
+  "corelib_test"
+  "corelib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

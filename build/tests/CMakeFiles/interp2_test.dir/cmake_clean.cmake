@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp2_test.dir/Interp2Test.cpp.o"
+  "CMakeFiles/interp2_test.dir/Interp2Test.cpp.o.d"
+  "interp2_test"
+  "interp2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lssc.dir/lssc.cpp.o"
+  "CMakeFiles/lssc.dir/lssc.cpp.o.d"
+  "lssc"
+  "lssc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lssc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
