@@ -13,17 +13,26 @@
 ///  2. google-benchmark timings of the full heuristic solver (the
 ///     "several seconds" side), which on these systems is milliseconds.
 ///
+/// With --sweep-threads it instead sweeps the H3 group search across
+/// thread counts on multi-group systems (the disjoint-hard-groups family
+/// and the real models), printing the wall time and speedup per thread
+/// count and cross-checking that every configuration does identical work.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
 #include "infer/Synthetic.h"
 #include "models/Models.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
 
 using namespace liberty;
 using infer::Constraint;
@@ -135,6 +144,112 @@ void printComparisonTable() {
 }
 
 //===--------------------------------------------------------------------===//
+// --sweep-threads: the parallel H3 group search across thread counts
+//===--------------------------------------------------------------------===//
+
+/// Solves \p Make's constraint system once per thread count and reports
+/// wall time + speedup over the serial (--j1) solve. The solver merges
+/// group results deterministically, so unify steps, branch points, and
+/// group counts must match bit-for-bit across the sweep — checked here.
+void sweepRow(const char *Name,
+              const std::function<std::vector<Constraint>(
+                  types::TypeContext &)> &Make,
+              const std::vector<unsigned> &ThreadCounts) {
+  struct Sample {
+    unsigned Threads;
+    double WallMs;
+    SolveStats Stats;
+  };
+  std::vector<Sample> Samples;
+  for (unsigned T : ThreadCounts) {
+    types::TypeContext TC;
+    std::vector<Constraint> Cs = Make(TC);
+    infer::InferenceEngine E(TC);
+    SolveOptions O;
+    O.NumThreads = T;
+    auto Start = std::chrono::steady_clock::now();
+    SolveStats S = E.solve(Cs, O);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (!S.Success) {
+      std::printf("%-26s UNEXPECTED FAILURE: %s\n", Name,
+                  S.FailMessage.c_str());
+      return;
+    }
+    Samples.push_back(Sample{T, Ms, std::move(S)});
+  }
+
+  bool Identical = true;
+  for (const Sample &S : Samples)
+    Identical &= S.Stats.UnifySteps == Samples.front().Stats.UnifySteps &&
+                 S.Stats.BranchPoints == Samples.front().Stats.BranchPoints &&
+                 S.Stats.NumComponents == Samples.front().Stats.NumComponents;
+
+  std::printf("%-26s %6u groups %12" PRIu64 " steps |", Name,
+              Samples.front().Stats.NumComponents,
+              Samples.front().Stats.UnifySteps);
+  for (const Sample &S : Samples)
+    std::printf("  j%-2u %8.2fms (%4.2fx)", S.Threads, S.WallMs,
+                S.WallMs > 0 ? Samples.front().WallMs / S.WallMs : 0.0);
+  std::printf("  work %s\n", Identical ? "identical" : "DIVERGED");
+}
+
+void runThreadSweep() {
+  const std::vector<unsigned> ThreadCounts = {1, 2, 4, 8};
+  std::printf("=== Parallel H3 group search: thread sweep (hardware "
+              "threads: %u) ===\n\n",
+              liberty::ThreadPool::getHardwareParallelism());
+  std::printf("Speedups are wall-time of j1 over jN; 'work identical' "
+              "asserts bit-equal unify-step/branch/group counts.\n\n");
+
+  const std::pair<unsigned, unsigned> HardConfigs[] = {
+      {4, 14}, {8, 14}, {16, 12}, {8, 16}};
+  for (auto [G, K] : HardConfigs) {
+    std::string Name = "hard-groups g=" + std::to_string(G) +
+                       " k=" + std::to_string(K);
+    sweepRow(Name.c_str(), [G = G, K = K](types::TypeContext &TC) {
+      return infer::makeDisjointHardGroups(TC, G, K);
+    }, ThreadCounts);
+  }
+  for (unsigned K : {64u, 256u}) {
+    std::string Name = "intersection k=" + std::to_string(K);
+    sweepRow(Name.c_str(), [K](types::TypeContext &TC) {
+      // H2 off leaves all K two-constraint groups for the partitioned
+      // search: many tiny groups, the dispatch-overhead-bound regime.
+      return infer::makeIntersectionFamily(TC, K);
+    }, ThreadCounts);
+  }
+
+  std::printf("\n(real models: residual groups are few and small after "
+              "H2, so these stay serial-dominated)\n");
+  for (const std::string &Id : models::modelIds()) {
+    std::string Name = "model " + Id;
+    std::printf("%-26s", Name.c_str());
+    double BaselineMs = 0;
+    for (unsigned T : ThreadCounts) {
+      driver::Compiler C;
+      std::vector<Constraint> Cs = modelConstraints(Id, C);
+      infer::InferenceEngine E(C.getTypeContext());
+      SolveOptions O;
+      O.NumThreads = T;
+      auto Start = std::chrono::steady_clock::now();
+      SolveStats S = E.solve(Cs, O);
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      if (T == 1)
+        BaselineMs = Ms;
+      std::printf("  j%-2u %8.2fms (%4.2fx, %u grp)", T, Ms,
+                  Ms > 0 ? BaselineMs / Ms : 0.0, S.NumComponents);
+      (void)S;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+//===--------------------------------------------------------------------===//
 // google-benchmark: the fast (heuristic) side
 //===--------------------------------------------------------------------===//
 
@@ -173,6 +288,22 @@ BENCHMARK(BM_HeuristicForcedChain)->Arg(64)->Arg(256)->Arg(1024);
 } // namespace
 
 int main(int argc, char **argv) {
+  // --sweep-threads: run the parallel-solver sweep instead of the
+  // heuristic-ablation table (strip the flag before benchmark::Initialize).
+  bool SweepThreads = false;
+  int W = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--sweep-threads") == 0)
+      SweepThreads = true;
+    else
+      argv[W++] = argv[I];
+  }
+  argc = W;
+  if (SweepThreads) {
+    runThreadSweep();
+    return 0;
+  }
+
   printComparisonTable();
   for (const std::string &Id : models::modelIds())
     benchmark::RegisterBenchmark(("BM_HeuristicModelInference/" + Id).c_str(),

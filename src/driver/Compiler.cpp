@@ -54,6 +54,7 @@ static unsigned countAnnotations(const std::vector<lss::Stmt *> &Body) {
 }
 
 bool Compiler::parseInto(uint32_t BufferId, bool IsLibrary) {
+  PhaseTimer::Scope Phase(&Timer, "parse");
   unsigned ErrorsBefore = Diags.getNumErrors();
   lss::Parser P(BufferId, Ctx, Diags);
   lss::SpecFile File = P.parseFile();
@@ -102,6 +103,7 @@ bool Compiler::elaborate() {
 }
 
 bool Compiler::elaborate(const interp::Interpreter::Options &Opts) {
+  PhaseTimer::Scope Phase(&Timer, "elaborate");
   Interp = std::make_unique<interp::Interpreter>(TC, Diags, Opts);
   lss::SpecFile All;
   All.Modules = AllModules;
@@ -117,7 +119,7 @@ bool Compiler::inferTypes(const infer::SolveOptions &Opts) {
     Diags.error(SourceLoc(), "inferTypes called before elaborate");
     return false;
   }
-  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Opts);
+  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Opts, &Timer);
   return !Diags.hasErrors();
 }
 
@@ -126,6 +128,7 @@ sim::Simulator *Compiler::buildSimulator() {
     Diags.error(SourceLoc(), "buildSimulator called before elaborate");
     return nullptr;
   }
+  PhaseTimer::Scope Phase(&Timer, "sim-build");
   Sim = sim::Simulator::build(*NL, SM, Diags);
   return Sim.get();
 }

@@ -17,6 +17,7 @@
 #include "netlist/Netlist.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
+#include "support/PhaseTimer.h"
 #include "support/SourceMgr.h"
 #include "types/TypeContext.h"
 
@@ -70,6 +71,10 @@ public:
   const infer::NetlistInferenceStats &getInferenceStats() const {
     return InferStats;
   }
+  /// Wall time and counters per compiler phase (parse, elaborate,
+  /// constraint-gen, solve, sim-build) — what `lssc --stats-json` emits.
+  const PhaseTimer &getPhaseTimer() const { return Timer; }
+  PhaseTimer &getPhaseTimer() { return Timer; }
   /// Names of library modules (for reuse statistics).
   const std::set<std::string> &getLibraryModules() const {
     return LibraryModules;
@@ -94,6 +99,7 @@ private:
   std::unique_ptr<netlist::Netlist> NL;
   std::unique_ptr<sim::Simulator> Sim;
   infer::NetlistInferenceStats InferStats;
+  PhaseTimer Timer;
   std::set<std::string> LibraryModules;
   unsigned NumUserAnnotations = 0;
   bool LibraryAdded = false;

@@ -4,6 +4,7 @@
 
 #include "lss/AST.h"
 #include "netlist/Netlist.h"
+#include "support/PhaseTimer.h"
 
 #include <iomanip>
 
@@ -101,6 +102,58 @@ void liberty::driver::printTable2Header(std::ostream &OS) {
      << std::setw(8) << "FromLib" << std::setw(12) << "TypesW/O-TI"
      << std::setw(11) << "TypesW-TI" << std::setw(10) << "InfWidth"
      << std::setw(8) << "Conns" << "\n";
+}
+
+void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
+                                     const infer::NetlistInferenceStats &IS,
+                                     const PhaseTimer &Timer) {
+  OS << "{\n";
+  OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
+  OS << "  \"phases\": ";
+  Timer.printJson(OS);
+  OS << ",\n";
+
+  const infer::SolveStats &Solve = IS.Solve;
+  OS << "  \"inference\": {\n"
+     << "    \"success\": " << (Solve.Success ? "true" : "false") << ",\n"
+     << "    \"constraints\": " << Solve.NumConstraints << ",\n"
+     << "    \"disjunctive_constraints\": " << Solve.NumDisjunctive << ",\n"
+     << "    \"unify_steps\": " << Solve.UnifySteps << ",\n"
+     << "    \"branch_points\": " << Solve.BranchPoints << ",\n"
+     << "    \"components\": " << Solve.NumComponents << ",\n"
+     << "    \"threads_used\": " << Solve.ThreadsUsed << ",\n"
+     << "    \"ports\": " << IS.NumPorts << ",\n"
+     << "    \"polymorphic_ports\": " << IS.NumPolymorphicPorts << ",\n"
+     << "    \"defaulted\": " << IS.NumDefaulted << ",\n"
+     << "    \"groups\": [";
+  for (size_t I = 0; I != Solve.Groups.size(); ++I) {
+    const infer::GroupStats &G = Solve.Groups[I];
+    if (I)
+      OS << ",";
+    OS << "\n      {\"index\": " << I << ", \"constraints\": "
+       << G.NumConstraints << ", \"unify_steps\": " << G.UnifySteps
+       << ", \"branch_points\": " << G.BranchPoints << ", \"wall_ms\": "
+       << std::fixed << std::setprecision(3) << G.WallMs << ", \"success\": "
+       << (G.Success ? "true" : "false") << "}";
+  }
+  OS << "\n    ]\n  },\n";
+
+  OS << "  \"reuse\": {\n"
+     << "    \"instances\": " << S.TotalInstances << ",\n"
+     << "    \"hierarchical_instances\": " << S.HierarchicalInstances << ",\n"
+     << "    \"leaf_instances\": " << S.LeafInstances << ",\n"
+     << "    \"distinct_modules\": " << S.DistinctModules << ",\n"
+     << "    \"instances_from_library\": " << S.InstancesFromLibrary << ",\n"
+     << "    \"pct_from_library\": " << std::fixed << std::setprecision(1)
+     << S.pctFromLibrary() << ",\n"
+     << "    \"explicit_types_without_inference\": "
+     << S.ExplicitTypesWithoutInference << ",\n"
+     << "    \"explicit_types_with_inference\": "
+     << S.ExplicitTypesWithInference << ",\n"
+     << "    \"inferred_port_widths\": " << S.InferredPortWidths << ",\n"
+     << "    \"connections\": " << S.Connections << "\n"
+     << "  }\n";
+  OS << "}\n";
 }
 
 void liberty::driver::printTable2Row(std::ostream &OS, const ModelStats &S) {

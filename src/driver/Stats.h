@@ -12,12 +12,16 @@
 #ifndef LIBERTY_DRIVER_STATS_H
 #define LIBERTY_DRIVER_STATS_H
 
+#include "infer/InferenceEngine.h"
+
 #include <ostream>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace liberty {
+
+class PhaseTimer;
 
 namespace netlist {
 class Netlist;
@@ -76,6 +80,14 @@ ModelStats totalStats(const std::vector<ModelStats> &All);
 /// Prints one Table 2 row (or the header with Header=true).
 void printTable2Row(std::ostream &OS, const ModelStats &S);
 void printTable2Header(std::ostream &OS);
+
+/// Serializes one compilation's observability record as a JSON document:
+/// per-phase wall times and counters from \p Timer, the inference solve
+/// record including per-H3-group unify-step counts, and the Table 2 reuse
+/// metrics. This is the payload of `lssc --stats-json`.
+void printStatsJson(std::ostream &OS, const ModelStats &S,
+                    const infer::NetlistInferenceStats &IS,
+                    const PhaseTimer &Timer);
 
 } // namespace driver
 } // namespace liberty

@@ -3,9 +3,14 @@
 #include "infer/InferenceEngine.h"
 
 #include "netlist/Netlist.h"
+#include "support/PhaseTimer.h"
+#include "support/ThreadPool.h"
 #include "types/Type.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <functional>
 #include <list>
 #include <map>
 #include <numeric>
@@ -32,42 +37,42 @@ static bool containsDisjunct(const Type *T) {
   }
 }
 
-bool InferenceEngine::overBudget(const SolveOptions &Opts,
-                                 SolveStats &Stats) const {
-  if (U.getSteps() <= Opts.MaxSteps)
+bool InferenceEngine::overBudget(const Unifier &WU, const SolveOptions &Opts,
+                                 SolveStats &Stats) {
+  if (WU.getSteps() <= Opts.MaxSteps)
     return false;
   Stats.HitLimit = true;
   return true;
 }
 
-bool InferenceEngine::solveList(std::vector<TypePair> Work,
+bool InferenceEngine::solveList(Unifier &WU, std::vector<TypePair> Work,
                                 const SolveOptions &Opts, SolveStats &Stats,
                                 unsigned Depth) {
   for (size_t I = 0; I < Work.size(); ++I) {
-    if (overBudget(Opts, Stats))
+    if (overBudget(WU, Opts, Stats))
       return false;
-    const Type *A = U.find(Work[I].A);
-    const Type *B = U.find(Work[I].B);
+    const Type *A = WU.find(Work[I].A);
+    const Type *B = WU.find(Work[I].B);
     if (A->isDisjunct() || B->isDisjunct()) {
       const Type *D = A->isDisjunct() ? A : B;
       const Type *O = A->isDisjunct() ? B : A;
       ++Stats.BranchPoints;
       for (const Type *Alt : D->getAlternatives()) {
-        Unifier::Checkpoint CP = U.checkpoint();
+        Unifier::Checkpoint CP = WU.checkpoint();
         std::vector<TypePair> Rest;
         Rest.reserve(Work.size() - I);
         Rest.push_back(TypePair{Alt, O});
         Rest.insert(Rest.end(), Work.begin() + I + 1, Work.end());
-        if (solveList(std::move(Rest), Opts, Stats, Depth + 1))
+        if (solveList(WU, std::move(Rest), Opts, Stats, Depth + 1))
           return true;
-        U.rollback(CP);
-        if (overBudget(Opts, Stats))
+        WU.rollback(CP);
+        if (overBudget(WU, Opts, Stats))
           return false;
       }
       return false;
     }
     std::vector<TypePair> Deferred;
-    if (!U.unifyStructural(A, B, Deferred))
+    if (!WU.unifyStructural(A, B, Deferred))
       return false;
     Work.insert(Work.begin() + I + 1, Deferred.begin(), Deferred.end());
   }
@@ -126,7 +131,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     while (Progress && !Pending.empty()) {
       Progress = false;
       for (auto It = Pending.begin(); It != Pending.end();) {
-        if (overBudget(Opts, Stats))
+        if (overBudget(U, Opts, Stats))
           return Fail("type inference exceeded its work budget", It->Loc);
         const Type *A = U.find(It->P.A);
         const Type *B = U.find(It->P.B);
@@ -148,7 +153,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
         std::vector<const Type *> Viable;
         for (const Type *Alt : D->getAlternatives()) {
           Unifier::Checkpoint CP = U.checkpoint();
-          bool Ok = solveList({TypePair{Alt, O}}, Opts, Stats, 0);
+          bool Ok = solveList(U, {TypePair{Alt, O}}, Opts, Stats, 0);
           U.rollback(CP);
           if (Ok)
             Viable.push_back(Alt);
@@ -158,7 +163,8 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
                       "with " + O->str() + " (" + It->Context + ")",
                       It->Loc);
         if (Viable.size() == 1) {
-          bool Ok = solveList({TypePair{Viable.front(), O}}, Opts, Stats, 0);
+          bool Ok =
+              solveList(U, {TypePair{Viable.front(), O}}, Opts, Stats, 0);
           assert(Ok && "forced alternative no longer unifiable");
           (void)Ok;
           It = Pending.erase(It);
@@ -190,7 +196,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     for (const PendingItem &P : Residual)
       Work.push_back(P.P);
     Stats.NumComponents = 1;
-    if (!solveList(std::move(Work), Opts, Stats, 0))
+    if (!solveList(U, std::move(Work), Opts, Stats, 0))
       return Fail(Stats.HitLimit
                       ? "type inference exceeded its work budget"
                       : "no consistent assignment for overloaded components",
@@ -221,25 +227,112 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
         Rep[FindRep(I)] = FindRep(It->second);
     }
   }
-  std::map<unsigned, std::vector<unsigned>> Components;
+  std::map<unsigned, std::vector<unsigned>> ByRoot;
   for (unsigned I = 0; I != N; ++I)
-    Components[FindRep(I)].push_back(I);
+    ByRoot[FindRep(I)].push_back(I);
+  // Deterministic group order: by first (lowest-index) member. Members are
+  // already ascending because constraints were scanned in order.
+  std::vector<std::vector<unsigned>> Components;
+  Components.reserve(ByRoot.size());
+  for (auto &[Root, Members] : ByRoot)
+    Components.push_back(std::move(Members));
+  std::sort(Components.begin(), Components.end(),
+            [](const std::vector<unsigned> &A, const std::vector<unsigned> &B) {
+              return A.front() < B.front();
+            });
   Stats.NumComponents = Components.size();
 
-  for (const auto &[Root, Members] : Components) {
+  // The groups touch disjoint unbound variables, so each one searches on a
+  // scratch unifier seeded with the shared bindings and never contends
+  // with its siblings; the shared unifier is read-only until the join.
+  // Running them on a pool therefore needs no locks on the unification hot
+  // path, and merging outcomes in group order makes bindings, statistics,
+  // and failure diagnostics bit-identical to the serial (--j1) schedule.
+  struct GroupOutcome {
+    bool Ran = false;
+    bool Ok = false;
+    SolveStats Local; ///< BranchPoints / HitLimit from this group only.
+    uint64_t Steps = 0;
+    double WallMs = 0.0;
+    std::vector<std::pair<uint32_t, const Type *>> NewBindings;
+  };
+  std::vector<GroupOutcome> Outcomes(Components.size());
+
+  // Each group gets the budget that remains after the serial phases.
+  SolveOptions GroupOpts = Opts;
+  GroupOpts.MaxSteps =
+      Opts.MaxSteps > U.getSteps() ? Opts.MaxSteps - U.getSteps() : 0;
+
+  auto SolveGroup = [&](unsigned G) {
     std::vector<TypePair> Work;
-    Work.reserve(Members.size());
-    for (unsigned I : Members)
+    Work.reserve(Components[G].size());
+    for (unsigned I : Components[G])
       Work.push_back(Residual[I].P);
-    if (!solveList(std::move(Work), Opts, Stats, 0))
-      return Fail(Stats.HitLimit
-                      ? "type inference exceeded its work budget"
-                      : "no consistent assignment for overloaded components",
-                  Residual[Members.front()].Loc);
+    GroupOutcome &Out = Outcomes[G];
+    auto Start = std::chrono::steady_clock::now();
+    Unifier Scratch(TC);
+    Scratch.seedFrom(U);
+    Out.Ok = solveList(Scratch, std::move(Work), GroupOpts, Out.Local, 0);
+    Out.Steps = Scratch.getSteps();
+    if (Out.Ok) {
+      Out.NewBindings.reserve(Scratch.getTrail().size());
+      for (uint32_t V : Scratch.getTrail())
+        Out.NewBindings.emplace_back(V, Scratch.lookup(V));
+    }
+    Out.WallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+    Out.Ran = true;
+  };
+
+  unsigned Threads =
+      Opts.NumThreads ? Opts.NumThreads : ThreadPool::getHardwareParallelism();
+  if (Threads > 1 && Components.size() > 1) {
+    ThreadPool Pool(std::min<unsigned>(Threads, Components.size()));
+    Stats.ThreadsUsed = Pool.getThreadCount();
+    for (unsigned G = 0; G != Components.size(); ++G)
+      Pool.async([&SolveGroup, G] { SolveGroup(G); });
+    Pool.wait();
+  } else {
+    Stats.ThreadsUsed = 1;
+    for (unsigned G = 0; G != Components.size(); ++G) {
+      SolveGroup(G);
+      if (!Outcomes[G].Ok)
+        break; // Later groups stay un-run, exactly like the merge below.
+    }
+  }
+
+  // Deterministic join: visit groups in index order, fold their statistics
+  // and commit their bindings; stop at the first failed group (parallel
+  // runs may have solved later groups speculatively — their results are
+  // discarded so both schedules report the same totals and diagnostic).
+  uint64_t GroupSteps = 0;
+  for (unsigned G = 0; G != Components.size(); ++G) {
+    const GroupOutcome &Out = Outcomes[G];
+    if (!Out.Ran)
+      break; // Serial early-exit: a preceding group failed.
+    GroupSteps += Out.Steps;
+    Stats.BranchPoints += Out.Local.BranchPoints;
+    Stats.HitLimit |= Out.Local.HitLimit;
+    Stats.Groups.push_back(GroupStats{unsigned(Components[G].size()),
+                                      Out.Steps, Out.Local.BranchPoints,
+                                      Out.WallMs, Out.Ok});
+    if (!Out.Ok) {
+      Stats.Success = false;
+      Stats.FailMessage =
+          Out.Local.HitLimit
+              ? "type inference exceeded its work budget"
+              : "no consistent assignment for overloaded components";
+      Stats.FailLoc = Residual[Components[G].front()].Loc;
+      Stats.UnifySteps = (U.getSteps() - StepsBefore) + GroupSteps;
+      return Stats;
+    }
+    for (const auto &[VarId, Binding] : Out.NewBindings)
+      U.adopt(VarId, Binding);
   }
 
   Stats.Success = true;
-  Stats.UnifySteps = U.getSteps() - StepsBefore;
+  Stats.UnifySteps = (U.getSteps() - StepsBefore) + GroupSteps;
   return Stats;
 }
 
@@ -316,11 +409,26 @@ static const Type *groundDefault(const Type *T, types::TypeContext &TC,
 NetlistInferenceStats
 liberty::infer::inferNetlistTypes(netlist::Netlist &NL, types::TypeContext &TC,
                                   DiagnosticEngine &Diags,
-                                  const SolveOptions &Opts) {
+                                  const SolveOptions &Opts,
+                                  PhaseTimer *Timer) {
   NetlistInferenceStats Stats;
-  std::vector<Constraint> Cs = buildNetlistConstraints(NL, TC);
+  std::vector<Constraint> Cs;
+  {
+    PhaseTimer::Scope Scope(Timer, "constraint-gen");
+    Cs = buildNetlistConstraints(NL, TC);
+  }
   InferenceEngine Engine(TC);
-  Stats.Solve = Engine.solve(Cs, Opts);
+  {
+    PhaseTimer::Scope Scope(Timer, "solve");
+    Stats.Solve = Engine.solve(Cs, Opts);
+  }
+  if (Timer) {
+    Timer->setCounter("constraint-gen", "constraints", Cs.size());
+    Timer->setCounter("solve", "unify_steps", Stats.Solve.UnifySteps);
+    Timer->setCounter("solve", "branch_points", Stats.Solve.BranchPoints);
+    Timer->setCounter("solve", "groups", Stats.Solve.NumComponents);
+    Timer->setCounter("solve", "threads", Stats.Solve.ThreadsUsed);
+  }
   if (!Stats.Solve.Success) {
     Diags.error(Stats.Solve.FailLoc,
                 "type inference failed: " + Stats.Solve.FailMessage);

@@ -34,6 +34,8 @@
 
 namespace liberty {
 
+class PhaseTimer;
+
 namespace netlist {
 class Netlist;
 }
@@ -53,6 +55,13 @@ struct SolveOptions {
   bool ForcedDisjunctElimination = true; ///< Heuristic 2.
   bool Partition = true;               ///< Heuristic 3.
   uint64_t MaxSteps = 500000000;       ///< Work cap (unify steps).
+  /// Worker threads for the H3 group search: 1 solves the groups serially
+  /// (the `--j1` path), N > 1 dispatches them to a thread pool, and 0
+  /// picks one worker per hardware thread. Because the groups are
+  /// variable-disjoint they never contend on bindings, and results are
+  /// merged in deterministic group order, so every setting produces
+  /// bit-identical bindings and statistics.
+  unsigned NumThreads = 1;
 
   static SolveOptions naive() {
     SolveOptions O;
@@ -61,6 +70,24 @@ struct SolveOptions {
     O.Partition = false;
     return O;
   }
+
+  static SolveOptions parallel(unsigned Threads = 0) {
+    SolveOptions O;
+    O.NumThreads = Threads;
+    return O;
+  }
+};
+
+/// Per-group observability for one H3 component search. Groups are indexed
+/// in deterministic order (by their first residual constraint), which is
+/// also the order their results are merged, so these records are identical
+/// whether the groups ran serially or in parallel.
+struct GroupStats {
+  unsigned NumConstraints = 0;
+  uint64_t UnifySteps = 0;
+  uint64_t BranchPoints = 0;
+  double WallMs = 0.0; ///< Wall time of this group's search in isolation.
+  bool Success = false;
 };
 
 struct SolveStats {
@@ -71,6 +98,8 @@ struct SolveStats {
   unsigned NumConstraints = 0;
   unsigned NumDisjunctive = 0;
   unsigned NumComponents = 0; ///< H3 groups actually searched.
+  unsigned ThreadsUsed = 1;   ///< Pool size the group search ran with.
+  std::vector<GroupStats> Groups; ///< One entry per searched H3 group.
   std::string FailMessage;
   SourceLoc FailLoc;
 };
@@ -90,9 +119,13 @@ public:
   Unifier &getUnifier() { return U; }
 
 private:
-  bool solveList(std::vector<TypePair> Work, const SolveOptions &Opts,
-                 SolveStats &Stats, unsigned Depth);
-  bool overBudget(const SolveOptions &Opts, SolveStats &Stats) const;
+  /// Depth-first search over disjunct alternatives on \p WU, which is the
+  /// engine's own unifier for the serial phases and a per-group scratch
+  /// unifier during the (possibly parallel) H3 group search.
+  bool solveList(Unifier &WU, std::vector<TypePair> Work,
+                 const SolveOptions &Opts, SolveStats &Stats, unsigned Depth);
+  static bool overBudget(const Unifier &WU, const SolveOptions &Opts,
+                         SolveStats &Stats);
 
   types::TypeContext &TC;
   Unifier U;
@@ -109,11 +142,14 @@ struct NetlistInferenceStats {
 /// Generates constraints from \p NL (port schemes, connections, connection
 /// annotations, `constrain` statements), solves them, and writes each
 /// port's resolved ground type back into the netlist. Errors (unsolvable
-/// constraints) are reported through \p Diags.
+/// constraints) are reported through \p Diags. When \p Timer is non-null
+/// the constraint-gen and solve phases are recorded on it, with unify-step
+/// and group counters.
 NetlistInferenceStats inferNetlistTypes(netlist::Netlist &NL,
                                         types::TypeContext &TC,
                                         DiagnosticEngine &Diags,
-                                        const SolveOptions &Opts);
+                                        const SolveOptions &Opts,
+                                        PhaseTimer *Timer = nullptr);
 
 /// Builds (without solving) the constraint system for \p NL. Exposed so
 /// benches can measure the solver on real model constraint systems.

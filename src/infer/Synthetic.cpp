@@ -57,6 +57,38 @@ liberty::infer::makeForcedChain(types::TypeContext &TC, unsigned N) {
 }
 
 std::vector<Constraint>
+liberty::infer::makeDisjointHardGroups(types::TypeContext &TC, unsigned Groups,
+                                       unsigned K) {
+  std::vector<Constraint> Cs;
+  const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  const Type *FloatString = TC.getDisjunct({TC.getFloat(), TC.getString()});
+  const Type *LinkAlts = TC.getDisjunct(
+      {TC.getStruct({{"a", TC.getInt()}, {"b", TC.getInt()}}),
+       TC.getStruct({{"a", TC.getFloat()}, {"b", TC.getFloat()}})});
+  for (unsigned G = 0; G != Groups; ++G) {
+    std::vector<const Type *> Vs;
+    Vs.reserve(K);
+    for (unsigned I = 0; I != K; ++I)
+      Vs.push_back(
+          TC.freshVar("g" + std::to_string(G) + "v" + std::to_string(I)));
+    // Per-variable overload, int-first: the greedy search starts all-int.
+    for (unsigned I = 0; I != K; ++I)
+      Cs.push_back(Constraint{Vs[I], IntFloat, SourceLoc(), "hard-choice"});
+    // Disjunctive links force neighbors to agree and keep the component
+    // connected without letting H2 prune anything.
+    for (unsigned I = 0; I + 1 != K; ++I)
+      Cs.push_back(
+          Constraint{TC.getStruct({{"a", Vs[I]}, {"b", Vs[I + 1]}}), LinkAlts,
+                     SourceLoc(), "hard-link"});
+    // The anchor sits at the end of the work list, so the all-float
+    // solution is the last of the ~2^K assignments tried.
+    Cs.push_back(Constraint{Vs[K - 1], FloatString, SourceLoc(),
+                            "hard-anchor"});
+  }
+  return Cs;
+}
+
+std::vector<Constraint>
 liberty::infer::makeUnsatPairs(types::TypeContext &TC, unsigned K) {
   std::vector<Constraint> Cs;
   const Type *IntBool = TC.getDisjunct({TC.getInt(), TC.getBool()});

@@ -41,6 +41,18 @@ std::vector<Constraint> makeForcedChain(types::TypeContext &TC, unsigned N);
 /// disjuncts don't intersect), to measure failure-path behavior.
 std::vector<Constraint> makeUnsatPairs(types::TypeContext &TC, unsigned K);
 
+/// \p Groups variable-disjoint components, each a single H3 group whose
+/// search is ~2^K: K overloaded variables chained by disjunctive struct
+/// links, with an anchor at the end of the work list that invalidates
+/// every assignment but the last one chronological backtracking tries
+/// (all-float). H1 cannot simplify it (every constraint is disjunctive)
+/// and H2 cannot force it (every alternative is viable in isolation), so
+/// the whole cost lands on the per-group search — the workload the
+/// parallel H3 solver is measured on. Satisfiable: every variable
+/// resolves to float.
+std::vector<Constraint> makeDisjointHardGroups(types::TypeContext &TC,
+                                               unsigned Groups, unsigned K);
+
 } // namespace infer
 } // namespace liberty
 

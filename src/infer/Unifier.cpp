@@ -32,6 +32,13 @@ void Unifier::bind(uint32_t VarId, const Type *T) {
   Trail.push_back(VarId);
 }
 
+void Unifier::seedFrom(const Unifier &Base) {
+  Bindings = Base.Bindings;
+  Trail.clear();
+  Steps = 0;
+  LastFailure.clear();
+}
+
 void Unifier::rollback(Checkpoint C) {
   assert(C <= Trail.size() && "rollback past the trail");
   while (Trail.size() > C) {

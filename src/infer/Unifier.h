@@ -48,6 +48,26 @@ public:
   Checkpoint checkpoint() const { return Trail.size(); }
   void rollback(Checkpoint C);
 
+  /// Copies \p Base's bindings into this unifier and clears the trail and
+  /// step counter. Used by the parallel H3 solver: each variable-disjoint
+  /// group searches on a scratch unifier seeded from the shared one, so
+  /// the shared binding store is never written concurrently.
+  void seedFrom(const Unifier &Base);
+
+  /// The variable ids bound since construction/seedFrom, in binding order.
+  /// Together with lookup() this is how a scratch unifier's results are
+  /// harvested after a group solve.
+  const std::vector<uint32_t> &getTrail() const { return Trail; }
+
+  /// The binding of \p VarId, or null if unbound.
+  const types::Type *lookup(uint32_t VarId) const {
+    return getBinding(VarId);
+  }
+
+  /// Commits an externally computed binding (from a scratch unifier's
+  /// trail) into this unifier. \p VarId must be unbound here.
+  void adopt(uint32_t VarId, const types::Type *T) { bind(VarId, T); }
+
   /// Collects the ids of unbound variables occurring in \p T (after
   /// resolving bindings) into \p Out.
   void collectUnboundVars(const types::Type *T,

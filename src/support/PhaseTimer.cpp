@@ -1,0 +1,104 @@
+//===- PhaseTimer.cpp - Per-phase compile-time observability -----------------===//
+
+#include "support/PhaseTimer.h"
+
+#include <iomanip>
+
+using namespace liberty;
+
+std::string liberty::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+PhaseTimer::Phase &PhaseTimer::getOrCreatePhase(const std::string &Name) {
+  for (Phase &P : Phases)
+    if (P.Name == Name)
+      return P;
+  Phases.push_back(Phase{Name, 0.0, {}});
+  return Phases.back();
+}
+
+void PhaseTimer::addWallTime(const std::string &Name, double Ms) {
+  getOrCreatePhase(Name).WallMs += Ms;
+}
+
+void PhaseTimer::setCounter(const std::string &Name,
+                            const std::string &Counter, uint64_t Value) {
+  Phase &P = getOrCreatePhase(Name);
+  for (PhaseTimer::Counter &C : P.Counters)
+    if (C.Name == Counter) {
+      C.Value = Value;
+      return;
+    }
+  P.Counters.push_back(PhaseTimer::Counter{Counter, Value});
+}
+
+const PhaseTimer::Phase *PhaseTimer::findPhase(const std::string &Name) const {
+  for (const Phase &P : Phases)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+double PhaseTimer::totalWallMs() const {
+  double Total = 0.0;
+  for (const Phase &P : Phases)
+    Total += P.WallMs;
+  return Total;
+}
+
+void PhaseTimer::print(std::ostream &OS) const {
+  OS << "== compile phases ==\n";
+  for (const Phase &P : Phases) {
+    OS << "  " << std::left << std::setw(16) << P.Name << std::right
+       << std::fixed << std::setprecision(3) << std::setw(12) << P.WallMs
+       << " ms";
+    for (const Counter &C : P.Counters)
+      OS << "  " << C.Name << "=" << C.Value;
+    OS << "\n";
+  }
+  OS << "  " << std::left << std::setw(16) << "total" << std::right
+     << std::fixed << std::setprecision(3) << std::setw(12) << totalWallMs()
+     << " ms\n";
+}
+
+void PhaseTimer::printJson(std::ostream &OS) const {
+  OS << "[";
+  for (size_t I = 0; I != Phases.size(); ++I) {
+    const Phase &P = Phases[I];
+    if (I)
+      OS << ",";
+    OS << "\n    {\"name\": \"" << jsonEscape(P.Name) << "\", \"wall_ms\": "
+       << std::fixed << std::setprecision(3) << P.WallMs;
+    for (const Counter &C : P.Counters)
+      OS << ", \"" << jsonEscape(C.Name) << "\": " << C.Value;
+    OS << "}";
+  }
+  OS << "\n  ]";
+}

@@ -1,9 +1,12 @@
 //===- SupportTest.cpp - SourceMgr and diagnostics tests -------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/PhaseTimer.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
 using namespace liberty;
@@ -77,6 +80,127 @@ TEST(Diagnostics, PrintShowsCaret) {
             std::string::npos);
   EXPECT_NE(Out.find("instance x:nothing;"), std::string::npos);
   EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.getThreadCount(), 4u);
+  std::atomic<unsigned> Sum{0};
+  for (unsigned I = 1; I <= 100; ++I)
+    Pool.async([&Sum, I] { Sum += I; });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 5050u);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Count{0};
+  Pool.async([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1u);
+  // The pool accepts and drains new work after a wait().
+  Pool.async([&] { ++Count; });
+  Pool.async([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3u);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturns) {
+  ThreadPool Pool(2);
+  Pool.wait(); // Must not deadlock on an empty queue.
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<unsigned> Count{0};
+  {
+    ThreadPool Pool(1);
+    for (unsigned I = 0; I != 16; ++I)
+      Pool.async([&Count] { ++Count; });
+  } // No wait(): the destructor must finish the queued work before joining.
+  EXPECT_EQ(Count.load(), 16u);
+}
+
+TEST(ThreadPool, DefaultSizeIsHardwareParallelism) {
+  EXPECT_GE(ThreadPool::getHardwareParallelism(), 1u);
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.getThreadCount(), ThreadPool::getHardwareParallelism());
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseTimer
+//===----------------------------------------------------------------------===//
+
+TEST(PhaseTimer, SameNameAccumulates) {
+  PhaseTimer T;
+  T.addWallTime("parse", 1.5);
+  T.addWallTime("parse", 2.5);
+  T.addWallTime("solve", 3.0);
+  ASSERT_EQ(T.getPhases().size(), 2u);
+  EXPECT_DOUBLE_EQ(T.findPhase("parse")->WallMs, 4.0);
+  EXPECT_DOUBLE_EQ(T.findPhase("solve")->WallMs, 3.0);
+  EXPECT_DOUBLE_EQ(T.totalWallMs(), 7.0);
+  EXPECT_EQ(T.findPhase("missing"), nullptr);
+}
+
+TEST(PhaseTimer, PhasesKeepFirstUseOrder) {
+  PhaseTimer T;
+  T.addWallTime("b", 1.0);
+  T.addWallTime("a", 1.0);
+  T.addWallTime("b", 1.0);
+  ASSERT_EQ(T.getPhases().size(), 2u);
+  EXPECT_EQ(T.getPhases()[0].Name, "b");
+  EXPECT_EQ(T.getPhases()[1].Name, "a");
+}
+
+TEST(PhaseTimer, CountersSetAndOverwrite) {
+  PhaseTimer T;
+  T.setCounter("solve", "unify_steps", 10);
+  T.setCounter("solve", "unify_steps", 42);
+  T.setCounter("solve", "groups", 3);
+  const PhaseTimer::Phase *P = T.findPhase("solve");
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->Counters.size(), 2u);
+  EXPECT_EQ(P->Counters[0].Name, "unify_steps");
+  EXPECT_EQ(P->Counters[0].Value, 42u);
+  EXPECT_EQ(P->Counters[1].Value, 3u);
+}
+
+TEST(PhaseTimer, ScopeRecordsAndNullScopeIsNoop) {
+  PhaseTimer T;
+  {
+    PhaseTimer::Scope S(&T, "work");
+    EXPECT_GE(S.elapsedMs(), 0.0);
+  }
+  {
+    PhaseTimer::Scope S(nullptr, "ignored"); // Must not crash.
+  }
+  ASSERT_NE(T.findPhase("work"), nullptr);
+  EXPECT_EQ(T.findPhase("ignored"), nullptr);
+  EXPECT_GE(T.findPhase("work")->WallMs, 0.0);
+}
+
+TEST(PhaseTimer, JsonOutputIsWellFormed) {
+  PhaseTimer T;
+  T.addWallTime("parse", 1.25);
+  T.setCounter("solve", "groups", 2);
+  std::ostringstream OS;
+  T.printJson(OS);
+  std::string J = OS.str();
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_EQ(J.back(), ']');
+  EXPECT_NE(J.find("\"name\": \"parse\""), std::string::npos);
+  EXPECT_NE(J.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(J.find("\"groups\": 2"), std::string::npos);
+}
+
+TEST(PhaseTimer, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
 }
 
 } // namespace

@@ -90,4 +90,52 @@ TEST(Lssc, NoInputsRejected) {
   EXPECT_EQ(R.ExitCode, 2);
 }
 
+TEST(Lssc, StatsJsonToStdout) {
+  ToolResult R = runTool("--stats-json - --run 10 " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // The document carries all three observability sections, and because it
+  // is emitted after --run, the sim-build phase is included.
+  EXPECT_NE(R.Output.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(R.Output.find("\"name\": \"sim-build\""), std::string::npos);
+  EXPECT_NE(R.Output.find("\"inference\": {"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"unify_steps\":"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"reuse\": {"), std::string::npos);
+}
+
+TEST(Lssc, StatsJsonToFile) {
+  std::string Path = "/tmp/lssc_stats_test.json";
+  ToolResult R = runTool("--stats-json " + Path + " " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Content;
+  if (FILE *F = fopen(Path.c_str(), "r")) {
+    std::array<char, 4096> Buf;
+    size_t N;
+    while ((N = fread(Buf.data(), 1, Buf.size(), F)) > 0)
+      Content.append(Buf.data(), N);
+    fclose(F);
+  }
+  EXPECT_FALSE(Content.empty());
+  EXPECT_EQ(Content.front(), '{');
+  EXPECT_NE(Content.find("\"threads_used\":"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Lssc, SerialAndParallelSolveAgree) {
+  // --j1 and --jobs 4 must print byte-identical netlists: thread count is
+  // not allowed to be observable in the compile result.
+  ToolResult Serial =
+      runTool("--j1 --print-netlist " + modelArgs("c.lss"));
+  ToolResult Parallel =
+      runTool("--jobs 4 --print-netlist " + modelArgs("c.lss"));
+  EXPECT_EQ(Serial.ExitCode, 0);
+  EXPECT_EQ(Parallel.ExitCode, 0);
+  EXPECT_EQ(Serial.Output, Parallel.Output);
+}
+
+TEST(Lssc, JobsRequiresPositiveCount) {
+  ToolResult R = runTool("--jobs 0 " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("positive thread count"), std::string::npos);
+}
+
 } // namespace

@@ -1,0 +1,70 @@
+#!/bin/sh
+# check_docs.sh — documentation lint, run as a ctest.
+#
+# Checks, against the repository root (first argument, default: the
+# parent of this script's directory):
+#   1. every src/ subdirectory is mentioned in docs/ARCHITECTURE.md, so
+#      the contributor map cannot silently go stale when a subsystem is
+#      added;
+#   2. every intra-repository markdown link in docs/*.md and README.md
+#      resolves to an existing file.
+#
+# Exits non-zero with one line per violation.
+
+set -u
+
+ROOT=${1:-$(dirname "$0")/..}
+cd "$ROOT" || exit 2
+
+FAILURES=0
+fail() {
+  echo "check_docs: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+ARCH=docs/ARCHITECTURE.md
+[ -f "$ARCH" ] || { fail "missing $ARCH"; exit 1; }
+
+# 1. Every src/ subdirectory appears in the architecture doc as 'src/<name>'.
+for Dir in src/*/; do
+  Name=$(basename "$Dir")
+  if ! grep -q "src/$Name" "$ARCH"; then
+    fail "$ARCH does not mention src/$Name"
+  fi
+done
+
+# 2. Relative markdown links resolve. Matches [text](target) where the
+# target is not an absolute URL or an in-page anchor; strips #fragments.
+for Doc in README.md docs/*.md; do
+  [ -f "$Doc" ] || continue
+  DocDir=$(dirname "$Doc")
+  # One link target per line.
+  grep -o '\[[^]]*\]([^)]*)' "$Doc" | sed 's/.*(\(.*\))/\1/' |
+  while IFS= read -r Target; do
+    case "$Target" in
+    http://*|https://*|mailto:*|\#*) continue ;;
+    # Indexing/call syntax inside code spans, e.g. `new instance[n](delay,
+    # "delays")`, matches the markdown-link shape; real link targets never
+    # contain spaces or quotes.
+    *' '*|*'"'*) continue ;;
+    esac
+    Path=${Target%%#*}
+    [ -n "$Path" ] || continue
+    if [ ! -e "$DocDir/$Path" ] && [ ! -e "$Path" ]; then
+      echo "check_docs: $Doc links to missing '$Target'" >&2
+      # The pipeline runs in a subshell; signal through a marker file.
+      touch "$ROOT/.check_docs_failed"
+    fi
+  done
+done
+if [ -e "$ROOT/.check_docs_failed" ]; then
+  rm -f "$ROOT/.check_docs_failed"
+  FAILURES=$((FAILURES + 1))
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check_docs: FAILED ($FAILURES problem(s))" >&2
+  exit 1
+fi
+echo "check_docs: OK"
+exit 0

@@ -7,6 +7,10 @@
 ///
 ///   --print-netlist     dump the elaborated hierarchy with widths/types
 ///   --stats             print Table 2-style reuse statistics
+///   --stats-json FILE   write per-phase/per-group compile stats as JSON
+///   --time-phases       print per-phase wall times to stderr
+///   --j1                solve type inference serially (one thread)
+///   --jobs N            solve H3 inference groups on N threads
 ///   --emit-static       print the flattened static structural spec
 ///   --run N             build the simulator and run N cycles
 ///   --watch PATTERN     with --run: count events matching "path event"
@@ -26,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -42,6 +47,9 @@ struct CliOptions {
   bool EmitDot = false;
   bool TraceOrder = false;
   bool NaiveInference = false;
+  bool TimePhases = false;
+  unsigned Jobs = 0; ///< H3 solver threads; 0 = one per hardware thread.
+  std::string StatsJsonPath;
   uint64_t RunCycles = 0;
   std::vector<std::pair<std::string, std::string>> Watches;
 };
@@ -51,6 +59,13 @@ void printUsage() {
       "usage: lssc [options] file.lss [more.lss ...]\n"
       "  --print-netlist        dump the elaborated hierarchy\n"
       "  --stats                print reuse statistics\n"
+      "  --stats-json FILE      write per-phase/per-group stats as JSON\n"
+      "                         ('-' writes to stdout; status output\n"
+      "                         then moves to stderr)\n"
+      "  --time-phases          print per-phase wall times to stderr\n"
+      "  --j1                   solve type inference on one thread\n"
+      "  --jobs N               solve H3 inference groups on N threads\n"
+      "                         (default: one per hardware thread)\n"
       "  --emit-static          print the flattened static spec\n"
       "  --emit-dot             print a Graphviz digraph of the model\n"
       "  --run N                simulate N cycles\n"
@@ -74,6 +89,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.TraceOrder = true;
     } else if (Arg == "--no-infer-heuristics") {
       Opts.NaiveInference = true;
+    } else if (Arg == "--time-phases") {
+      Opts.TimePhases = true;
+    } else if (Arg == "--j1") {
+      Opts.Jobs = 1;
+    } else if (Arg == "--jobs") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --jobs requires a thread count\n";
+        return false;
+      }
+      Opts.Jobs = unsigned(std::strtoul(Argv[I], nullptr, 10));
+      if (Opts.Jobs == 0) {
+        std::cerr << "lssc: --jobs requires a positive thread count\n";
+        return false;
+      }
+    } else if (Arg == "--stats-json") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --stats-json requires a file path\n";
+        return false;
+      }
+      Opts.StatsJsonPath = Argv[I];
     } else if (Arg == "--run") {
       if (++I >= Argc) {
         std::cerr << "lssc: --run requires a cycle count\n";
@@ -119,6 +154,13 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // With --stats-json writing to stdout, keep stdout valid JSON: route
+  // the human-readable status output (--stats table, --run summary) to
+  // stderr instead.
+  bool JsonToStdout = Opts.StatsJsonPath == "-";
+  std::ostream &Human = JsonToStdout ? std::cerr : std::cout;
+  FILE *HumanFile = JsonToStdout ? stderr : stdout;
+
   driver::Compiler C;
   auto Bail = [&](const char *Phase) {
     std::cerr << "lssc: " << Phase << " failed\n" << C.diagnosticsText();
@@ -142,6 +184,7 @@ int main(int Argc, char **Argv) {
   infer::SolveOptions SolveOpts =
       Opts.NaiveInference ? infer::SolveOptions::naive()
                           : infer::SolveOptions();
+  SolveOpts.NumThreads = Opts.Jobs; // 0 = one per hardware thread.
   if (!C.inferTypes(SolveOpts))
     return Bail("type inference");
 
@@ -156,16 +199,17 @@ int main(int Argc, char **Argv) {
     driver::ModelStats S = driver::computeModelStats(
         *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
         Opts.Inputs.front());
-    driver::printTable2Header(std::cout);
-    driver::printTable2Row(std::cout, S);
+    driver::printTable2Header(Human);
+    driver::printTable2Row(Human, S);
     const auto &IS = C.getInferenceStats();
-    std::printf("inference: %u constraints, %llu unify steps, "
-                "%llu branch points, %u ports (%u polymorphic, "
-                "%u defaulted)\n",
-                IS.Solve.NumConstraints,
-                (unsigned long long)IS.Solve.UnifySteps,
-                (unsigned long long)IS.Solve.BranchPoints, IS.NumPorts,
-                IS.NumPolymorphicPorts, IS.NumDefaulted);
+    std::fprintf(HumanFile,
+                 "inference: %u constraints, %llu unify steps, "
+                 "%llu branch points, %u ports (%u polymorphic, "
+                 "%u defaulted)\n",
+                 IS.Solve.NumConstraints,
+                 (unsigned long long)IS.Solve.UnifySteps,
+                 (unsigned long long)IS.Solve.BranchPoints, IS.NumPorts,
+                 IS.NumPolymorphicPorts, IS.NumDefaulted);
   }
 
   if (Opts.EmitStatic)
@@ -182,19 +226,41 @@ int main(int Argc, char **Argv) {
     for (const auto &[Path, Event] : Opts.Watches)
       Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
     Sim->step(Opts.RunCycles);
-    std::printf("ran %llu cycles (%u leaves, %u nets, %u schedule groups)\n",
-                (unsigned long long)Sim->getCycle(),
-                Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
-                Sim->getBuildInfo().NumGroups);
+    std::fprintf(HumanFile,
+                 "ran %llu cycles (%u leaves, %u nets, %u schedule groups)\n",
+                 (unsigned long long)Sim->getCycle(),
+                 Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
+                 Sim->getBuildInfo().NumGroups);
     for (unsigned I = 0; I != Opts.Watches.size(); ++I)
-      std::printf("watch '%s %s': %llu events\n",
-                  Opts.Watches[I].first.c_str(),
-                  Opts.Watches[I].second.c_str(),
-                  (unsigned long long)*Counters[I]);
+      std::fprintf(HumanFile, "watch '%s %s': %llu events\n",
+                   Opts.Watches[I].first.c_str(),
+                   Opts.Watches[I].second.c_str(),
+                   (unsigned long long)*Counters[I]);
     if (Sim->hadRuntimeErrors()) {
       std::cerr << C.diagnosticsText();
       return 1;
     }
   }
+
+  // Observability output goes last so every phase that ran is included.
+  if (!Opts.StatsJsonPath.empty()) {
+    driver::ModelStats S = driver::computeModelStats(
+        *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
+        Opts.Inputs.front());
+    if (Opts.StatsJsonPath == "-") {
+      driver::printStatsJson(std::cout, S, C.getInferenceStats(),
+                             C.getPhaseTimer());
+    } else {
+      std::ofstream Out(Opts.StatsJsonPath);
+      if (!Out) {
+        std::cerr << "lssc: cannot write '" << Opts.StatsJsonPath << "'\n";
+        return 1;
+      }
+      driver::printStatsJson(Out, S, C.getInferenceStats(),
+                             C.getPhaseTimer());
+    }
+  }
+  if (Opts.TimePhases)
+    C.getPhaseTimer().print(std::cerr);
   return 0;
 }
