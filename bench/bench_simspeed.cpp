@@ -20,11 +20,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
 
 using namespace liberty;
 
 namespace {
+
+/// --selective on|off (default on): engine mode for the LSS benchmarks
+/// that don't A/B it themselves, enabling whole-suite comparisons.
+bool GSelective = true;
+
+sim::Simulator::Options simOptions() {
+  sim::Simulator::Options O;
+  O.Selective = GSelective;
+  return O;
+}
 
 std::string delayChainSpec(int N) {
   return R"(
@@ -50,7 +62,8 @@ chain.out -> hole.in;
 
 void BM_LssDelayChain(benchmark::State &State) {
   int N = State.range(0);
-  auto C = driver::Compiler::compileForSim("chain.lss", delayChainSpec(N));
+  auto C = driver::Compiler::compileForSim("chain.lss", delayChainSpec(N),
+                                           simOptions());
   if (!C) {
     State.SkipWithError("compile failed");
     return;
@@ -129,7 +142,7 @@ BENCHMARK(BM_HandCodedDelayChain)->Arg(10)->Arg(100);
 void BM_LssCpuModelC(benchmark::State &State) {
   driver::Compiler C;
   if (!models::loadModel(C, "C") || !C.elaborate() || !C.inferTypes() ||
-      !C.buildSimulator()) {
+      !C.buildSimulator(simOptions())) {
     State.SkipWithError("model C failed");
     return;
   }
@@ -140,6 +153,65 @@ void BM_LssCpuModelC(benchmark::State &State) {
       100.0 * State.iterations(), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LssCpuModelC);
+
+/// A model dominated by quiescent combinational logic: one long adder
+/// chain fed by a constant (never changes after cycle 0) next to a short
+/// active chain fed by a counter (changes every cycle). The selective
+/// engine should skip the whole quiet chain every cycle; exhaustive
+/// evaluation pays for it regardless.
+std::string lowActivitySpec(int QuietN, int ActiveN) {
+  return R"(
+module addchain {
+  parameter n:int;
+  inport in: 'a;
+  outport out: 'a;
+  var as:instance ref[];
+  as = new instance[n](adder, "a");
+  in -> as[0].in1;
+  in -> as[0].in2;
+  var i:int;
+  for (i = 1; i < n; i = i + 1) {
+    as[i-1].out -> as[i].in1;
+    in -> as[i].in2;
+  }
+  as[n-1].out -> out;
+};
+instance quiet_src:const_source;
+quiet_src.value = 3;
+instance quiet_chain:addchain;
+quiet_chain.n = )" + std::to_string(QuietN) + R"(;
+instance quiet_sink:sink;
+quiet_src.out -> quiet_chain.in;
+quiet_chain.out -> quiet_sink.in;
+instance act_src:counter_source;
+instance act_chain:addchain;
+act_chain.n = )" + std::to_string(ActiveN) + R"(;
+instance act_sink:sink;
+act_src.out -> act_chain.in;
+act_chain.out -> act_sink.in;
+)";
+}
+
+/// A/B pair for the selective engine: Arg(0) = exhaustive, Arg(1) =
+/// selective. The acceptance bar is selective >= 1.3x cycles/s here.
+void BM_LssLowActivity(benchmark::State &State) {
+  bool Selective = State.range(0) != 0;
+  sim::Simulator::Options O;
+  O.Selective = Selective;
+  auto C = driver::Compiler::compileForSim("lowact.lss",
+                                           lowActivitySpec(200, 8), O);
+  if (!C) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  sim::Simulator *Sim = C->getSimulator();
+  for (auto _ : State)
+    Sim->step(100);
+  State.SetLabel(Selective ? "selective=on" : "selective=off");
+  State.counters["cycles/s"] = benchmark::Counter(
+      100.0 * State.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LssLowActivity)->Arg(0)->Arg(1);
 
 void BM_HandCodedPipeline(benchmark::State &State) {
   baseline::PipelineConfig Cfg;
@@ -159,4 +231,23 @@ BENCHMARK(BM_HandCodedPipeline);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the whole suite can be A/B'd with `--selective on|off`
+// (stripped before Google Benchmark sees the arguments).
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--selective") == 0 && I + 1 < argc) {
+      GSelective = std::strcmp(argv[I + 1], "off") != 0;
+      ++I;
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,8 @@ bool LeafBehavior::readsCombinationally(const std::string &) const {
   return true;
 }
 
+bool LeafBehavior::hasPureEvaluate() const { return false; }
+
 BehaviorRegistry &BehaviorRegistry::global() {
   static BehaviorRegistry Instance;
   return Instance;

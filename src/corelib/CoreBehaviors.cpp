@@ -346,6 +346,9 @@ public:
     for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
       Ctx.setOutput("out", I, V);
   }
+  // Output depends only on a parameter (constant per run), so the
+  // selective engine may carry it forward after the first cycle.
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class CounterSource : public LeafBehavior {
@@ -523,6 +526,7 @@ public:
     if (A && B)
       Ctx.setOutput("out", 0, numericAdd(*A, *B));
   }
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class Alu : public LeafBehavior {
@@ -565,6 +569,7 @@ public:
       R = numericAdd(*A, *B);
     Ctx.setOutput("out", 0, R);
   }
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class Mux : public LeafBehavior {
@@ -579,6 +584,7 @@ public:
     if (const Value *V = Ctx.getInput("in", static_cast<int>(S)))
       Ctx.setOutput("out", 0, *V);
   }
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class Demux : public LeafBehavior {
@@ -592,6 +598,7 @@ public:
     if (S >= 0 && S < Ctx.getWidth("out"))
       Ctx.setOutput("out", static_cast<int>(S), *V);
   }
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class Fanout : public LeafBehavior {
@@ -601,6 +608,7 @@ public:
       for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
         Ctx.setOutput("out", I, *V);
   }
+  bool hasPureEvaluate() const override { return true; }
 };
 
 class Arbiter : public LeafBehavior {

@@ -124,17 +124,27 @@ bool Compiler::inferTypes(const infer::SolveOptions &Opts) {
 }
 
 sim::Simulator *Compiler::buildSimulator() {
+  return buildSimulator(sim::Simulator::Options());
+}
+
+sim::Simulator *Compiler::buildSimulator(const sim::Simulator::Options &SimOpts) {
   if (!NL) {
     Diags.error(SourceLoc(), "buildSimulator called before elaborate");
     return nullptr;
   }
   PhaseTimer::Scope Phase(&Timer, "sim-build");
-  Sim = sim::Simulator::build(*NL, SM, Diags);
+  Sim = sim::Simulator::build(*NL, SM, Diags, SimOpts);
   return Sim.get();
 }
 
 std::unique_ptr<Compiler> Compiler::compileForSim(const std::string &Name,
                                                   const std::string &Text) {
+  return compileForSim(Name, Text, sim::Simulator::Options());
+}
+
+std::unique_ptr<Compiler>
+Compiler::compileForSim(const std::string &Name, const std::string &Text,
+                        const sim::Simulator::Options &SimOpts) {
   auto C = std::make_unique<Compiler>();
   if (!C->addCoreLibrary())
     return nullptr;
@@ -144,7 +154,7 @@ std::unique_ptr<Compiler> Compiler::compileForSim(const std::string &Name,
     return nullptr;
   if (!C->inferTypes())
     return nullptr;
-  if (!C->buildSimulator())
+  if (!C->buildSimulator(SimOpts))
     return nullptr;
   return C;
 }

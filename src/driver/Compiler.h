@@ -55,11 +55,15 @@ public:
   /// Builds the executable simulator (elaborate + inferTypes must have
   /// succeeded). The Compiler owns the result.
   sim::Simulator *buildSimulator();
+  sim::Simulator *buildSimulator(const sim::Simulator::Options &SimOpts);
 
   /// Convenience: addCoreLibrary + addSource + elaborate + inferTypes +
   /// buildSimulator. Returns null on error.
   static std::unique_ptr<Compiler> compileForSim(const std::string &Name,
                                                  const std::string &Text);
+  static std::unique_ptr<Compiler>
+  compileForSim(const std::string &Name, const std::string &Text,
+                const sim::Simulator::Options &SimOpts);
 
   // Accessors.
   SourceMgr &getSourceMgr() { return SM; }

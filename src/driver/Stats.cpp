@@ -4,6 +4,7 @@
 
 #include "lss/AST.h"
 #include "netlist/Netlist.h"
+#include "sim/Simulator.h"
 #include "support/PhaseTimer.h"
 
 #include <iomanip>
@@ -106,7 +107,8 @@ void liberty::driver::printTable2Header(std::ostream &OS) {
 
 void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
                                      const infer::NetlistInferenceStats &IS,
-                                     const PhaseTimer &Timer) {
+                                     const PhaseTimer &Timer,
+                                     const sim::ActivityStats *Activity) {
   OS << "{\n";
   OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
   OS << "  \"phases\": ";
@@ -137,6 +139,22 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << (G.Success ? "true" : "false") << "}";
   }
   OS << "\n    ]\n  },\n";
+
+  if (Activity) {
+    const sim::ActivityStats &A = *Activity;
+    OS << "  \"simulation\": {\n"
+       << "    \"selective\": " << (A.Selective ? "true" : "false") << ",\n"
+       << "    \"cycles\": " << A.Cycles << ",\n"
+       << "    \"groups_evaluated\": " << A.GroupsEvaluated << ",\n"
+       << "    \"groups_skipped\": " << A.GroupsSkipped << ",\n"
+       << "    \"leaf_evals\": " << A.LeafEvals << ",\n"
+       << "    \"leaf_evals_skipped\": " << A.LeafEvalsSkipped << ",\n"
+       << "    \"fixpoint_iters\": " << A.FixpointIters << ",\n"
+       << "    \"net_writes\": " << A.NetWrites << ",\n"
+       << "    \"net_changes\": " << A.NetChanges << ",\n"
+       << "    \"events_replayed\": " << A.EventsReplayed << "\n"
+       << "  },\n";
+  }
 
   OS << "  \"reuse\": {\n"
      << "    \"instances\": " << S.TotalInstances << ",\n"

@@ -76,3 +76,28 @@ Schedule liberty::sim::computeSchedule(
   S.Groups.assign(SCCs.rbegin(), SCCs.rend());
   return S;
 }
+
+void liberty::sim::computeGroupSummaries(
+    Schedule &S, const std::vector<std::vector<int>> &NodeInputNets,
+    const std::vector<bool> &NodePure) {
+  S.GroupInputNets.assign(S.Groups.size(), {});
+  S.GroupSkippable.assign(S.Groups.size(), false);
+  for (size_t G = 0; G != S.Groups.size(); ++G) {
+    std::vector<int> &Inputs = S.GroupInputNets[G];
+    bool AllPure = true;
+    for (int Node : S.Groups[G]) {
+      assert(Node >= 0 &&
+             static_cast<size_t>(Node) < NodeInputNets.size() &&
+             "node id out of range");
+      Inputs.insert(Inputs.end(), NodeInputNets[Node].begin(),
+                    NodeInputNets[Node].end());
+      AllPure = AllPure && NodePure[Node];
+    }
+    std::sort(Inputs.begin(), Inputs.end());
+    Inputs.erase(std::unique(Inputs.begin(), Inputs.end()), Inputs.end());
+    // Cyclic groups are never skipped: their fixpoint iteration already
+    // quiesces in one settled pass, and always evaluating them keeps the
+    // selective and exhaustive event streams identical.
+    S.GroupSkippable[G] = S.Groups[G].size() == 1 && AllPure;
+  }
+}

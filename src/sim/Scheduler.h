@@ -23,6 +23,24 @@ struct Schedule {
   /// lists node ids (in deterministic ascending order within a group).
   std::vector<std::vector<int>> Groups;
 
+  /// Selective-trace summaries, filled by computeGroupSummaries once the
+  /// caller knows each node's input nets and purity. GroupInputNets[G] is
+  /// the sorted, deduplicated union of the input nets the members of
+  /// group G read; GroupSkippable[G] is true when the per-cycle loop may
+  /// skip G outright whenever none of those nets changed this cycle
+  /// (singleton groups whose behavior has a pure evaluate — cyclic groups
+  /// always iterate, so their fixpoint restores any transient state).
+  std::vector<std::vector<int>> GroupInputNets;
+  std::vector<bool> GroupSkippable;
+
+  unsigned numSkippableGroups() const {
+    unsigned N = 0;
+    for (bool B : GroupSkippable)
+      if (B)
+        ++N;
+    return N;
+  }
+
   unsigned numCyclicGroups() const {
     unsigned N = 0;
     for (const auto &G : Groups)
@@ -44,6 +62,15 @@ struct Schedule {
 /// large graphs cannot overflow the C++ stack.
 Schedule computeSchedule(int NumNodes,
                          const std::vector<std::vector<int>> &Successors);
+
+/// Precomputes the per-group activity summaries selective-trace
+/// evaluation consults each cycle. \p NodeInputNets and \p NodePure are
+/// indexed by the node ids stored in \p S.Groups (callers may have
+/// remapped them after computeSchedule), listing every input net a node
+/// reads and whether its behavior has a pure evaluate.
+void computeGroupSummaries(Schedule &S,
+                           const std::vector<std::vector<int>> &NodeInputNets,
+                           const std::vector<bool> &NodePure);
 
 } // namespace sim
 } // namespace liberty

@@ -4,6 +4,7 @@
 
 #include "types/Type.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace liberty;
@@ -50,6 +51,20 @@ public:
   std::vector<std::pair<std::string, std::string>> PortEventNames;
   int ScheduleNode = -1;
 
+  /// Behavior declares hasPureEvaluate(): sends are a function of input
+  /// net values only, so the selective engine may skip evaluate() in
+  /// quiescent cycles.
+  bool Pure = false;
+  /// Net ids this leaf drives / reads (deduplicated, for the selective
+  /// engine's per-group preparation and absence passes).
+  std::vector<int> OutputNets;
+  std::vector<int> InputNets;
+  /// The automatic port events evaluate() emitted last time it ran, as
+  /// (event-name, net-id) pairs. Recorded only while instrumentation is
+  /// attached and the runtime is pure; replayed when the group is skipped
+  /// so collectors see a bit-identical event stream.
+  std::vector<std::pair<const std::string *, int>> LastSends;
+
   void resetState() {
     StateVars.clear();
     for (const netlist::RuntimeVar &RV : Node->RuntimeVars)
@@ -90,10 +105,27 @@ public:
     if (NetId < 0)
       return;
     Net &N = Sim.Nets[NetId];
-    if (!N.Has || !N.V.equals(V)) {
+    ++Sim.Activity.NetWrites;
+    if (!N.Has) {
+      // First send this evaluation round. NetChanged feeds the cyclic
+      // groups' fixpoint test and must fire on presence appearing even if
+      // the value matches, preserving the iteration counts of exhaustive
+      // evaluation. DirtyCycle, by contrast, only stamps observable
+      // cross-cycle change (value differs, or the net was absent last
+      // cycle).
       Sim.NetChanged = true;
-      N.V = std::move(V);
+      if (!N.PrevHas || !N.V.equals(V)) {
+        N.V = std::move(V);
+        N.DirtyCycle = Sim.Cycle;
+        ++Sim.Activity.NetChanges;
+      }
       N.Has = true;
+    } else if (!N.V.equals(V)) {
+      // Re-send with a different value (fixpoint iteration).
+      N.V = std::move(V);
+      N.DirtyCycle = Sim.Cycle;
+      Sim.NetChanged = true;
+      ++Sim.Activity.NetChanges;
     }
     if (!Sim.Instr.empty()) {
       for (const auto &[EvPort, EvName] : PortEventNames) {
@@ -105,6 +137,8 @@ public:
         E.Cycle = Sim.Cycle;
         E.Payload = &N.V;
         Sim.Instr.emit(E);
+        if (Pure)
+          LastSends.emplace_back(&EvName, NetId);
         break;
       }
     }
@@ -296,8 +330,10 @@ bool Simulator::construct() {
           continue;
         if (P.isInput()) {
           NetReaders[NetId].push_back(Reader{(int)SN, &P.Name});
+          RT->InputNets.push_back(NetId);
           continue;
         }
+        RT->OutputNets.push_back(NetId);
         Net &N = Nets[NetId];
         if (N.DriverRuntime >= 0 &&
             N.DriverRuntime != (int)LeafRuntimes[SN]) {
@@ -308,6 +344,13 @@ bool Simulator::construct() {
         N.DriverRuntime = LeafRuntimes[SN];
       }
     }
+    auto Dedup = [](std::vector<int> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    Dedup(RT->InputNets);
+    Dedup(RT->OutputNets);
+    RT->Pure = RT->Behavior && RT->Behavior->hasPureEvaluate();
   }
 
   // 5. Build the combinational dependency graph and the static schedule.
@@ -328,9 +371,23 @@ bool Simulator::construct() {
   for (auto &Group : Sched.Groups)
     for (int &N : Group)
       N = LeafRuntimes[N];
+
+  // 6. Selective-trace summaries: per-group input-net unions and
+  //    skippability, precomputed once so the per-cycle loop only scans a
+  //    short sorted list per skippable group.
+  std::vector<std::vector<int>> NodeInputNets(Runtimes.size());
+  std::vector<bool> NodePure(Runtimes.size(), false);
+  for (size_t RTIdx = 0; RTIdx != Runtimes.size(); ++RTIdx) {
+    NodeInputNets[RTIdx] = Runtimes[RTIdx]->InputNets;
+    NodePure[RTIdx] = Runtimes[RTIdx]->Pure;
+  }
+  computeGroupSummaries(Sched, NodeInputNets, NodePure);
+  GroupEvaluated.assign(Sched.Groups.size(), 0);
+
   Info.NumGroups = Sched.Groups.size();
   Info.NumCyclicGroups = Sched.numCyclicGroups();
   Info.MaxGroupSize = Sched.maxGroupSize();
+  Info.NumSkippableGroups = Sched.numSkippableGroups();
 
   return Diags.getNumErrors() == ErrorsBefore;
 }
@@ -342,10 +399,19 @@ bool Simulator::construct() {
 void Simulator::reset() {
   Cycle = 0;
   RuntimeErrors = false;
-  for (Net &N : Nets)
+  for (Net &N : Nets) {
     N.Has = false;
-  for (auto &RT : Runtimes)
+    N.PrevHas = false;
+    N.DirtyCycle = NeverDirty;
+  }
+  Activity = ActivityStats();
+  Activity.Selective = Opts.Selective;
+  GroupEvaluated.assign(Sched.Groups.size(), 0);
+  LastInstrVersion = Instr.getVersion();
+  for (auto &RT : Runtimes) {
     RT->resetState();
+    RT->LastSends.clear();
+  }
   for (auto &RT : Runtimes)
     if (RT->Behavior)
       RT->Behavior->init(*RT);
@@ -372,43 +438,130 @@ void Simulator::runEndOfTimestepUserpoints() {
     RT->callUserpoint("end_of_timestep", {});
 }
 
-void Simulator::evaluateGroup(const std::vector<int> &Group) {
+void Simulator::evaluateGroup(size_t GroupIdx) {
+  const std::vector<int> &Group = Sched.Groups[GroupIdx];
+  // Prepare the group's output nets: snapshot last cycle's presence, then
+  // clear it so this evaluation starts from a blank slate. (Replaces the
+  // old global per-cycle Has sweep — skipped groups keep their nets as-is,
+  // carrying the previous sends forward.)
+  for (int RTIdx : Group)
+    for (int NetId : Runtimes[RTIdx]->OutputNets) {
+      Net &N = Nets[NetId];
+      N.PrevHas = N.Has;
+      N.Has = false;
+    }
+
   if (Group.size() == 1) {
     Runtime *RT = Runtimes[Group.front()].get();
-    if (RT->Behavior)
+    if (RT->Behavior) {
+      RT->LastSends.clear();
       RT->Behavior->evaluate(*RT);
-    return;
-  }
-  // Combinational cycle: iterate to a fixpoint.
-  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIters; ++Iter) {
-    NetChanged = false;
-    for (int RTIdx : Group) {
-      Runtime *RT = Runtimes[RTIdx].get();
-      if (RT->Behavior)
-        RT->Behavior->evaluate(*RT);
+      ++Activity.LeafEvals;
     }
-    if (!NetChanged)
-      return;
+  } else {
+    // Combinational cycle: iterate to a fixpoint, using per-write dirty
+    // bits (NetChanged) as the convergence test.
+    bool Converged = false;
+    for (unsigned Iter = 0; Iter != Opts.MaxFixpointIters; ++Iter) {
+      NetChanged = false;
+      ++Activity.FixpointIters;
+      for (int RTIdx : Group) {
+        Runtime *RT = Runtimes[RTIdx].get();
+        if (RT->Behavior) {
+          RT->LastSends.clear();
+          RT->Behavior->evaluate(*RT);
+          ++Activity.LeafEvals;
+        }
+      }
+      if (!NetChanged) {
+        Converged = true;
+        break;
+      }
+    }
+    if (!Converged && !RuntimeErrors) {
+      std::string Members;
+      unsigned Listed = 0;
+      for (int RTIdx : Group) {
+        if (Listed == 8) {
+          Members += ", ...";
+          break;
+        }
+        if (Listed++)
+          Members += ", ";
+        Members += "'" + Runtimes[RTIdx]->Node->Path + "'";
+      }
+      Diags.error(SourceLoc(),
+                  "combinational cycle did not converge within " +
+                      std::to_string(Opts.MaxFixpointIters) +
+                      " iterations; group members: " + Members);
+      RuntimeErrors = true;
+    }
   }
-  if (!RuntimeErrors) {
-    Diags.error(SourceLoc(),
-                "combinational cycle did not converge within " +
-                    std::to_string(Opts.MaxFixpointIters) + " iterations");
-    RuntimeErrors = true;
+
+  // Absence pass: a net that was driven last cycle but not this one is an
+  // observable change for downstream readers.
+  for (int RTIdx : Group)
+    for (int NetId : Runtimes[RTIdx]->OutputNets) {
+      Net &N = Nets[NetId];
+      if (N.PrevHas && !N.Has)
+        N.DirtyCycle = Cycle;
+    }
+
+  GroupEvaluated[GroupIdx] = 1;
+  ++Activity.GroupsEvaluated;
+}
+
+void Simulator::skipGroup(size_t GroupIdx) {
+  ++Activity.GroupsSkipped;
+  ++Activity.LeafEvalsSkipped; // Skippable groups are singletons.
+  if (Instr.empty())
+    return;
+  // Replay the automatic port events the skipped evaluate() would have
+  // emitted, in recorded order, with the carried-forward net values.
+  Runtime *RT = Runtimes[Sched.Groups[GroupIdx].front()].get();
+  for (const auto &[EvName, NetId] : RT->LastSends) {
+    Event E;
+    E.InstancePath = &RT->Node->Path;
+    E.Name = EvName;
+    E.Cycle = Cycle;
+    E.Payload = &Nets[NetId].V;
+    Instr.emit(E);
+    ++Activity.EventsReplayed;
   }
 }
 
 void Simulator::step(uint64_t N) {
   for (uint64_t I = 0; I != N; ++I) {
-    for (Net &Nt : Nets)
-      Nt.Has = false;
-    for (const auto &Group : Sched.Groups)
-      evaluateGroup(Group);
+    // A collector attached since the last cycle invalidates the replay
+    // records (they only hold events recorded while instrumentation was
+    // live), so force one exhaustive cycle to rebuild them.
+    bool ForceFull = false;
+    if (Instr.getVersion() != LastInstrVersion) {
+      LastInstrVersion = Instr.getVersion();
+      ForceFull = true;
+    }
+    for (size_t G = 0; G != Sched.Groups.size(); ++G) {
+      if (Opts.Selective && !ForceFull && Sched.GroupSkippable[G] &&
+          GroupEvaluated[G]) {
+        bool Quiescent = true;
+        for (int NetId : Sched.GroupInputNets[G])
+          if (Nets[NetId].DirtyCycle == Cycle) {
+            Quiescent = false;
+            break;
+          }
+        if (Quiescent) {
+          skipGroup(G);
+          continue;
+        }
+      }
+      evaluateGroup(G);
+    }
     for (auto &RT : Runtimes)
       if (RT->Behavior)
         RT->Behavior->endOfTimestep(*RT);
     runEndOfTimestepUserpoints();
     ++Cycle;
+    ++Activity.Cycles;
   }
 }
 

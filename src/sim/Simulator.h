@@ -12,6 +12,13 @@
 /// computed schedule, cyclic groups iterated to a fixpoint — followed by a
 /// sequential phase (endOfTimestep + end_of_timestep userpoints).
 ///
+/// Evaluation is selective-trace (activity-driven) by default: every net
+/// carries a dirty stamp set only when a write actually changes its value
+/// or presence, and singleton schedule groups whose behavior declares a
+/// pure evaluate (LeafBehavior::hasPureEvaluate) are skipped in cycles
+/// where none of their input nets changed, their previous sends carried
+/// forward. See docs/ARCHITECTURE.md for the invariants.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIBERTY_SIM_SIMULATOR_H
@@ -32,12 +39,32 @@
 namespace liberty {
 namespace sim {
 
+/// Per-run activity counters for the selective-trace engine, reported
+/// through the --stats-json path. All counts are cumulative since the last
+/// reset().
+struct ActivityStats {
+  bool Selective = true;      ///< Engine mode the run used.
+  uint64_t Cycles = 0;        ///< Cycles stepped.
+  uint64_t GroupsEvaluated = 0;
+  uint64_t GroupsSkipped = 0; ///< Skippable groups left quiescent.
+  uint64_t LeafEvals = 0;     ///< Behavior evaluate() calls.
+  uint64_t LeafEvalsSkipped = 0;
+  uint64_t FixpointIters = 0; ///< Iterations spent in cyclic groups.
+  uint64_t NetWrites = 0;     ///< setOutput calls reaching a net.
+  uint64_t NetChanges = 0;    ///< Writes that changed value or presence.
+  uint64_t EventsReplayed = 0;///< Automatic port events served from replay.
+};
+
 class Simulator {
 public:
   struct Options {
     /// Iteration cap for combinational cycles before declaring
     /// non-convergence.
     unsigned MaxFixpointIters = 64;
+    /// Change-driven evaluation: skip quiescent singleton groups whose
+    /// behavior has a pure evaluate. Off means exhaustive evaluation of
+    /// every group every cycle (lssc --no-selective).
+    bool Selective = true;
   };
 
   /// Structural facts about the generated simulator.
@@ -48,6 +75,7 @@ public:
     unsigned NumCyclicGroups = 0;
     unsigned MaxGroupSize = 0;
     unsigned NumUserpoints = 0;
+    unsigned NumSkippableGroups = 0;
   };
 
   /// Builds a simulator from an elaborated, type-inferred netlist. Returns
@@ -72,6 +100,7 @@ public:
 
   Instrumentation &getInstrumentation() { return Instr; }
   const BuildInfo &getBuildInfo() const { return Info; }
+  const ActivityStats &getActivityStats() const { return Activity; }
 
   /// The value most recently driven on (instance path, output port, index),
   /// or null if none was sent this cycle / the node does not exist.
@@ -93,15 +122,25 @@ private:
 
   bool construct();
 
+  /// Sentinel for "never written" in Net::DirtyCycle.
+  static constexpr uint64_t NeverDirty = ~uint64_t(0);
+
   struct Net {
     interp::Value V;
-    bool Has = false;
+    bool Has = false;     ///< Sent this cycle (or, mid-group, this round).
+    bool PrevHas = false; ///< Sent last cycle (snapshotted pre-evaluation).
+    /// Cycle of the last observable change: a write that altered the value,
+    /// a send appearing after an absent cycle, or a send ceasing. The
+    /// selective engine skips a group when no input net's DirtyCycle equals
+    /// the current cycle.
+    uint64_t DirtyCycle = NeverDirty;
     int DriverRuntime = -1; ///< Runtime index of the driving leaf, or -1.
   };
 
   class Runtime; // One per instance with behavior/userpoints/state.
 
-  void evaluateGroup(const std::vector<int> &Group);
+  void evaluateGroup(size_t GroupIdx);
+  void skipGroup(size_t GroupIdx);
   void runUserpointPhase(const std::string &Name);
   void runEndOfTimestepUserpoints();
 
@@ -122,6 +161,15 @@ private:
   uint64_t Cycle = 0;
   bool RuntimeErrors = false;
   bool NetChanged = false;
+  ActivityStats Activity;
+  /// Per-group: has this group been evaluated at least once since reset()?
+  /// A group is never skipped before its first evaluation (its replay
+  /// records would be empty).
+  std::vector<char> GroupEvaluated;
+  /// Instrumentation version observed at the last cycle start; a mismatch
+  /// forces one exhaustive cycle so freshly attached collectors see every
+  /// event live and replay records are rebuilt.
+  unsigned LastInstrVersion = 0;
   /// Runtimes carrying an end_of_timestep userpoint (hot-path cache).
   std::vector<Runtime *> EotRuntimes;
   bool EotRuntimesValid = false;

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/HandCodedSim.h"
+#include "baseline/OopSim.h"
 #include "driver/Compiler.h"
 #include "driver/Stats.h"
 #include "infer/Synthetic.h"
@@ -141,6 +142,209 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 5, 17),
                        ::testing::Values(uint64_t(1), uint64_t(3),
                                          uint64_t(64))));
+
+//===----------------------------------------------------------------------===//
+// Random acyclic netlists: LSS (both engine modes) vs the structural-OOP
+// baseline, value-for-value every cycle
+//===----------------------------------------------------------------------===//
+
+/// One node of a generated layered DAG. Inputs always reference
+/// lower-indexed nodes, so index order is a topological order.
+struct DagNode {
+  enum Kind { Counter, Const, Add, Dly } K;
+  int64_t A = 0;       ///< start (Counter), value (Const), initial (Dly).
+  int64_t B = 1;       ///< stride (Counter).
+  int In1 = -1, In2 = -1;
+};
+
+std::vector<DagNode> randomDag(Rng &R) {
+  std::vector<DagNode> Nodes;
+  const int NumSources = R.range(2, 4);
+  for (int I = 0; I != NumSources; ++I) {
+    DagNode N;
+    if (R.range(0, 1)) {
+      N.K = DagNode::Counter;
+      N.A = R.range(-5, 5);
+      N.B = R.range(1, 3);
+    } else {
+      N.K = DagNode::Const;
+      N.A = R.range(-20, 20);
+    }
+    Nodes.push_back(N);
+  }
+  const int NumInner = R.range(4, 14);
+  for (int I = 0; I != NumInner; ++I) {
+    DagNode N;
+    const int Max = static_cast<int>(Nodes.size()) - 1;
+    if (R.range(0, 2) == 0) {
+      N.K = DagNode::Dly;
+      N.A = R.range(0, 9);
+      N.In1 = R.range(0, Max);
+    } else {
+      N.K = DagNode::Add;
+      N.In1 = R.range(0, Max);
+      N.In2 = R.range(0, Max);
+    }
+    Nodes.push_back(N);
+  }
+  return Nodes;
+}
+
+std::string dagToLss(const std::vector<DagNode> &Nodes) {
+  // Each connection from a port allocates a fresh index, and the corelib
+  // computational components (adder in particular) drive only out[0];
+  // multi-reader nets must go through an explicit fanout component, which
+  // is the corelib's convention for replication. So every node's out
+  // feeds a fanout f<i>, and consumers (including the per-node sink that
+  // keeps the net observable) read from f<i>.out.
+  std::string Spec;
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const DagNode &N = Nodes[I];
+    const std::string Nm = "n" + std::to_string(I);
+    auto Src = [](int J) { return "f" + std::to_string(J) + ".out"; };
+    switch (N.K) {
+    case DagNode::Counter:
+      Spec += "instance " + Nm + ":counter_source;\n";
+      Spec += Nm + ".start = " + std::to_string(N.A) + ";\n";
+      Spec += Nm + ".stride = " + std::to_string(N.B) + ";\n";
+      break;
+    case DagNode::Const:
+      Spec += "instance " + Nm + ":const_source;\n";
+      Spec += Nm + ".value = " + std::to_string(N.A) + ";\n";
+      break;
+    case DagNode::Add:
+      Spec += "instance " + Nm + ":adder;\n";
+      Spec += Src(N.In1) + " -> " + Nm + ".in1;\n";
+      Spec += Src(N.In2) + " -> " + Nm + ".in2;\n";
+      break;
+    case DagNode::Dly:
+      Spec += "instance " + Nm + ":delay;\n";
+      Spec += Nm + ".initial_state = " + std::to_string(N.A) + ";\n";
+      Spec += Src(N.In1) + " -> " + Nm + ".in;\n";
+      break;
+    }
+    Spec += "instance f" + std::to_string(I) + ":fanout;\n";
+    Spec += Nm + ".out -> f" + std::to_string(I) + ".in;\n";
+    Spec += "instance k" + std::to_string(I) + ":sink;\n";
+    Spec += Src(static_cast<int>(I)) + " -> k" + std::to_string(I) + ".in;\n";
+  }
+  return Spec;
+}
+
+// Test-local OOP mirror components (the baseline library only ships a
+// plain cycle counter).
+class OopScaledCounter : public baseline::oop::Component {
+public:
+  OopScaledCounter(baseline::oop::Signal<int64_t> *Out,
+                   baseline::oop::Engine &E, int64_t Start, int64_t Stride)
+      : Out(Out), E(E), Start(Start), Stride(Stride) {}
+  void evaluate() override {
+    Out->set(Start + Stride * static_cast<int64_t>(E.getCycle()));
+  }
+
+private:
+  baseline::oop::Signal<int64_t> *Out;
+  baseline::oop::Engine &E;
+  int64_t Start, Stride;
+};
+
+class OopConst : public baseline::oop::Component {
+public:
+  OopConst(baseline::oop::Signal<int64_t> *Out, int64_t V) : Out(Out), V(V) {}
+  void evaluate() override { Out->set(V); }
+
+private:
+  baseline::oop::Signal<int64_t> *Out;
+  int64_t V;
+};
+
+class OopAdder : public baseline::oop::Component {
+public:
+  OopAdder(baseline::oop::Signal<int64_t> *In1,
+           baseline::oop::Signal<int64_t> *In2,
+           baseline::oop::Signal<int64_t> *Out)
+      : In1(In1), In2(In2), Out(Out) {}
+  void evaluate() override {
+    if (In1->hasValue() && In2->hasValue())
+      Out->set(In1->get() + In2->get());
+  }
+
+private:
+  baseline::oop::Signal<int64_t> *In1, *In2, *Out;
+};
+
+class RandomNetlistTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetlistTest, LssEnginesMatchOopBaseline) {
+  const int Seed = GetParam();
+  Rng R(static_cast<uint64_t>(Seed) * 104729);
+  const std::vector<DagNode> Nodes = randomDag(R);
+  const uint64_t Cycles = 40;
+  const std::string Spec = dagToLss(Nodes);
+
+  auto MakeSim = [&](bool Selective) {
+    sim::Simulator::Options O;
+    O.Selective = Selective;
+    return driver::Compiler::compileForSim("rand_dag.lss", Spec, O);
+  };
+  auto Sel = MakeSim(true);
+  auto Exh = MakeSim(false);
+  ASSERT_NE(Sel, nullptr) << "seed=" << Seed;
+  ASSERT_NE(Exh, nullptr) << "seed=" << Seed;
+
+  // OOP mirror, composed in index (= topological) order.
+  baseline::oop::Engine E;
+  std::vector<std::unique_ptr<baseline::oop::Signal<int64_t>>> Wires;
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    Wires.push_back(std::make_unique<baseline::oop::Signal<int64_t>>());
+    E.track(Wires.back().get());
+  }
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const DagNode &N = Nodes[I];
+    baseline::oop::Signal<int64_t> *Out = Wires[I].get();
+    switch (N.K) {
+    case DagNode::Counter:
+      E.add(std::make_unique<OopScaledCounter>(Out, E, N.A, N.B));
+      break;
+    case DagNode::Const:
+      E.add(std::make_unique<OopConst>(Out, N.A));
+      break;
+    case DagNode::Add:
+      E.add(std::make_unique<OopAdder>(Wires[N.In1].get(),
+                                       Wires[N.In2].get(), Out));
+      break;
+    case DagNode::Dly:
+      E.add(std::make_unique<baseline::oop::Delay<int64_t>>(
+          Wires[N.In1].get(), Out, N.A));
+      break;
+    }
+  }
+  E.reset();
+
+  for (uint64_t C = 0; C != Cycles; ++C) {
+    Sel->getSimulator()->step(1);
+    Exh->getSimulator()->step(1);
+    E.step(1);
+    for (size_t I = 0; I != Nodes.size(); ++I) {
+      const std::string Nm = "n" + std::to_string(I);
+      const interp::Value *VS = Sel->getSimulator()->peekPort(Nm, "out", 0);
+      const interp::Value *VE = Exh->getSimulator()->peekPort(Nm, "out", 0);
+      ASSERT_NE(VS, nullptr) << "seed=" << Seed << " node=" << I
+                             << " cycle=" << C << " (selective absent)";
+      ASSERT_NE(VE, nullptr) << "seed=" << Seed << " node=" << I
+                             << " cycle=" << C << " (exhaustive absent)";
+      ASSERT_TRUE(Wires[I]->hasValue())
+          << "seed=" << Seed << " node=" << I << " cycle=" << C;
+      const int64_t Oop = Wires[I]->get();
+      EXPECT_EQ(VS->getInt(), Oop) << "seed=" << Seed << " node=" << I
+                                   << " cycle=" << C << " (selective)";
+      EXPECT_EQ(VE->getInt(), Oop) << "seed=" << Seed << " node=" << I
+                                   << " cycle=" << C << " (exhaustive)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistTest, ::testing::Range(1, 11));
 
 //===----------------------------------------------------------------------===//
 // Inference: heuristics preserve satisfiability on random systems

@@ -166,6 +166,37 @@ f2.out -> s.in;
   EXPECT_FALSE(Sim->hadRuntimeErrors());
 }
 
+TEST(Simulator, DivergentCycleDiagnosticNamesGroupMembers) {
+  // arbiter <-> adder loop that never settles: the round-robin arbiter
+  // alternates between the loop value and the seed each fixpoint
+  // iteration, so the adder's output oscillates forever. The
+  // non-convergence diagnostic must name the instances in the cyclic
+  // group so the user can find the loop.
+  auto C = compile(R"(
+instance seed:const_source;
+seed.value = 1;
+instance one:const_source;
+one.value = 1;
+instance arb:arbiter;
+instance a:adder;
+instance s:sink;
+a.out -> arb.in[0];
+seed.out -> arb.in[1];
+arb.out -> a.in1;
+one.out -> a.in2;
+a.out -> s.in;
+)");
+  ASSERT_NE(C, nullptr);
+  sim::Simulator *Sim = C->getSimulator();
+  EXPECT_EQ(Sim->getBuildInfo().NumCyclicGroups, 1u);
+  Sim->step(1);
+  EXPECT_TRUE(Sim->hadRuntimeErrors());
+  const std::string Msg = C->getDiags().getFirstErrorMessage();
+  EXPECT_NE(Msg.find("did not converge"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("'arb'"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("'a'"), std::string::npos) << Msg;
+}
+
 TEST(Simulator, MultipleDriversRejected) {
   driver::Compiler C;
   ASSERT_TRUE(C.addCoreLibrary());

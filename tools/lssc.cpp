@@ -14,6 +14,8 @@
 ///   --emit-static       print the flattened static structural spec
 ///   --run N             build the simulator and run N cycles
 ///   --watch PATTERN     with --run: count events matching "path event"
+///   --no-selective      with --run: exhaustive evaluation (disable the
+///                       selective-trace engine)
 ///   --no-infer-heuristics  solve types with the naive algorithm (slow!)
 ///   --trace-order       print the instantiation-stack processing order
 ///
@@ -51,6 +53,7 @@ struct CliOptions {
   unsigned Jobs = 0; ///< H3 solver threads; 0 = one per hardware thread.
   std::string StatsJsonPath;
   uint64_t RunCycles = 0;
+  bool Selective = true;
   std::vector<std::pair<std::string, std::string>> Watches;
 };
 
@@ -70,6 +73,8 @@ void printUsage() {
       "  --emit-dot             print a Graphviz digraph of the model\n"
       "  --run N                simulate N cycles\n"
       "  --watch 'PATH EVENT'   count matching events while running\n"
+      "  --no-selective         evaluate every component every cycle\n"
+      "                         (disable change-driven evaluation)\n"
       "  --no-infer-heuristics  use the naive exponential solver\n"
       "  --trace-order          print instance processing order\n";
 }
@@ -115,6 +120,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.RunCycles = std::strtoull(Argv[I], nullptr, 10);
+    } else if (Arg == "--no-selective") {
+      Opts.Selective = false;
     } else if (Arg == "--watch") {
       if (++I >= Argc) {
         std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
@@ -219,7 +226,9 @@ int main(int Argc, char **Argv) {
     netlist::emitDot(*C.getNetlist(), std::cout);
 
   if (Opts.RunCycles) {
-    sim::Simulator *Sim = C.buildSimulator();
+    sim::Simulator::Options SimOpts;
+    SimOpts.Selective = Opts.Selective;
+    sim::Simulator *Sim = C.buildSimulator(SimOpts);
     if (!Sim)
       return Bail("simulator construction");
     std::vector<uint64_t *> Counters;
@@ -231,6 +240,15 @@ int main(int Argc, char **Argv) {
                  (unsigned long long)Sim->getCycle(),
                  Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
                  Sim->getBuildInfo().NumGroups);
+    const sim::ActivityStats &A = Sim->getActivityStats();
+    std::fprintf(HumanFile,
+                 "selective: %s (%u skippable groups; %llu evaluated, "
+                 "%llu skipped, %llu leaf evals)\n",
+                 A.Selective ? "on" : "off",
+                 Sim->getBuildInfo().NumSkippableGroups,
+                 (unsigned long long)A.GroupsEvaluated,
+                 (unsigned long long)A.GroupsSkipped,
+                 (unsigned long long)A.LeafEvals);
     for (unsigned I = 0; I != Opts.Watches.size(); ++I)
       std::fprintf(HumanFile, "watch '%s %s': %llu events\n",
                    Opts.Watches[I].first.c_str(),
@@ -247,9 +265,11 @@ int main(int Argc, char **Argv) {
     driver::ModelStats S = driver::computeModelStats(
         *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
         Opts.Inputs.front());
+    const sim::ActivityStats *Activity =
+        C.getSimulator() ? &C.getSimulator()->getActivityStats() : nullptr;
     if (Opts.StatsJsonPath == "-") {
       driver::printStatsJson(std::cout, S, C.getInferenceStats(),
-                             C.getPhaseTimer());
+                             C.getPhaseTimer(), Activity);
     } else {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
@@ -257,7 +277,7 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
-                             C.getPhaseTimer());
+                             C.getPhaseTimer(), Activity);
     }
   }
   if (Opts.TimePhases)
