@@ -20,7 +20,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -32,9 +36,14 @@ namespace {
 /// that don't A/B it themselves, enabling whole-suite comparisons.
 bool GSelective = true;
 
+/// --sim-jobs N (default 1): wavefront worker threads for the LSS
+/// benchmarks that don't sweep the thread count themselves.
+unsigned GSimJobs = 1;
+
 sim::Simulator::Options simOptions() {
   sim::Simulator::Options O;
   O.Selective = GSelective;
+  O.Jobs = GSimJobs;
   return O;
 }
 
@@ -213,6 +222,51 @@ void BM_LssLowActivity(benchmark::State &State) {
 }
 BENCHMARK(BM_LssLowActivity)->Arg(0)->Arg(1);
 
+/// A wide, embarrassingly parallel model: \p Lanes independent
+/// source->adder->sink strands. ASAP level packing puts all the adders
+/// (and all the sources) into one wide schedule level, so this is the
+/// wavefront engine's best case and the sweep's scaling workload.
+std::string wideLanesSpec(int Lanes) {
+  std::string N = std::to_string(Lanes);
+  return R"(
+module lane {
+  outport out: int;
+  instance g:counter_source;
+  instance a:adder;
+  g.out -> a.in1;
+  g.out -> a.in2;
+  a.out -> out;
+};
+var lanes:instance ref[];
+lanes = new instance[)" + N + R"(](lane, "lane");
+instance s:sink;
+var i:int;
+for (i = 0; i < )" + N + R"(; i = i + 1) {
+  lanes[i].out -> s.in[i];
+}
+)";
+}
+
+/// Thread-count scaling on the wide model: Arg = worker threads.
+void BM_LssWideLanes(benchmark::State &State) {
+  unsigned Jobs = unsigned(State.range(0));
+  sim::Simulator::Options O;
+  O.Selective = GSelective;
+  O.Jobs = Jobs;
+  auto C = driver::Compiler::compileForSim("wide.lss", wideLanesSpec(64), O);
+  if (!C) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  sim::Simulator *Sim = C->getSimulator();
+  for (auto _ : State)
+    Sim->step(100);
+  State.SetLabel("jobs=" + std::to_string(Jobs));
+  State.counters["cycles/s"] = benchmark::Counter(
+      100.0 * State.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LssWideLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_HandCodedPipeline(benchmark::State &State) {
   baseline::PipelineConfig Cfg;
   Cfg.NumInstrs = 1000000000; // Effectively endless; bound by MaxCycles.
@@ -229,20 +283,99 @@ void BM_HandCodedPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_HandCodedPipeline);
 
+/// Measures steady-state cycles/s for one engine configuration on the
+/// wide model: warm up, then run 200-cycle batches until ~0.25 s of wall
+/// time has accumulated.
+double measureWideLanes(unsigned Jobs, bool Selective) {
+  sim::Simulator::Options O;
+  O.Selective = Selective;
+  O.Jobs = Jobs;
+  auto C = driver::Compiler::compileForSim("wide.lss", wideLanesSpec(64), O);
+  if (!C)
+    return -1.0;
+  sim::Simulator *Sim = C->getSimulator();
+  Sim->step(50); // Warmup.
+  using Clock = std::chrono::steady_clock;
+  uint64_t Cycles = 0;
+  auto Start = Clock::now();
+  double Elapsed = 0.0;
+  while (Elapsed < 0.25) {
+    Sim->step(200);
+    Cycles += 200;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  return double(Cycles) / Elapsed;
+}
+
+/// `--sweep [FILE]`: the machine-readable jobs x selective sweep. Writes
+/// cycles/s for jobs 1/2/4/8 with selective on and off, plus the speedup
+/// of each configuration over serial in the same selective mode.
+int runSweep(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "bench_simspeed: cannot write '" << Path << "'\n";
+    return 1;
+  }
+  Out << "{\n  \"model\": \"wide_lanes_64\",\n  \"runs\": [";
+  bool First = true;
+  for (bool Selective : {false, true}) {
+    double Serial = 0.0;
+    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+      double Rate = measureWideLanes(Jobs, Selective);
+      if (Jobs == 1)
+        Serial = Rate;
+      if (!First)
+        Out << ",";
+      First = false;
+      Out << "\n    {\"jobs\": " << Jobs << ", \"selective\": "
+          << (Selective ? "true" : "false") << ", \"cycles_per_s\": " << Rate
+          << ", \"speedup_vs_serial\": "
+          << (Serial > 0.0 ? Rate / Serial : 0.0) << "}";
+      std::cerr << "sweep: jobs=" << Jobs << " selective="
+                << (Selective ? "on" : "off") << " -> " << uint64_t(Rate)
+                << " cycles/s\n";
+    }
+  }
+  Out << "\n  ]\n}\n";
+  std::cerr << "bench_simspeed: wrote " << Path << "\n";
+  return 0;
+}
+
 } // namespace
 
 // Custom main so the whole suite can be A/B'd with `--selective on|off`
-// (stripped before Google Benchmark sees the arguments).
+// and `--sim-jobs N`, and so `--sweep [FILE]` can emit the machine-
+// readable scaling record (all stripped before Google Benchmark sees the
+// arguments).
 int main(int argc, char **argv) {
   std::vector<char *> Args;
+  bool Sweep = false;
+  std::string SweepPath = "BENCH_simspeed.json";
   for (int I = 0; I < argc; ++I) {
     if (std::strcmp(argv[I], "--selective") == 0 && I + 1 < argc) {
       GSelective = std::strcmp(argv[I + 1], "off") != 0;
       ++I;
       continue;
     }
+    if (std::strcmp(argv[I], "--sim-jobs") == 0 && I + 1 < argc) {
+      GSimJobs = unsigned(std::strtoul(argv[I + 1], nullptr, 10));
+      if (GSimJobs == 0)
+        GSimJobs = 1;
+      ++I;
+      continue;
+    }
+    if (std::strcmp(argv[I], "--sweep") == 0) {
+      Sweep = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-') {
+        SweepPath = argv[I + 1];
+        ++I;
+      }
+      continue;
+    }
     Args.push_back(argv[I]);
   }
+  if (Sweep)
+    return runSweep(SweepPath);
   int Argc = static_cast<int>(Args.size());
   benchmark::Initialize(&Argc, Args.data());
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))

@@ -54,6 +54,19 @@ public:
   virtual void setOutput(const std::string &Port, int Index,
                          interp::Value V) = 0;
 
+  /// Pre-resolves \p Port to a dense port id for the indexed accessors
+  /// below, or -1 if the instance has no such (connected or declared)
+  /// port. Behaviors bind their ports once in init() and then read/write
+  /// through the id on the per-cycle hot path, skipping the name scan.
+  /// Ids are stable for the lifetime of the context (across reset()).
+  virtual int bindPort(const std::string &Port) const = 0;
+
+  /// Indexed twins of the string accessors above. A PortId of -1 behaves
+  /// like an unconnected port: width 0, no input value, sends vanish.
+  virtual int getWidth(int PortId) const = 0;
+  virtual const interp::Value *getInput(int PortId, int Index) const = 0;
+  virtual void setOutput(int PortId, int Index, interp::Value V) = 0;
+
   /// Structural parameter lookup; null if absent.
   virtual const interp::Value *getParam(const std::string &Name) const = 0;
 
@@ -69,6 +82,12 @@ public:
   /// Runtime variables declared in LSS appear here with their initial
   /// values.
   virtual interp::Value &state(const std::string &Name) = 0;
+
+  /// Pre-resolves a state name to a dense slot id (creating the slot if
+  /// new); state(int) then reads it without a name scan. Ids are stable
+  /// across reset().
+  virtual int bindState(const std::string &Name) = 0;
+  virtual interp::Value &state(int StateId) = 0;
 
   /// Emits a declared instrumentation event.
   virtual void emitEvent(const std::string &Event, interp::Value Payload) = 0;

@@ -76,11 +76,9 @@ Value *BslExec::lookup(const std::string &Name) {
   auto ArgIt = Env.Args.find(Name);
   if (ArgIt != Env.Args.end())
     return &ArgIt->second;
-  if (Env.RuntimeVars) {
-    auto RVIt = Env.RuntimeVars->find(Name);
-    if (RVIt != Env.RuntimeVars->end())
-      return &RVIt->second;
-  }
+  if (Env.RuntimeVars)
+    if (Value *RV = Env.RuntimeVars->lookup(Name))
+      return RV;
   if (Env.Params) {
     auto PIt = Env.Params->find(Name);
     if (PIt != Env.Params->end())

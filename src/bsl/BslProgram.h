@@ -12,6 +12,7 @@
 #ifndef LIBERTY_BSL_BSLPROGRAM_H
 #define LIBERTY_BSL_BSLPROGRAM_H
 
+#include "bsl/StateTable.h"
 #include "interp/Value.h"
 #include "lss/AST.h"
 #include "support/Diagnostics.h"
@@ -28,8 +29,9 @@ namespace bsl {
 struct BslEnv {
   /// Userpoint arguments (by the signature's names).
   std::map<std::string, interp::Value> Args;
-  /// The instance's runtime variables (Section 4.3); writable.
-  std::map<std::string, interp::Value> *RuntimeVars = nullptr;
+  /// The instance's runtime variables (Section 4.3); writable. Stored in
+  /// the instance's dense StateTable (shared with behavior state).
+  StateTable *RuntimeVars = nullptr;
   /// The instance's structural parameters; read-only.
   const std::map<std::string, interp::Value> *Params = nullptr;
 };

@@ -1,0 +1,83 @@
+//===- StateTable.h - Dense per-instance runtime state ----------*- C++ -*-===//
+///
+/// \file
+/// The per-instance runtime-state store behind BehaviorContext::state()
+/// and BSL runtime variables (paper Section 4.3). Historically a
+/// std::map<std::string, Value>; lowered to a build-time-resolved slot
+/// table so the simulation hot path reads state through a dense index
+/// instead of a string compare per access.
+///
+/// Slots are created by name (bind) and never removed; values live in a
+/// deque so Value pointers handed out (state(), findState) stay valid for
+/// the lifetime of the table — including across reset(), which blanks the
+/// values but keeps every slot identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_BSL_STATETABLE_H
+#define LIBERTY_BSL_STATETABLE_H
+
+#include "interp/Value.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace bsl {
+
+class StateTable {
+public:
+  /// The slot named \p Name, or -1 if it was never bound.
+  int find(const std::string &Name) const {
+    for (size_t I = 0; I != Names.size(); ++I)
+      if (Names[I] == Name)
+        return int(I);
+    return -1;
+  }
+
+  /// Finds or creates (as Unset) the slot named \p Name. Slot ids are
+  /// stable for the lifetime of the table.
+  int bind(const std::string &Name) {
+    int Id = find(Name);
+    if (Id >= 0)
+      return Id;
+    Names.push_back(Name);
+    Values.emplace_back();
+    return int(Names.size()) - 1;
+  }
+
+  interp::Value &slot(int Id) { return Values[size_t(Id)]; }
+  const interp::Value &slot(int Id) const { return Values[size_t(Id)]; }
+
+  /// Pointer to the named slot's value, or null if unbound. The pointer
+  /// stays valid as slots are added (deque storage) and across reset().
+  interp::Value *lookup(const std::string &Name) {
+    int Id = find(Name);
+    return Id < 0 ? nullptr : &Values[size_t(Id)];
+  }
+
+  /// Convenience accessor with map-like semantics (find-or-create).
+  interp::Value &operator[](const std::string &Name) {
+    return Values[size_t(bind(Name))];
+  }
+
+  /// Blanks every value to Unset, keeping all slot identities (so ids and
+  /// cached Value pointers survive a simulator reset).
+  void resetValues() {
+    for (interp::Value &V : Values)
+      V = interp::Value();
+  }
+
+  size_t size() const { return Names.size(); }
+  const std::string &name(int Id) const { return Names[size_t(Id)]; }
+
+private:
+  std::vector<std::string> Names;
+  std::deque<interp::Value> Values; // Deque: pointer-stable growth.
+};
+
+} // namespace bsl
+} // namespace liberty
+
+#endif // LIBERTY_BSL_STATETABLE_H

@@ -339,72 +339,108 @@ bool stallAsserted(BehaviorContext &Ctx, const char *Port = "stall") {
   return V && V->isBool() && V->getBool();
 }
 
+/// Bound-id twin for behaviors that resolved the stall port in init().
+bool stallAsserted(BehaviorContext &Ctx, int Port) {
+  if (Ctx.getWidth(Port) == 0)
+    return false;
+  const Value *V = Ctx.getInput(Port, 0);
+  return V && V->isBool() && V->getBool();
+}
+
+// Behaviors bind their ports (and hot state slots) once in init() and use
+// the dense ids on the per-cycle path; parameters that cannot change after
+// elaboration are cached there too.
+
 class ConstSource : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    Out = Ctx.bindPort("out");
+    Val = Value::makeInt(paramInt(Ctx, "value", 0));
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    Value V = Value::makeInt(paramInt(Ctx, "value", 0));
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-      Ctx.setOutput("out", I, V);
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+      Ctx.setOutput(Out, I, Val);
   }
   // Output depends only on a parameter (constant per run), so the
   // selective engine may carry it forward after the first cycle.
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int Out = -1;
+  Value Val;
 };
 
 class CounterSource : public LeafBehavior {
 public:
-  void evaluate(BehaviorContext &Ctx) override {
-    int64_t V = paramInt(Ctx, "start", 0) +
-                paramInt(Ctx, "stride", 1) *
-                    static_cast<int64_t>(Ctx.getCycle());
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-      Ctx.setOutput("out", I, Value::makeInt(V));
+  void init(BehaviorContext &Ctx) override {
+    Out = Ctx.bindPort("out");
+    Start = paramInt(Ctx, "start", 0);
+    Stride = paramInt(Ctx, "stride", 1);
   }
+  void evaluate(BehaviorContext &Ctx) override {
+    int64_t V = Start + Stride * static_cast<int64_t>(Ctx.getCycle());
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+      Ctx.setOutput(Out, I, Value::makeInt(V));
+  }
+
+private:
+  int Out = -1;
+  int64_t Start = 0;
+  int64_t Stride = 1;
 };
 
 class GenericSource : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
     Rng = static_cast<uint64_t>(paramInt(Ctx, "seed", 1));
+    Out = Ctx.bindPort("out");
+    Pattern = paramString(Ctx, "pattern", "counter");
+    ConstVal = paramInt(Ctx, "value", 0);
+    Range = paramInt(Ctx, "range", 0);
+    // Adapt to the inferred port type (type-dependent BSL fragment).
+    const types::Type *Ty = Ctx.getPortType("out");
+    FloatOut = Ty && Ty->getKind() == types::Type::Kind::Float;
   }
   void evaluate(BehaviorContext &Ctx) override {
     // A customized generate userpoint wins; otherwise follow the pattern.
     Value V = Ctx.callUserpoint(
         "generate", {Value::makeInt(static_cast<int64_t>(Ctx.getCycle()))});
     if (V.isUnset()) {
-      std::string Pattern = paramString(Ctx, "pattern", "counter");
       int64_t N;
       if (Pattern == "const")
-        N = paramInt(Ctx, "value", 0);
+        N = ConstVal;
       else if (Pattern == "random") {
         Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
         N = static_cast<int64_t>(Rng >> 40);
       } else
         N = static_cast<int64_t>(Ctx.getCycle());
-      int64_t Range = paramInt(Ctx, "range", 0);
       if (Range > 0)
         N = ((N % Range) + Range) % Range;
       V = Value::makeInt(N);
     }
-    // Adapt to the inferred port type (type-dependent BSL fragment).
-    const types::Type *Ty = Ctx.getPortType("out");
-    if (Ty && Ty->getKind() == types::Type::Kind::Float && V.isInt())
+    if (FloatOut && V.isInt())
       V = Value::makeFloat(static_cast<double>(V.getInt()));
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-      Ctx.setOutput("out", I, V);
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+      Ctx.setOutput(Out, I, V);
   }
 
 private:
   uint64_t Rng = 1;
+  int Out = -1;
+  std::string Pattern;
+  int64_t ConstVal = 0;
+  int64_t Range = 0;
+  bool FloatOut = false;
 };
 
 class BoolSource : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
     Rng = static_cast<uint64_t>(paramInt(Ctx, "seed", 7)) * 2654435761u + 1;
+    Out = Ctx.bindPort("out");
+    Pattern = paramString(Ctx, "pattern", "toggle");
   }
   void evaluate(BehaviorContext &Ctx) override {
-    std::string Pattern = paramString(Ctx, "pattern", "toggle");
     bool B;
     if (Pattern == "const_true")
       B = true;
@@ -415,42 +451,54 @@ public:
       B = (Rng >> 40) & 1;
     } else
       B = Ctx.getCycle() % 2 == 1;
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-      Ctx.setOutput("out", I, Value::makeBool(B));
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+      Ctx.setOutput(Out, I, Value::makeBool(B));
   }
 
 private:
   uint64_t Rng = 1;
+  int Out = -1;
+  std::string Pattern;
 };
 
 class Sink : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In = Ctx.bindPort("in");
+    Received = Ctx.bindState("received");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
-      const Value *V = Ctx.getInput("in", I);
+    for (int I = 0, W = Ctx.getWidth(In); I != W; ++I) {
+      const Value *V = Ctx.getInput(In, I);
       if (!V)
         continue;
-      Value &Count = Ctx.state("received");
+      Value &Count = Ctx.state(Received);
       Count = Value::makeInt(Count.isInt() ? Count.getInt() + 1 : 1);
       Ctx.emitEvent("received", *V);
     }
   }
+
+private:
+  int In = -1;
+  int Received = -1;
 };
 
 class Delay : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
-    // The state map's nodes are pointer-stable, so the hot path can cache
-    // the slot across cycles (re-acquired on every reset).
+    // State slots are pointer-stable, so the hot path can cache the slot
+    // across cycles (re-acquired on every reset).
+    In = Ctx.bindPort("in");
+    Out = Ctx.bindPort("out");
     Held = &Ctx.state("held");
     *Held = Value::makeInt(paramInt(Ctx, "initial_state", 0));
   }
   void evaluate(BehaviorContext &Ctx) override {
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-      Ctx.setOutput("out", I, *Held);
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+      Ctx.setOutput(Out, I, *Held);
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    if (const Value *V = Ctx.getInput("in", 0))
+    if (const Value *V = Ctx.getInput(In, 0))
       *Held = *V;
   }
   bool readsCombinationally(const std::string &) const override {
@@ -458,48 +506,65 @@ public:
   }
 
 private:
+  int In = -1;
+  int Out = -1;
   Value *Held = nullptr;
 };
 
 class Reg : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In = Ctx.bindPort("in");
+    En = Ctx.bindPort("en");
+    Out = Ctx.bindPort("out");
+    HeldId = Ctx.bindState("held");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value &Held = Ctx.state("held");
+    const Value &Held = Ctx.state(HeldId);
     if (Held.isData())
-      for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-        Ctx.setOutput("out", I, Held);
+      for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+        Ctx.setOutput(Out, I, Held);
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    if (Ctx.getWidth("en") > 0) {
-      const Value *En = Ctx.getInput("en", 0);
-      if (!En || !En->isBool() || !En->getBool())
+    if (Ctx.getWidth(En) > 0) {
+      const Value *EnV = Ctx.getInput(En, 0);
+      if (!EnV || !EnV->isBool() || !EnV->getBool())
         return; // Disabled: hold.
     }
-    if (const Value *V = Ctx.getInput("in", 0))
-      Ctx.state("held") = *V;
+    if (const Value *V = Ctx.getInput(In, 0))
+      Ctx.state(HeldId) = *V;
   }
   bool readsCombinationally(const std::string &) const override {
     return false;
   }
+
+private:
+  int In = -1;
+  int En = -1;
+  int Out = -1;
+  int HeldId = -1;
 };
 
 class PipeLatch : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
-    Held.assign(Ctx.getWidth("out"), Value());
+    In = Ctx.bindPort("in");
+    Out = Ctx.bindPort("out");
+    Stall = Ctx.bindPort("stall");
+    Held.assign(Ctx.getWidth(Out), Value());
   }
   void evaluate(BehaviorContext &Ctx) override {
-    for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
+    for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
       if (I < static_cast<int>(Held.size()) && Held[I].isData())
-        Ctx.setOutput("out", I, Held[I]);
+        Ctx.setOutput(Out, I, Held[I]);
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    if (stallAsserted(Ctx))
+    if (stallAsserted(Ctx, Stall))
       return;
-    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
+    for (int I = 0, W = Ctx.getWidth(In); I != W; ++I) {
       if (I >= static_cast<int>(Held.size()))
         break;
-      const Value *V = Ctx.getInput("in", I);
+      const Value *V = Ctx.getInput(In, I);
       Held[I] = V ? *V : Value();
     }
   }
@@ -508,6 +573,9 @@ public:
   }
 
 private:
+  int In = -1;
+  int Out = -1;
+  int Stall = -1;
   std::vector<Value> Held;
 };
 
@@ -520,29 +588,44 @@ static Value numericAdd(const Value &A, const Value &B) {
 
 class Adder : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In1 = Ctx.bindPort("in1");
+    In2 = Ctx.bindPort("in2");
+    Out = Ctx.bindPort("out");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value *A = Ctx.getInput("in1", 0);
-    const Value *B = Ctx.getInput("in2", 0);
+    const Value *A = Ctx.getInput(In1, 0);
+    const Value *B = Ctx.getInput(In2, 0);
     if (A && B)
-      Ctx.setOutput("out", 0, numericAdd(*A, *B));
+      Ctx.setOutput(Out, 0, numericAdd(*A, *B));
   }
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int In1 = -1;
+  int In2 = -1;
+  int Out = -1;
 };
 
 class Alu : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    APort = Ctx.bindPort("a");
+    BPort = Ctx.bindPort("b");
+    Out = Ctx.bindPort("out");
+    Op = paramString(Ctx, "op", "add");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value *A = Ctx.getInput("a", 0);
+    const Value *A = Ctx.getInput(APort, 0);
     if (!A)
       return;
-    if (Ctx.getWidth("b") == 0) { // Unary configuration.
-      Ctx.setOutput("out", 0, *A);
+    if (Ctx.getWidth(BPort) == 0) { // Unary configuration.
+      Ctx.setOutput(Out, 0, *A);
       return;
     }
-    const Value *B = Ctx.getInput("b", 0);
+    const Value *B = Ctx.getInput(BPort, 0);
     if (!B)
       return;
-    std::string Op = paramString(Ctx, "op", "add");
     bool Ints = A->isInt() && B->isInt();
     auto AsF = [](const Value &V) { return V.getNumeric(); };
     Value R;
@@ -567,75 +650,117 @@ public:
                : Value::makeFloat(std::max(AsF(*A), AsF(*B)));
     else
       R = numericAdd(*A, *B);
-    Ctx.setOutput("out", 0, R);
+    Ctx.setOutput(Out, 0, R);
   }
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int APort = -1;
+  int BPort = -1;
+  int Out = -1;
+  std::string Op;
 };
 
 class Mux : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In = Ctx.bindPort("in");
+    Sel = Ctx.bindPort("sel");
+    Out = Ctx.bindPort("out");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value *Sel = Ctx.getInput("sel", 0);
-    if (!Sel || !Sel->isInt())
+    const Value *SelV = Ctx.getInput(Sel, 0);
+    if (!SelV || !SelV->isInt())
       return;
-    int64_t S = Sel->getInt();
-    if (S < 0 || S >= Ctx.getWidth("in"))
+    int64_t S = SelV->getInt();
+    if (S < 0 || S >= Ctx.getWidth(In))
       return;
-    if (const Value *V = Ctx.getInput("in", static_cast<int>(S)))
-      Ctx.setOutput("out", 0, *V);
+    if (const Value *V = Ctx.getInput(In, static_cast<int>(S)))
+      Ctx.setOutput(Out, 0, *V);
   }
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int In = -1;
+  int Sel = -1;
+  int Out = -1;
 };
 
 class Demux : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In = Ctx.bindPort("in");
+    Sel = Ctx.bindPort("sel");
+    Out = Ctx.bindPort("out");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value *Sel = Ctx.getInput("sel", 0);
-    const Value *V = Ctx.getInput("in", 0);
-    if (!Sel || !Sel->isInt() || !V)
+    const Value *SelV = Ctx.getInput(Sel, 0);
+    const Value *V = Ctx.getInput(In, 0);
+    if (!SelV || !SelV->isInt() || !V)
       return;
-    int64_t S = Sel->getInt();
-    if (S >= 0 && S < Ctx.getWidth("out"))
-      Ctx.setOutput("out", static_cast<int>(S), *V);
+    int64_t S = SelV->getInt();
+    if (S >= 0 && S < Ctx.getWidth(Out))
+      Ctx.setOutput(Out, static_cast<int>(S), *V);
   }
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int In = -1;
+  int Sel = -1;
+  int Out = -1;
 };
 
 class Fanout : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    In = Ctx.bindPort("in");
+    Out = Ctx.bindPort("out");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    if (const Value *V = Ctx.getInput("in", 0))
-      for (int I = 0, W = Ctx.getWidth("out"); I != W; ++I)
-        Ctx.setOutput("out", I, *V);
+    if (const Value *V = Ctx.getInput(In, 0))
+      for (int I = 0, W = Ctx.getWidth(Out); I != W; ++I)
+        Ctx.setOutput(Out, I, *V);
   }
   bool hasPureEvaluate() const override { return true; }
+
+private:
+  int In = -1;
+  int Out = -1;
 };
 
 class Arbiter : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
-    Ctx.state("last") = Value::makeInt(-1);
+    In = Ctx.bindPort("in");
+    Out = Ctx.bindPort("out");
+    Last = Ctx.bindState("last");
+    Ctx.state(Last) = Value::makeInt(-1);
   }
   void evaluate(BehaviorContext &Ctx) override {
-    int W = std::min(Ctx.getWidth("in"), 62);
+    int W = std::min(Ctx.getWidth(In), 62);
     int64_t Mask = 0;
     for (int I = 0; I != W; ++I)
-      if (Ctx.getInput("in", I))
+      if (Ctx.getInput(In, I))
         Mask |= int64_t(1) << I;
     if (!Mask)
       return;
     Value Idx = Ctx.callUserpoint(
-        "policy", {Value::makeInt(Mask), Ctx.state("last"),
+        "policy", {Value::makeInt(Mask), Ctx.state(Last),
                    Value::makeInt(W)});
     if (!Idx.isInt() || Idx.getInt() < 0 || Idx.getInt() >= W)
       return;
     int Granted = static_cast<int>(Idx.getInt());
-    if (const Value *V = Ctx.getInput("in", Granted)) {
-      Ctx.setOutput("out", 0, *V);
-      Ctx.state("last") = Value::makeInt(Granted);
+    if (const Value *V = Ctx.getInput(In, Granted)) {
+      Ctx.setOutput(Out, 0, *V);
+      Ctx.state(Last) = Value::makeInt(Granted);
       Ctx.emitEvent("grant", Value::makeInt(Granted));
     }
   }
+
+private:
+  int In = -1;
+  int Out = -1;
+  int Last = -1;
 };
 
 class Queue : public LeafBehavior {
@@ -643,21 +768,25 @@ public:
   void init(BehaviorContext &Ctx) override {
     Q.clear();
     Depth = static_cast<size_t>(std::max<int64_t>(1, paramInt(Ctx, "depth", 4)));
+    In = Ctx.bindPort("in");
+    Stall = Ctx.bindPort("stall");
+    Out = Ctx.bindPort("out");
+    Occupancy = Ctx.bindState("occupancy");
   }
   void evaluate(BehaviorContext &Ctx) override {
     SentThisCycle = !Q.empty();
     if (SentThisCycle)
-      Ctx.setOutput("out", 0, Q.front());
-    Ctx.state("occupancy") = Value::makeInt(static_cast<int64_t>(Q.size()));
+      Ctx.setOutput(Out, 0, Q.front());
+    Ctx.state(Occupancy) = Value::makeInt(static_cast<int64_t>(Q.size()));
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    bool Stalled = stallAsserted(Ctx);
+    bool Stalled = stallAsserted(Ctx, Stall);
     if (SentThisCycle && !Stalled) {
       Ctx.emitEvent("dequeue", Q.front());
       Q.pop_front();
     }
-    for (int I = 0, W = Ctx.getWidth("in"); I != W; ++I) {
-      const Value *V = Ctx.getInput("in", I);
+    for (int I = 0, W = Ctx.getWidth(In); I != W; ++I) {
+      const Value *V = Ctx.getInput(In, I);
       if (!V)
         continue;
       if (Q.size() >= Depth) {
@@ -676,6 +805,10 @@ private:
   std::deque<Value> Q;
   size_t Depth = 4;
   bool SentThisCycle = false;
+  int In = -1;
+  int Stall = -1;
+  int Out = -1;
+  int Occupancy = -1;
 };
 
 /// Shared implementation of memory and regfile: combinational reads,
@@ -688,20 +821,24 @@ public:
   void init(BehaviorContext &Ctx) override {
     Size = std::max<int64_t>(1, paramInt(Ctx, SizeParam, DefaultSize));
     Cells.assign(static_cast<size_t>(Size), Value::makeInt(0));
+    RAddr = Ctx.bindPort("raddr");
+    RData = Ctx.bindPort("rdata");
+    WAddr = Ctx.bindPort("waddr");
+    WData = Ctx.bindPort("wdata");
   }
   void evaluate(BehaviorContext &Ctx) override {
-    for (int R = 0, W = Ctx.getWidth("raddr"); R != W; ++R) {
-      const Value *A = Ctx.getInput("raddr", R);
+    for (int R = 0, W = Ctx.getWidth(RAddr); R != W; ++R) {
+      const Value *A = Ctx.getInput(RAddr, R);
       if (!A || !A->isInt())
         continue;
       int64_t Addr = ((A->getInt() % Size) + Size) % Size;
-      Ctx.setOutput("rdata", R, Cells[static_cast<size_t>(Addr)]);
+      Ctx.setOutput(RData, R, Cells[static_cast<size_t>(Addr)]);
     }
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    for (int Wp = 0, W = Ctx.getWidth("waddr"); Wp != W; ++Wp) {
-      const Value *A = Ctx.getInput("waddr", Wp);
-      const Value *D = Ctx.getInput("wdata", Wp);
+    for (int Wp = 0, W = Ctx.getWidth(WAddr); Wp != W; ++Wp) {
+      const Value *A = Ctx.getInput(WAddr, Wp);
+      const Value *D = Ctx.getInput(WData, Wp);
       if (!A || !A->isInt() || !D)
         continue;
       int64_t Addr = ((A->getInt() % Size) + Size) % Size;
@@ -717,6 +854,10 @@ private:
   int64_t DefaultSize;
   int64_t Size = 1;
   std::vector<Value> Cells;
+  int RAddr = -1;
+  int RData = -1;
+  int WAddr = -1;
+  int WData = -1;
 };
 
 } // namespace

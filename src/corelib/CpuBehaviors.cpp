@@ -50,7 +50,7 @@ std::string paramString(BehaviorContext &Ctx, const char *Name,
   return V && V->isString() ? V->getString() : Default;
 }
 
-bool stallAsserted(BehaviorContext &Ctx, const char *Port = "stall") {
+bool stallAsserted(BehaviorContext &Ctx, int Port) {
   if (Ctx.getWidth(Port) == 0)
     return false;
   const Value *V = Ctx.getInput(Port, 0);
@@ -77,28 +77,31 @@ public:
     Pending.clear();
     Tick = 0;
     Rng = 0x9e3779b97f4a7c15ULL;
+    Addr = Ctx.bindPort("addr");
+    Ready = Ctx.bindPort("ready");
+    MemAddr = Ctx.bindPort("mem_addr");
   }
 
   void evaluate(BehaviorContext &Ctx) override {
-    for (int P = 0, W = Ctx.getWidth("addr"); P != W; ++P) {
+    for (int P = 0, W = Ctx.getWidth(Addr); P != W; ++P) {
       auto PendIt = Pending.find(P);
       if (PendIt != Pending.end()) {
-        Ctx.setOutput("ready", P, Value::makeBool(false));
+        Ctx.setOutput(Ready, P, Value::makeBool(false));
         continue;
       }
-      const Value *A = Ctx.getInput("addr", P);
+      const Value *A = Ctx.getInput(Addr, P);
       if (!A || !A->isInt())
         continue;
       int64_t Block = A->getInt() / 32;
       if (lookup(Block)) {
         Ctx.emitEvent("hit", *A);
-        Ctx.setOutput("ready", P, Value::makeBool(true));
+        Ctx.setOutput(Ready, P, Value::makeBool(true));
         continue;
       }
       Ctx.emitEvent("miss", *A);
-      Ctx.setOutput("ready", P, Value::makeBool(false));
-      if (P < Ctx.getWidth("mem_addr"))
-        Ctx.setOutput("mem_addr", P, Value::makeInt(Block * 32));
+      Ctx.setOutput(Ready, P, Value::makeBool(false));
+      if (P < Ctx.getWidth(MemAddr))
+        Ctx.setOutput(MemAddr, P, Value::makeInt(Block * 32));
       Pending.emplace(P, PendingMiss{Block, MissLatency});
     }
   }
@@ -170,6 +173,9 @@ private:
   std::map<int, PendingMiss> Pending;
   uint64_t Tick = 0;
   uint64_t Rng = 1;
+  int Addr = -1;
+  int Ready = -1;
+  int MemAddr = -1;
 };
 
 //===----------------------------------------------------------------------===//
@@ -182,49 +188,55 @@ public:
     Entries = std::max<int64_t>(16, paramInt(Ctx, "entries", 256));
     Table.assign(static_cast<size_t>(Entries), 1); // Weakly not-taken.
     Btb.clear();
+    Pc = Ctx.bindPort("pc");
+    Pred = Ctx.bindPort("pred");
+    BranchTarget = Ctx.bindPort("branch_target");
+    ResolvePc = Ctx.bindPort("resolve_pc");
+    ResolveTaken = Ctx.bindPort("resolve_taken");
+    ResolveTarget = Ctx.bindPort("resolve_target");
     // Use-based specialization at run time: BTB machinery only exists when
     // the branch_target port was connected by the enclosing model.
-    BtbEnabled = Ctx.getWidth("branch_target") > 0;
+    BtbEnabled = Ctx.getWidth(BranchTarget) > 0;
   }
 
   void evaluate(BehaviorContext &Ctx) override {
-    for (int P = 0, W = Ctx.getWidth("pc"); P != W; ++P) {
-      const Value *Pc = Ctx.getInput("pc", P);
-      if (!Pc || !Pc->isInt())
+    for (int P = 0, W = Ctx.getWidth(Pc); P != W; ++P) {
+      const Value *PcV = Ctx.getInput(Pc, P);
+      if (!PcV || !PcV->isInt())
         continue;
-      Ctx.emitEvent("lookup", *Pc);
-      size_t Idx = index(Pc->getInt());
+      Ctx.emitEvent("lookup", *PcV);
+      size_t Idx = index(PcV->getInt());
       bool Taken = Table[Idx] >= 2;
-      if (P < Ctx.getWidth("pred"))
-        Ctx.setOutput("pred", P, Value::makeBool(Taken));
+      if (P < Ctx.getWidth(Pred))
+        Ctx.setOutput(Pred, P, Value::makeBool(Taken));
       if (BtbEnabled && Taken) {
-        auto It = Btb.find(Pc->getInt());
-        if (It != Btb.end() && P < Ctx.getWidth("branch_target"))
-          Ctx.setOutput("branch_target", P, Value::makeInt(It->second));
+        auto It = Btb.find(PcV->getInt());
+        if (It != Btb.end() && P < Ctx.getWidth(BranchTarget))
+          Ctx.setOutput(BranchTarget, P, Value::makeInt(It->second));
       }
-      LastPred[Pc->getInt()] = Taken;
+      LastPred[PcV->getInt()] = Taken;
     }
   }
 
   void endOfTimestep(BehaviorContext &Ctx) override {
-    for (int P = 0, W = Ctx.getWidth("resolve_pc"); P != W; ++P) {
-      const Value *Pc = Ctx.getInput("resolve_pc", P);
-      const Value *TakenV = Ctx.getInput("resolve_taken", P);
-      if (!Pc || !Pc->isInt() || !TakenV || !TakenV->isBool())
+    for (int P = 0, W = Ctx.getWidth(ResolvePc); P != W; ++P) {
+      const Value *PcV = Ctx.getInput(ResolvePc, P);
+      const Value *TakenV = Ctx.getInput(ResolveTaken, P);
+      if (!PcV || !PcV->isInt() || !TakenV || !TakenV->isBool())
         continue;
       bool Taken = TakenV->getBool();
-      size_t Idx = index(Pc->getInt());
+      size_t Idx = index(PcV->getInt());
       if (Taken && Table[Idx] < 3)
         ++Table[Idx];
       else if (!Taken && Table[Idx] > 0)
         --Table[Idx];
-      auto PredIt = LastPred.find(Pc->getInt());
+      auto PredIt = LastPred.find(PcV->getInt());
       if (PredIt != LastPred.end() && PredIt->second != Taken)
-        Ctx.emitEvent("mispredict", *Pc);
+        Ctx.emitEvent("mispredict", *PcV);
       if (BtbEnabled && Taken)
-        if (const Value *T = Ctx.getInput("resolve_target", P))
+        if (const Value *T = Ctx.getInput(ResolveTarget, P))
           if (T->isInt())
-            Btb[Pc->getInt()] = T->getInt();
+            Btb[PcV->getInt()] = T->getInt();
     }
   }
 
@@ -238,6 +250,12 @@ private:
   std::map<int64_t, int64_t> Btb;
   std::map<int64_t, bool> LastPred;
   bool BtbEnabled = false;
+  int Pc = -1;
+  int Pred = -1;
+  int BranchTarget = -1;
+  int ResolvePc = -1;
+  int ResolveTaken = -1;
+  int ResolveTarget = -1;
 };
 
 //===----------------------------------------------------------------------===//
@@ -253,22 +271,24 @@ public:
         static_cast<int>(paramInt(Ctx, "mem_frac", 30)),
         static_cast<int>(paramInt(Ctx, "branch_frac", 15)));
     StalledLastCycle = false;
+    Instr = Ctx.bindPort("instr");
+    Stall = Ctx.bindPort("stall");
   }
 
   void evaluate(BehaviorContext &Ctx) override {
     if (StalledLastCycle || Remaining <= 0)
       return;
-    for (int I = 0, W = Ctx.getWidth("instr"); I != W && Remaining > 0; ++I) {
+    for (int I = 0, W = Ctx.getWidth(Instr); I != W && Remaining > 0; ++I) {
       MicroInstr MI = Gen->next();
       --Remaining;
       Value Token = TraceGen::toValue(MI);
       Ctx.emitEvent("fetched", Token);
-      Ctx.setOutput("instr", I, std::move(Token));
+      Ctx.setOutput(Instr, I, std::move(Token));
     }
   }
 
   void endOfTimestep(BehaviorContext &Ctx) override {
-    StalledLastCycle = stallAsserted(Ctx);
+    StalledLastCycle = stallAsserted(Ctx, Stall);
   }
 
   bool readsCombinationally(const std::string &) const override {
@@ -279,25 +299,30 @@ private:
   int64_t Remaining = 0;
   std::unique_ptr<TraceGen> Gen;
   bool StalledLastCycle = false;
+  int Instr = -1;
+  int Stall = -1;
 };
 
 class Decode : public LeafBehavior {
 public:
   void init(BehaviorContext &Ctx) override {
-    Held.assign(Ctx.getWidth("uop"), Value());
+    Instr = Ctx.bindPort("instr");
+    Uop = Ctx.bindPort("uop");
+    Stall = Ctx.bindPort("stall");
+    Held.assign(Ctx.getWidth(Uop), Value());
   }
   void evaluate(BehaviorContext &Ctx) override {
-    for (int I = 0, W = Ctx.getWidth("uop"); I != W; ++I)
+    for (int I = 0, W = Ctx.getWidth(Uop); I != W; ++I)
       if (I < static_cast<int>(Held.size()) && Held[I].isData())
-        Ctx.setOutput("uop", I, Held[I]);
+        Ctx.setOutput(Uop, I, Held[I]);
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    if (stallAsserted(Ctx))
+    if (stallAsserted(Ctx, Stall))
       return;
-    for (int I = 0, W = Ctx.getWidth("instr"); I != W; ++I) {
+    for (int I = 0, W = Ctx.getWidth(Instr); I != W; ++I) {
       if (I >= static_cast<int>(Held.size()))
         break;
-      const Value *V = Ctx.getInput("instr", I);
+      const Value *V = Ctx.getInput(Instr, I);
       Held[I] = V ? *V : Value();
     }
   }
@@ -307,6 +332,9 @@ public:
 
 private:
   std::vector<Value> Held;
+  int Instr = -1;
+  int Uop = -1;
+  int Stall = -1;
 };
 
 /// Issue window with a register scoreboard. Dispatch decisions are made
@@ -319,11 +347,16 @@ public:
     InOrder = paramBool(Ctx, "inorder", true);
     Window.clear();
     BusyRegs.clear();
-    FuBusy.assign(Ctx.getWidth("dispatch"), false);
+    Uop = Ctx.bindPort("uop");
+    FuBusyPort = Ctx.bindPort("fu_busy");
+    Complete = Ctx.bindPort("complete");
+    Dispatch = Ctx.bindPort("dispatch");
+    StallPort = Ctx.bindPort("stall");
+    FuBusy.assign(Ctx.getWidth(Dispatch), false);
   }
 
   void evaluate(BehaviorContext &Ctx) override {
-    int NumFus = Ctx.getWidth("dispatch");
+    int NumFus = Ctx.getWidth(Dispatch);
     std::vector<bool> FuUsed(FuBusy.begin(), FuBusy.end());
     std::vector<bool> Issued(Window.size(), false);
     unsigned Dispatched = 0;
@@ -350,7 +383,7 @@ public:
       }
       FuUsed[Fu] = true;
       Issued[W] = true;
-      Ctx.setOutput("dispatch", Fu, TraceGen::toValue(MI));
+      Ctx.setOutput(Dispatch, Fu, TraceGen::toValue(MI));
       ++Dispatched;
     }
 
@@ -366,31 +399,31 @@ public:
 
     (void)Dispatched;
     bool Stall = Window.size() >= static_cast<size_t>(WindowSize);
-    Ctx.setOutput("stall", 0, Value::makeBool(Stall));
+    Ctx.setOutput(StallPort, 0, Value::makeBool(Stall));
     if (Stall)
       Ctx.emitEvent("issue_stall", Value::makeInt((int64_t)Window.size()));
   }
 
   void endOfTimestep(BehaviorContext &Ctx) override {
     // Absorb completions first (frees registers for next cycle)...
-    for (int F = 0, W = Ctx.getWidth("complete"); F != W; ++F)
-      if (const Value *V = Ctx.getInput("complete", F)) {
+    for (int F = 0, W = Ctx.getWidth(Complete); F != W; ++F)
+      if (const Value *V = Ctx.getInput(Complete, F)) {
         auto It = BusyRegs.find(TraceGen::fromValue(*V).Dest);
         if (It != BusyRegs.end())
           BusyRegs.erase(It); // One completion frees one in-flight dest.
       }
     // ...then FU occupancy...
-    FuBusy.assign(Ctx.getWidth("dispatch"), false);
-    for (int F = 0, W = Ctx.getWidth("fu_busy"); F != W; ++F)
-      if (const Value *V = Ctx.getInput("fu_busy", F))
+    FuBusy.assign(Ctx.getWidth(Dispatch), false);
+    for (int F = 0, W = Ctx.getWidth(FuBusyPort); F != W; ++F)
+      if (const Value *V = Ctx.getInput(FuBusyPort, F))
         if (F < static_cast<int>(FuBusy.size()))
           FuBusy[F] = V->isBool() && V->getBool();
     // ...then new micro-ops. Absorption is unconditional: the stall signal
     // throttles fetch with a one-cycle lag, so the window may transiently
     // overshoot by up to two fetch groups — a soft limit guarantees no
     // instruction is ever lost.
-    for (int I = 0, W = Ctx.getWidth("uop"); I != W; ++I)
-      if (const Value *V = Ctx.getInput("uop", I))
+    for (int I = 0, W = Ctx.getWidth(Uop); I != W; ++I)
+      if (const Value *V = Ctx.getInput(Uop, I))
         Window.push_back(TraceGen::fromValue(*V));
   }
 
@@ -404,6 +437,11 @@ private:
   std::deque<MicroInstr> Window;
   std::multiset<int64_t> BusyRegs;
   std::vector<bool> FuBusy;
+  int Uop = -1;
+  int FuBusyPort = -1;
+  int Complete = -1;
+  int Dispatch = -1;
+  int StallPort = -1;
 };
 
 class Fu : public LeafBehavior {
@@ -412,6 +450,9 @@ public:
     Latency = std::max<int64_t>(1, paramInt(Ctx, "latency", 1));
     Pipelined = paramBool(Ctx, "pipelined", true);
     Pipe.clear();
+    Uop = Ctx.bindPort("uop");
+    Done = Ctx.bindPort("done");
+    Busy = Ctx.bindPort("busy");
   }
 
   void evaluate(BehaviorContext &Ctx) override {
@@ -422,13 +463,13 @@ public:
     for (size_t I = 0; I != Pipe.size(); ++I) {
       if (Pipe[I].second != 0)
         continue;
-      Ctx.setOutput("done", 0, TraceGen::toValue(Pipe[I].first));
+      Ctx.setOutput(Done, 0, TraceGen::toValue(Pipe[I].first));
       EmittedIdx = static_cast<int>(I);
       break;
     }
-    bool Busy = Pipelined ? Pipe.size() >= static_cast<size_t>(Latency + 2)
-                          : !Pipe.empty();
-    Ctx.setOutput("busy", 0, Value::makeBool(Busy));
+    bool B = Pipelined ? Pipe.size() >= static_cast<size_t>(Latency + 2)
+                       : !Pipe.empty();
+    Ctx.setOutput(Busy, 0, Value::makeBool(B));
   }
 
   void endOfTimestep(BehaviorContext &Ctx) override {
@@ -437,7 +478,7 @@ public:
     for (auto &[MI, Remaining] : Pipe)
       if (Remaining > 0)
         --Remaining;
-    if (const Value *V = Ctx.getInput("uop", 0)) {
+    if (const Value *V = Ctx.getInput(Uop, 0)) {
       MicroInstr MI = TraceGen::fromValue(*V);
       int64_t Lat = std::max<int64_t>(Latency, MI.Lat);
       Pipe.emplace_back(MI, Lat - 1);
@@ -453,21 +494,29 @@ private:
   bool Pipelined = true;
   int EmittedIdx = -1;
   std::deque<std::pair<MicroInstr, int64_t>> Pipe;
+  int Uop = -1;
+  int Done = -1;
+  int Busy = -1;
 };
 
 class Rob : public LeafBehavior {
 public:
+  void init(BehaviorContext &Ctx) override {
+    Done = Ctx.bindPort("done");
+    RetiredPort = Ctx.bindPort("retired");
+    Retired = Ctx.bindState("retired");
+  }
   void evaluate(BehaviorContext &Ctx) override {
-    const Value &Count = Ctx.state("retired");
-    Ctx.setOutput("retired", 0,
+    const Value &Count = Ctx.state(Retired);
+    Ctx.setOutput(RetiredPort, 0,
                   Count.isInt() ? Count : Value::makeInt(0));
   }
   void endOfTimestep(BehaviorContext &Ctx) override {
-    for (int F = 0, W = Ctx.getWidth("done"); F != W; ++F) {
-      const Value *V = Ctx.getInput("done", F);
+    for (int F = 0, W = Ctx.getWidth(Done); F != W; ++F) {
+      const Value *V = Ctx.getInput(Done, F);
       if (!V)
         continue;
-      Value &Count = Ctx.state("retired");
+      Value &Count = Ctx.state(Retired);
       Count = Value::makeInt(Count.isInt() ? Count.getInt() + 1 : 1);
       Ctx.emitEvent("retire", *V);
     }
@@ -475,6 +524,11 @@ public:
   bool readsCombinationally(const std::string &) const override {
     return false;
   }
+
+private:
+  int Done = -1;
+  int RetiredPort = -1;
+  int Retired = -1;
 };
 
 } // namespace

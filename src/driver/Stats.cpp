@@ -108,7 +108,7 @@ void liberty::driver::printTable2Header(std::ostream &OS) {
 void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
                                      const infer::NetlistInferenceStats &IS,
                                      const PhaseTimer &Timer,
-                                     const sim::ActivityStats *Activity) {
+                                     const sim::Simulator *Sim) {
   OS << "{\n";
   OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
   OS << "  \"phases\": ";
@@ -140,10 +140,14 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
   }
   OS << "\n    ]\n  },\n";
 
-  if (Activity) {
-    const sim::ActivityStats &A = *Activity;
+  if (Sim) {
+    const sim::ActivityStats &A = Sim->getActivityStats();
+    const sim::Simulator::BuildInfo &BI = Sim->getBuildInfo();
     OS << "  \"simulation\": {\n"
        << "    \"selective\": " << (A.Selective ? "true" : "false") << ",\n"
+       << "    \"jobs\": " << Sim->getOptions().Jobs << ",\n"
+       << "    \"levels\": " << BI.NumLevels << ",\n"
+       << "    \"max_level_width\": " << BI.MaxLevelWidth << ",\n"
        << "    \"cycles\": " << A.Cycles << ",\n"
        << "    \"groups_evaluated\": " << A.GroupsEvaluated << ",\n"
        << "    \"groups_skipped\": " << A.GroupsSkipped << ",\n"

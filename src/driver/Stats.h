@@ -28,7 +28,7 @@ class Netlist;
 }
 
 namespace sim {
-struct ActivityStats;
+class Simulator;
 }
 
 namespace driver {
@@ -88,13 +88,14 @@ void printTable2Header(std::ostream &OS);
 /// Serializes one compilation's observability record as a JSON document:
 /// per-phase wall times and counters from \p Timer, the inference solve
 /// record including per-H3-group unify-step counts, and the Table 2 reuse
-/// metrics. This is the payload of `lssc --stats-json`. When \p Activity
-/// is non-null (a simulation ran), a "simulation" section reports the
-/// selective-trace engine's activity counters.
+/// metrics. This is the payload of `lssc --stats-json`. When \p Sim is
+/// non-null (a simulation ran), a "simulation" section reports the
+/// engine configuration (worker threads, wavefront level shape) and the
+/// selective-trace activity counters.
 void printStatsJson(std::ostream &OS, const ModelStats &S,
                     const infer::NetlistInferenceStats &IS,
                     const PhaseTimer &Timer,
-                    const sim::ActivityStats *Activity = nullptr);
+                    const sim::Simulator *Sim = nullptr);
 
 } // namespace driver
 } // namespace liberty

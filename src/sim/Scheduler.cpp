@@ -8,6 +8,47 @@
 using namespace liberty;
 using namespace liberty::sim;
 
+namespace {
+
+/// Assigns each group its ASAP (longest-path) depth in the condensation:
+/// level 0 for groups with no predecessors, otherwise one more than the
+/// deepest predecessor. A single ascending sweep suffices because Tarjan's
+/// condensation order puts every edge source at a smaller group index than
+/// its target, so a group's level is final before any of its successors
+/// are relaxed. The DFS order interleaves independent chains, so levels
+/// are deliberately NOT contiguous index ranges — ASAP packing is what
+/// lets a wide netlist present all its independent groups in one level.
+void assignLevels(Schedule &S, int NumNodes,
+                  const std::vector<std::vector<int>> &Successors) {
+  int NumGroups = int(S.Groups.size());
+  std::vector<int> NodeGroup(NumNodes, -1);
+  for (int G = 0; G != NumGroups; ++G)
+    for (int Node : S.Groups[G])
+      NodeGroup[Node] = G;
+
+  S.GroupLevel.assign(NumGroups, 0);
+  int NumLevels = NumGroups ? 1 : 0;
+  for (int G = 0; G != NumGroups; ++G)
+    for (int Node : S.Groups[G])
+      for (int V : Successors[Node]) {
+        int GV = NodeGroup[V];
+        if (GV == G)
+          continue; // Intra-group (cyclic) edge.
+        assert(G < GV && "condensation order is not topological");
+        S.GroupLevel[GV] = std::max(S.GroupLevel[GV], S.GroupLevel[G] + 1);
+        NumLevels = std::max(NumLevels, S.GroupLevel[GV] + 1);
+      }
+
+  S.Levels.assign(NumLevels, {});
+  for (int G = 0; G != NumGroups; ++G)
+    S.Levels[S.GroupLevel[G]].push_back(G); // Ascending within each level.
+  S.MaxLevel = 0;
+  for (const std::vector<int> &L : S.Levels)
+    S.MaxLevel = std::max(S.MaxLevel, unsigned(L.size()));
+}
+
+} // namespace
+
 Schedule liberty::sim::computeSchedule(
     int NumNodes, const std::vector<std::vector<int>> &Successors) {
   assert(static_cast<int>(Successors.size()) == NumNodes &&
@@ -74,6 +115,17 @@ Schedule liberty::sim::computeSchedule(
 
   Schedule S;
   S.Groups.assign(SCCs.rbegin(), SCCs.rend());
+
+  // Structural counts, once, at construction (not per accessor call).
+  S.NumCyclic = 0;
+  S.MaxGroup = 0;
+  for (const auto &G : S.Groups) {
+    if (G.size() > 1)
+      ++S.NumCyclic;
+    S.MaxGroup = std::max(S.MaxGroup, unsigned(G.size()));
+  }
+
+  assignLevels(S, NumNodes, Successors);
   return S;
 }
 
@@ -82,6 +134,7 @@ void liberty::sim::computeGroupSummaries(
     const std::vector<bool> &NodePure) {
   S.GroupInputNets.assign(S.Groups.size(), {});
   S.GroupSkippable.assign(S.Groups.size(), false);
+  S.NumSkippable = 0;
   for (size_t G = 0; G != S.Groups.size(); ++G) {
     std::vector<int> &Inputs = S.GroupInputNets[G];
     bool AllPure = true;
@@ -99,5 +152,7 @@ void liberty::sim::computeGroupSummaries(
     // quiesces in one settled pass, and always evaluating them keeps the
     // selective and exhaustive event streams identical.
     S.GroupSkippable[G] = S.Groups[G].size() == 1 && AllPure;
+    if (S.GroupSkippable[G])
+      ++S.NumSkippable;
   }
 }

@@ -18,28 +18,41 @@ using interp::Value;
 class Simulator::Runtime : public bsl::BehaviorContext {
 public:
   Runtime(Simulator &Sim, netlist::InstanceNode *Node)
-      : Sim(Sim), Node(Node) {}
+      : Sim(Sim), Node(Node), Stats(&Sim.Activity) {}
 
   Simulator &Sim;
   netlist::InstanceNode *Node;
   /// Null for hierarchical instances (which may still carry userpoints and
   /// runtime variables).
   std::unique_ptr<bsl::LeafBehavior> Behavior;
-  /// Port name -> net id per port instance (index-addressed). A flat
-  /// vector: components have a handful of ports and this sits on the
-  /// per-access hot path, where a linear scan beats a map.
-  std::vector<std::pair<std::string, std::vector<int>>> PortNets;
-  std::map<std::string, Value> StateVars;
 
-  const std::vector<int> *findSlots(const std::string &Port) const {
-    for (const auto &[Name, Slots] : PortNets)
-      if (Name == Port)
-        return &Slots;
-    return nullptr;
+  /// One entry per declared port, addressed by the dense port id that
+  /// bindPort() hands out. Components have a handful of ports, so the
+  /// name-based accessors scan this linearly; the id-based accessors index
+  /// it directly. The table never changes after construct(), so pointers
+  /// into it (EventName) are stable.
+  struct PortSlot {
+    std::string Name;
+    std::vector<int> Nets;   ///< Net id per port instance (-1 unconnected).
+    std::string EventName;   ///< "port:<name>" for outputs, "" for inputs.
+    bool IsOutput = false;
+  };
+  std::vector<PortSlot> PortSlots;
+
+  /// Behavior state and BSL runtime variables, lowered from a string map
+  /// to dense slots resolved at bind time.
+  bsl::StateTable StateVars;
+
+  int findPortId(const std::string &Port) const {
+    for (size_t I = 0; I != PortSlots.size(); ++I)
+      if (PortSlots[I].Name == Port)
+        return int(I);
+    return -1;
   }
-  std::vector<int> &addSlots(const std::string &Port) {
-    PortNets.emplace_back(Port, std::vector<int>());
-    return PortNets.back().second;
+  PortSlot &addSlot(const std::string &Port) {
+    PortSlots.emplace_back();
+    PortSlots.back().Name = Port;
+    return PortSlots.back();
   }
 
   struct CompiledUserpoint {
@@ -47,8 +60,6 @@ public:
     std::unique_ptr<bsl::BslProgram> Prog;
   };
   std::map<std::string, CompiledUserpoint> Userpoints;
-  /// Precomputed "port:<name>" event names for automatic port events.
-  std::vector<std::pair<std::string, std::string>> PortEventNames;
   int ScheduleNode = -1;
 
   /// Behavior declares hasPureEvaluate(): sends are a function of input
@@ -65,8 +76,22 @@ public:
   /// so collectors see a bit-identical event stream.
   std::vector<std::pair<const std::string *, int>> LastSends;
 
+  /// Where activity counters go. Points at the simulator-global stats for
+  /// the serial engine; the wavefront engine repoints it at the executing
+  /// worker's shard before each evaluation.
+  ActivityStats *Stats;
+  /// The owning schedule group's fixpoint-dirty flag (&Sim.GroupDirty[G]);
+  /// points at OwnDirty for runtimes outside the schedule.
+  char *FixpointDirty = &OwnDirty;
+  char OwnDirty = 0;
+  /// The owning group's event buffer when the wavefront engine is active,
+  /// else null (events are emitted directly).
+  std::vector<BufferedEvent> *Buf = nullptr;
+
   void resetState() {
-    StateVars.clear();
+    // Blank values but keep slot identities: state ids bound in init() and
+    // Value pointers handed out by findState() survive the reset.
+    StateVars.resetValues();
     for (const netlist::RuntimeVar &RV : Node->RuntimeVars)
       StateVars[RV.Name] = RV.Init;
   }
@@ -75,8 +100,8 @@ public:
   int getWidth(const std::string &Port) const override {
     // For leaves the slot table is authoritative (its length is the
     // inferred width); hierarchical runtimes fall back to the netlist.
-    if (const std::vector<int> *Slots = findSlots(Port))
-      return static_cast<int>(Slots->size());
+    if (int Id = findPortId(Port); Id >= 0)
+      return int(PortSlots[size_t(Id)].Nets.size());
     const netlist::Port *P = Node->findPort(Port);
     return P ? P->Width : 0;
   }
@@ -87,60 +112,86 @@ public:
   }
 
   const Value *getInput(const std::string &Port, int Index) const override {
-    const std::vector<int> *Slots = findSlots(Port);
-    if (!Slots || Index < 0 || Index >= static_cast<int>(Slots->size()))
+    return getInput(findPortId(Port), Index);
+  }
+
+  void setOutput(const std::string &Port, int Index, Value V) override {
+    setOutput(findPortId(Port), Index, std::move(V));
+  }
+
+  int bindPort(const std::string &Port) const override {
+    return findPortId(Port);
+  }
+
+  int getWidth(int PortId) const override {
+    if (PortId < 0 || PortId >= int(PortSlots.size()))
+      return 0;
+    return int(PortSlots[size_t(PortId)].Nets.size());
+  }
+
+  const Value *getInput(int PortId, int Index) const override {
+    if (PortId < 0 || PortId >= int(PortSlots.size()))
       return nullptr;
-    int NetId = (*Slots)[Index];
+    const PortSlot &PS = PortSlots[size_t(PortId)];
+    if (Index < 0 || Index >= int(PS.Nets.size()))
+      return nullptr;
+    int NetId = PS.Nets[size_t(Index)];
     if (NetId < 0)
       return nullptr;
     const Net &N = Sim.Nets[NetId];
     return N.Has ? &N.V : nullptr;
   }
 
-  void setOutput(const std::string &Port, int Index, Value V) override {
-    const std::vector<int> *Slots = findSlots(Port);
-    if (!Slots || Index < 0 || Index >= static_cast<int>(Slots->size()))
-      return; // Unconnected port instance: the value vanishes.
-    int NetId = (*Slots)[Index];
+  void setOutput(int PortId, int Index, Value V) override {
+    if (PortId < 0 || PortId >= int(PortSlots.size()))
+      return; // Unconnected port: the value vanishes.
+    PortSlot &PS = PortSlots[size_t(PortId)];
+    if (Index < 0 || Index >= int(PS.Nets.size()))
+      return;
+    int NetId = PS.Nets[size_t(Index)];
     if (NetId < 0)
       return;
     Net &N = Sim.Nets[NetId];
-    ++Sim.Activity.NetWrites;
+    ++Stats->NetWrites;
     if (!N.Has) {
-      // First send this evaluation round. NetChanged feeds the cyclic
-      // groups' fixpoint test and must fire on presence appearing even if
-      // the value matches, preserving the iteration counts of exhaustive
-      // evaluation. DirtyCycle, by contrast, only stamps observable
-      // cross-cycle change (value differs, or the net was absent last
-      // cycle).
-      Sim.NetChanged = true;
+      // First send this evaluation round. The group dirty flag feeds the
+      // cyclic groups' fixpoint test and must fire on presence appearing
+      // even if the value matches, preserving the iteration counts of
+      // exhaustive evaluation. DirtyCycle, by contrast, only stamps
+      // observable cross-cycle change (value differs, or the net was
+      // absent last cycle).
+      *FixpointDirty = 1;
       if (!N.PrevHas || !N.V.equals(V)) {
         N.V = std::move(V);
         N.DirtyCycle = Sim.Cycle;
-        ++Sim.Activity.NetChanges;
+        ++Stats->NetChanges;
       }
       N.Has = true;
     } else if (!N.V.equals(V)) {
       // Re-send with a different value (fixpoint iteration).
       N.V = std::move(V);
       N.DirtyCycle = Sim.Cycle;
-      Sim.NetChanged = true;
-      ++Sim.Activity.NetChanges;
+      *FixpointDirty = 1;
+      ++Stats->NetChanges;
     }
-    if (!Sim.Instr.empty()) {
-      for (const auto &[EvPort, EvName] : PortEventNames) {
-        if (EvPort != Port)
-          continue;
+    if (!Sim.Instr.empty() && PS.IsOutput) {
+      if (Sim.BufferEvents) {
+        BufferedEvent BE;
+        BE.InstancePath = &Node->Path;
+        BE.Name = &PS.EventName;
+        BE.Cycle = Sim.Cycle;
+        BE.Payload = N.V;
+        Buf->push_back(std::move(BE));
+      } else {
         Event E;
         E.InstancePath = &Node->Path;
-        E.Name = &EvName;
+        E.Name = &PS.EventName;
         E.Cycle = Sim.Cycle;
         E.Payload = &N.V;
         Sim.Instr.emit(E);
-        if (Pure)
-          LastSends.emplace_back(&EvName, NetId);
-        break;
       }
+      if (Pure)
+        LastSends.emplace_back(&PS.EventName, NetId);
     }
   }
 
@@ -166,18 +217,46 @@ public:
     }
     Env.RuntimeVars = &StateVars;
     Env.Params = &Node->Params;
+    if (Sim.Pool) {
+      // Wavefront engine: the diagnostic engine is not thread-safe, so
+      // userpoint execution (which may report runtime errors) is
+      // serialized. Userpoint-bearing behaviors are rare on the hot path.
+      std::lock_guard<std::mutex> Lock(Sim.DiagsMutex);
+      return runUserpointLocked(It->second, Env);
+    }
+    return runUserpointLocked(It->second, Env);
+  }
+
+  Value runUserpointLocked(CompiledUserpoint &CU, bsl::BslEnv &Env) {
     unsigned ErrorsBefore = Sim.Diags.getNumErrors();
-    Value Result = It->second.Prog->run(Env, Sim.Diags);
+    Value Result = CU.Prog->run(Env, Sim.Diags);
     if (Sim.Diags.getNumErrors() != ErrorsBefore)
-      Sim.RuntimeErrors = true;
+      Sim.RuntimeErrors.store(true, std::memory_order_relaxed);
     return Result;
   }
 
   Value &state(const std::string &Name) override { return StateVars[Name]; }
 
+  int bindState(const std::string &Name) override {
+    return StateVars.bind(Name);
+  }
+
+  Value &state(int StateId) override { return StateVars.slot(StateId); }
+
   void emitEvent(const std::string &EventName, Value Payload) override {
     if (Sim.Instr.empty())
       return;
+    if (Sim.BufferEvents) {
+      // The name may be a caller temporary, so the buffered record owns a
+      // copy (NameStore); the payload is copied regardless.
+      BufferedEvent BE;
+      BE.InstancePath = &Node->Path;
+      BE.NameStore = EventName;
+      BE.Cycle = Sim.Cycle;
+      BE.Payload = std::move(Payload);
+      Buf->push_back(std::move(BE));
+      return;
+    }
     Event E;
     E.InstancePath = &Node->Path;
     E.Name = &EventName;
@@ -283,15 +362,17 @@ bool Simulator::construct() {
         continue;
       }
       for (const netlist::Port &P : Inst->Ports) {
-        std::vector<int> &Slots = RT->addSlots(P.Name);
-        Slots.resize(P.Width, -1);
+        Runtime::PortSlot &PS = RT->addSlot(P.Name);
+        PS.Nets.resize(P.Width, -1);
         for (int I = 0; I != P.Width; ++I) {
           auto It = NodeToNet.find(nodeKey(Inst.get(), P.Name, I));
           if (It != NodeToNet.end())
-            Slots[I] = It->second;
+            PS.Nets[I] = It->second;
         }
-        if (!P.isInput())
-          RT->PortEventNames.emplace_back(P.Name, "port:" + P.Name);
+        if (!P.isInput()) {
+          PS.IsOutput = true;
+          PS.EventName = "port:" + P.Name;
+        }
       }
       LeafRuntimes.push_back(Runtimes.size());
     }
@@ -307,6 +388,7 @@ bool Simulator::construct() {
       ++Info.NumUserpoints;
       RT->Userpoints.emplace(Name, std::move(CU));
     }
+    PathToRuntime[Inst->Path] = RT.get();
     Runtimes.push_back(std::move(RT));
   }
   Info.NumLeaves = LeafRuntimes.size();
@@ -322,10 +404,10 @@ bool Simulator::construct() {
     Runtime *RT = Runtimes[LeafRuntimes[SN]].get();
     RT->ScheduleNode = SN;
     for (const netlist::Port &P : RT->Node->Ports) {
-      const std::vector<int> *SlotsPtr = RT->findSlots(P.Name);
-      if (!SlotsPtr)
+      int PortId = RT->findPortId(P.Name);
+      if (PortId < 0)
         continue;
-      for (int NetId : *SlotsPtr) {
+      for (int NetId : RT->PortSlots[size_t(PortId)].Nets) {
         if (NetId < 0)
           continue;
         if (P.isInput()) {
@@ -383,11 +465,30 @@ bool Simulator::construct() {
   }
   computeGroupSummaries(Sched, NodeInputNets, NodePure);
   GroupEvaluated.assign(Sched.Groups.size(), 0);
+  GroupDirty.assign(Sched.Groups.size(), 0);
+
+  // 7. Wavefront engine resources. Sized before the pointer wiring below
+  //    so &GroupDirty[G] / &GroupEventBufs[G] stay valid (neither vector
+  //    is ever resized afterwards).
+  if (Opts.Jobs > 1) {
+    GroupEventBufs.assign(Sched.Groups.size(), {});
+    FixpointFailed.assign(Sched.Groups.size(), 0);
+    StatShards.assign(Opts.Jobs, ActivityStats());
+    Pool = std::make_unique<ThreadPool>(Opts.Jobs);
+  }
+  for (size_t G = 0; G != Sched.Groups.size(); ++G)
+    for (int RTIdx : Sched.Groups[G]) {
+      Runtimes[RTIdx]->FixpointDirty = &GroupDirty[G];
+      if (Opts.Jobs > 1)
+        Runtimes[RTIdx]->Buf = &GroupEventBufs[G];
+    }
 
   Info.NumGroups = Sched.Groups.size();
   Info.NumCyclicGroups = Sched.numCyclicGroups();
   Info.MaxGroupSize = Sched.maxGroupSize();
   Info.NumSkippableGroups = Sched.numSkippableGroups();
+  Info.NumLevels = Sched.numLevels();
+  Info.MaxLevelWidth = Sched.maxLevelWidth();
 
   return Diags.getNumErrors() == ErrorsBefore;
 }
@@ -398,7 +499,7 @@ bool Simulator::construct() {
 
 void Simulator::reset() {
   Cycle = 0;
-  RuntimeErrors = false;
+  RuntimeErrors.store(false, std::memory_order_relaxed);
   for (Net &N : Nets) {
     N.Has = false;
     N.PrevHas = false;
@@ -407,6 +508,13 @@ void Simulator::reset() {
   Activity = ActivityStats();
   Activity.Selective = Opts.Selective;
   GroupEvaluated.assign(Sched.Groups.size(), 0);
+  std::fill(GroupDirty.begin(), GroupDirty.end(), 0);
+  std::fill(FixpointFailed.begin(), FixpointFailed.end(), 0);
+  for (auto &B : GroupEventBufs)
+    B.clear();
+  for (ActivityStats &S : StatShards)
+    S = ActivityStats();
+  BufferEvents = false;
   LastInstrVersion = Instr.getVersion();
   for (auto &RT : Runtimes) {
     RT->resetState();
@@ -438,7 +546,7 @@ void Simulator::runEndOfTimestepUserpoints() {
     RT->callUserpoint("end_of_timestep", {});
 }
 
-void Simulator::evaluateGroup(size_t GroupIdx) {
+void Simulator::evaluateGroup(size_t GroupIdx, ActivityStats &A) {
   const std::vector<int> &Group = Sched.Groups[GroupIdx];
   // Prepare the group's output nets: snapshot last cycle's presence, then
   // clear it so this evaluation starts from a blank slate. (Replaces the
@@ -454,47 +562,45 @@ void Simulator::evaluateGroup(size_t GroupIdx) {
   if (Group.size() == 1) {
     Runtime *RT = Runtimes[Group.front()].get();
     if (RT->Behavior) {
+      RT->Stats = &A;
       RT->LastSends.clear();
       RT->Behavior->evaluate(*RT);
-      ++Activity.LeafEvals;
+      ++A.LeafEvals;
     }
   } else {
-    // Combinational cycle: iterate to a fixpoint, using per-write dirty
-    // bits (NetChanged) as the convergence test.
+    // Combinational cycle: iterate to a fixpoint, using the group's own
+    // dirty flag as the convergence test. Per-group flags (instead of a
+    // simulator-global one) keep iteration counts identical when several
+    // cyclic groups of the same level run on different threads.
+    char &Dirty = GroupDirty[GroupIdx];
+    for (int RTIdx : Group)
+      Runtimes[RTIdx]->Stats = &A;
     bool Converged = false;
     for (unsigned Iter = 0; Iter != Opts.MaxFixpointIters; ++Iter) {
-      NetChanged = false;
-      ++Activity.FixpointIters;
+      Dirty = 0;
+      ++A.FixpointIters;
       for (int RTIdx : Group) {
         Runtime *RT = Runtimes[RTIdx].get();
         if (RT->Behavior) {
           RT->LastSends.clear();
           RT->Behavior->evaluate(*RT);
-          ++Activity.LeafEvals;
+          ++A.LeafEvals;
         }
       }
-      if (!NetChanged) {
+      if (!Dirty) {
         Converged = true;
         break;
       }
     }
-    if (!Converged && !RuntimeErrors) {
-      std::string Members;
-      unsigned Listed = 0;
-      for (int RTIdx : Group) {
-        if (Listed == 8) {
-          Members += ", ...";
-          break;
-        }
-        if (Listed++)
-          Members += ", ";
-        Members += "'" + Runtimes[RTIdx]->Node->Path + "'";
+    if (!Converged) {
+      if (Pool) {
+        // Parallel phase: defer the diagnostic to the main thread, which
+        // reports failures in ascending group order after the level.
+        FixpointFailed[GroupIdx] = 1;
+      } else if (!RuntimeErrors.load(std::memory_order_relaxed)) {
+        reportFixpointFailure(GroupIdx);
+        RuntimeErrors.store(true, std::memory_order_relaxed);
       }
-      Diags.error(SourceLoc(),
-                  "combinational cycle did not converge within " +
-                      std::to_string(Opts.MaxFixpointIters) +
-                      " iterations; group members: " + Members);
-      RuntimeErrors = true;
     }
   }
 
@@ -508,7 +614,26 @@ void Simulator::evaluateGroup(size_t GroupIdx) {
     }
 
   GroupEvaluated[GroupIdx] = 1;
-  ++Activity.GroupsEvaluated;
+  ++A.GroupsEvaluated;
+}
+
+void Simulator::reportFixpointFailure(size_t GroupIdx) {
+  const std::vector<int> &Group = Sched.Groups[GroupIdx];
+  std::string Members;
+  unsigned Listed = 0;
+  for (int RTIdx : Group) {
+    if (Listed == 8) {
+      Members += ", ...";
+      break;
+    }
+    if (Listed++)
+      Members += ", ";
+    Members += "'" + Runtimes[RTIdx]->Node->Path + "'";
+  }
+  Diags.error(SourceLoc(),
+              "combinational cycle did not converge within " +
+                  std::to_string(Opts.MaxFixpointIters) +
+                  " iterations; group members: " + Members);
 }
 
 void Simulator::skipGroup(size_t GroupIdx) {
@@ -520,17 +645,60 @@ void Simulator::skipGroup(size_t GroupIdx) {
   // emitted, in recorded order, with the carried-forward net values.
   Runtime *RT = Runtimes[Sched.Groups[GroupIdx].front()].get();
   for (const auto &[EvName, NetId] : RT->LastSends) {
-    Event E;
-    E.InstancePath = &RT->Node->Path;
-    E.Name = EvName;
-    E.Cycle = Cycle;
-    E.Payload = &Nets[NetId].V;
-    Instr.emit(E);
+    if (BufferEvents) {
+      BufferedEvent BE;
+      BE.InstancePath = &RT->Node->Path;
+      BE.Name = EvName;
+      BE.Cycle = Cycle;
+      BE.Payload = Nets[NetId].V;
+      GroupEventBufs[GroupIdx].push_back(std::move(BE));
+    } else {
+      Event E;
+      E.InstancePath = &RT->Node->Path;
+      E.Name = EvName;
+      E.Cycle = Cycle;
+      E.Payload = &Nets[NetId].V;
+      Instr.emit(E);
+    }
     ++Activity.EventsReplayed;
   }
 }
 
+void Simulator::flushCycleEvents() {
+  // Ascending group index — exactly the serial engine's emission order.
+  // Levels are not contiguous in group index (ASAP packing), so the flush
+  // happens once per cycle over every group rather than per level.
+  for (size_t G = 0; G != GroupEventBufs.size(); ++G) {
+    std::vector<BufferedEvent> &Buf = GroupEventBufs[G];
+    if (Buf.empty())
+      continue;
+    for (BufferedEvent &BE : Buf) {
+      Event E;
+      E.InstancePath = BE.InstancePath;
+      E.Name = BE.Name ? BE.Name : &BE.NameStore;
+      E.Cycle = BE.Cycle;
+      E.Payload = &BE.Payload;
+      Instr.emit(E);
+    }
+    Buf.clear();
+  }
+}
+
+void Simulator::runSequentialPhase() {
+  for (auto &RT : Runtimes)
+    if (RT->Behavior)
+      RT->Behavior->endOfTimestep(*RT);
+  runEndOfTimestepUserpoints();
+}
+
 void Simulator::step(uint64_t N) {
+  if (Pool)
+    stepWavefront(N);
+  else
+    stepSerial(N);
+}
+
+void Simulator::stepSerial(uint64_t N) {
   for (uint64_t I = 0; I != N; ++I) {
     // A collector attached since the last cycle invalidates the replay
     // records (they only hold events recorded while instrumentation was
@@ -554,34 +722,140 @@ void Simulator::step(uint64_t N) {
           continue;
         }
       }
-      evaluateGroup(G);
+      evaluateGroup(G, Activity);
     }
-    for (auto &RT : Runtimes)
-      if (RT->Behavior)
-        RT->Behavior->endOfTimestep(*RT);
-    runEndOfTimestepUserpoints();
+    runSequentialPhase();
     ++Cycle;
     ++Activity.Cycles;
   }
 }
 
-const Value *Simulator::peekPort(const std::string &InstPath,
-                                 const std::string &Port, int Index) const {
+static void mergeActivity(ActivityStats &To, ActivityStats &From) {
+  To.GroupsEvaluated += From.GroupsEvaluated;
+  To.GroupsSkipped += From.GroupsSkipped;
+  To.LeafEvals += From.LeafEvals;
+  To.LeafEvalsSkipped += From.LeafEvalsSkipped;
+  To.FixpointIters += From.FixpointIters;
+  To.NetWrites += From.NetWrites;
+  To.NetChanges += From.NetChanges;
+  To.EventsReplayed += From.EventsReplayed;
+  From = ActivityStats();
+}
+
+void Simulator::stepWavefront(uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I) {
+    bool ForceFull = false;
+    if (Instr.getVersion() != LastInstrVersion) {
+      LastInstrVersion = Instr.getVersion();
+      ForceFull = true;
+    }
+    const bool DoInstr = !Instr.empty();
+    // Route events into per-group buffers for the whole combinational
+    // phase (including main-thread skips, so replays interleave with live
+    // events exactly as in the serial engine).
+    BufferEvents = DoInstr;
+    for (const std::vector<int> &L : Sched.Levels) {
+      // Skip decisions run on the main thread before dispatch: they read
+      // DirtyCycle stamps written only by strictly earlier levels (a
+      // skippable group's inputs are all read combinationally, so each
+      // driver has a scheduling edge and therefore a smaller level).
+      LevelPending.clear();
+      for (int G : L) {
+        if (Opts.Selective && !ForceFull && Sched.GroupSkippable[G] &&
+            GroupEvaluated[G]) {
+          bool Quiescent = true;
+          for (int NetId : Sched.GroupInputNets[G])
+            if (Nets[NetId].DirtyCycle == Cycle) {
+              Quiescent = false;
+              break;
+            }
+          if (Quiescent) {
+            skipGroup(size_t(G));
+            continue;
+          }
+        }
+        LevelPending.push_back(G);
+      }
+      if (LevelPending.size() == 1) {
+        // Nothing to overlap: evaluate inline, counters into the global
+        // stats directly.
+        evaluateGroup(size_t(LevelPending.front()), Activity);
+      } else if (!LevelPending.empty()) {
+        // One task per worker-sized chunk, not per group: group
+        // evaluations are often sub-microsecond, so per-group enqueueing
+        // would drown the level in pool overhead. LevelPending stays
+        // untouched until the barrier, so tasks index it directly.
+        size_t NumChunks =
+            std::min<size_t>(Pool->getThreadCount(), LevelPending.size());
+        for (size_t Ck = 0; Ck != NumChunks; ++Ck) {
+          size_t Begin = Ck * LevelPending.size() / NumChunks;
+          size_t End = (Ck + 1) * LevelPending.size() / NumChunks;
+          Pool->async([this, Begin, End] {
+            int W = ThreadPool::currentWorkerIndex();
+            assert(W >= 0 && "group task running off-pool");
+            ActivityStats &A = StatShards[size_t(W)];
+            for (size_t I = Begin; I != End; ++I)
+              evaluateGroup(size_t(LevelPending[I]), A);
+          });
+        }
+        Pool->wait(); // Level barrier.
+      }
+    }
+    if (DoInstr)
+      flushCycleEvents();
+    // Deferred fixpoint diagnostics, in ascending group order (the serial
+    // engine's reporting order), on the main thread.
+    for (size_t G = 0; G != FixpointFailed.size(); ++G)
+      if (FixpointFailed[G]) {
+        FixpointFailed[G] = 0;
+        if (!RuntimeErrors.load(std::memory_order_relaxed)) {
+          reportFixpointFailure(G);
+          RuntimeErrors.store(true, std::memory_order_relaxed);
+        }
+      }
+    BufferEvents = false;
+    // Shard merge: sums are commutative, so totals are identical for any
+    // thread count and any work-stealing order. Re-point every runtime's
+    // stats at the merged totals first, so anything the sequential phase
+    // counts lands there directly (a shard write after the merge would
+    // slip to the next cycle — or be lost on the last one).
+    for (auto &RT : Runtimes)
+      RT->Stats = &Activity;
+    for (ActivityStats &S : StatShards)
+      mergeActivity(Activity, S);
+    runSequentialPhase();
+    ++Cycle;
+    ++Activity.Cycles;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Probing
+//===----------------------------------------------------------------------===//
+
+int Simulator::resolvePortNet(const std::string &InstPath,
+                              const std::string &Port, int Index) const {
   auto It = NodeToNet.find(InstPath + "|" + Port + "|" +
                            std::to_string(Index));
-  if (It == NodeToNet.end())
+  return It == NodeToNet.end() ? -1 : It->second;
+}
+
+const Value *Simulator::peekPort(int NetId) const {
+  if (NetId < 0 || NetId >= int(Nets.size()))
     return nullptr;
-  const Net &N = Nets[It->second];
+  const Net &N = Nets[size_t(NetId)];
   return N.Has ? &N.V : nullptr;
+}
+
+const Value *Simulator::peekPort(const std::string &InstPath,
+                                 const std::string &Port, int Index) const {
+  return peekPort(resolvePortNet(InstPath, Port, Index));
 }
 
 interp::Value *Simulator::findState(const std::string &InstPath,
                                     const std::string &Name) {
-  for (auto &RT : Runtimes) {
-    if (RT->Node->Path != InstPath)
-      continue;
-    auto It = RT->StateVars.find(Name);
-    return It == RT->StateVars.end() ? nullptr : &It->second;
-  }
-  return nullptr;
+  auto It = PathToRuntime.find(InstPath);
+  if (It == PathToRuntime.end())
+    return nullptr;
+  return It->second->StateVars.lookup(Name);
 }

@@ -17,7 +17,14 @@
 /// or presence, and singleton schedule groups whose behavior declares a
 /// pure evaluate (LeafBehavior::hasPureEvaluate) are skipped in cycles
 /// where none of their input nets changed, their previous sends carried
-/// forward. See docs/ARCHITECTURE.md for the invariants.
+/// forward.
+///
+/// With Options::Jobs > 1 the combinational phase runs level-parallel
+/// (wavefront): the schedule's groups are partitioned into topological
+/// levels, each level's groups evaluate concurrently on a thread pool
+/// with a barrier between levels, and determinism is engineered so any
+/// thread count reproduces the serial engine bit for bit (see
+/// docs/ARCHITECTURE.md for the invariants).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,9 +37,12 @@
 #include "sim/Instrumentation.h"
 #include "sim/Scheduler.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,7 +51,9 @@ namespace sim {
 
 /// Per-run activity counters for the selective-trace engine, reported
 /// through the --stats-json path. All counts are cumulative since the last
-/// reset().
+/// reset(). Under the wavefront engine each worker accumulates into its
+/// own shard, merged here at cycle end — the sums are order-independent,
+/// so every thread count reports identical totals.
 struct ActivityStats {
   bool Selective = true;      ///< Engine mode the run used.
   uint64_t Cycles = 0;        ///< Cycles stepped.
@@ -65,6 +77,10 @@ public:
     /// behavior has a pure evaluate. Off means exhaustive evaluation of
     /// every group every cycle (lssc --no-selective).
     bool Selective = true;
+    /// Worker threads for the wavefront (level-parallel) combinational
+    /// phase (lssc --sim-jobs). 1 = the serial engine; any value produces
+    /// bit-identical traces, stats, and diagnostics.
+    unsigned Jobs = 1;
   };
 
   /// Structural facts about the generated simulator.
@@ -76,6 +92,8 @@ public:
     unsigned MaxGroupSize = 0;
     unsigned NumUserpoints = 0;
     unsigned NumSkippableGroups = 0;
+    unsigned NumLevels = 0;      ///< Wavefront levels in the schedule.
+    unsigned MaxLevelWidth = 0;  ///< Groups in the widest level.
   };
 
   /// Builds a simulator from an elaborated, type-inferred netlist. Returns
@@ -99,6 +117,7 @@ public:
   uint64_t getCycle() const { return Cycle; }
 
   Instrumentation &getInstrumentation() { return Instr; }
+  const Options &getOptions() const { return Opts; }
   const BuildInfo &getBuildInfo() const { return Info; }
   const ActivityStats &getActivityStats() const { return Activity; }
 
@@ -107,14 +126,25 @@ public:
   const interp::Value *peekPort(const std::string &InstPath,
                                 const std::string &Port, int Index) const;
 
+  /// Resolved-handle probing: resolve the (path, port, index) key once,
+  /// then peek by net id each cycle without rebuilding the string key.
+  /// Returns -1 if the port instance does not exist.
+  int resolvePortNet(const std::string &InstPath, const std::string &Port,
+                     int Index) const;
+  const interp::Value *peekPort(int NetId) const;
+
   /// Mutable per-instance state (runtime variables and behavior state);
-  /// null if the instance has no runtime record or slot.
+  /// null if the instance has no runtime record or slot. The returned
+  /// pointer is stable for the simulator's lifetime (including across
+  /// reset()), so per-cycle probe loops may resolve it once and hold it.
   interp::Value *findState(const std::string &InstPath,
                            const std::string &Name);
 
   /// True if any diagnostics-reported runtime error occurred while
   /// stepping (the simulator keeps running best-effort).
-  bool hadRuntimeErrors() const { return RuntimeErrors; }
+  bool hadRuntimeErrors() const {
+    return RuntimeErrors.load(std::memory_order_relaxed);
+  }
 
 private:
   Simulator(netlist::Netlist &NL, SourceMgr &SM, DiagnosticEngine &Diags,
@@ -137,10 +167,31 @@ private:
     int DriverRuntime = -1; ///< Runtime index of the driving leaf, or -1.
   };
 
+  /// One instrumentation event captured during parallel evaluation; the
+  /// payload is copied so the flush can emit it after the producing level
+  /// completed. Flushing in ascending group order at the end of the
+  /// combinational phase makes the stream identical to the serial
+  /// engine's (levels are not contiguous in group index, so a per-level
+  /// flush would not be).
+  struct BufferedEvent {
+    const std::string *InstancePath = nullptr;
+    /// Stable name pointer (automatic port events, replays); null when the
+    /// name was a caller temporary and NameStore owns the copy.
+    const std::string *Name = nullptr;
+    std::string NameStore;
+    uint64_t Cycle = 0;
+    interp::Value Payload;
+  };
+
   class Runtime; // One per instance with behavior/userpoints/state.
 
-  void evaluateGroup(size_t GroupIdx);
+  void evaluateGroup(size_t GroupIdx, ActivityStats &Stats);
   void skipGroup(size_t GroupIdx);
+  void stepSerial(uint64_t N);
+  void stepWavefront(uint64_t N);
+  void runSequentialPhase();
+  void flushCycleEvents();
+  void reportFixpointFailure(size_t GroupIdx);
   void runUserpointPhase(const std::string &Name);
   void runEndOfTimestepUserpoints();
 
@@ -157,10 +208,18 @@ private:
   Schedule Sched;
   /// Map from port-instance key "path|port|index" to net id.
   std::map<std::string, int> NodeToNet;
+  /// Instance path -> runtime record, for O(log n) findState resolution.
+  std::map<std::string, Runtime *> PathToRuntime;
 
   uint64_t Cycle = 0;
-  bool RuntimeErrors = false;
-  bool NetChanged = false;
+  /// Sticky error flag; atomic because worker threads running userpoints
+  /// or failing fixpoints set it during the parallel phase.
+  std::atomic<bool> RuntimeErrors{false};
+  /// Per-group fixpoint convergence flag (indexed by group): replaces the
+  /// old simulator-global NetChanged so concurrently iterating cyclic
+  /// groups don't share a flag — iteration counts stay identical at any
+  /// thread count.
+  std::vector<char> GroupDirty;
   ActivityStats Activity;
   /// Per-group: has this group been evaluated at least once since reset()?
   /// A group is never skipped before its first evaluation (its replay
@@ -173,6 +232,29 @@ private:
   /// Runtimes carrying an end_of_timestep userpoint (hot-path cache).
   std::vector<Runtime *> EotRuntimes;
   bool EotRuntimesValid = false;
+
+  //===--- Wavefront engine state (Opts.Jobs > 1 only) -------------------===//
+  std::unique_ptr<ThreadPool> Pool;
+  /// One ActivityStats shard per worker; merged into Activity after each
+  /// cycle's combinational phase.
+  std::vector<ActivityStats> StatShards;
+  /// Per-group event buffer: workers (and the skip path) append here
+  /// instead of calling Instrumentation::emit, and the main thread
+  /// flushes once per cycle in ascending group order.
+  std::vector<std::vector<BufferedEvent>> GroupEventBufs;
+  /// True while the combinational phase of a parallel cycle runs (set and
+  /// cleared by the main thread with the pool quiescent): routes events
+  /// into GroupEventBufs.
+  bool BufferEvents = false;
+  /// Per-group "fixpoint did not converge" flags; diagnostics for them are
+  /// emitted by the main thread at the end of the combinational phase, in
+  /// ascending group order, so the report stream is deterministic.
+  std::vector<char> FixpointFailed;
+  /// Serializes DiagnosticEngine access from worker threads (userpoint
+  /// runtime errors). Unused when Jobs == 1.
+  std::mutex DiagsMutex;
+  /// Scratch for the per-level dispatch loop (group indices to evaluate).
+  std::vector<int> LevelPending;
 
   friend class SimulatorTestPeer;
 };

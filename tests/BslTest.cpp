@@ -13,7 +13,7 @@ namespace {
 struct BslFixture {
   SourceMgr SM;
   DiagnosticEngine Diags{SM};
-  std::map<std::string, Value> RuntimeVars;
+  StateTable RuntimeVars;
   std::map<std::string, Value> Params;
 
   Value run(const std::string &Code,

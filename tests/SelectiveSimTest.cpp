@@ -5,88 +5,25 @@
 /// bit-identical whether change-driven evaluation is on or off. This file
 /// checks that contract differentially over the repository's models A-F
 /// and a set of synthetic netlist families, and pins the (selective)
-/// traces against golden digests under tests/golden/.
+/// traces against golden digests under tests/golden/. The harness and the
+/// synthetic families live in SimTestModels.h, shared with
+/// ParallelSimTest.cpp.
 ///
 /// Run the binary with --regen-golden to rewrite the digest fixtures after
 /// an intentional trace change.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
-#include "models/Models.h"
-#include "netlist/Netlist.h"
+#include "SimTestModels.h"
 
-#include <gtest/gtest.h>
-
-#include <cstdint>
 #include <fstream>
-#include <map>
-#include <sstream>
-#include <string>
-#include <vector>
 
 using namespace liberty;
+using namespace simtest;
 
 namespace {
 
 bool GRegenGolden = false;
-
-//===----------------------------------------------------------------------===//
-// Harness
-//===----------------------------------------------------------------------===//
-
-sim::Simulator::Options engineOptions(bool Selective) {
-  sim::Simulator::Options O;
-  O.Selective = Selective;
-  return O;
-}
-
-/// One run's full observable record: the instrumentation event stream (in
-/// emission order) and the final value/presence of every net, keyed by
-/// port instance.
-struct TraceRecord {
-  std::vector<std::string> Events;
-  std::vector<std::string> FinalNets;
-  uint64_t TotalEmitted = 0;
-};
-
-void attachRecorder(sim::Simulator &Sim, std::vector<std::string> &Out) {
-  Sim.getInstrumentation().attach("*", "*", [&Out](const sim::Event &E) {
-    std::ostringstream Line;
-    Line << E.Cycle << '|' << *E.InstancePath << '|' << *E.Name << '|'
-         << (E.Payload ? E.Payload->str() : "(null)");
-    Out.push_back(Line.str());
-  });
-}
-
-std::vector<std::string> collectFinalNets(driver::Compiler &C) {
-  std::vector<std::string> Out;
-  sim::Simulator *Sim = C.getSimulator();
-  for (const auto &Inst : C.getNetlist()->getInstances()) {
-    if (!Inst->isLeaf())
-      continue;
-    for (const netlist::Port &P : Inst->Ports)
-      for (int I = 0; I != P.Width; ++I) {
-        const interp::Value *V = Sim->peekPort(Inst->Path, P.Name, I);
-        Out.push_back(Inst->Path + "." + P.Name + "[" + std::to_string(I) +
-                      "]=" + (V ? V->str() : "(absent)"));
-      }
-  }
-  return Out;
-}
-
-TraceRecord runRecorded(driver::Compiler &C, uint64_t Cycles) {
-  TraceRecord R;
-  sim::Simulator *Sim = C.getSimulator();
-  attachRecorder(*Sim, R.Events);
-  // The collector was attached after build()'s reset; re-reset so both
-  // engine modes start from the same instrumentation version state.
-  Sim->reset();
-  Sim->step(Cycles);
-  R.FinalNets = collectFinalNets(C);
-  R.TotalEmitted = Sim->getInstrumentation().totalEmitted();
-  return R;
-}
 
 /// Compiles LSS \p Text twice (exhaustive and selective), runs both for
 /// \p Cycles, and requires identical event streams and final net values.
@@ -110,198 +47,6 @@ void expectDifferentialMatch(const std::string &Name, const std::string &Text,
   EXPECT_EQ(E.TotalEmitted, S.TotalEmitted) << Name;
 }
 
-bool buildModelSim(driver::Compiler &C, const std::string &Id,
-                   bool Selective) {
-  return models::loadModel(C, Id) && C.elaborate() && C.inferTypes() &&
-         C.buildSimulator(engineOptions(Selective)) != nullptr;
-}
-
-//===----------------------------------------------------------------------===//
-// Synthetic netlist families
-//===----------------------------------------------------------------------===//
-
-std::string delayChain(int N) {
-  return R"(
-module delayn {
-  parameter n:int;
-  inport in: 'a;
-  outport out: 'a;
-  var delays:instance ref[];
-  delays = new instance[n](delay, "delays");
-  in -> delays[0].in;
-  var i:int;
-  for (i = 1; i < n; i = i + 1) { delays[i-1].out -> delays[i].in; }
-  delays[n-1].out -> out;
-};
-instance gen:counter_source;
-instance hole:sink;
-instance chain:delayn;
-chain.n = )" + std::to_string(N) + R"(;
-gen.out -> chain.in;
-chain.out -> hole.in;
-)";
-}
-
-std::string adderTree() {
-  return R"(
-instance g:counter_source;
-instance c:const_source;
-c.value = 100;
-instance a1:adder;
-instance a2:adder;
-instance a3:adder;
-instance s:sink;
-g.out -> a1.in1;
-c.out -> a1.in2;
-c.out -> a2.in1;
-c.out -> a2.in2;
-a1.out -> a3.in1;
-a2.out -> a3.in2;
-a3.out -> s.in;
-)";
-}
-
-/// Mux whose sel counts 0,1,2,3,...: cycles 0-2 route different inputs,
-/// later cycles select out of range so the output net goes absent —
-/// exercising presence transitions under skipping.
-std::string muxRouting() {
-  return R"(
-instance sel:counter_source;
-instance i0:const_source;
-i0.value = 10;
-instance i1:const_source;
-i1.value = 11;
-instance i2:const_source;
-i2.value = 12;
-instance m:mux;
-instance s:sink;
-sel.out -> m.sel;
-i0.out -> m.in[0];
-i1.out -> m.in[1];
-i2.out -> m.in[2];
-m.out -> s.in;
-)";
-}
-
-/// Demux steering one changing value across outputs by a counting sel:
-/// every output net toggles between present and absent across cycles.
-std::string demuxSteering() {
-  return R"(
-instance sel:counter_source;
-instance g:counter_source;
-g.stride = 3;
-instance d:demux;
-instance s0:sink;
-instance s1:sink;
-sel.out -> d.sel;
-g.out -> d.in;
-d.out[0] -> s0.in;
-d.out[1] -> s1.in;
-)";
-}
-
-/// A true combinational cycle between two pure muxes (the f2->f1 edge is
-/// structural; sel=0 keeps the dataflow acyclic so the fixpoint
-/// converges). Cyclic groups must never be skipped. f2's output is
-/// replicated through a fanout (mux drives only out[0]) so the sink
-/// observes the looped value; the fanout itself becomes a member of the
-/// cyclic group.
-std::string pureMuxCycle() {
-  return R"(
-instance g:counter_source;
-instance zero:const_source;
-zero.value = 0;
-instance f1:mux;
-instance f2:mux;
-instance rep:fanout;
-instance s:sink;
-zero.out -> f1.sel;
-zero.out -> f2.sel;
-g.out -> f1.in[0];
-f1.out -> f2.in[0];
-f2.out -> rep.in;
-rep.out -> f1.in[1];
-rep.out -> s.in;
-)";
-}
-
-/// Low activity: a constant-fed adder farm (quiescent after cycle 0) next
-/// to a counter-fed chain (active every cycle).
-std::string lowActivityFarm(int QuietN) {
-  return R"(
-module addchain {
-  parameter n:int;
-  inport in: 'a;
-  outport out: 'a;
-  var as:instance ref[];
-  as = new instance[n](adder, "a");
-  in -> as[0].in1;
-  in -> as[0].in2;
-  var i:int;
-  for (i = 1; i < n; i = i + 1) {
-    as[i-1].out -> as[i].in1;
-    in -> as[i].in2;
-  }
-  as[n-1].out -> out;
-};
-instance qsrc:const_source;
-qsrc.value = 3;
-instance qchain:addchain;
-qchain.n = )" + std::to_string(QuietN) + R"(;
-instance qsink:sink;
-qsrc.out -> qchain.in;
-qchain.out -> qsink.in;
-instance asrc:counter_source;
-instance achain:addchain;
-achain.n = 4;
-instance asink:sink;
-asrc.out -> achain.in;
-achain.out -> asink.in;
-)";
-}
-
-/// Sequential/impure mixture: queue with a toggling stall, registers, and
-/// a random (seeded) source alongside pure combinational logic.
-std::string queueWithStall() {
-  return R"(
-instance g:source;
-g.pattern = "random";
-g.seed = 42;
-g.range = 50;
-instance q:queue;
-q.depth = 3;
-instance stall:bool_source;
-stall.pattern = "toggle";
-instance a:adder;
-instance one:const_source;
-one.value = 1;
-instance s:sink;
-g.out -> q.in;
-stall.out -> q.stall;
-q.out -> a.in1;
-one.out -> a.in2;
-a.out -> s.in;
-)";
-}
-
-struct SyntheticFamily {
-  const char *Name;
-  std::string Text;
-  uint64_t Cycles;
-};
-
-std::vector<SyntheticFamily> syntheticFamilies() {
-  return {
-      {"delay_chain", delayChain(12), 40},
-      {"adder_tree", adderTree(), 40},
-      {"mux_routing", muxRouting(), 20},
-      {"demux_steering", demuxSteering(), 30},
-      {"pure_mux_cycle", pureMuxCycle(), 25},
-      {"low_activity_farm", lowActivityFarm(16), 40},
-      {"queue_with_stall", queueWithStall(), 50},
-  };
-}
-
 //===----------------------------------------------------------------------===//
 // Differential: selective == exhaustive
 //===----------------------------------------------------------------------===//
@@ -317,9 +62,9 @@ TEST(SelectiveDifferential, AllPaperModels) {
   for (const std::string &Id : models::modelIds()) {
     SCOPED_TRACE("model " + Id);
     driver::Compiler Exhaustive, Selective;
-    ASSERT_TRUE(buildModelSim(Exhaustive, Id, false))
+    ASSERT_TRUE(buildModelSim(Exhaustive, Id, engineOptions(false)))
         << Exhaustive.diagnosticsText();
-    ASSERT_TRUE(buildModelSim(Selective, Id, true))
+    ASSERT_TRUE(buildModelSim(Selective, Id, engineOptions(true)))
         << Selective.diagnosticsText();
     TraceRecord E = runRecorded(Exhaustive, 50);
     TraceRecord S = runRecorded(Selective, 50);
@@ -430,42 +175,18 @@ TEST(SelectiveInstrumentation, ReplayedEventsAreCounted) {
 // Golden trace digests
 //===----------------------------------------------------------------------===//
 
-uint64_t fnv1a(uint64_t Hash, const std::string &S) {
-  for (unsigned char Ch : S) {
-    Hash ^= Ch;
-    Hash *= 1099511628211ull;
-  }
-  // Mix in a separator so line boundaries are significant.
-  Hash ^= 0x1e;
-  Hash *= 1099511628211ull;
-  return Hash;
-}
-
-std::string traceDigest(const TraceRecord &R) {
-  uint64_t Hash = 14695981039346656037ull;
-  for (const std::string &L : R.Events)
-    Hash = fnv1a(Hash, L);
-  for (const std::string &L : R.FinalNets)
-    Hash = fnv1a(Hash, L);
-  std::ostringstream OS;
-  OS << std::hex << Hash;
-  return OS.str();
-}
-
 std::string goldenPath(const std::string &Name) {
   return std::string(LIBERTY_GOLDEN_DIR) + "/" + Name + ".trace";
 }
 
 /// Digest fixture format: one line "<fnv1a-64-hex> <events> <nets>".
 void checkGolden(const std::string &Name, const TraceRecord &R) {
-  std::ostringstream Line;
-  Line << traceDigest(R) << " " << R.Events.size() << " "
-       << R.FinalNets.size() << "\n";
+  std::string Line = goldenLine(R);
   std::string Path = goldenPath(Name);
   if (GRegenGolden) {
     std::ofstream Out(Path);
     ASSERT_TRUE(Out.good()) << "cannot write " << Path;
-    Out << Line.str();
+    Out << Line;
     return;
   }
   std::ifstream In(Path);
@@ -473,7 +194,7 @@ void checkGolden(const std::string &Name, const TraceRecord &R) {
                          << " (run with --regen-golden to create it)";
   std::stringstream Buf;
   Buf << In.rdbuf();
-  EXPECT_EQ(Buf.str(), Line.str())
+  EXPECT_EQ(Buf.str(), Line)
       << "trace digest for '" << Name << "' diverges from " << Path
       << "; if the change is intentional, regenerate with --regen-golden";
 }
@@ -492,7 +213,7 @@ TEST(GoldenTrace, PaperModels) {
   for (const std::string &Id : models::modelIds()) {
     SCOPED_TRACE("model " + Id);
     driver::Compiler C;
-    ASSERT_TRUE(buildModelSim(C, Id, true)) << C.diagnosticsText();
+    ASSERT_TRUE(buildModelSim(C, Id, engineOptions(true))) << C.diagnosticsText();
     checkGolden("model_" + Id, runRecorded(C, 50));
   }
 }

@@ -13,6 +13,8 @@
 ///   --jobs N            solve H3 inference groups on N threads
 ///   --emit-static       print the flattened static structural spec
 ///   --run N             build the simulator and run N cycles
+///   --sim-jobs N        with --run: evaluate schedule levels on N worker
+///                       threads (wavefront engine; 1 = serial)
 ///   --watch PATTERN     with --run: count events matching "path event"
 ///   --no-selective      with --run: exhaustive evaluation (disable the
 ///                       selective-trace engine)
@@ -54,6 +56,7 @@ struct CliOptions {
   std::string StatsJsonPath;
   uint64_t RunCycles = 0;
   bool Selective = true;
+  unsigned SimJobs = 1; ///< Wavefront worker threads; 1 = serial engine.
   std::vector<std::pair<std::string, std::string>> Watches;
 };
 
@@ -72,6 +75,8 @@ void printUsage() {
       "  --emit-static          print the flattened static spec\n"
       "  --emit-dot             print a Graphviz digraph of the model\n"
       "  --run N                simulate N cycles\n"
+      "  --sim-jobs N           simulate with N worker threads (wavefront\n"
+      "                         engine; identical traces for any N)\n"
       "  --watch 'PATH EVENT'   count matching events while running\n"
       "  --no-selective         evaluate every component every cycle\n"
       "                         (disable change-driven evaluation)\n"
@@ -120,6 +125,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.RunCycles = std::strtoull(Argv[I], nullptr, 10);
+    } else if (Arg == "--sim-jobs") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --sim-jobs requires a thread count\n";
+        return false;
+      }
+      Opts.SimJobs = unsigned(std::strtoul(Argv[I], nullptr, 10));
+      if (Opts.SimJobs == 0) {
+        std::cerr << "lssc: --sim-jobs requires a positive thread count\n";
+        return false;
+      }
     } else if (Arg == "--no-selective") {
       Opts.Selective = false;
     } else if (Arg == "--watch") {
@@ -228,6 +243,7 @@ int main(int Argc, char **Argv) {
   if (Opts.RunCycles) {
     sim::Simulator::Options SimOpts;
     SimOpts.Selective = Opts.Selective;
+    SimOpts.Jobs = Opts.SimJobs;
     sim::Simulator *Sim = C.buildSimulator(SimOpts);
     if (!Sim)
       return Bail("simulator construction");
@@ -236,10 +252,12 @@ int main(int Argc, char **Argv) {
       Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
     Sim->step(Opts.RunCycles);
     std::fprintf(HumanFile,
-                 "ran %llu cycles (%u leaves, %u nets, %u schedule groups)\n",
+                 "ran %llu cycles (%u leaves, %u nets, %u schedule groups, "
+                 "%u levels, %u jobs)\n",
                  (unsigned long long)Sim->getCycle(),
                  Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
-                 Sim->getBuildInfo().NumGroups);
+                 Sim->getBuildInfo().NumGroups, Sim->getBuildInfo().NumLevels,
+                 Opts.SimJobs);
     const sim::ActivityStats &A = Sim->getActivityStats();
     std::fprintf(HumanFile,
                  "selective: %s (%u skippable groups; %llu evaluated, "
@@ -265,11 +283,9 @@ int main(int Argc, char **Argv) {
     driver::ModelStats S = driver::computeModelStats(
         *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
         Opts.Inputs.front());
-    const sim::ActivityStats *Activity =
-        C.getSimulator() ? &C.getSimulator()->getActivityStats() : nullptr;
     if (Opts.StatsJsonPath == "-") {
       driver::printStatsJson(std::cout, S, C.getInferenceStats(),
-                             C.getPhaseTimer(), Activity);
+                             C.getPhaseTimer(), C.getSimulator());
     } else {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
@@ -277,7 +293,7 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
-                             C.getPhaseTimer(), Activity);
+                             C.getPhaseTimer(), C.getSimulator());
     }
   }
   if (Opts.TimePhases)
