@@ -1,0 +1,37 @@
+//===- FuzzLexer.cpp - Lexer fuzz target ---------------------------------------===//
+///
+/// \file
+/// Feeds arbitrary bytes to the LSS lexer and drains the token stream. The
+/// lexer's contract is total: any byte sequence must terminate in an Eof
+/// token after a bounded number of lex() calls, reporting bad characters
+/// through the DiagnosticEngine rather than crashing or spinning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lss/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/SourceMgr.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  using namespace liberty;
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  Diags.setMaxErrors(64);
+  uint32_t BufferId = SM.addBuffer(
+      "fuzz.lss", std::string(reinterpret_cast<const char *>(Data), Size));
+  lss::Lexer Lex(BufferId, Diags);
+
+  // Every lex() past position P either advances or ends: 2*Size + slack is
+  // a generous bound. Exceeding it means the lexer is stuck — turn the hang
+  // into a crash so the fuzzer catches it.
+  uint64_t Limit = 2 * uint64_t(Size) + 1024;
+  uint64_t Steps = 0;
+  while (!Lex.lex().is(lss::TokenKind::Eof))
+    if (++Steps > Limit)
+      __builtin_trap();
+  return 0;
+}

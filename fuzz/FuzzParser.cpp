@@ -1,0 +1,35 @@
+//===- FuzzParser.cpp - Parser fuzz target -------------------------------------===//
+///
+/// \file
+/// Parses arbitrary bytes as an LSS specification file. Exercises the
+/// panic-mode recovery machinery (sync at `;`, `}`, decl keywords, and the
+/// ensureProgress forward-progress guard): the parser must always return a
+/// SpecFile — possibly empty, with diagnostics — and never crash, assert,
+/// or loop on malformed input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lss/AST.h"
+#include "lss/Parser.h"
+#include "support/Diagnostics.h"
+#include "support/SourceMgr.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  using namespace liberty;
+  SourceMgr SM;
+  DiagnosticEngine Diags(SM);
+  // A tight cap keeps pathological inputs fast and exercises the shared
+  // --max-errors wind-down path on every run that floods diagnostics.
+  Diags.setMaxErrors(32);
+  uint32_t BufferId = SM.addBuffer(
+      "fuzz.lss", std::string(reinterpret_cast<const char *>(Data), Size));
+  lss::ASTContext Ctx;
+  lss::Parser P(BufferId, Ctx, Diags);
+  lss::SpecFile File = P.parseFile();
+  (void)File;
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- FuzzPipeline.cpp - Full-pipeline fuzz target ----------------------------===//
+///
+/// \file
+/// Runs arbitrary bytes through the whole compile pipeline — parse →
+/// interpreted elaboration → H3 type inference — under tight budgets, the
+/// configuration the robustness layer must keep crash-free: parser
+/// panic-mode recovery, the shared DiagnosticEngine error cap, interpreter
+/// step/instance limits, and graceful inference budget degradation all get
+/// exercised on every input. Failure is fine (that is the point); crashes,
+/// sanitizer reports, and hangs are bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  using namespace liberty;
+  driver::Compiler C;
+  C.getDiags().setMaxErrors(32);
+  if (!C.addCoreLibrary())
+    __builtin_trap(); // The shipped library must always compile.
+  if (!C.addSource("fuzz.lss",
+                   std::string(reinterpret_cast<const char *>(Data), Size)))
+    return 0;
+
+  // Tight elaboration budgets: fuzz inputs legitimately write unbounded
+  // compile-time loops (`while (true) {}`), and the interpreter's caps must
+  // turn them into diagnostics quickly.
+  interp::Interpreter::Options ElabOpts;
+  ElabOpts.MaxSteps = 200000;
+  ElabOpts.MaxInstances = 2000;
+  if (!C.elaborate(ElabOpts))
+    return 0;
+
+  // Tight inference budget: exhaustion must degrade gracefully (other
+  // groups still solved, structured diagnostics), never crash.
+  infer::SolveOptions SolveOpts;
+  SolveOpts.MaxSteps = 200000;
+  (void)C.inferTypes(SolveOpts);
+  return 0;
+}

@@ -1,0 +1,216 @@
+//===- FuzzerMain.cpp - Standalone fuzz driver ---------------------------------===//
+///
+/// \file
+/// Replay-and-mutate driver for the fuzz targets, used when the toolchain
+/// has no libFuzzer (`-fsanitize=fuzzer`); with LSS_FUZZ=ON and a clang
+/// toolchain the real libFuzzer runtime is linked instead and this file is
+/// left out. Two modes:
+///
+///   fuzz_parser CORPUS_DIR... FILE...
+///       Replay mode (the corpus-replay ctest entry): runs every file, and
+///       every file under every directory, through LLVMFuzzerTestOneInput
+///       exactly once. Exits 0 iff no input crashed the target.
+///
+///   fuzz_parser --fuzz N [--seed S] CORPUS_DIR...
+///       Mutation mode: N iterations of pick-a-seed / mutate / execute with
+///       a xorshift64 PRNG (byte flips, insertions, deletions, truncation,
+///       and cross-seed splices). Before each execution the input is written
+///       to --out (default fuzz_current_input.lss), so a crash always
+///       leaves its reproducer on disk — minimize it and commit it under
+///       fuzz/regressions/. Deterministic for a fixed corpus and seed.
+///
+/// `-runs=N` is accepted as an alias for `--fuzz N` (and `-runs=0` for
+/// plain replay) so ctest invocations work unchanged against real
+/// libFuzzer binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+namespace {
+
+/// xorshift64* — tiny, seedable, and plenty for mutation scheduling.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+  /// Uniform-ish value in [0, N); N must be nonzero.
+  size_t below(size_t N) { return size_t(next() % N); }
+};
+
+std::vector<uint8_t> readFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path, std::ios::binary);
+  Ok = bool(In);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+/// One random edit. Mutations are byte-oriented: the targets take arbitrary
+/// bytes, and structural validity is what the seed corpus contributes.
+void mutateOnce(std::vector<uint8_t> &Buf,
+                const std::vector<std::vector<uint8_t>> &Corpus, Rng &R) {
+  switch (R.below(6)) {
+  case 0: // Flip one bit.
+    if (!Buf.empty())
+      Buf[R.below(Buf.size())] ^= uint8_t(1u << R.below(8));
+    break;
+  case 1: // Overwrite one byte with a random value.
+    if (!Buf.empty())
+      Buf[R.below(Buf.size())] = uint8_t(R.next());
+    break;
+  case 2: // Insert a random byte.
+    Buf.insert(Buf.begin() + long(R.below(Buf.size() + 1)), uint8_t(R.next()));
+    break;
+  case 3: { // Delete a short range.
+    if (Buf.empty())
+      break;
+    size_t At = R.below(Buf.size());
+    size_t Len = std::min(Buf.size() - At, R.below(8) + 1);
+    Buf.erase(Buf.begin() + long(At), Buf.begin() + long(At + Len));
+    break;
+  }
+  case 4: // Truncate.
+    if (!Buf.empty())
+      Buf.resize(R.below(Buf.size()));
+    break;
+  case 5: { // Splice a slice of another corpus item in at a random point.
+    if (Corpus.empty())
+      break;
+    const std::vector<uint8_t> &Other = Corpus[R.below(Corpus.size())];
+    if (Other.empty())
+      break;
+    size_t From = R.below(Other.size());
+    size_t Len = std::min(Other.size() - From, R.below(32) + 1);
+    Buf.insert(Buf.begin() + long(R.below(Buf.size() + 1)),
+               Other.begin() + long(From), Other.begin() + long(From + Len));
+    break;
+  }
+  }
+  // Keep inputs small: the interesting bugs are structural, not O(n) ones,
+  // and tight inputs keep the corpus-replay ctest entry fast.
+  if (Buf.size() > 1 << 16)
+    Buf.resize(1 << 16);
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fuzz N] [--seed S] [--out FILE] "
+               "<file-or-dir>...\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t FuzzRuns = 0;
+  uint64_t Seed = 1;
+  std::string OutPath = "fuzz_current_input.lss";
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&](uint64_t &V) {
+      if (I + 1 == argc)
+        return false;
+      V = std::strtoull(argv[++I], nullptr, 10);
+      return true;
+    };
+    if (Arg == "--fuzz") {
+      if (!NextValue(FuzzRuns))
+        return usage(argv[0]);
+    } else if (Arg.rfind("-runs=", 0) == 0) {
+      FuzzRuns = std::strtoull(Arg.c_str() + 6, nullptr, 10);
+    } else if (Arg == "--seed") {
+      if (!NextValue(Seed))
+        return usage(argv[0]);
+    } else if (Arg == "--out") {
+      if (I + 1 == argc)
+        return usage(argv[0]);
+      OutPath = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      // Unknown dashed options (libFuzzer flags in CI scripts) are ignored
+      // so the same command line drives either driver.
+      std::fprintf(stderr, "note: ignoring option '%s'\n", Arg.c_str());
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty())
+    return usage(argv[0]);
+
+  // Expand directories into the files beneath them, sorted for determinism.
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::error_code EC;
+    if (std::filesystem::is_directory(P, EC)) {
+      for (const auto &Entry :
+           std::filesystem::recursive_directory_iterator(P, EC))
+        if (Entry.is_regular_file())
+          Files.push_back(Entry.path().string());
+    } else {
+      Files.push_back(P);
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+
+  std::vector<std::vector<uint8_t>> Corpus;
+  for (const std::string &F : Files) {
+    bool Ok = false;
+    std::vector<uint8_t> Bytes = readFile(F, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", F.c_str());
+      return 1;
+    }
+    Corpus.push_back(std::move(Bytes));
+  }
+
+  // Replay every input once. A crash aborts the process here, which is the
+  // failure mode ctest reports.
+  for (size_t I = 0; I != Corpus.size(); ++I)
+    LLVMFuzzerTestOneInput(Corpus[I].data(), Corpus[I].size());
+  std::printf("replayed %zu inputs\n", Corpus.size());
+
+  if (FuzzRuns == 0)
+    return 0;
+
+  Rng R(Seed);
+  for (uint64_t Run = 0; Run != FuzzRuns; ++Run) {
+    std::vector<uint8_t> Input =
+        Corpus.empty() ? std::vector<uint8_t>() : Corpus[R.below(Corpus.size())];
+    size_t NumEdits = R.below(4) + 1;
+    for (size_t E = 0; E != NumEdits; ++E)
+      mutateOnce(Input, Corpus, R);
+    // Persist before executing: if the target crashes, the reproducer is
+    // already on disk.
+    {
+      std::ofstream Out(OutPath, std::ios::binary | std::ios::trunc);
+      Out.write(reinterpret_cast<const char *>(Input.data()),
+                long(Input.size()));
+    }
+    LLVMFuzzerTestOneInput(Input.data(), Input.size());
+    if ((Run + 1) % 5000 == 0)
+      std::printf("fuzzed %llu/%llu inputs\n",
+                  static_cast<unsigned long long>(Run + 1),
+                  static_cast<unsigned long long>(FuzzRuns));
+  }
+  std::printf("fuzzed %llu mutated inputs, no crashes\n",
+              static_cast<unsigned long long>(FuzzRuns));
+  std::remove(OutPath.c_str());
+  return 0;
+}

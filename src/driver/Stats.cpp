@@ -123,6 +123,7 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
      << "    \"unify_steps\": " << Solve.UnifySteps << ",\n"
      << "    \"branch_points\": " << Solve.BranchPoints << ",\n"
      << "    \"components\": " << Solve.NumComponents << ",\n"
+     << "    \"groups_unsolved\": " << Solve.NumUnsolved << ",\n"
      << "    \"threads_used\": " << Solve.ThreadsUsed << ",\n"
      << "    \"ports\": " << IS.NumPorts << ",\n"
      << "    \"polymorphic_ports\": " << IS.NumPolymorphicPorts << ",\n"
@@ -136,7 +137,9 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << G.NumConstraints << ", \"unify_steps\": " << G.UnifySteps
        << ", \"branch_points\": " << G.BranchPoints << ", \"wall_ms\": "
        << std::fixed << std::setprecision(3) << G.WallMs << ", \"success\": "
-       << (G.Success ? "true" : "false") << "}";
+       << (G.Success ? "true" : "false") << ", \"hit_limit\": "
+       << (G.HitLimit ? "true" : "false") << ", \"hit_deadline\": "
+       << (G.HitDeadline ? "true" : "false") << "}";
   }
   OS << "\n    ]\n  },\n";
 

@@ -19,6 +19,30 @@ using namespace liberty;
 using namespace liberty::infer;
 using types::Type;
 
+/// Total number of alternatives across every disjunct node in \p T —
+/// the "how overloaded is this constraint" figure reported when a group
+/// exhausts its budget.
+static unsigned countAlternatives(const Type *T) {
+  switch (T->getKind()) {
+  case Type::Kind::Disjunct: {
+    unsigned N = T->getAlternatives().size();
+    for (const Type *Alt : T->getAlternatives())
+      N += countAlternatives(Alt);
+    return N;
+  }
+  case Type::Kind::Array:
+    return countAlternatives(T->getElem());
+  case Type::Kind::Struct: {
+    unsigned N = 0;
+    for (const auto &[Name, FieldTy] : T->getFields())
+      N += countAlternatives(FieldTy);
+    return N;
+  }
+  default:
+    return 0;
+  }
+}
+
 /// True if a disjunct node occurs anywhere in \p T (syntactically; the
 /// caller resolves bindings as needed).
 static bool containsDisjunct(const Type *T) {
@@ -38,11 +62,19 @@ static bool containsDisjunct(const Type *T) {
 }
 
 bool InferenceEngine::overBudget(const Unifier &WU, const SolveOptions &Opts,
-                                 SolveStats &Stats) {
-  if (WU.getSteps() <= Opts.MaxSteps)
-    return false;
-  Stats.HitLimit = true;
-  return true;
+                                 SolveStats &Stats) const {
+  if (WU.getSteps() > Opts.MaxSteps) {
+    Stats.HitLimit = true;
+    return true;
+  }
+  // The wall-clock deadline is polled at a coarse step granularity so the
+  // common (no-deadline) hot path never reads the clock.
+  if (HasDeadline && (WU.getSteps() & 0x3FF) == 0 &&
+      std::chrono::steady_clock::now() > Deadline) {
+    Stats.HitDeadline = true;
+    return true;
+  }
+  return false;
 }
 
 bool InferenceEngine::solveList(Unifier &WU, std::vector<TypePair> Work,
@@ -85,6 +117,13 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
   Stats.NumConstraints = Constraints.size();
   uint64_t StepsBefore = U.getSteps();
 
+  // Arm the wall-clock deadline before any work (and before group workers
+  // start, so they read HasDeadline/Deadline without synchronization).
+  HasDeadline = Opts.DeadlineMs != 0;
+  if (HasDeadline)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Opts.DeadlineMs);
+
   auto Fail = [&](const std::string &Msg, SourceLoc Loc) {
     Stats.Success = false;
     Stats.FailMessage = Msg;
@@ -92,12 +131,18 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     Stats.UnifySteps = U.getSteps() - StepsBefore;
     return Stats;
   };
+  auto BudgetMessage = [&Stats]() -> std::string {
+    return Stats.HitDeadline && !Stats.HitLimit
+               ? "type inference exceeded its wall-clock deadline"
+               : "type inference exceeded its work budget";
+  };
 
   // Pending disjunctive work, with provenance for diagnostics.
   struct PendingItem {
     TypePair P;
     SourceLoc Loc;
     std::string Context;
+    std::string InstancePath;
   };
   std::list<PendingItem> Pending;
 
@@ -107,7 +152,8 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     for (const Constraint &C : Constraints) {
       if (containsDisjunct(C.A) || containsDisjunct(C.B)) {
         ++Stats.NumDisjunctive;
-        Pending.push_back(PendingItem{{C.A, C.B}, C.Loc, C.Context});
+        Pending.push_back(
+            PendingItem{{C.A, C.B}, C.Loc, C.Context, C.InstancePath});
         continue;
       }
       std::vector<TypePair> Deferred;
@@ -119,7 +165,8 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     for (const Constraint &C : Constraints) {
       if (containsDisjunct(C.A) || containsDisjunct(C.B))
         ++Stats.NumDisjunctive;
-      Pending.push_back(PendingItem{{C.A, C.B}, C.Loc, C.Context});
+      Pending.push_back(
+          PendingItem{{C.A, C.B}, C.Loc, C.Context, C.InstancePath});
     }
   }
 
@@ -132,7 +179,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       Progress = false;
       for (auto It = Pending.begin(); It != Pending.end();) {
         if (overBudget(U, Opts, Stats))
-          return Fail("type inference exceeded its work budget", It->Loc);
+          return Fail(BudgetMessage(), It->Loc);
         const Type *A = U.find(It->P.A);
         const Type *B = U.find(It->P.B);
         if (!A->isDisjunct() && !B->isDisjunct()) {
@@ -143,7 +190,8 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
             return Fail(U.getLastFailure() + " (" + It->Context + ")",
                         It->Loc);
           for (const TypePair &D : Deferred)
-            Pending.push_back(PendingItem{D, It->Loc, It->Context});
+            Pending.push_back(
+                PendingItem{D, It->Loc, It->Context, It->InstancePath});
           It = Pending.erase(It);
           Progress = true;
           continue;
@@ -197,8 +245,8 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       Work.push_back(P.P);
     Stats.NumComponents = 1;
     if (!solveList(U, std::move(Work), Opts, Stats, 0))
-      return Fail(Stats.HitLimit
-                      ? "type inference exceeded its work budget"
+      return Fail(Stats.HitLimit || Stats.HitDeadline
+                      ? BudgetMessage()
                       : "no consistent assignment for overloaded components",
                   Residual.front().Loc);
     Stats.Success = true;
@@ -297,32 +345,62 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     Stats.ThreadsUsed = 1;
     for (unsigned G = 0; G != Components.size(); ++G) {
       SolveGroup(G);
-      if (!Outcomes[G].Ok)
+      const GroupOutcome &Out = Outcomes[G];
+      // A group that ran out of budget (or past the deadline) degrades
+      // gracefully — the remaining independent groups are still solved.
+      // Only genuine unsatisfiability stops the run, exactly like the
+      // merge below.
+      if (!Out.Ok && !Out.Local.HitLimit && !Out.Local.HitDeadline)
         break; // Later groups stay un-run, exactly like the merge below.
     }
   }
 
   // Deterministic join: visit groups in index order, fold their statistics
-  // and commit their bindings; stop at the first failed group (parallel
-  // runs may have solved later groups speculatively — their results are
-  // discarded so both schedules report the same totals and diagnostic).
+  // and commit their bindings. A group that failed by exhausting its
+  // budget/deadline is recorded (with the instance paths and disjunct
+  // counts its constraints mention) and skipped — later groups still
+  // commit, so one pathological group cannot take down the whole solve.
+  // A genuinely unsatisfiable group stops the merge (parallel runs may
+  // have solved later groups speculatively — their results are discarded
+  // so both schedules report the same totals and diagnostic).
   uint64_t GroupSteps = 0;
   for (unsigned G = 0; G != Components.size(); ++G) {
     const GroupOutcome &Out = Outcomes[G];
     if (!Out.Ran)
-      break; // Serial early-exit: a preceding group failed.
+      break; // Serial early-exit: a preceding group was unsatisfiable.
     GroupSteps += Out.Steps;
     Stats.BranchPoints += Out.Local.BranchPoints;
     Stats.HitLimit |= Out.Local.HitLimit;
-    Stats.Groups.push_back(GroupStats{unsigned(Components[G].size()),
-                                      Out.Steps, Out.Local.BranchPoints,
-                                      Out.WallMs, Out.Ok});
+    Stats.HitDeadline |= Out.Local.HitDeadline;
+    GroupStats GS;
+    GS.NumConstraints = Components[G].size();
+    GS.UnifySteps = Out.Steps;
+    GS.BranchPoints = Out.Local.BranchPoints;
+    GS.WallMs = Out.WallMs;
+    GS.Success = Out.Ok;
+    GS.HitLimit = Out.Local.HitLimit;
+    GS.HitDeadline = Out.Local.HitDeadline;
+    if (!Out.Ok && (Out.Local.HitLimit || Out.Local.HitDeadline)) {
+      // Budget exhaustion: capture the group's provenance for the
+      // structured diagnostic, leave its variables free, and keep going.
+      GS.FirstLoc = Residual[Components[G].front()].Loc;
+      for (unsigned I : Components[G]) {
+        GS.NumDisjunctAlternatives += countAlternatives(Residual[I].P.A) +
+                                      countAlternatives(Residual[I].P.B);
+        const std::string &Path = Residual[I].InstancePath;
+        if (!Path.empty() && GS.InstancePaths.size() < 8 &&
+            std::find(GS.InstancePaths.begin(), GS.InstancePaths.end(),
+                      Path) == GS.InstancePaths.end())
+          GS.InstancePaths.push_back(Path);
+      }
+      ++Stats.NumUnsolved;
+      Stats.Groups.push_back(std::move(GS));
+      continue;
+    }
+    Stats.Groups.push_back(std::move(GS));
     if (!Out.Ok) {
       Stats.Success = false;
-      Stats.FailMessage =
-          Out.Local.HitLimit
-              ? "type inference exceeded its work budget"
-              : "no consistent assignment for overloaded components";
+      Stats.FailMessage = "no consistent assignment for overloaded components";
       Stats.FailLoc = Residual[Components[G].front()].Loc;
       Stats.UnifySteps = (U.getSteps() - StepsBefore) + GroupSteps;
       return Stats;
@@ -331,8 +409,18 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       U.adopt(VarId, Binding);
   }
 
-  Stats.Success = true;
   Stats.UnifySteps = (U.getSteps() - StepsBefore) + GroupSteps;
+  if (Stats.NumUnsolved) {
+    Stats.Success = false;
+    Stats.FailMessage = BudgetMessage();
+    for (const GroupStats &GS : Stats.Groups)
+      if (!GS.Success) {
+        Stats.FailLoc = GS.FirstLoc;
+        break;
+      }
+    return Stats;
+  }
+  Stats.Success = true;
   return Stats;
 }
 
@@ -351,12 +439,14 @@ liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
       if (P.Scheme)
         Cs.push_back(Constraint{P.InferVar, P.Scheme, P.Loc,
                                 "annotation of port '" + P.Name +
-                                    "' on instance '" + Inst->Path + "'"});
+                                    "' on instance '" + Inst->Path + "'",
+                                Inst->Path});
     }
     for (const auto &[LHS, RHS] : Inst->ExtraConstraints)
       Cs.push_back(Constraint{LHS, RHS, Inst->Loc,
                               "constrain statement of instance '" +
-                                  Inst->Path + "'"});
+                                  Inst->Path + "'",
+                              Inst->Path});
   }
   // Connected ports share a type (modulo unresolved endpoints, which were
   // already diagnosed during elaboration).
@@ -368,10 +458,11 @@ liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
     if (!PF || !PT || !PF->InferVar || !PT->InferVar)
       continue;
     Cs.push_back(Constraint{PF->InferVar, PT->InferVar, Conn->Loc,
-                            "connection"});
+                            "connection", Conn->From.Inst->Path});
     if (Conn->Annotation)
       Cs.push_back(Constraint{PF->InferVar, Conn->Annotation, Conn->Loc,
-                              "connection annotation"});
+                              "connection annotation",
+                              Conn->From.Inst->Path});
   }
   return Cs;
 }
@@ -430,8 +521,39 @@ liberty::infer::inferNetlistTypes(netlist::Netlist &NL, types::TypeContext &TC,
     Timer->setCounter("solve", "threads", Stats.Solve.ThreadsUsed);
   }
   if (!Stats.Solve.Success) {
-    Diags.error(Stats.Solve.FailLoc,
-                "type inference failed: " + Stats.Solve.FailMessage);
+    if (Stats.Solve.NumUnsolved == 0) {
+      // Genuine unsatisfiability: one diagnostic, nothing written back.
+      Diags.error(Stats.Solve.FailLoc,
+                  "type inference failed: " + Stats.Solve.FailMessage);
+      return Stats;
+    }
+    // Budget/deadline exhaustion degraded gracefully: every other group
+    // was still solved and committed. Name each unsolved group with the
+    // instances and overload degree that made it pathological.
+    for (unsigned G = 0; G != Stats.Solve.Groups.size(); ++G) {
+      const GroupStats &GS = Stats.Solve.Groups[G];
+      if (GS.Success)
+        continue;
+      if (!GS.HitLimit && !GS.HitDeadline) {
+        // A genuinely unsatisfiable group encountered after a budget
+        // failure; it stopped the merge with the usual diagnostic.
+        Diags.error(Stats.Solve.FailLoc,
+                    "type inference failed: " + Stats.Solve.FailMessage);
+        continue;
+      }
+      std::string Why = GS.HitDeadline && !GS.HitLimit
+                            ? "exceeded its wall-clock deadline"
+                            : "exceeded its work budget";
+      Diags.error(GS.FirstLoc,
+                  "type inference failed: " + Why + " on group " +
+                      std::to_string(G) + " (" +
+                      std::to_string(GS.NumConstraints) + " constraints, " +
+                      std::to_string(GS.NumDisjunctAlternatives) +
+                      " disjunct alternatives); other groups were still "
+                      "solved");
+      for (const std::string &Path : GS.InstancePaths)
+        Diags.note(GS.FirstLoc, "involves instance '" + Path + "'");
+    }
     return Stats;
   }
   for (const auto &Inst : NL.getInstances()) {

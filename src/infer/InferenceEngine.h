@@ -29,6 +29,7 @@
 #include "infer/Unifier.h"
 #include "support/Diagnostics.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ struct Constraint {
   const types::Type *B = nullptr;
   SourceLoc Loc;
   std::string Context;
+  /// Hierarchical path of the instance this constraint came from (empty for
+  /// synthetic systems). Budget-exhaustion diagnostics name the instances
+  /// of the group that could not be solved.
+  std::string InstancePath;
 };
 
 struct SolveOptions {
@@ -55,6 +60,11 @@ struct SolveOptions {
   bool ForcedDisjunctElimination = true; ///< Heuristic 2.
   bool Partition = true;               ///< Heuristic 3.
   uint64_t MaxSteps = 500000000;       ///< Work cap (unify steps).
+  /// Wall-clock deadline for the whole solve in milliseconds; 0 disables.
+  /// Unlike MaxSteps this is inherently nondeterministic — use it as an
+  /// operational backstop (lssc --infer-deadline-ms), not in differential
+  /// tests.
+  uint64_t DeadlineMs = 0;
   /// Worker threads for the H3 group search: 1 solves the groups serially
   /// (the `--j1` path), N > 1 dispatches them to a thread pool, and 0
   /// picks one worker per hardware thread. Because the groups are
@@ -88,17 +98,33 @@ struct GroupStats {
   uint64_t BranchPoints = 0;
   double WallMs = 0.0; ///< Wall time of this group's search in isolation.
   bool Success = false;
+  bool HitLimit = false;    ///< Failed by exhausting the step budget.
+  bool HitDeadline = false; ///< Failed by exceeding the wall-clock deadline.
+  /// Filled for unsolved groups only: the distinct instance paths the
+  /// group's constraints mention (capped at 8), the total number of
+  /// alternatives across its disjunctive constraints, and the location of
+  /// its first constraint — the payload of the structured
+  /// budget-exhaustion diagnostic.
+  std::vector<std::string> InstancePaths;
+  unsigned NumDisjunctAlternatives = 0;
+  SourceLoc FirstLoc;
 };
 
 struct SolveStats {
   bool Success = false;
   bool HitLimit = false;
+  bool HitDeadline = false; ///< The wall-clock deadline expired.
   uint64_t UnifySteps = 0;
   uint64_t BranchPoints = 0;
   unsigned NumConstraints = 0;
   unsigned NumDisjunctive = 0;
   unsigned NumComponents = 0; ///< H3 groups actually searched.
   unsigned ThreadsUsed = 1;   ///< Pool size the group search ran with.
+  /// Groups left unsolved by budget/deadline exhaustion. Unlike a genuine
+  /// unsatisfiability (which stops the merge at the first failed group),
+  /// running out of budget degrades gracefully: every other group is still
+  /// solved and committed, and only these groups' variables stay free.
+  unsigned NumUnsolved = 0;
   std::vector<GroupStats> Groups; ///< One entry per searched H3 group.
   std::string FailMessage;
   SourceLoc FailLoc;
@@ -124,11 +150,18 @@ private:
   /// unifier during the (possibly parallel) H3 group search.
   bool solveList(Unifier &WU, std::vector<TypePair> Work,
                  const SolveOptions &Opts, SolveStats &Stats, unsigned Depth);
-  static bool overBudget(const Unifier &WU, const SolveOptions &Opts,
-                         SolveStats &Stats);
+  /// True when \p WU exhausted the step budget or the solve deadline
+  /// passed; flags the condition on \p Stats. Safe to call concurrently
+  /// from group workers (the deadline is set once before they start).
+  bool overBudget(const Unifier &WU, const SolveOptions &Opts,
+                  SolveStats &Stats) const;
 
   types::TypeContext &TC;
   Unifier U;
+  /// Absolute deadline for the current solve() (steady clock); only valid
+  /// while HasDeadline.
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
 };
 
 /// Result of running inference over a whole netlist.

@@ -18,11 +18,11 @@ liberty::infer::makeAdversarialPairs(types::TypeContext &TC, unsigned K) {
     As.push_back(TC.freshVar("a" + std::to_string(I)));
     Bs.push_back(TC.freshVar("b" + std::to_string(I)));
     // Opposite preference orders: the naive solver's first guesses clash.
-    Cs.push_back(Constraint{As.back(), IntFloat, SourceLoc(), "pair-a"});
-    Cs.push_back(Constraint{Bs.back(), FloatInt, SourceLoc(), "pair-b"});
+    Cs.push_back(Constraint{As.back(), IntFloat, SourceLoc(), "pair-a", ""});
+    Cs.push_back(Constraint{Bs.back(), FloatInt, SourceLoc(), "pair-b", ""});
   }
   for (unsigned I = 0; I != K; ++I)
-    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "pair-eq"});
+    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "pair-eq", ""});
   return Cs;
 }
 
@@ -34,10 +34,10 @@ liberty::infer::makeIntersectionFamily(types::TypeContext &TC, unsigned K) {
   std::vector<const Type *> Vs;
   for (unsigned I = 0; I != K; ++I) {
     Vs.push_back(TC.freshVar("v" + std::to_string(I)));
-    Cs.push_back(Constraint{Vs.back(), IntFloat, SourceLoc(), "isect-1"});
+    Cs.push_back(Constraint{Vs.back(), IntFloat, SourceLoc(), "isect-1", ""});
   }
   for (unsigned I = 0; I != K; ++I)
-    Cs.push_back(Constraint{Vs[I], FloatString, SourceLoc(), "isect-2"});
+    Cs.push_back(Constraint{Vs[I], FloatString, SourceLoc(), "isect-2", ""});
   return Cs;
 }
 
@@ -46,11 +46,11 @@ liberty::infer::makeForcedChain(types::TypeContext &TC, unsigned N) {
   std::vector<Constraint> Cs;
   const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
   const Type *Prev = TC.freshVar("c0");
-  Cs.push_back(Constraint{Prev, TC.getInt(), SourceLoc(), "anchor"});
+  Cs.push_back(Constraint{Prev, TC.getInt(), SourceLoc(), "anchor", ""});
   for (unsigned I = 1; I <= N; ++I) {
     const Type *Next = TC.freshVar("c" + std::to_string(I));
-    Cs.push_back(Constraint{Next, IntFloat, SourceLoc(), "chain-overload"});
-    Cs.push_back(Constraint{Prev, Next, SourceLoc(), "chain-link"});
+    Cs.push_back(Constraint{Next, IntFloat, SourceLoc(), "chain-overload", ""});
+    Cs.push_back(Constraint{Prev, Next, SourceLoc(), "chain-link", ""});
     Prev = Next;
   }
   return Cs;
@@ -66,6 +66,10 @@ liberty::infer::makeDisjointHardGroups(types::TypeContext &TC, unsigned Groups,
       {TC.getStruct({{"a", TC.getInt()}, {"b", TC.getInt()}}),
        TC.getStruct({{"a", TC.getFloat()}, {"b", TC.getFloat()}})});
   for (unsigned G = 0; G != Groups; ++G) {
+    // A pseudo instance path per group so budget-exhaustion diagnostics
+    // (which list the paths of unsolved groups) are testable on synthetic
+    // systems too.
+    std::string Path = "synthetic.g" + std::to_string(G);
     std::vector<const Type *> Vs;
     Vs.reserve(K);
     for (unsigned I = 0; I != K; ++I)
@@ -73,17 +77,18 @@ liberty::infer::makeDisjointHardGroups(types::TypeContext &TC, unsigned Groups,
           TC.freshVar("g" + std::to_string(G) + "v" + std::to_string(I)));
     // Per-variable overload, int-first: the greedy search starts all-int.
     for (unsigned I = 0; I != K; ++I)
-      Cs.push_back(Constraint{Vs[I], IntFloat, SourceLoc(), "hard-choice"});
+      Cs.push_back(
+          Constraint{Vs[I], IntFloat, SourceLoc(), "hard-choice", Path});
     // Disjunctive links force neighbors to agree and keep the component
     // connected without letting H2 prune anything.
     for (unsigned I = 0; I + 1 != K; ++I)
       Cs.push_back(
           Constraint{TC.getStruct({{"a", Vs[I]}, {"b", Vs[I + 1]}}), LinkAlts,
-                     SourceLoc(), "hard-link"});
+                     SourceLoc(), "hard-link", Path});
     // The anchor sits at the end of the work list, so the all-float
     // solution is the last of the ~2^K assignments tried.
     Cs.push_back(Constraint{Vs[K - 1], FloatString, SourceLoc(),
-                            "hard-anchor"});
+                            "hard-anchor", Path});
   }
   return Cs;
 }
@@ -97,10 +102,10 @@ liberty::infer::makeUnsatPairs(types::TypeContext &TC, unsigned K) {
   for (unsigned I = 0; I != K; ++I) {
     As.push_back(TC.freshVar("ua" + std::to_string(I)));
     Bs.push_back(TC.freshVar("ub" + std::to_string(I)));
-    Cs.push_back(Constraint{As.back(), IntBool, SourceLoc(), "unsat-a"});
-    Cs.push_back(Constraint{Bs.back(), FloatString, SourceLoc(), "unsat-b"});
+    Cs.push_back(Constraint{As.back(), IntBool, SourceLoc(), "unsat-a", ""});
+    Cs.push_back(Constraint{Bs.back(), FloatString, SourceLoc(), "unsat-b", ""});
   }
   for (unsigned I = 0; I != K; ++I)
-    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "unsat-eq"});
+    Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "unsat-eq", ""});
   return Cs;
 }

@@ -52,7 +52,9 @@ bool Interpreter::aborted() {
     Diags.error(SourceLoc(), "elaboration step limit exceeded; "
                              "non-terminating compile-time loop?");
     Aborted = true;
-  } else if (Diags.getNumErrors() > Opts.MaxErrors) {
+  } else if (Diags.errorLimitReached()) {
+    // Shared --max-errors cap: stop elaborating new instances; the engine
+    // has already noted the cut for the user.
     Aborted = true;
   }
   return Aborted;

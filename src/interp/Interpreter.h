@@ -45,8 +45,9 @@ public:
     uint64_t MaxSteps = 100000000;
     /// Abort after creating this many instances.
     uint64_t MaxInstances = 1000000;
-    /// Stop elaborating new instances once this many errors accumulated.
-    unsigned MaxErrors = 50;
+    // Note: the error cap is no longer per-interpreter. Elaboration stops
+    // when the shared DiagnosticEngine's limit is reached
+    // (DiagnosticEngine::setMaxErrors / lssc --max-errors).
   };
 
   Interpreter(types::TypeContext &TC, DiagnosticEngine &Diags);

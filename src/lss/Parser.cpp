@@ -14,7 +14,54 @@ Parser::Parser(uint32_t BufferId, ASTContext &Ctx, DiagnosticEngine &Diags)
   CurTok = Lex.lex();
 }
 
-void Parser::consume() { CurTok = Lex.lex(); }
+void Parser::consume() {
+  CurTok = Lex.lex();
+  ++NumConsumed;
+}
+
+/// Keywords that can only begin a declaration/statement — safe tokens to
+/// resynchronize on after a parse error without consuming them.
+static bool isDeclKeyword(TokenKind K) {
+  switch (K) {
+  case TokenKind::KwModule:
+  case TokenKind::KwParameter:
+  case TokenKind::KwInport:
+  case TokenKind::KwOutport:
+  case TokenKind::KwInstance:
+  case TokenKind::KwVar:
+  case TokenKind::KwRuntime:
+  case TokenKind::KwEvent:
+  case TokenKind::KwConstrain:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+/// RAII increment of the parser's recursion-depth counter.
+struct DepthGuard {
+  unsigned &Depth;
+  explicit DepthGuard(unsigned &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthGuard() { --Depth; }
+};
+} // namespace
+
+/// The recursive-descent productions consume call stack proportional to the
+/// input's nesting depth, so depth is bounded: past the cap the offending
+/// construct is diagnosed and panic-mode recovery takes over. 512 levels is
+/// far beyond any real specification (fuzzers reach it routinely —
+/// fuzz/regressions/deep-nesting.lss).
+static constexpr unsigned MaxNestingDepth = 512;
+
+bool Parser::atMaxDepth(SourceLoc Loc) {
+  if (Depth <= MaxNestingDepth)
+    return false;
+  Diags.error(Loc, "construct nested more than " +
+                       std::to_string(MaxNestingDepth) +
+                       " levels deep; simplify the input");
+  return true;
+}
 
 bool Parser::consumeIf(TokenKind K) {
   if (!cur().is(K))
@@ -32,41 +79,73 @@ bool Parser::expect(TokenKind K, const char *Context) {
   return false;
 }
 
-/// Skips tokens until just past the next ';' or to a '}' / EOF, the
-/// standard panic-mode recovery points for a statement language.
+/// Panic-mode recovery: skips tokens until just past the next ';', or up to
+/// (not past) a '}', a declaration keyword, or EOF. Syncing on declaration
+/// keywords means one bad statement costs at most the tokens up to the next
+/// declaration, so a single malformed line still yields diagnostics for
+/// everything after it. When tokens were actually discarded, a note marks
+/// where parsing resumed.
 void Parser::skipToRecoveryPoint() {
+  unsigned Discarded = 0;
+  auto NoteResume = [&] {
+    if (Discarded >= 2)
+      Diags.note(cur().Loc, "discarded " + std::to_string(Discarded) +
+                                " tokens while recovering; parsing resumed "
+                                "here");
+  };
   while (!cur().is(TokenKind::Eof)) {
     if (cur().is(TokenKind::Semicolon)) {
       consume();
+      ++Discarded;
+      NoteResume();
       return;
     }
-    if (cur().is(TokenKind::RBrace))
+    if (cur().is(TokenKind::RBrace) || isDeclKeyword(cur().Kind)) {
+      NoteResume();
       return;
+    }
     consume();
+    ++Discarded;
   }
 }
 
 SpecFile Parser::parseFile() {
   SpecFile File;
-  while (!cur().is(TokenKind::Eof)) {
+  while (!cur().is(TokenKind::Eof) && !Diags.errorLimitReached()) {
+    unsigned Before = NumConsumed;
     if (cur().is(TokenKind::KwModule)) {
       if (ModuleDecl *M = parseModuleDecl())
         File.Modules.push_back(M);
-      continue;
-    }
-    if (Stmt *S = parseStmt())
+    } else if (Stmt *S = parseStmt()) {
       File.TopLevel.push_back(S);
+    }
+    ensureProgress(Before);
   }
   return File;
 }
 
 std::vector<Stmt *> Parser::parseBslBody() {
   std::vector<Stmt *> Body;
-  while (!cur().is(TokenKind::Eof)) {
+  while (!cur().is(TokenKind::Eof) && !Diags.errorLimitReached()) {
+    unsigned Before = NumConsumed;
     if (Stmt *S = parseStmt())
       Body.push_back(S);
+    ensureProgress(Before);
   }
   return Body;
+}
+
+/// Guarantees forward progress in a parse loop: if the last production
+/// neither consumed a token nor will the loop's own condition end (e.g. a
+/// stray '}' at the top level that every recovery point refuses to eat),
+/// diagnose and consume the offender. Without this a single unexpected
+/// token could stall parseFile forever.
+void Parser::ensureProgress(unsigned NumConsumedBefore) {
+  if (NumConsumed != NumConsumedBefore || cur().is(TokenKind::Eof))
+    return;
+  Diags.error(cur().Loc, std::string("unexpected ") +
+                             tokenKindName(cur().Kind) + "; skipping it");
+  consume();
 }
 
 ModuleDecl *Parser::parseModuleDecl() {
@@ -85,9 +164,12 @@ ModuleDecl *Parser::parseModuleDecl() {
     return nullptr;
   }
   std::vector<Stmt *> Body;
-  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::Eof)) {
+  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::Eof) &&
+         !Diags.errorLimitReached()) {
+    unsigned Before = NumConsumed;
     if (Stmt *S = parseStmt())
       Body.push_back(S);
+    ensureProgress(Before);
   }
   expect(TokenKind::RBrace, "module declaration");
   consumeIf(TokenKind::Semicolon); // Trailing ';' is optional.
@@ -95,6 +177,9 @@ ModuleDecl *Parser::parseModuleDecl() {
 }
 
 Stmt *Parser::parseStmt() {
+  DepthGuard Guard(Depth);
+  if (atMaxDepth(cur().Loc))
+    return nullptr;
   switch (cur().Kind) {
   case TokenKind::KwParameter:
     return parseParamDecl();
@@ -443,9 +528,12 @@ Stmt *Parser::parseBlock() {
   assert(cur().is(TokenKind::LBrace));
   consume();
   std::vector<Stmt *> Body;
-  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::Eof)) {
+  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::Eof) &&
+         !Diags.errorLimitReached()) {
+    unsigned Before = NumConsumed;
     if (Stmt *S = parseStmt())
       Body.push_back(S);
+    ensureProgress(Before);
   }
   expect(TokenKind::RBrace, "block");
   return Ctx.create<BlockStmt>(std::move(Body), Loc);
@@ -599,6 +687,12 @@ Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
 }
 
 Expr *Parser::parseUnary() {
+  // The depth guard lives here rather than in parseExpr: unary chains
+  // (`!!…!x`) recurse through parseUnary directly, and every other
+  // expression recursion (parens, calls, indices) passes through it too.
+  DepthGuard Guard(Depth);
+  if (atMaxDepth(cur().Loc))
+    return nullptr;
   if (cur().is(TokenKind::Minus)) {
     SourceLoc Loc = cur().Loc;
     consume();
@@ -756,6 +850,9 @@ Expr *Parser::parsePrimary() {
 //===----------------------------------------------------------------------===//
 
 TypeExpr *Parser::parseTypeExpr() {
+  DepthGuard Guard(Depth);
+  if (atMaxDepth(cur().Loc))
+    return nullptr;
   SourceLoc Loc = cur().Loc;
   TypeExpr *First = parseTypePostfix();
   if (!First)

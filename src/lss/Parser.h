@@ -35,6 +35,8 @@ private:
   bool consumeIf(TokenKind K);
   bool expect(TokenKind K, const char *Context);
   void skipToRecoveryPoint();
+  void ensureProgress(unsigned NumConsumedBefore);
+  bool atMaxDepth(SourceLoc Loc);
 
   // Grammar productions.
   ModuleDecl *parseModuleDecl();
@@ -70,6 +72,13 @@ private:
   DiagnosticEngine &Diags;
   Lexer Lex;
   Token CurTok;
+  /// Tokens consumed so far — the parse loops' forward-progress witness.
+  unsigned NumConsumed = 0;
+  /// Current recursion depth across the statement/expression/type
+  /// productions. Recursive descent uses the call stack, so input nesting
+  /// is capped (see atMaxDepth) to keep adversarial inputs from
+  /// overflowing it.
+  unsigned Depth = 0;
 };
 
 } // namespace lss

@@ -466,6 +466,7 @@ bool Simulator::construct() {
   computeGroupSummaries(Sched, NodeInputNets, NodePure);
   GroupEvaluated.assign(Sched.Groups.size(), 0);
   GroupDirty.assign(Sched.Groups.size(), 0);
+  GroupOscillating.assign(Sched.Groups.size(), {});
 
   // 7. Wavefront engine resources. Sized before the pointer wiring below
   //    so &GroupDirty[G] / &GroupEventBufs[G] stay valid (neither vector
@@ -510,6 +511,8 @@ void Simulator::reset() {
   GroupEvaluated.assign(Sched.Groups.size(), 0);
   std::fill(GroupDirty.begin(), GroupDirty.end(), 0);
   std::fill(FixpointFailed.begin(), FixpointFailed.end(), 0);
+  for (auto &O : GroupOscillating)
+    O.clear();
   for (auto &B : GroupEventBufs)
     B.clear();
   for (ActivityStats &S : StatShards)
@@ -576,9 +579,21 @@ void Simulator::evaluateGroup(size_t GroupIdx, ActivityStats &A) {
     for (int RTIdx : Group)
       Runtimes[RTIdx]->Stats = &A;
     bool Converged = false;
+    // Watchdog snapshot of the group's output nets, taken before the final
+    // allowed iteration: nets that still differ afterwards are the ones
+    // oscillating, and the failure report names them with their values.
+    std::vector<std::pair<int, interp::Value>> Watch;
+    std::vector<char> WatchHas;
     for (unsigned Iter = 0; Iter != Opts.MaxFixpointIters; ++Iter) {
       Dirty = 0;
       ++A.FixpointIters;
+      if (Iter + 1 == Opts.MaxFixpointIters) {
+        for (int RTIdx : Group)
+          for (int NetId : Runtimes[RTIdx]->OutputNets) {
+            Watch.emplace_back(NetId, Nets[NetId].V);
+            WatchHas.push_back(Nets[NetId].Has);
+          }
+      }
       for (int RTIdx : Group) {
         Runtime *RT = Runtimes[RTIdx].get();
         if (RT->Behavior) {
@@ -593,6 +608,13 @@ void Simulator::evaluateGroup(size_t GroupIdx, ActivityStats &A) {
       }
     }
     if (!Converged) {
+      std::vector<int> &Osc = GroupOscillating[GroupIdx];
+      Osc.clear();
+      for (size_t W = 0; W != Watch.size() && Osc.size() < 8; ++W) {
+        const Net &N = Nets[Watch[W].first];
+        if (char(N.Has) != WatchHas[W] || !N.V.equals(Watch[W].second))
+          Osc.push_back(Watch[W].first);
+      }
       if (Pool) {
         // Parallel phase: defer the diagnostic to the main thread, which
         // reports failures in ascending group order after the level.
@@ -634,6 +656,36 @@ void Simulator::reportFixpointFailure(size_t GroupIdx) {
               "combinational cycle did not converge within " +
                   std::to_string(Opts.MaxFixpointIters) +
                   " iterations; group members: " + Members);
+  // Name the nets the watchdog saw still changing in the final iteration,
+  // with the values they oscillated to — the concrete evidence for
+  // debugging the cycle. NodeToNet keys are "path|port|index".
+  const std::vector<int> &Osc = GroupOscillating[GroupIdx];
+  if (Osc.empty())
+    return;
+  std::map<int, std::string> NetName;
+  for (const auto &[Key, NetId] : NodeToNet)
+    if (std::find(Osc.begin(), Osc.end(), NetId) != Osc.end() &&
+        !NetName.count(NetId)) {
+      std::string Pretty = Key;
+      size_t P1 = Pretty.find('|');
+      if (P1 != std::string::npos)
+        Pretty[P1] = '.';
+      size_t P2 = Pretty.find('|', P1 + 1);
+      if (P2 != std::string::npos) {
+        std::string Index = Pretty.substr(P2 + 1);
+        Pretty = Pretty.substr(0, P2) + "[" + Index + "]";
+      }
+      NetName[NetId] = Pretty;
+    }
+  for (int NetId : Osc) {
+    const Net &N = Nets[NetId];
+    auto It = NetName.find(NetId);
+    std::string Name = It != NetName.end() ? It->second
+                                           : "net #" + std::to_string(NetId);
+    Diags.note(SourceLoc(), "net '" + Name + "' was still changing; last "
+                            "value: " +
+                                (N.Has ? N.V.str() : "<absent>"));
+  }
 }
 
 void Simulator::skipGroup(size_t GroupIdx) {

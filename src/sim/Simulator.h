@@ -250,6 +250,12 @@ private:
   /// emitted by the main thread at the end of the combinational phase, in
   /// ascending group order, so the report stream is deterministic.
   std::vector<char> FixpointFailed;
+  /// Per-group watchdog capture: net ids still changing during the final
+  /// fixpoint iteration of a non-converging group (capped at 8). Each slot
+  /// is written only by the group's own evaluator, so parallel levels need
+  /// no lock; the deferred report reads it on the main thread in the same
+  /// cycle, while the nets still hold their oscillating values.
+  std::vector<std::vector<int>> GroupOscillating;
   /// Serializes DiagnosticEngine access from worker threads (userpoint
   /// runtime errors). Unused when Jobs == 1.
   std::mutex DiagsMutex;

@@ -34,25 +34,62 @@ struct Diagnostic {
 /// The engine is deliberately simple: phases push diagnostics, drivers print
 /// them. It owns nothing but the message list; the SourceMgr is borrowed so
 /// printed diagnostics can show file/line/caret context.
+///
+/// The engine also owns the pipeline-wide error cap (`lssc --max-errors`):
+/// once MaxErrors errors have been reported, further errors are counted but
+/// not stored, one "too many errors" note marks the cut, and every phase
+/// (parser recovery, elaboration, inference, simulation) is expected to poll
+/// errorLimitReached() and wind down instead of grinding on.
 class DiagnosticEngine {
 public:
   explicit DiagnosticEngine(const SourceMgr &SM) : SM(SM) {}
 
   void error(SourceLoc Loc, std::string Message) {
+    if (errorLimitReached()) {
+      ++NumSuppressed;
+      return;
+    }
     Diags.push_back({DiagLevel::Error, Loc, std::move(Message)});
     ++NumErrors;
+    // Announce the cut the moment the cap is reached — phases poll
+    // errorLimitReached() and wind down, so a later error() call that
+    // could carry the note may never come.
+    if (errorLimitReached() && !LimitNoteEmitted) {
+      LimitNoteEmitted = true;
+      Diags.push_back({DiagLevel::Note, SourceLoc(),
+                       "too many errors emitted, stopping now "
+                       "(raise the cap with --max-errors)"});
+    }
   }
   void warning(SourceLoc Loc, std::string Message) {
+    if (errorLimitReached()) {
+      ++NumSuppressed;
+      return;
+    }
     Diags.push_back({DiagLevel::Warning, Loc, std::move(Message)});
     ++NumWarnings;
   }
   void note(SourceLoc Loc, std::string Message) {
+    if (errorLimitReached())
+      return;
     Diags.push_back({DiagLevel::Note, Loc, std::move(Message)});
   }
 
   bool hasErrors() const { return NumErrors != 0; }
   unsigned getNumErrors() const { return NumErrors; }
   unsigned getNumWarnings() const { return NumWarnings; }
+  unsigned getNumSuppressed() const { return NumSuppressed; }
+
+  /// The shared error cap. 0 means unlimited. Applies to every phase that
+  /// reports through this engine.
+  void setMaxErrors(unsigned N) { MaxErrors = N; }
+  unsigned getMaxErrors() const { return MaxErrors; }
+
+  /// True once the error cap has been hit: phases should stop producing
+  /// new work (and new diagnostics are dropped, not stored).
+  bool errorLimitReached() const {
+    return MaxErrors != 0 && NumErrors >= MaxErrors;
+  }
 
   const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
 
@@ -66,7 +103,8 @@ public:
   /// Drops all collected diagnostics and resets the counters.
   void clear() {
     Diags.clear();
-    NumErrors = NumWarnings = 0;
+    NumErrors = NumWarnings = NumSuppressed = 0;
+    LimitNoteEmitted = false;
   }
 
   const SourceMgr &getSourceMgr() const { return SM; }
@@ -76,6 +114,11 @@ private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
   unsigned NumWarnings = 0;
+  unsigned NumSuppressed = 0; ///< Diagnostics dropped past the error cap.
+  bool LimitNoteEmitted = false;
+  /// Shared error cap (0 = unlimited). 50 matches the elaboration
+  /// interpreter's historical private cap, now pipeline-wide.
+  unsigned MaxErrors = 50;
 };
 
 } // namespace liberty

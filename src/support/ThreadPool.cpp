@@ -27,6 +27,12 @@ ThreadPool::ThreadPool(unsigned ThreadCount) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Cancel-before-wait makes teardown deterministic: a task either ran to
+  // completion before destruction began or never starts. The old order
+  // (drain everything, then stop) let an error path that destroyed the
+  // pool with work still queued race the workers through a suffix of
+  // tasks whose state was already being torn down.
+  cancelPending();
   wait();
   for (std::jthread &W : Workers)
     W.request_stop();
@@ -46,6 +52,16 @@ void ThreadPool::async(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+size_t ThreadPool::cancelPending() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Dropped = Queue.size();
+  Queue.clear();
+  Outstanding -= unsigned(Dropped);
+  if (Dropped && Outstanding == 0)
+    AllDone.notify_all();
+  return Dropped;
 }
 
 void ThreadPool::workerLoop(std::stop_token Stop, unsigned Index) {

@@ -28,7 +28,11 @@ public:
   /// Spawns \p ThreadCount workers; 0 means one per hardware thread.
   explicit ThreadPool(unsigned ThreadCount = 0);
 
-  /// Waits for queued work to drain, then stops and joins the workers.
+  /// Deterministic shutdown: tasks that never started are dropped (they
+  /// are cancelled before anything else), tasks already running finish,
+  /// then the workers are stopped and joined. An error path may therefore
+  /// destroy the pool without first draining the queue and never observes
+  /// a half-run suffix of the queued work racing teardown.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -40,6 +44,14 @@ public:
 
   /// Blocks until every task enqueued so far has finished executing.
   void wait();
+
+  /// Removes every queued-but-not-started task without running it and
+  /// returns how many were dropped. Tasks already executing finish
+  /// normally. The record-and-drain idiom for a mid-cycle error: record
+  /// the failure, cancelPending(), then wait() — the pool reaches a
+  /// quiescent state where each task either ran to completion before the
+  /// cancel or never started at all.
+  size_t cancelPending();
 
   unsigned getThreadCount() const { return unsigned(Workers.size()); }
 

@@ -272,6 +272,26 @@ TEST(Solver, BudgetCapReports) {
   EXPECT_TRUE(S.HitLimit);
 }
 
+TEST(Solver, DeadlineStopsRunawayGroup) {
+  // A wall-clock deadline of 1ms cannot survive a 2^18-assignment search:
+  // the group must come back unsolved with HitDeadline set (not crash, not
+  // spin forever), and the budget-degradation stats must count it.
+  TypeContext TC;
+  auto Cs = makeDisjointHardGroups(TC, 1, 18);
+  InferenceEngine E(TC);
+  SolveOptions O;
+  O.ForcedDisjunctElimination = false; // Keep the search exponential.
+  O.DeadlineMs = 1;
+  SolveStats S = E.solve(Cs, O);
+  EXPECT_FALSE(S.Success);
+  EXPECT_TRUE(S.HitDeadline);
+  EXPECT_EQ(S.NumUnsolved, 1u);
+  ASSERT_EQ(S.Groups.size(), 1u);
+  EXPECT_FALSE(S.Groups.front().Success);
+  ASSERT_FALSE(S.Groups.front().InstancePaths.empty());
+  EXPECT_EQ(S.Groups.front().InstancePaths.front(), "synthetic.g0");
+}
+
 TEST(Solver, PartitionCountsComponents) {
   TypeContext TC;
   auto Cs = makeIntersectionFamily(TC, 7);

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <string>
@@ -66,6 +67,7 @@ void expectIdenticalRuns(const EngineRun &Serial, const EngineRun &Parallel,
   EXPECT_EQ(Serial.Stats.NumConstraints, Parallel.Stats.NumConstraints);
   EXPECT_EQ(Serial.Stats.NumDisjunctive, Parallel.Stats.NumDisjunctive);
   EXPECT_EQ(Serial.Stats.NumComponents, Parallel.Stats.NumComponents);
+  EXPECT_EQ(Serial.Stats.NumUnsolved, Parallel.Stats.NumUnsolved);
   EXPECT_EQ(Serial.Stats.FailMessage, Parallel.Stats.FailMessage);
   ASSERT_EQ(Serial.Stats.Groups.size(), Parallel.Stats.Groups.size());
   for (size_t I = 0; I != Serial.Stats.Groups.size(); ++I) {
@@ -75,6 +77,8 @@ void expectIdenticalRuns(const EngineRun &Serial, const EngineRun &Parallel,
     EXPECT_EQ(G1.UnifySteps, GN.UnifySteps) << "group " << I;
     EXPECT_EQ(G1.BranchPoints, GN.BranchPoints) << "group " << I;
     EXPECT_EQ(G1.Success, GN.Success) << "group " << I;
+    EXPECT_EQ(G1.HitLimit, GN.HitLimit) << "group " << I;
+    EXPECT_EQ(G1.InstancePaths, GN.InstancePaths) << "group " << I;
   }
   EXPECT_EQ(Serial.Resolved, Parallel.Resolved);
 }
@@ -245,6 +249,58 @@ TEST(ParallelInfer, FailingLastGroupMatchesSerialExactly) {
   // All three satisfiable groups ran before the failure was reached.
   EXPECT_EQ(Serial.Stats.Groups.size(), 4u);
   EXPECT_FALSE(Serial.Stats.Groups.back().Success);
+}
+
+//===----------------------------------------------------------------------===//
+// (d) Budget exhaustion degrades gracefully, identically at any thread count
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelInfer, BudgetExhaustedGroupMatchesSerialExactly) {
+  // One pathologically hard group among six easy ones, with a step budget
+  // the hard group cannot meet. Unlike genuine unsatisfiability, budget
+  // exhaustion must not stop the solve: the easy groups still solve and
+  // commit, only the hard group is recorded unsolved — and the whole
+  // degraded outcome is bit-identical at any thread count.
+  auto Run = [](unsigned Threads) {
+    TypeContext TC;
+    std::vector<Constraint> Cs = makeDisjointHardGroups(TC, 1, 14);
+    std::vector<Constraint> Easy = makeIntersectionFamily(TC, 6);
+    Cs.insert(Cs.end(), Easy.begin(), Easy.end());
+    InferenceEngine E(TC);
+    SolveOptions O;
+    O.NumThreads = Threads;
+    O.ForcedDisjunctElimination = false; // Leave residual groups for H3.
+    O.MaxSteps = 20000;
+    EngineRun R;
+    R.Stats = E.solve(Cs, O);
+    // Resolve every constraint side: easy-group bindings must have been
+    // committed despite the failure (unsolved vars resolve to themselves).
+    for (const Constraint &C : Cs) {
+      R.Resolved.push_back(E.resolve(C.A)->str());
+      R.Resolved.push_back(E.resolve(C.B)->str());
+    }
+    return R;
+  };
+  EngineRun Serial = Run(1);
+  ASSERT_FALSE(Serial.Stats.Success);
+  EXPECT_TRUE(Serial.Stats.HitLimit);
+  EXPECT_EQ(Serial.Stats.NumUnsolved, 1u);
+  ASSERT_EQ(Serial.Stats.Groups.size(), 7u);
+  const GroupStats &Hard = Serial.Stats.Groups.front();
+  EXPECT_FALSE(Hard.Success);
+  EXPECT_TRUE(Hard.HitLimit);
+  ASSERT_FALSE(Hard.InstancePaths.empty());
+  EXPECT_EQ(Hard.InstancePaths.front(), "synthetic.g0");
+  EXPECT_GT(Hard.NumDisjunctAlternatives, 0u);
+  for (size_t G = 1; G != Serial.Stats.Groups.size(); ++G)
+    EXPECT_TRUE(Serial.Stats.Groups[G].Success) << "easy group " << G;
+  // The intersection family's documented solution is float; the committed
+  // easy-group bindings must show it.
+  EXPECT_NE(std::count(Serial.Resolved.begin(), Serial.Resolved.end(),
+                       "float"),
+            0);
+  for (unsigned Threads : {2u, 4u})
+    expectIdenticalRuns(Serial, Run(Threads), "budget-exhausted group");
 }
 
 TEST(ParallelInfer, NetlistFailureReportsOneDiagnostic) {

@@ -381,7 +381,7 @@ std::vector<infer::Constraint> randomSystem(types::TypeContext &TC, Rng &R,
                       R.range(1, 3));
       break;
     }
-    Cs.push_back(infer::Constraint{A, B, SourceLoc(), "random"});
+    Cs.push_back(infer::Constraint{A, B, SourceLoc(), "random", ""});
   }
   return Cs;
 }

@@ -195,6 +195,10 @@ a.out -> s.in;
   EXPECT_NE(Msg.find("did not converge"), std::string::npos) << Msg;
   EXPECT_NE(Msg.find("'arb'"), std::string::npos) << Msg;
   EXPECT_NE(Msg.find("'a'"), std::string::npos) << Msg;
+  // The watchdog names the oscillating nets with their last values.
+  const std::string All = C->diagnosticsText();
+  EXPECT_NE(All.find("was still changing"), std::string::npos) << All;
+  EXPECT_NE(All.find("last value:"), std::string::npos) << All;
 }
 
 TEST(Simulator, MultipleDriversRejected) {

@@ -63,20 +63,103 @@ TEST(Lssc, EmitStaticFlattens) {
   EXPECT_NE(R.Output.find("setwidth"), std::string::npos);
 }
 
+/// Writes \p Text to \p Path for a tool invocation (overwriting).
+void writeFile(const std::string &Path, const char *Text) {
+  FILE *F = fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs(Text, F);
+  fclose(F);
+}
+
 TEST(Lssc, ErrorsHaveSourceLocations) {
   // A spec with an unknown-parameter assignment must fail with a located
   // diagnostic, not crash.
   std::string Bad = "/tmp/lssc_bad_test.lss";
-  FILE *F = fopen(Bad.c_str(), "w");
-  ASSERT_NE(F, nullptr);
-  fputs("instance d:delay;\nd.bogus = 3;\n", F);
-  fclose(F);
+  writeFile(Bad, "instance d:delay;\nd.bogus = 3;\n");
   ToolResult R = runTool(Bad);
-  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_EQ(R.ExitCode, 3) << R.Output; // Parse/semantic errors exit 3.
   EXPECT_NE(R.Output.find("lssc_bad_test.lss:2"), std::string::npos)
       << R.Output;
   EXPECT_NE(R.Output.find("no parameter named 'bogus'"), std::string::npos);
   std::remove(Bad.c_str());
+}
+
+//===--------------------------------------------------------------------===//
+// Documented exit codes (see the ExitCode enum in tools/lssc.cpp): one
+// test per code, so the contract 0/1/2/3/4/5 cannot silently drift.
+//===--------------------------------------------------------------------===//
+
+TEST(Lssc, MissingInputExitsOperational) {
+  ToolResult R = runTool("/tmp/lssc_no_such_file_zz9.lss");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("cannot open file"), std::string::npos);
+}
+
+TEST(Lssc, ParseErrorExitsWithParseCode) {
+  // Two syntax errors; panic-mode recovery must report both (no
+  // stop-at-first), and the exit code distinguishes parse failures.
+  std::string Bad = "/tmp/lssc_parse_err.lss";
+  writeFile(Bad, "module m { inport x int; };\n"
+                 "module n { outport 5; };\n"
+                 "instance q:m;\n");
+  ToolResult R = runTool(Bad);
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("lssc_parse_err.lss:1"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("lssc_parse_err.lss:2"), std::string::npos)
+      << R.Output;
+  std::remove(Bad.c_str());
+}
+
+TEST(Lssc, InferenceFailureExitsWithInferenceCode) {
+  // Disjoint overload sets on a connection: elaboration succeeds but no
+  // type assignment exists.
+  std::string Bad = "/tmp/lssc_unsat.lss";
+  writeFile(Bad,
+            "module src { outport out: 'a; constrain 'a : (int | bool);\n"
+            "             tar_file = \"t/src\"; };\n"
+            "module snk { inport in: 'a; constrain 'a : (float | string);\n"
+            "             tar_file = \"t/snk\"; };\n"
+            "instance s:src;\ninstance k:snk;\ns.out -> k.in;\n");
+  ToolResult R = runTool(Bad);
+  EXPECT_EQ(R.ExitCode, 4) << R.Output;
+  EXPECT_NE(R.Output.find("type inference failed"), std::string::npos)
+      << R.Output;
+  std::remove(Bad.c_str());
+}
+
+TEST(Lssc, SimulationFaultExitsWithSimCode) {
+  // arbiter <-> adder loop that never settles (the divergent-cycle model
+  // from SimulatorTest): the fixpoint watchdog reports it and lssc exits
+  // with the simulation-fault code.
+  std::string Bad = "/tmp/lssc_divergent.lss";
+  writeFile(Bad, "instance seed:const_source;\nseed.value = 1;\n"
+                 "instance one:const_source;\none.value = 1;\n"
+                 "instance arb:arbiter;\ninstance a:adder;\n"
+                 "instance s:sink;\n"
+                 "a.out -> arb.in[0];\nseed.out -> arb.in[1];\n"
+                 "arb.out -> a.in1;\none.out -> a.in2;\na.out -> s.in;\n");
+  ToolResult R = runTool("--run 1 " + std::string(Bad));
+  EXPECT_EQ(R.ExitCode, 5) << R.Output;
+  EXPECT_NE(R.Output.find("did not converge"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("was still changing"), std::string::npos)
+      << R.Output;
+  std::remove(Bad.c_str());
+}
+
+TEST(Lssc, MaxErrorsCapsDiagnostics) {
+  // Ten statements referencing a missing module, capped at 2 errors: the
+  // shared DiagnosticEngine limit stops the flood and says how to raise it.
+  std::string Bad = "/tmp/lssc_flood.lss";
+  std::string Text;
+  for (int I = 0; I != 10; ++I)
+    Text += "instance i" + std::to_string(I) + ":nonexistent_module;\n";
+  writeFile(Bad, Text.c_str());
+  ToolResult R = runTool("--max-errors 2 " + std::string(Bad));
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("too many errors emitted"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("--max-errors"), std::string::npos) << R.Output;
 }
 
 TEST(Lssc, UnknownOptionRejected) {

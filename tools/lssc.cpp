@@ -20,6 +20,11 @@
 ///                       selective-trace engine)
 ///   --no-infer-heuristics  solve types with the naive algorithm (slow!)
 ///   --trace-order       print the instantiation-stack processing order
+///   --max-errors N      stop after N errors (0 = unlimited; default 50)
+///   --infer-deadline-ms N  wall-clock deadline for inference groups
+///
+/// Exit codes are documented on the ExitCode enum below (0 ok, 1
+/// operational, 2 usage, 3 parse/semantic, 4 inference, 5 simulation).
 ///
 /// Multiple .lss inputs are concatenated into one compilation (library
 /// modules first), matching the Compiler API.
@@ -43,6 +48,26 @@ using namespace liberty;
 
 namespace {
 
+/// Documented exit codes. Scripts and the test suite key on these, so the
+/// values are part of the tool's contract and must not be renumbered:
+///   0  success
+///   1  operational failure (unreadable input file, unwritable output path,
+///      component-library load failure)
+///   2  usage error (unknown flag, missing argument, no inputs)
+///   3  parse or semantic error in the input specification
+///   4  type inference failure (unsatisfiable constraints, or the work
+///      budget / --infer-deadline-ms deadline was exhausted)
+///   5  simulation fault (construction failure, runtime error, or a
+///      combinational cycle that did not converge)
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitOperational = 1,
+  ExitUsage = 2,
+  ExitParseSema = 3,
+  ExitInference = 4,
+  ExitSimFault = 5,
+};
+
 struct CliOptions {
   std::vector<std::string> Inputs;
   bool PrintNetlist = false;
@@ -58,6 +83,11 @@ struct CliOptions {
   bool Selective = true;
   unsigned SimJobs = 1; ///< Wavefront worker threads; 1 = serial engine.
   std::vector<std::pair<std::string, std::string>> Watches;
+  /// Error cap shared by the parser, elaboration, and inference through
+  /// the DiagnosticEngine; 0 = unlimited.
+  unsigned MaxErrors = 50;
+  /// Wall-clock deadline for type inference in milliseconds; 0 = none.
+  uint64_t InferDeadlineMs = 0;
 };
 
 void printUsage() {
@@ -81,7 +111,15 @@ void printUsage() {
       "  --no-selective         evaluate every component every cycle\n"
       "                         (disable change-driven evaluation)\n"
       "  --no-infer-heuristics  use the naive exponential solver\n"
-      "  --trace-order          print instance processing order\n";
+      "  --trace-order          print instance processing order\n"
+      "  --max-errors N         stop after N errors (0 = unlimited;\n"
+      "                         default 50); shared by parsing,\n"
+      "                         elaboration, and inference\n"
+      "  --infer-deadline-ms N  abandon inference groups still unsolved\n"
+      "                         after N ms of wall-clock time (other\n"
+      "                         groups are still solved and reported)\n"
+      "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
+      "            4 inference failure, 5 simulation fault\n";
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -135,6 +173,23 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::cerr << "lssc: --sim-jobs requires a positive thread count\n";
         return false;
       }
+    } else if (Arg == "--max-errors") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --max-errors requires a count\n";
+        return false;
+      }
+      Opts.MaxErrors = unsigned(std::strtoul(Argv[I], nullptr, 10));
+    } else if (Arg == "--infer-deadline-ms") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --infer-deadline-ms requires a duration\n";
+        return false;
+      }
+      Opts.InferDeadlineMs = std::strtoull(Argv[I], nullptr, 10);
+      if (Opts.InferDeadlineMs == 0) {
+        std::cerr << "lssc: --infer-deadline-ms requires a positive "
+                     "duration\n";
+        return false;
+      }
     } else if (Arg == "--no-selective") {
       Opts.Selective = false;
     } else if (Arg == "--watch") {
@@ -173,7 +228,7 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
-    return 2;
+    return ExitUsage;
   }
 
   // With --stats-json writing to stdout, keep stdout valid JSON: route
@@ -184,18 +239,26 @@ int main(int Argc, char **Argv) {
   FILE *HumanFile = JsonToStdout ? stderr : stdout;
 
   driver::Compiler C;
-  auto Bail = [&](const char *Phase) {
+  C.getDiags().setMaxErrors(Opts.MaxErrors);
+  auto Bail = [&](const char *Phase, int Code) {
     std::cerr << "lssc: " << Phase << " failed\n" << C.diagnosticsText();
-    return 1;
+    return Code;
   };
 
   if (!C.addCoreLibrary())
-    return Bail("loading the component library");
-  for (const std::string &Path : Opts.Inputs)
+    return Bail("loading the component library", ExitOperational);
+  for (const std::string &Path : Opts.Inputs) {
+    // Probe readability first so a missing file is an operational failure
+    // (exit 1), distinct from a parse error in a file that exists (exit 3).
+    if (!std::ifstream(Path)) {
+      std::cerr << "lssc: cannot open file '" << Path << "'\n";
+      return ExitOperational;
+    }
     if (!C.addFile(Path))
-      return Bail("parsing");
+      return Bail("parsing", ExitParseSema);
+  }
   if (!C.elaborate())
-    return Bail("elaboration");
+    return Bail("elaboration", ExitParseSema);
 
   if (Opts.TraceOrder) {
     std::cout << "== instance processing order ==\n";
@@ -207,8 +270,25 @@ int main(int Argc, char **Argv) {
       Opts.NaiveInference ? infer::SolveOptions::naive()
                           : infer::SolveOptions();
   SolveOpts.NumThreads = Opts.Jobs; // 0 = one per hardware thread.
-  if (!C.inferTypes(SolveOpts))
-    return Bail("type inference");
+  SolveOpts.DeadlineMs = Opts.InferDeadlineMs;
+  if (!C.inferTypes(SolveOpts)) {
+    // Budget/deadline exhaustion still produced per-group results for
+    // every other group, so honor --stats-json before exiting: it is how
+    // callers observe groups_unsolved and which group failed.
+    if (!Opts.StatsJsonPath.empty()) {
+      driver::ModelStats S = driver::computeModelStats(
+          *C.getNetlist(), C.getLibraryModules(),
+          C.getNumUserTypeAnnotations(), Opts.Inputs.front());
+      if (JsonToStdout) {
+        driver::printStatsJson(std::cout, S, C.getInferenceStats(),
+                               C.getPhaseTimer(), nullptr);
+      } else if (std::ofstream Out{Opts.StatsJsonPath}) {
+        driver::printStatsJson(Out, S, C.getInferenceStats(),
+                               C.getPhaseTimer(), nullptr);
+      }
+    }
+    return Bail("type inference", ExitInference);
+  }
 
   // Warnings (if any) still matter to users.
   if (C.getDiags().getNumWarnings())
@@ -246,7 +326,7 @@ int main(int Argc, char **Argv) {
     SimOpts.Jobs = Opts.SimJobs;
     sim::Simulator *Sim = C.buildSimulator(SimOpts);
     if (!Sim)
-      return Bail("simulator construction");
+      return Bail("simulator construction", ExitSimFault);
     std::vector<uint64_t *> Counters;
     for (const auto &[Path, Event] : Opts.Watches)
       Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
@@ -274,7 +354,7 @@ int main(int Argc, char **Argv) {
                    (unsigned long long)*Counters[I]);
     if (Sim->hadRuntimeErrors()) {
       std::cerr << C.diagnosticsText();
-      return 1;
+      return ExitSimFault;
     }
   }
 
@@ -290,7 +370,7 @@ int main(int Argc, char **Argv) {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
         std::cerr << "lssc: cannot write '" << Opts.StatsJsonPath << "'\n";
-        return 1;
+        return ExitOperational;
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
                              C.getPhaseTimer(), C.getSimulator());
@@ -298,5 +378,5 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.TimePhases)
     C.getPhaseTimer().print(std::cerr);
-  return 0;
+  return ExitSuccess;
 }
