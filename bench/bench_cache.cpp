@@ -1,0 +1,143 @@
+//===- bench_cache.cpp - Artifact-cache cold/warm A/B -------------------------===//
+///
+/// Measures what the content-addressed artifact cache buys: each model is
+/// compiled cold (empty cache directory) and then warm (same directory,
+/// fresh service so even the in-memory LRU starts empty), reporting the
+/// wall time of the compile pipeline (parse + elaborate + solve; simulator
+/// construction is excluded — it is never cached) and the speedup. The
+/// acceptance bar is a >=2x cold/warm ratio on the uarch-based models.
+///
+/// Also reports a batch A/B: all six Table 3 models compiled serially vs.
+/// through CompileService::compileBatch on a thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileService.h"
+#include "models/Models.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace liberty;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// An invocation for one Table 3 model (shared uarch components + the
+/// model's own system description).
+bool modelInvocation(const std::string &Id, driver::CompilerInvocation &Inv) {
+  Inv = driver::CompilerInvocation();
+  Inv.BuildSim = false;
+  return Inv.addFile(models::uarchLssPath()) &&
+         Inv.addFile(models::modelLssPath(Id));
+}
+
+struct Row {
+  std::string Id;
+  double ColdMs = 0, WarmMs = 0;
+  bool Ok = false;
+};
+
+} // namespace
+
+int main() {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("lss_bench_cache_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(Dir);
+
+  std::printf("=== Artifact cache: cold vs. warm compile ===\n\n");
+  std::printf("%8s %12s %12s %10s\n", "model", "cold(ms)", "warm(ms)",
+              "speedup");
+
+  // One throwaway compile to pay one-time process costs (behavior
+  // registration, the shared parsed core library) outside the timings.
+  {
+    driver::CompilerInvocation Inv;
+    if (!modelInvocation("A", Inv))
+      return 1;
+    driver::CompileService Warmup;
+    Warmup.compile(Inv);
+  }
+
+  bool AllOk = true;
+  std::vector<Row> Rows;
+  for (const std::string &Id : models::modelIds()) {
+    Row R;
+    R.Id = Id;
+    driver::CompilerInvocation Inv;
+    if (!modelInvocation(Id, Inv)) {
+      AllOk = false;
+      continue;
+    }
+
+    driver::CompileService::Options SO;
+    SO.Cache.DiskDir = Dir;
+    {
+      driver::CompileService Cold(SO);
+      auto T0 = std::chrono::steady_clock::now();
+      R.Ok = Cold.compile(Inv).Success;
+      R.ColdMs = msSince(T0);
+    }
+    {
+      // A fresh service: the warm path exercises the on-disk entries, not
+      // the in-memory LRU, matching a new lssc process.
+      driver::CompileService Warm(SO);
+      auto T0 = std::chrono::steady_clock::now();
+      driver::CompileResult WR = Warm.compile(Inv);
+      R.WarmMs = msSince(T0);
+      R.Ok = R.Ok && WR.Success && WR.ElabFromCache && WR.SolutionFromCache;
+    }
+    AllOk = AllOk && R.Ok;
+    std::printf("%8s %12.3f %12.3f %9.1fx%s\n", Id.c_str(), R.ColdMs, R.WarmMs,
+                R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
+                R.Ok ? "" : "  (FAILED)");
+    Rows.push_back(R);
+  }
+
+  double ColdTotal = 0, WarmTotal = 0;
+  for (const Row &R : Rows) {
+    ColdTotal += R.ColdMs;
+    WarmTotal += R.WarmMs;
+  }
+  double Speedup = WarmTotal > 0 ? ColdTotal / WarmTotal : 0.0;
+  std::printf("%8s %12.3f %12.3f %9.1fx\n", "total", ColdTotal, WarmTotal,
+              Speedup);
+  std::printf("\nwarm target: >=2x; measured %.1fx -> %s\n", Speedup,
+              Speedup >= 2.0 ? "ok" : "MISSED");
+
+  // --- Batch compile: serial vs. thread pool (cold both times). ----------
+  std::vector<driver::CompilerInvocation> Invs(models::modelIds().size());
+  for (size_t I = 0; I != Invs.size(); ++I)
+    if (!modelInvocation(models::modelIds()[I], Invs[I]))
+      return 1;
+
+  auto BatchMs = [&](unsigned Jobs) {
+    driver::CompileService::Options SO; // In-memory only: every compile cold.
+    SO.CacheEnabled = false;
+    driver::CompileService Svc(SO);
+    auto T0 = std::chrono::steady_clock::now();
+    auto Rs = Svc.compileBatch(Invs, Jobs);
+    double Ms = msSince(T0);
+    for (const driver::CompileResult &R : Rs)
+      AllOk = AllOk && R.Success;
+    return Ms;
+  };
+  double SerialMs = BatchMs(1);
+  double PoolMs = BatchMs(0);
+  std::printf("\n=== Batch compile: %zu models ===\n", Invs.size());
+  std::printf("serial: %.3f ms, pooled: %.3f ms (%.1fx)\n", SerialMs, PoolMs,
+              PoolMs > 0 ? SerialMs / PoolMs : 0.0);
+
+  std::filesystem::remove_all(Dir);
+  std::printf("\n%s\n", AllOk ? "all checks passed" : "CHECKS FAILED");
+  return AllOk && Speedup >= 2.0 ? 0 : 1;
+}

@@ -50,8 +50,9 @@ int main() {
   bool AllOk = true;
   for (int N : {1, 3, 10, 100, 1000}) {
     auto T0 = std::chrono::steady_clock::now();
-    auto C = driver::Compiler::compileForSim("delaychain.lss",
-                                             delayChainSpec(N));
+    driver::CompilerInvocation Inv;
+    Inv.addSource("delaychain.lss", delayChainSpec(N));
+    auto C = driver::Compiler::compileForSim(Inv);
     auto T1 = std::chrono::steady_clock::now();
     if (!C) {
       std::printf("%8d compilation FAILED\n", N);

@@ -47,6 +47,16 @@ sim::Simulator::Options simOptions() {
   return O;
 }
 
+/// One-source invocation under the suite-wide engine options.
+driver::CompilerInvocation invocationFor(const std::string &Name,
+                                         std::string Text,
+                                         sim::Simulator::Options O) {
+  driver::CompilerInvocation Inv;
+  Inv.addSource(Name, std::move(Text));
+  Inv.Sim = O;
+  return Inv;
+}
+
 std::string delayChainSpec(int N) {
   return R"(
 module delayn {
@@ -71,8 +81,8 @@ chain.out -> hole.in;
 
 void BM_LssDelayChain(benchmark::State &State) {
   int N = State.range(0);
-  auto C = driver::Compiler::compileForSim("chain.lss", delayChainSpec(N),
-                                           simOptions());
+  auto C = driver::Compiler::compileForSim(
+      invocationFor("chain.lss", delayChainSpec(N), simOptions()));
   if (!C) {
     State.SkipWithError("compile failed");
     return;
@@ -150,8 +160,10 @@ BENCHMARK(BM_HandCodedDelayChain)->Arg(10)->Arg(100);
 
 void BM_LssCpuModelC(benchmark::State &State) {
   driver::Compiler C;
-  if (!models::loadModel(C, "C") || !C.elaborate() || !C.inferTypes() ||
-      !C.buildSimulator(simOptions())) {
+  driver::CompilerInvocation Inv;
+  Inv.Sim = simOptions();
+  if (!models::loadModel(C, "C") || !C.elaborate(Inv) || !C.inferTypes(Inv) ||
+      !C.buildSimulator(Inv)) {
     State.SkipWithError("model C failed");
     return;
   }
@@ -207,8 +219,8 @@ void BM_LssLowActivity(benchmark::State &State) {
   bool Selective = State.range(0) != 0;
   sim::Simulator::Options O;
   O.Selective = Selective;
-  auto C = driver::Compiler::compileForSim("lowact.lss",
-                                           lowActivitySpec(200, 8), O);
+  auto C = driver::Compiler::compileForSim(
+      invocationFor("lowact.lss", lowActivitySpec(200, 8), O));
   if (!C) {
     State.SkipWithError("compile failed");
     return;
@@ -253,7 +265,8 @@ void BM_LssWideLanes(benchmark::State &State) {
   sim::Simulator::Options O;
   O.Selective = GSelective;
   O.Jobs = Jobs;
-  auto C = driver::Compiler::compileForSim("wide.lss", wideLanesSpec(64), O);
+  auto C = driver::Compiler::compileForSim(
+      invocationFor("wide.lss", wideLanesSpec(64), O));
   if (!C) {
     State.SkipWithError("compile failed");
     return;
@@ -290,7 +303,8 @@ double measureWideLanes(unsigned Jobs, bool Selective) {
   sim::Simulator::Options O;
   O.Selective = Selective;
   O.Jobs = Jobs;
-  auto C = driver::Compiler::compileForSim("wide.lss", wideLanesSpec(64), O);
+  auto C = driver::Compiler::compileForSim(
+      invocationFor("wide.lss", wideLanesSpec(64), O));
   if (!C)
     return -1.0;
   sim::Simulator *Sim = C->getSimulator();

@@ -137,10 +137,11 @@ int main() {
 
   bool AllOk = true;
   for (auto [N, W] : {std::pair{3, 5}, {4, 8}, {8, 16}}) {
-    auto CE = driver::Compiler::compileForSim("explicit.lss",
-                                              explicitWidthSpec(N, W));
-    auto CU = driver::Compiler::compileForSim("usebased.lss",
-                                              useBasedWidthSpec(N, W));
+    driver::CompilerInvocation InvE, InvU;
+    InvE.addSource("explicit.lss", explicitWidthSpec(N, W));
+    InvU.addSource("usebased.lss", useBasedWidthSpec(N, W));
+    auto CE = driver::Compiler::compileForSim(InvE);
+    auto CU = driver::Compiler::compileForSim(InvU);
     if (!CE || !CU) {
       std::printf("FAILED to compile width=%d variant\n", W);
       AllOk = false;
@@ -172,13 +173,16 @@ int main() {
               "===\n\n");
   {
     // Narrowing case: policy required and used.
-    auto C1 = driver::Compiler::compileForSim(
-        "fig12a.lss", conditionalArbiterSpec(3, /*SetPolicy=*/true));
+    driver::CompilerInvocation Inv1;
+    Inv1.addSource("fig12a.lss", conditionalArbiterSpec(3, /*SetPolicy=*/true));
+    auto C1 = driver::Compiler::compileForSim(Inv1);
     std::printf("in.width=3 > out.width=1, policy set:      %s\n",
                 C1 ? "compiles (arbiter instantiated)" : "FAILED");
     // Pass-through case: the parameter must not even exist.
-    auto C2 = driver::Compiler::compileForSim(
-        "fig12b.lss", conditionalArbiterSpec(1, /*SetPolicy=*/false));
+    driver::CompilerInvocation Inv2;
+    Inv2.addSource("fig12b.lss",
+                   conditionalArbiterSpec(1, /*SetPolicy=*/false));
+    auto C2 = driver::Compiler::compileForSim(Inv2);
     std::printf("in.width=1 = out.width,  policy omitted:   %s\n",
                 C2 ? "compiles (arbiter elided, no parameter demanded)"
                    : "FAILED");

@@ -56,8 +56,9 @@ int main() {
   for (const char *Repl : {"lru", "fifo", "random"}) {
     for (auto [Sets, Ways] : {std::pair{64, 1}, {64, 4}, {256, 4},
                               {1024, 4}}) {
-      auto C = driver::Compiler::compileForSim("cache.lss",
-                                               cacheSpec(Sets, Ways, Repl));
+      driver::CompilerInvocation Inv;
+      Inv.addSource("cache.lss", cacheSpec(Sets, Ways, Repl));
+      auto C = driver::Compiler::compileForSim(Inv);
       if (!C) {
         std::fprintf(stderr, "configuration failed to compile\n");
         return 1;

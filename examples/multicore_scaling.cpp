@@ -68,11 +68,11 @@ int main() {
     driver::Compiler C;
     // Run on the wavefront engine: two worker threads here, but the
     // traces and every counter below are identical for any thread count.
-    sim::Simulator::Options SimOpts;
-    SimOpts.Jobs = 2;
+    driver::CompilerInvocation Inv;
+    Inv.Sim.Jobs = 2;
     if (!C.addCoreLibrary() || !C.addFile(models::uarchLssPath()) ||
         !C.addSource("cmp.lss", cmpSpec(N, InstrsPerCore)) ||
-        !C.elaborate() || !C.inferTypes() || !C.buildSimulator(SimOpts)) {
+        !C.elaborate(Inv) || !C.inferTypes(Inv) || !C.buildSimulator(Inv)) {
       std::fprintf(stderr, "N=%d failed:\n%s", N,
                    C.diagnosticsText().c_str());
       return 1;

@@ -27,19 +27,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
                    std::string(reinterpret_cast<const char *>(Data), Size)))
     return 0;
 
-  // Tight elaboration budgets: fuzz inputs legitimately write unbounded
+  // Tight budgets throughout: fuzz inputs legitimately write unbounded
   // compile-time loops (`while (true) {}`), and the interpreter's caps must
-  // turn them into diagnostics quickly.
-  interp::Interpreter::Options ElabOpts;
-  ElabOpts.MaxSteps = 200000;
-  ElabOpts.MaxInstances = 2000;
-  if (!C.elaborate(ElabOpts))
+  // turn them into diagnostics quickly; inference exhaustion must degrade
+  // gracefully (other groups still solved, structured diagnostics), never
+  // crash.
+  driver::CompilerInvocation Inv;
+  Inv.Elab.MaxSteps = 200000;
+  Inv.Elab.MaxInstances = 2000;
+  Inv.Solve.MaxSteps = 200000;
+  if (!C.elaborate(Inv))
     return 0;
-
-  // Tight inference budget: exhaustion must degrade gracefully (other
-  // groups still solved, structured diagnostics), never crash.
-  infer::SolveOptions SolveOpts;
-  SolveOpts.MaxSteps = 200000;
-  (void)C.inferTypes(SolveOpts);
+  (void)C.inferTypes(Inv);
   return 0;
 }

@@ -17,9 +17,9 @@ std::string liberty::baseline::emitFlatStaticSpec(const netlist::Netlist &NL) {
         "structure)\n";
 
   for (const auto &Inst : NL.getInstances()) {
-    if (!Inst->Module || !Inst->isLeaf())
+    if (Inst->ModuleName.empty() || !Inst->isLeaf())
       continue;
-    OS << "instance " << Inst->Path << " : " << Inst->Module->getName()
+    OS << "instance " << Inst->Path << " : " << Inst->ModuleName
        << ";\n";
     for (const auto &[Name, V] : Inst->Params)
       OS << "set " << Inst->Path << "." << Name << " = " << V.str() << ";\n";

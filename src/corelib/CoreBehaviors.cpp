@@ -13,6 +13,7 @@
 #include "types/Type.h"
 
 #include <deque>
+#include <mutex>
 
 using namespace liberty;
 using namespace liberty::corelib;
@@ -24,6 +25,7 @@ namespace liberty {
 namespace corelib {
 namespace detail {
 void registerCpuBehaviors(BehaviorRegistry &R);
+void registerCoreBehaviorsImpl();
 }
 } // namespace corelib
 } // namespace liberty
@@ -863,6 +865,13 @@ private:
 } // namespace
 
 void liberty::corelib::registerCoreBehaviors() {
+  // call_once, not a check-then-register probe: concurrent batch compiles
+  // (CompileService) may race here, and BehaviorRegistry has no lock.
+  static std::once_flag Registered;
+  std::call_once(Registered, [] { detail::registerCoreBehaviorsImpl(); });
+}
+
+void liberty::corelib::detail::registerCoreBehaviorsImpl() {
   BehaviorRegistry &R = BehaviorRegistry::global();
   if (R.contains("corelib/delay.tar"))
     return; // Already registered.

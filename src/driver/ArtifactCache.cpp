@@ -1,0 +1,168 @@
+//===- ArtifactCache.cpp - Content-addressed compile artifacts ---------------===//
+
+#include "driver/ArtifactCache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+static uint64_t fnv64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+static std::string hex16(uint64_t V) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+std::string ArtifactCache::diskPath(const std::string &Key,
+                                    const std::string &Phase) const {
+  return Opts.DiskDir + "/" + Key + "." + Phase + ".lssart";
+}
+
+void ArtifactCache::insertMemory(const std::string &MapKey,
+                                 const std::string &Payload) {
+  auto It = Entries.find(MapKey);
+  if (It != Entries.end()) {
+    Stats.BytesInMemory -= It->second.Payload.size();
+    LruOrder.erase(It->second.LruIt);
+    Entries.erase(It);
+  }
+  LruOrder.push_front(MapKey);
+  Entries[MapKey] = Entry{Payload, LruOrder.begin()};
+  Stats.BytesInMemory += Payload.size();
+  while (Stats.BytesInMemory > Opts.MemoryBudgetBytes && Entries.size() > 1) {
+    auto Victim = Entries.find(LruOrder.back());
+    Stats.BytesInMemory -= Victim->second.Payload.size();
+    Entries.erase(Victim);
+    LruOrder.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+/// Parses and validates an LSSART envelope read from disk. Returns false
+/// (with a reason) on any mismatch.
+static bool openEnvelope(const std::string &Raw, const std::string &Phase,
+                         std::string &Payload, std::string &Reason) {
+  size_t NL = Raw.find('\n');
+  if (NL == std::string::npos) {
+    Reason = "missing envelope header";
+    return false;
+  }
+  std::istringstream Header(Raw.substr(0, NL));
+  std::string Magic, HPhase, HashHex;
+  unsigned Version = 0;
+  uint64_t Size = 0;
+  if (!(Header >> Magic >> Version >> HPhase >> Size >> HashHex) ||
+      Magic != "LSSART" || Version != 1) {
+    Reason = "bad envelope header";
+    return false;
+  }
+  if (HPhase != Phase) {
+    Reason = "phase mismatch";
+    return false;
+  }
+  std::string Body = Raw.substr(NL + 1);
+  if (Body.size() != Size) {
+    Reason = "payload size mismatch";
+    return false;
+  }
+  if (hex16(fnv64(Body)) != HashHex) {
+    Reason = "payload hash mismatch";
+    return false;
+  }
+  Payload = std::move(Body);
+  return true;
+}
+
+bool ArtifactCache::get(const std::string &Key, const std::string &Phase,
+                        std::string &Payload, std::string *Note) {
+  std::string MapKey = Key + "." + Phase;
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  auto It = Entries.find(MapKey);
+  if (It != Entries.end()) {
+    // Refresh LRU position.
+    LruOrder.erase(It->second.LruIt);
+    LruOrder.push_front(MapKey);
+    It->second.LruIt = LruOrder.begin();
+    Payload = It->second.Payload;
+    ++Stats.Hits;
+    ++Stats.MemoryHits;
+    return true;
+  }
+
+  if (!Opts.DiskDir.empty()) {
+    std::string Path = diskPath(Key, Phase);
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string Reason;
+      if (openEnvelope(SS.str(), Phase, Payload, Reason)) {
+        insertMemory(MapKey, Payload);
+        ++Stats.Hits;
+        ++Stats.DiskHits;
+        return true;
+      }
+      ++Stats.Corrupt;
+      if (Note)
+        *Note = "ignoring corrupted cache entry '" + Path + "' (" + Reason +
+                "); recompiling";
+    }
+  }
+  ++Stats.Misses;
+  return false;
+}
+
+void ArtifactCache::put(const std::string &Key, const std::string &Phase,
+                        const std::string &Payload) {
+  std::string MapKey = Key + "." + Phase;
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Stores;
+  insertMemory(MapKey, Payload);
+
+  if (Opts.DiskDir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.DiskDir, EC);
+  if (EC)
+    return;
+  // Atomic publish: write a unique temp file, then rename over the final
+  // name. Readers either see the old complete entry or the new one.
+  static std::atomic<unsigned> TmpCounter{0};
+  std::string Path = diskPath(Key, Phase);
+  std::string Tmp = Path + ".tmp" + std::to_string(TmpCounter++);
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out << "LSSART 1 " << Phase << ' ' << Payload.size() << ' '
+        << hex16(fnv64(Payload)) << '\n'
+        << Payload;
+    if (!Out) {
+      Out.close();
+      std::filesystem::remove(Tmp, EC);
+      return;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}
+
+CacheStats ArtifactCache::getStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

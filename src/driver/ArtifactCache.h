@@ -1,0 +1,94 @@
+//===- ArtifactCache.h - Content-addressed compile artifacts ----*- C++ -*-===//
+///
+/// \file
+/// The artifact store behind CompileService: a two-level (in-memory LRU +
+/// optional on-disk) cache of serialized phase artifacts, addressed by
+/// (key, phase) where key is a CompilerInvocation phase fingerprint and
+/// phase names the artifact kind ("elab" for LSSNL netlists, "solve" for
+/// LSSSOL solutions).
+///
+/// Disk entries are wrapped in a self-validating envelope
+/// ("LSSART 1 <phase> <payload-bytes> <fnv64-hex>\n<payload>") and written
+/// atomically (temp file + rename), so readers never observe a torn write
+/// and a mutated or truncated entry is detected, counted as Corrupt,
+/// reported through the optional note channel, and treated as a miss — the
+/// caller recompiles and overwrites it. The cache is safe to share across
+/// the threads of a batch compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_DRIVER_ARTIFACTCACHE_H
+#define LIBERTY_DRIVER_ARTIFACTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace liberty {
+namespace driver {
+
+/// Counters for `lssc --stats-json` ("cache" section) and tests.
+struct CacheStats {
+  uint64_t Hits = 0;       ///< get() calls satisfied (memory or disk).
+  uint64_t Misses = 0;     ///< get() calls not satisfied.
+  uint64_t MemoryHits = 0; ///< Hits served by the in-memory LRU.
+  uint64_t DiskHits = 0;   ///< Hits that had to read the disk entry.
+  uint64_t Stores = 0;     ///< put() calls.
+  uint64_t Evictions = 0;  ///< In-memory entries dropped by the LRU budget.
+  uint64_t Corrupt = 0;    ///< Disk entries rejected by validation.
+  uint64_t BytesInMemory = 0;
+};
+
+class ArtifactCache {
+public:
+  struct Options {
+    /// Directory for persistent entries; empty = in-memory only. Created
+    /// (with parents) on first store.
+    std::string DiskDir;
+    /// LRU budget for in-memory payload bytes.
+    uint64_t MemoryBudgetBytes = 64ull << 20;
+  };
+
+  ArtifactCache() = default;
+  explicit ArtifactCache(Options O) : Opts(std::move(O)) {}
+
+  /// Looks up (key, phase). On a hit fills \p Payload and returns true;
+  /// disk hits are promoted into the memory LRU. If a disk entry fails
+  /// validation, a one-line description is appended to \p Note (when
+  /// non-null) and the lookup counts as a miss.
+  bool get(const std::string &Key, const std::string &Phase,
+           std::string &Payload, std::string *Note = nullptr);
+
+  /// Stores a payload under (key, phase), in memory and — when a DiskDir
+  /// is configured — on disk. Disk write failures are silent: the cache is
+  /// an accelerator, never a correctness dependency.
+  void put(const std::string &Key, const std::string &Phase,
+           const std::string &Payload);
+
+  CacheStats getStats() const;
+
+  const Options &getOptions() const { return Opts; }
+
+private:
+  std::string diskPath(const std::string &Key, const std::string &Phase) const;
+  /// Inserts into the LRU and evicts down to budget. Lock held.
+  void insertMemory(const std::string &MapKey, const std::string &Payload);
+
+  Options Opts;
+  mutable std::mutex Mu;
+  CacheStats Stats;
+  /// MRU-first list of map keys; Entries holds payload + LRU position.
+  std::list<std::string> LruOrder;
+  struct Entry {
+    std::string Payload;
+    std::list<std::string>::iterator LruIt;
+  };
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace driver
+} // namespace liberty
+
+#endif // LIBERTY_DRIVER_ARTIFACTCACHE_H

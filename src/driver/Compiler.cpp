@@ -73,12 +73,58 @@ bool Compiler::parseInto(uint32_t BufferId, bool IsLibrary) {
   return Diags.getNumErrors() == ErrorsBefore;
 }
 
+namespace {
+
+/// The component library parsed once per process. The AST (and the
+/// ASTContext/SourceMgr backing it) is immutable after construction, so
+/// every compile — including the concurrent compiles of a batch — can
+/// register the same ModuleDecl pointers instead of reparsing ~the same
+/// buffer every time. This is the "parsed core-library AST" artifact of
+/// the compile cache; it needs no keying because the library text is a
+/// build-time constant.
+struct SharedCoreLib {
+  std::string Text;
+  SourceMgr SM;
+  DiagnosticEngine Diags{SM};
+  lss::ASTContext Ctx;
+  lss::SpecFile File;
+  uint32_t BufferId = 0;
+  bool Valid = false;
+
+  SharedCoreLib() {
+    Text = corelib::getCoreLibraryLss();
+    BufferId = SM.addBuffer("<corelib>", Text);
+    lss::Parser P(BufferId, Ctx, Diags);
+    File = P.parseFile();
+    Valid = !Diags.hasErrors();
+  }
+
+  static const SharedCoreLib &get() {
+    static SharedCoreLib S; // Magic static: thread-safe one-time parse.
+    return S;
+  }
+};
+
+} // namespace
+
 bool Compiler::addCoreLibrary() {
   if (LibraryAdded)
     return true;
   LibraryAdded = true;
   corelib::registerCoreBehaviors();
-  uint32_t BufferId = SM.addBuffer("<corelib>", corelib::getCoreLibraryLss());
+  const SharedCoreLib &Shared = SharedCoreLib::get();
+  // The compile's own SourceMgr still gets the library buffer, so buffer
+  // ids and diagnostic locations line up exactly with a cold parse.
+  uint32_t BufferId = SM.addBuffer("<corelib>", Shared.Text);
+  if (Shared.Valid && BufferId == Shared.BufferId) {
+    for (lss::ModuleDecl *M : Shared.File.Modules) {
+      AllModules.push_back(M);
+      LibraryModules.insert(M->getName());
+    }
+    return true;
+  }
+  // The library buffer landed at an unexpected id (sources were added
+  // first) — locations in the shared AST would be wrong, so parse afresh.
   return parseInto(BufferId, /*IsLibrary=*/true);
 }
 
@@ -98,13 +144,30 @@ bool Compiler::addFile(const std::string &Path) {
   return addSource(Path, SS.str());
 }
 
-bool Compiler::elaborate() {
-  return elaborate(interp::Interpreter::Options());
+bool Compiler::addSources(const CompilerInvocation &Inv) {
+  Diags.setMaxErrors(Inv.MaxErrors);
+  if (Inv.UseCoreLibrary && !addCoreLibrary())
+    return false;
+  bool Ok = true;
+  for (const CompilerInvocation::Source &S : Inv.Sources)
+    Ok = addSource(S.Name, S.Text) && Ok;
+  return Ok;
 }
 
-bool Compiler::elaborate(const interp::Interpreter::Options &Opts) {
+void Compiler::registerSourcesWithoutParsing(const CompilerInvocation &Inv) {
+  Diags.setMaxErrors(Inv.MaxErrors);
+  if (Inv.UseCoreLibrary) {
+    LibraryAdded = true;
+    corelib::registerCoreBehaviors();
+    SM.addBuffer("<corelib>", SharedCoreLib::get().Text);
+  }
+  for (const CompilerInvocation::Source &S : Inv.Sources)
+    SM.addBuffer(S.Name, S.Text);
+}
+
+bool Compiler::elaborate(const CompilerInvocation &Inv) {
   PhaseTimer::Scope Phase(&Timer, "elaborate");
-  Interp = std::make_unique<interp::Interpreter>(TC, Diags, Opts);
+  Interp = std::make_unique<interp::Interpreter>(TC, Diags, Inv.Elab);
   lss::SpecFile All;
   All.Modules = AllModules;
   Interp->addModules(All); // Duplicate module names are diagnosed here.
@@ -112,51 +175,64 @@ bool Compiler::elaborate(const interp::Interpreter::Options &Opts) {
   return !Diags.hasErrors();
 }
 
-bool Compiler::inferTypes() { return inferTypes(infer::SolveOptions()); }
-
-bool Compiler::inferTypes(const infer::SolveOptions &Opts) {
+bool Compiler::inferTypes(const CompilerInvocation &Inv) {
   if (!NL) {
     Diags.error(SourceLoc(), "inferTypes called before elaborate");
     return false;
   }
-  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Opts, &Timer);
+  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Inv.Solve, &Timer);
   return !Diags.hasErrors();
 }
 
-sim::Simulator *Compiler::buildSimulator() {
-  return buildSimulator(sim::Simulator::Options());
-}
-
-sim::Simulator *Compiler::buildSimulator(const sim::Simulator::Options &SimOpts) {
+sim::Simulator *Compiler::buildSimulator(const CompilerInvocation &Inv) {
   if (!NL) {
     Diags.error(SourceLoc(), "buildSimulator called before elaborate");
     return nullptr;
   }
   PhaseTimer::Scope Phase(&Timer, "sim-build");
-  Sim = sim::Simulator::build(*NL, SM, Diags, SimOpts);
+  Sim = sim::Simulator::build(*NL, SM, Diags, Inv.Sim);
   return Sim.get();
+}
+
+bool Compiler::adoptNetlist(netlist::SerializedCompile SC) {
+  if (!SC.NL)
+    return false;
+  NL = std::move(SC.NL);
+  LibraryModules = std::move(SC.LibraryModules);
+  NumUserAnnotations = SC.NumUserAnnotations;
+  replayDiagnostics(SC.Diags);
+  return true;
+}
+
+void Compiler::replayDiagnostics(const std::vector<Diagnostic> &Ds) {
+  for (const Diagnostic &D : Ds) {
+    if (D.Level == DiagLevel::Warning)
+      Diags.warning(D.Loc, D.Message);
+    else if (D.Level == DiagLevel::Note)
+      Diags.note(D.Loc, D.Message);
+    // Errors are never recorded in cache artifacts; drop defensively.
+  }
+}
+
+std::unique_ptr<Compiler>
+Compiler::compileForSim(const CompilerInvocation &Inv) {
+  auto C = std::make_unique<Compiler>();
+  if (!C->addSources(Inv))
+    return nullptr;
+  if (!C->elaborate(Inv))
+    return nullptr;
+  if (!C->inferTypes(Inv))
+    return nullptr;
+  if (!C->buildSimulator(Inv))
+    return nullptr;
+  return C;
 }
 
 std::unique_ptr<Compiler> Compiler::compileForSim(const std::string &Name,
                                                   const std::string &Text) {
-  return compileForSim(Name, Text, sim::Simulator::Options());
-}
-
-std::unique_ptr<Compiler>
-Compiler::compileForSim(const std::string &Name, const std::string &Text,
-                        const sim::Simulator::Options &SimOpts) {
-  auto C = std::make_unique<Compiler>();
-  if (!C->addCoreLibrary())
-    return nullptr;
-  if (!C->addSource(Name, Text))
-    return nullptr;
-  if (!C->elaborate())
-    return nullptr;
-  if (!C->inferTypes())
-    return nullptr;
-  if (!C->buildSimulator(SimOpts))
-    return nullptr;
-  return C;
+  CompilerInvocation Inv;
+  Inv.addSource(Name, Text);
+  return compileForSim(Inv);
 }
 
 std::string Compiler::diagnosticsText() const {

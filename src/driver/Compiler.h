@@ -6,15 +6,23 @@
 /// construction. Also the unit the benches drive to regenerate the paper's
 /// tables.
 ///
+/// Every phase entry point takes a CompilerInvocation — the one value that
+/// describes the whole compile (sources + per-phase options). Callers
+/// build an invocation, then either run phases individually, call
+/// compileForSim() for the straight-line pipeline, or hand the invocation
+/// to CompileService for cached/batched compilation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LIBERTY_DRIVER_COMPILER_H
 #define LIBERTY_DRIVER_COMPILER_H
 
+#include "driver/CompilerInvocation.h"
 #include "infer/InferenceEngine.h"
 #include "interp/Interpreter.h"
 #include "lss/AST.h"
 #include "netlist/Netlist.h"
+#include "netlist/Serializer.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
 #include "support/PhaseTimer.h"
@@ -34,7 +42,9 @@ public:
   ~Compiler();
 
   /// Parses and registers the standard component library (and registers
-  /// its behaviors). Call once, before user sources.
+  /// its behaviors). Call once, before user sources. The parsed library
+  /// AST is shared process-wide: after the first compile this does no
+  /// parsing at all, it only registers the shared modules.
   bool addCoreLibrary();
 
   /// Parses LSS source text. Modules are registered; top-level statements
@@ -44,26 +54,60 @@ public:
   /// Reads and parses an LSS file from disk.
   bool addFile(const std::string &Path);
 
-  /// Runs compile-time elaboration. Returns false on any diagnosed error.
-  bool elaborate();
-  bool elaborate(const interp::Interpreter::Options &Opts);
+  /// Applies \p Inv's error cap and parses all of its sources (core
+  /// library first when requested). Returns false on any parse error.
+  bool addSources(const CompilerInvocation &Inv);
 
-  /// Runs structure-based type inference over the elaborated netlist.
-  bool inferTypes();
-  bool inferTypes(const infer::SolveOptions &Opts);
+  /// Registers \p Inv's sources as SourceMgr buffers without parsing them.
+  /// This is the warm-compile path: the netlist comes from the artifact
+  /// cache, but replayed diagnostics carry SourceLocs that must keep
+  /// pointing at real buffers — registering the same texts in the same
+  /// order makes locations (and rendered diagnostics) identical to a cold
+  /// compile. Also registers the core behaviors the simulator needs.
+  void registerSourcesWithoutParsing(const CompilerInvocation &Inv);
 
-  /// Builds the executable simulator (elaborate + inferTypes must have
-  /// succeeded). The Compiler owns the result.
-  sim::Simulator *buildSimulator();
-  sim::Simulator *buildSimulator(const sim::Simulator::Options &SimOpts);
+  /// Runs compile-time elaboration under \p Inv's elaboration options.
+  /// Returns false on any diagnosed error.
+  bool elaborate(const CompilerInvocation &Inv);
+  /// \deprecated Shim for pre-invocation callers; default options.
+  bool elaborate() { return elaborate(CompilerInvocation()); }
 
-  /// Convenience: addCoreLibrary + addSource + elaborate + inferTypes +
-  /// buildSimulator. Returns null on error.
+  /// Runs structure-based type inference under \p Inv's solver options.
+  bool inferTypes(const CompilerInvocation &Inv);
+  /// \deprecated Shim for pre-invocation callers; default options.
+  bool inferTypes() { return inferTypes(CompilerInvocation()); }
+
+  /// Builds the executable simulator under \p Inv's simulator options
+  /// (elaborate + inferTypes must have succeeded). The Compiler owns the
+  /// result.
+  sim::Simulator *buildSimulator(const CompilerInvocation &Inv);
+  /// \deprecated Shim for pre-invocation callers; default options.
+  sim::Simulator *buildSimulator() {
+    return buildSimulator(CompilerInvocation());
+  }
+
+  /// Adopts a deserialized netlist (the cached "elab" artifact) in place
+  /// of running parse + elaboration, and replays its recorded
+  /// warnings/notes. Returns false if \p SC holds no netlist.
+  bool adoptNetlist(netlist::SerializedCompile SC);
+
+  /// Re-emits recorded diagnostics (warnings/notes from a cached phase)
+  /// through this compile's engine.
+  void replayDiagnostics(const std::vector<Diagnostic> &Ds);
+
+  /// Installs inference results recovered from the cached "solve"
+  /// artifact (CompileService's solution hit path).
+  void setInferenceStats(infer::NetlistInferenceStats IS) {
+    InferStats = std::move(IS);
+  }
+
+  /// Runs the whole pipeline described by \p Inv: sources → elaborate →
+  /// infer → simulator. Returns null on error. Always builds the
+  /// simulator (ignores Inv.BuildSim — that switch is CompileService's).
+  static std::unique_ptr<Compiler> compileForSim(const CompilerInvocation &Inv);
+  /// \deprecated Shim: single source, default options.
   static std::unique_ptr<Compiler> compileForSim(const std::string &Name,
                                                  const std::string &Text);
-  static std::unique_ptr<Compiler>
-  compileForSim(const std::string &Name, const std::string &Text,
-                const sim::Simulator::Options &SimOpts);
 
   // Accessors.
   SourceMgr &getSourceMgr() { return SM; }

@@ -1,0 +1,101 @@
+//===- CompilerInvocation.cpp - One compile, as a value ----------------------===//
+
+#include "driver/CompilerInvocation.h"
+
+#include "corelib/CoreLib.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+bool CompilerInvocation::addFile(const std::string &Path, std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  addSource(Path, SS.str());
+  return true;
+}
+
+namespace {
+
+/// FNV-1a 64. Fields are fed as `tag=value;` runs; strings are
+/// length-prefixed so adjacent fields cannot alias.
+class Hasher {
+public:
+  void bytes(const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != N; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ull;
+    }
+  }
+  void str(const std::string &S) {
+    num(S.size());
+    bytes(S.data(), S.size());
+  }
+  void num(uint64_t V) { bytes(&V, sizeof(V)); }
+  void field(const char *Tag, uint64_t V) {
+    bytes(Tag, std::char_traits<char>::length(Tag));
+    num(V);
+  }
+  uint64_t get() const { return H; }
+
+private:
+  uint64_t H = 1469598103934665603ull; // FNV offset basis.
+};
+
+} // namespace
+
+/// Bump when any cached artifact format (LSSNL/LSSSOL/LSSART) or the key
+/// contract changes: stale on-disk entries then simply miss.
+static constexpr uint64_t CacheFormatVersion = 1;
+
+uint64_t CompilerInvocation::elabKey() const {
+  Hasher H;
+  H.field("fmt", CacheFormatVersion);
+  H.field("corelib", UseCoreLibrary ? 1 : 0);
+  if (UseCoreLibrary)
+    H.str(corelib::getCoreLibraryLss());
+  H.field("sources", Sources.size());
+  for (const Source &S : Sources)
+    H.str(S.Text); // Names excluded: content-addressed (see header).
+  H.field("elab.maxsteps", Elab.MaxSteps);
+  H.field("elab.maxinstances", Elab.MaxInstances);
+  return H.get();
+}
+
+uint64_t CompilerInvocation::solveKey() const {
+  Hasher H;
+  H.field("elab", elabKey());
+  H.field("solve.reorder", Solve.ReorderSimpleFirst ? 1 : 0);
+  H.field("solve.forced", Solve.ForcedDisjunctElimination ? 1 : 0);
+  H.field("solve.partition", Solve.Partition ? 1 : 0);
+  // NumThreads, MaxSteps, DeadlineMs excluded by contract (see header).
+  return H.get();
+}
+
+uint64_t CompilerInvocation::fingerprint() const {
+  Hasher H;
+  H.field("solve", solveKey());
+  H.field("maxerrors", MaxErrors);
+  H.field("solve.maxsteps", Solve.MaxSteps);
+  H.field("solve.deadline", Solve.DeadlineMs);
+  H.field("sim.fixpoint", Sim.MaxFixpointIters);
+  H.field("sim.selective", Sim.Selective ? 1 : 0);
+  // Sim.Jobs and BuildSim excluded (see header).
+  return H.get();
+}
+
+std::string CompilerInvocation::keyString(uint64_t Key) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)Key);
+  return Buf;
+}

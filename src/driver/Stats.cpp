@@ -20,9 +20,12 @@ static bool isTrivialWrapper(const netlist::InstanceNode &Inst) {
     return false;
   if (!Inst.Params.empty())
     return false;
-  const lss::ModuleDecl *First = Inst.Children.front()->Module;
+  // Module names are unique per compilation (duplicates are diagnosed), so
+  // name equality matches the declaration-identity test — and, unlike the
+  // AST pointer, survives netlist serialization.
+  const std::string &First = Inst.Children.front()->ModuleName;
   for (const netlist::InstanceNode *Child : Inst.Children)
-    if (Child->Module != First)
+    if (Child->ModuleName != First)
       return false;
   return true;
 }
@@ -38,10 +41,10 @@ liberty::driver::computeModelStats(const netlist::Netlist &NL,
 
   std::set<std::string> Modules, LeafModules, HierModules, LibUsed;
   for (const auto &Inst : NL.getInstances()) {
-    if (!Inst->Module)
+    if (Inst->ModuleName.empty())
       continue; // Synthetic root.
     ++S.TotalInstances;
-    const std::string &ModName = Inst->Module->getName();
+    const std::string &ModName = Inst->ModuleName;
     Modules.insert(ModName);
     if (Inst->isLeaf()) {
       ++S.LeafInstances;
@@ -108,7 +111,8 @@ void liberty::driver::printTable2Header(std::ostream &OS) {
 void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
                                      const infer::NetlistInferenceStats &IS,
                                      const PhaseTimer &Timer,
-                                     const sim::Simulator *Sim) {
+                                     const sim::Simulator *Sim,
+                                     const CacheReport *Cache) {
   OS << "{\n";
   OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
   OS << "  \"phases\": ";
@@ -160,6 +164,23 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"net_writes\": " << A.NetWrites << ",\n"
        << "    \"net_changes\": " << A.NetChanges << ",\n"
        << "    \"events_replayed\": " << A.EventsReplayed << "\n"
+       << "  },\n";
+  }
+
+  if (Cache) {
+    const CacheStats &CS = Cache->Stats;
+    OS << "  \"cache\": {\n"
+       << "    \"hits\": " << CS.Hits << ",\n"
+       << "    \"misses\": " << CS.Misses << ",\n"
+       << "    \"memory_hits\": " << CS.MemoryHits << ",\n"
+       << "    \"disk_hits\": " << CS.DiskHits << ",\n"
+       << "    \"stores\": " << CS.Stores << ",\n"
+       << "    \"evictions\": " << CS.Evictions << ",\n"
+       << "    \"corrupt\": " << CS.Corrupt << ",\n"
+       << "    \"elab_from_cache\": "
+       << (Cache->ElabFromCache ? "true" : "false") << ",\n"
+       << "    \"solution_from_cache\": "
+       << (Cache->SolutionFromCache ? "true" : "false") << "\n"
        << "  },\n";
   }
 

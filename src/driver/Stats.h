@@ -12,6 +12,7 @@
 #ifndef LIBERTY_DRIVER_STATS_H
 #define LIBERTY_DRIVER_STATS_H
 
+#include "driver/ArtifactCache.h"
 #include "infer/InferenceEngine.h"
 
 #include <ostream>
@@ -85,17 +86,29 @@ ModelStats totalStats(const std::vector<ModelStats> &All);
 void printTable2Row(std::ostream &OS, const ModelStats &S);
 void printTable2Header(std::ostream &OS);
 
+/// One compile's view of the artifact cache, for the "cache" section of
+/// `lssc --stats-json`: the shared counters plus which of this compile's
+/// phases were satisfied from the cache.
+struct CacheReport {
+  CacheStats Stats;
+  bool ElabFromCache = false;
+  bool SolutionFromCache = false;
+};
+
 /// Serializes one compilation's observability record as a JSON document:
 /// per-phase wall times and counters from \p Timer, the inference solve
 /// record including per-H3-group unify-step counts, and the Table 2 reuse
 /// metrics. This is the payload of `lssc --stats-json`. When \p Sim is
 /// non-null (a simulation ran), a "simulation" section reports the
 /// engine configuration (worker threads, wavefront level shape) and the
-/// selective-trace activity counters.
+/// selective-trace activity counters. When \p Cache is non-null (the
+/// artifact cache was enabled), a "cache" section reports hit/miss
+/// counters and which phases were reloaded.
 void printStatsJson(std::ostream &OS, const ModelStats &S,
                     const infer::NetlistInferenceStats &IS,
                     const PhaseTimer &Timer,
-                    const sim::Simulator *Sim = nullptr);
+                    const sim::Simulator *Sim = nullptr,
+                    const CacheReport *Cache = nullptr);
 
 } // namespace driver
 } // namespace liberty

@@ -1,0 +1,239 @@
+//===- Solution.cpp - Stable inference-solution round-trip -------------------===//
+
+#include "infer/Solution.h"
+
+#include "netlist/Netlist.h"
+#include "netlist/Serializer.h"
+#include "types/Type.h"
+#include "types/TypeContext.h"
+#include "types/TypeIO.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::infer;
+using netlist::artifactEscape;
+using netlist::artifactUnescape;
+
+/// Doubles travel as their IEEE754 bit pattern: byte-stable and exact.
+static std::string doubleBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)Bits);
+  return Buf;
+}
+
+bool liberty::infer::exportSolution(const netlist::Netlist &NL,
+                                    const NetlistInferenceStats &Stats,
+                                    const std::vector<Diagnostic> &Diags,
+                                    std::string &Out) {
+  std::ostringstream OS;
+  OS << "LSSSOL 1\n";
+  const SolveStats &S = Stats.Solve;
+  OS << "stats " << (S.Success ? 1 : 0) << ' ' << (S.HitLimit ? 1 : 0) << ' '
+     << (S.HitDeadline ? 1 : 0) << ' ' << S.UnifySteps << ' '
+     << S.BranchPoints << ' ' << S.NumConstraints << ' ' << S.NumDisjunctive
+     << ' ' << S.NumComponents << ' ' << S.ThreadsUsed << ' ' << S.NumUnsolved
+     << '\n';
+  OS << "nstats " << Stats.NumPorts << ' ' << Stats.NumPolymorphicPorts << ' '
+     << Stats.NumDefaulted << '\n';
+  for (const GroupStats &G : S.Groups)
+    OS << "group " << G.NumConstraints << ' ' << G.UnifySteps << ' '
+       << G.BranchPoints << ' ' << doubleBits(G.WallMs) << ' '
+       << (G.Success ? 1 : 0) << ' ' << (G.HitLimit ? 1 : 0) << ' '
+       << (G.HitDeadline ? 1 : 0) << '\n';
+  for (const Diagnostic &D : Diags) {
+    if (D.Level == DiagLevel::Error)
+      return false; // Failed solves are never cached.
+    OS << "diag " << (D.Level == DiagLevel::Warning ? 1 : 0) << ' '
+       << D.Loc.BufferId << ' ' << D.Loc.Offset << ' '
+       << artifactEscape(D.Message) << '\n';
+  }
+  const auto &Instances = NL.getInstances();
+  for (size_t I = 0; I != Instances.size(); ++I) {
+    const auto &Ports = Instances[I]->Ports;
+    for (size_t P = 0; P != Ports.size(); ++P)
+      if (Ports[P].Resolved)
+        OS << "p " << I << ' ' << P << ' '
+           << artifactEscape(Ports[P].Resolved->str()) << '\n';
+  }
+  OS << "end\n";
+  Out = OS.str();
+  return true;
+}
+
+namespace {
+
+/// Minimal checked field reader (mirrors the Serializer's; small enough
+/// that sharing would couple the two formats for no gain).
+struct Fields {
+  std::vector<std::string_view> F;
+
+  /// Space-splits without copying; fields view the line (which views the
+  /// artifact text). Allocation-free: this is the cache's warm path.
+  explicit Fields(std::string_view Line) {
+    size_t I = 0, N = Line.size();
+    while (I < N) {
+      while (I < N && (Line[I] == ' ' || Line[I] == '\t' || Line[I] == '\r'))
+        ++I;
+      size_t Start = I;
+      while (I < N && Line[I] != ' ' && Line[I] != '\t' && Line[I] != '\r')
+        ++I;
+      if (I > Start)
+        F.push_back(Line.substr(Start, I - Start));
+    }
+  }
+
+  bool u64(size_t I, uint64_t &Out) const {
+    if (I >= F.size() || F[I].empty())
+      return false;
+    uint64_t Acc = 0;
+    for (char C : F[I]) {
+      if (C < '0' || C > '9')
+        return false;
+      if (Acc > (UINT64_MAX - 9) / 10)
+        return false; // Overflow: reject rather than wrap.
+      Acc = Acc * 10 + uint64_t(C - '0');
+    }
+    Out = Acc;
+    return true;
+  }
+  bool u32(size_t I, unsigned &Out) const {
+    uint64_t V;
+    if (!u64(I, V) || V > UINT32_MAX)
+      return false;
+    Out = unsigned(V);
+    return true;
+  }
+  bool boolean(size_t I, bool &Out) const {
+    if (I >= F.size() || (F[I] != "0" && F[I] != "1"))
+      return false;
+    Out = F[I] == "1";
+    return true;
+  }
+  bool dbl(size_t I, double &Out) const {
+    if (I >= F.size() || F[I].size() != 16)
+      return false;
+    uint64_t Bits = 0;
+    for (char C : F[I]) {
+      int D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else
+        return false;
+      Bits = (Bits << 4) | unsigned(D);
+    }
+    std::memcpy(&Out, &Bits, sizeof(Out));
+    return true;
+  }
+};
+
+} // namespace
+
+bool liberty::infer::importSolution(const std::string &Text,
+                                    netlist::Netlist &NL,
+                                    types::TypeContext &TC,
+                                    NetlistInferenceStats &StatsOut,
+                                    std::vector<Diagnostic> &DiagsOut) {
+  size_t LinePos = 0;
+  auto nextLine = [&](std::string_view &Line) {
+    if (LinePos >= Text.size())
+      return false;
+    size_t E = Text.find('\n', LinePos);
+    if (E == std::string::npos) {
+      Line = std::string_view(Text).substr(LinePos);
+      LinePos = Text.size();
+    } else {
+      Line = std::string_view(Text).substr(LinePos, E - LinePos);
+      LinePos = E + 1;
+    }
+    return true;
+  };
+
+  std::string_view Line;
+  if (!nextLine(Line) || Line != "LSSSOL 1")
+    return false;
+
+  NetlistInferenceStats Stats;
+  std::vector<Diagnostic> Diags;
+  // Resolved types are staged and committed only once the whole artifact
+  // parsed, so a truncated entry cannot leave the netlist half-typed.
+  std::vector<std::pair<netlist::Port *, const types::Type *>> Resolved;
+  std::map<std::string, const types::Type *> VarMap;
+  const auto &Instances = NL.getInstances();
+  bool SawStats = false, SawEnd = false;
+
+  while (nextLine(Line)) {
+    Fields L(Line);
+    if (L.F.empty())
+      return false;
+    std::string_view Kind = L.F[0];
+    if (Kind == "end") {
+      SawEnd = true;
+      break;
+    } else if (Kind == "stats") {
+      SolveStats &S = Stats.Solve;
+      if (L.F.size() != 11 || !L.boolean(1, S.Success) ||
+          !L.boolean(2, S.HitLimit) || !L.boolean(3, S.HitDeadline) ||
+          !L.u64(4, S.UnifySteps) || !L.u64(5, S.BranchPoints) ||
+          !L.u32(6, S.NumConstraints) || !L.u32(7, S.NumDisjunctive) ||
+          !L.u32(8, S.NumComponents) || !L.u32(9, S.ThreadsUsed) ||
+          !L.u32(10, S.NumUnsolved))
+        return false;
+      SawStats = true;
+    } else if (Kind == "nstats") {
+      if (L.F.size() != 4 || !L.u32(1, Stats.NumPorts) ||
+          !L.u32(2, Stats.NumPolymorphicPorts) ||
+          !L.u32(3, Stats.NumDefaulted))
+        return false;
+    } else if (Kind == "group") {
+      GroupStats G;
+      if (L.F.size() != 8 || !L.u32(1, G.NumConstraints) ||
+          !L.u64(2, G.UnifySteps) || !L.u64(3, G.BranchPoints) ||
+          !L.dbl(4, G.WallMs) || !L.boolean(5, G.Success) ||
+          !L.boolean(6, G.HitLimit) || !L.boolean(7, G.HitDeadline))
+        return false;
+      Stats.Solve.Groups.push_back(G);
+    } else if (Kind == "diag") {
+      Diagnostic D;
+      uint64_t Level;
+      if (L.F.size() != 5 || !L.u64(1, Level) || Level > 1 ||
+          !L.u32(2, D.Loc.BufferId) || !L.u32(3, D.Loc.Offset) ||
+          !artifactUnescape(L.F[4], D.Message))
+        return false;
+      D.Level = Level == 1 ? DiagLevel::Warning : DiagLevel::Note;
+      Diags.push_back(std::move(D));
+    } else if (Kind == "p") {
+      uint64_t InstIdx, PortIdx;
+      std::string TypeText;
+      if (L.F.size() != 4 || !L.u64(1, InstIdx) || !L.u64(2, PortIdx) ||
+          !artifactUnescape(L.F[3], TypeText))
+        return false;
+      if (InstIdx >= Instances.size() ||
+          PortIdx >= Instances[InstIdx]->Ports.size())
+        return false;
+      const types::Type *T = types::parseTypeText(TypeText, TC, VarMap);
+      if (!T)
+        return false;
+      Resolved.emplace_back(&Instances[InstIdx]->Ports[PortIdx], T);
+    } else {
+      return false;
+    }
+  }
+  if (!SawEnd || !SawStats)
+    return false;
+
+  for (auto &[P, T] : Resolved)
+    P->Resolved = T;
+  StatsOut = std::move(Stats);
+  DiagsOut = std::move(Diags);
+  return true;
+}

@@ -1,0 +1,57 @@
+//===- Solution.h - Stable inference-solution round-trip --------*- C++ -*-===//
+///
+/// \file
+/// Byte-stable text serialization of a solved type assignment: every
+/// resolved port type, the solver statistics, and the inference-phase
+/// warnings (defaulting notes). This is the "solution" artifact of the
+/// content-addressed compile cache (docs/API.md): a warm compile that
+/// reloaded the elaborated netlist imports the solution and skips the
+/// solver entirely, while still reporting the cold run's statistics and
+/// diagnostics verbatim.
+///
+/// Format contract ("LSSSOL 1"): line oriented, strings %XX-escaped (the
+/// escaping of netlist/Serializer.h), ports referenced by dense
+/// (instance, port) index into the creation-order netlist traversal.
+/// Because serial and parallel solves produce bit-identical bindings
+/// (SolveOptions::NumThreads contract), the exported artifact is
+/// byte-identical across --jobs settings — a regression test diffs the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_INFER_SOLUTION_H
+#define LIBERTY_INFER_SOLUTION_H
+
+#include "infer/InferenceEngine.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+namespace netlist {
+class Netlist;
+}
+
+namespace infer {
+
+/// Renders the resolved port types of \p NL plus \p Stats and the
+/// inference-phase diagnostics \p Diags as an LSSSOL 1 artifact. Returns
+/// false if \p Diags contains an error (failed solves are never cached).
+bool exportSolution(const netlist::Netlist &NL,
+                    const NetlistInferenceStats &Stats,
+                    const std::vector<Diagnostic> &Diags, std::string &Out);
+
+/// Parses an LSSSOL 1 artifact and writes each recorded resolved type back
+/// into \p NL's ports. Types are rebuilt in \p TC; statistics and replayed
+/// diagnostics land in \p StatsOut / \p DiagsOut. Returns false — leaving
+/// the netlist's resolved types unspecified — on any malformed input or
+/// index out of range.
+bool importSolution(const std::string &Text, netlist::Netlist &NL,
+                    types::TypeContext &TC, NetlistInferenceStats &StatsOut,
+                    std::vector<Diagnostic> &DiagsOut);
+
+} // namespace infer
+} // namespace liberty
+
+#endif // LIBERTY_INFER_SOLUTION_H

@@ -38,7 +38,7 @@ void emitInstance(const InstanceNode *Node, std::ostream &OS,
   if (Node->isLeaf() || Node->Children.empty()) {
     OS << Pad << sanitize(Node->Path) << " [label=\""
        << escape(Node->Name.empty() ? "<top>" : Node->Name) << "\\n"
-       << escape(Node->Module ? Node->Module->getName() : "") << "\"";
+       << escape(Node->ModuleName) << "\"";
     if (!Node->isLeaf())
       OS << ", shape=plaintext";
     OS << "];\n";
@@ -46,7 +46,7 @@ void emitInstance(const InstanceNode *Node, std::ostream &OS,
   }
   OS << Pad << "subgraph cluster_" << sanitize(Node->Path) << " {\n";
   OS << Pad << "  label=\"" << escape(Node->Name) << " : "
-     << escape(Node->Module ? Node->Module->getName() : "") << "\";\n";
+     << escape(Node->ModuleName) << "\";\n";
   for (const InstanceNode *Child : Node->Children)
     emitInstance(Child, OS, Indent + 1);
   OS << Pad << "}\n";

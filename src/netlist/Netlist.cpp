@@ -2,6 +2,7 @@
 
 #include "netlist/Netlist.h"
 
+#include "lss/AST.h"
 #include "types/Type.h"
 
 #include <ostream>
@@ -38,6 +39,17 @@ Netlist::Netlist() {
   Instances.push_back(std::move(RootNode));
 }
 
+Netlist::~Netlist() = default;
+
+const lss::UserpointSig *
+Netlist::createUserpointSig(std::vector<std::string> ArgNames) {
+  auto Sig = std::make_unique<lss::UserpointSig>();
+  for (std::string &Name : ArgNames)
+    Sig->Args.emplace_back(std::move(Name), nullptr);
+  OwnedSigs.push_back(std::move(Sig));
+  return OwnedSigs.back().get();
+}
+
 InstanceNode *Netlist::createInstance(InstanceNode *Parent, std::string Name,
                                       const lss::ModuleDecl *Module,
                                       SourceLoc Loc) {
@@ -47,6 +59,8 @@ InstanceNode *Netlist::createInstance(InstanceNode *Parent, std::string Name,
                    ? Node->Name
                    : Parent->Path + "." + Node->Name;
   Node->Module = Module;
+  if (Module)
+    Node->ModuleName = Module->getName();
   Node->Parent = Parent;
   Node->Loc = Loc;
   InstanceNode *Ptr = Node.get();

@@ -121,6 +121,11 @@ public:
   std::string Name; ///< Local name, e.g. "delays[2]".
   std::string Path; ///< Hierarchical path, e.g. "delay3.delays[2]".
   const lss::ModuleDecl *Module = nullptr; ///< Null for the synthetic root.
+  /// Name of the instantiated module; empty for the synthetic root. Kept
+  /// separately from Module so consumers that only need the name (stats,
+  /// emitters, serialization) work on reloaded netlists, where the AST —
+  /// and therefore Module — does not exist.
+  std::string ModuleName;
   InstanceNode *Parent = nullptr;
   std::vector<InstanceNode *> Children;
   SourceLoc Loc;
@@ -178,6 +183,7 @@ public:
 class Netlist {
 public:
   Netlist();
+  ~Netlist(); ///< Out of line: OwnedSigs needs the complete UserpointSig.
 
   InstanceNode *getRoot() { return Root; }
   const InstanceNode *getRoot() const { return Root; }
@@ -203,10 +209,20 @@ public:
   /// Pretty-prints the hierarchy with widths and resolved types.
   void print(std::ostream &OS) const;
 
+  /// Allocates a userpoint signature owned by this netlist, carrying only
+  /// the argument names (type expressions stay null). Deserialized
+  /// netlists have no AST to point into, so UserpointValue::Sig points at
+  /// these reconstructed signatures instead; the simulator only reads the
+  /// argument names, which is exactly what survives serialization.
+  const lss::UserpointSig *
+  createUserpointSig(std::vector<std::string> ArgNames);
+
 private:
   InstanceNode *Root;
   std::vector<std::unique_ptr<InstanceNode>> Instances;
   std::vector<std::unique_ptr<Connection>> Connections;
+  /// Owned signatures for reloaded userpoints (see createUserpointSig).
+  std::vector<std::unique_ptr<lss::UserpointSig>> OwnedSigs;
 };
 
 } // namespace netlist

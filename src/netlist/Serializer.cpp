@@ -1,0 +1,690 @@
+//===- Serializer.cpp - Stable netlist artifact round-trip -------------------===//
+
+#include "netlist/Serializer.h"
+
+#include "interp/Value.h"
+#include "lss/AST.h"
+#include "types/Type.h"
+#include "types/TypeContext.h"
+#include "types/TypeIO.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+using namespace liberty;
+using namespace liberty::netlist;
+using interp::Value;
+
+//===----------------------------------------------------------------------===//
+// Token escaping
+//===----------------------------------------------------------------------===//
+
+/// Bytes that may appear raw in an escaped token. Everything else —
+/// notably whitespace, '%', and the value/record delimiters ',[]{}="' —
+/// becomes %XX. Type texts (letters, digits, '[]'-free? no: arrays!) are
+/// escaped like any other payload, so a whole type rendering is one token.
+static bool isRawByte(unsigned char C) {
+  if (std::isalnum(C))
+    return true;
+  switch (C) {
+  case '_': case '.': case '#': case '\'': case '-': case '+': case '/':
+  case ':': case ';': case '(': case ')': case '|': case '<': case '>':
+  case '!': case '*': case '@': case '^': case '~': case '?': case '$':
+  case '&':
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string liberty::netlist::artifactEscape(const std::string &S) {
+  // Empty strings need a non-empty rendering or the token disappears at
+  // line-splitting time. "%_" cannot be produced by ordinary escaping
+  // ('%' is always followed by two uppercase hex digits), so it is free
+  // to serve as the empty-string sentinel.
+  if (S.empty())
+    return "%_";
+  static const char *Hex = "0123456789ABCDEF";
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    if (isRawByte(C)) {
+      Out.push_back(char(C));
+    } else {
+      Out.push_back('%');
+      Out.push_back(Hex[C >> 4]);
+      Out.push_back(Hex[C & 15]);
+    }
+  }
+  return Out;
+}
+
+static int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  return -1;
+}
+
+bool liberty::netlist::artifactUnescape(std::string_view S,
+                                        std::string &Out) {
+  Out.clear();
+  if (S == "%_")
+    return true;
+  Out.reserve(S.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (S[I] != '%') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    if (I + 2 >= S.size())
+      return false;
+    int Hi = hexDigit(S[I + 1]), Lo = hexDigit(S[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(char((Hi << 4) | Lo));
+    I += 2;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Value encoding
+//===----------------------------------------------------------------------===//
+
+/// Renders a data value as one raw (pre-escape) token. Returns false on
+/// elaboration-only kinds (InstanceRef, Port), which cannot round-trip.
+static bool encodeValue(const Value &V, std::string &Out) {
+  switch (V.getKind()) {
+  case Value::Kind::Unset:
+    Out += 'u';
+    return true;
+  case Value::Kind::Int:
+    Out += 'i';
+    Out += std::to_string(V.getInt());
+    return true;
+  case Value::Kind::Bool:
+    Out += V.getBool() ? "b1" : "b0";
+    return true;
+  case Value::Kind::Float: {
+    // Bit-exact: the IEEE754 pattern as 16 hex digits. Decimal or even %a
+    // renderings risk platform drift; bits do not.
+    uint64_t Bits;
+    double D = V.getFloat();
+    static_assert(sizeof(Bits) == sizeof(D));
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    char Buf[20];
+    std::snprintf(Buf, sizeof(Buf), "f%016llx", (unsigned long long)Bits);
+    Out += Buf;
+    return true;
+  }
+  case Value::Kind::String:
+    Out += 's';
+    Out += artifactEscape(V.getString());
+    return true;
+  case Value::Kind::Array: {
+    Out += "a[";
+    bool First = true;
+    for (const Value &E : V.getElems()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      if (!encodeValue(E, Out))
+        return false;
+    }
+    Out += ']';
+    return true;
+  }
+  case Value::Kind::Struct: {
+    Out += "t{";
+    bool First = true;
+    for (const auto &[Name, F] : V.getFields()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += artifactEscape(Name);
+      Out += '=';
+      if (!encodeValue(F, Out))
+        return false;
+    }
+    Out += '}';
+    return true;
+  }
+  case Value::Kind::InstanceRef:
+  case Value::Kind::Port:
+    return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent reader over an encoded value token.
+class ValueReader {
+public:
+  explicit ValueReader(const std::string &Text) : Text(Text) {}
+
+  bool read(Value &Out) { return readValue(Out, 0) && Pos == Text.size(); }
+
+private:
+  static constexpr unsigned MaxDepth = 100;
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  /// Reads escaped-string bytes up to a structural delimiter.
+  bool readEscaped(std::string &Out) {
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != ',' && Text[Pos] != ']' &&
+           Text[Pos] != '}' && Text[Pos] != '=')
+      ++Pos;
+    return artifactUnescape(
+        std::string_view(Text).substr(Start, Pos - Start), Out);
+  }
+
+  bool readValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return false;
+    switch (peek()) {
+    case 'u':
+      ++Pos;
+      Out = Value();
+      return true;
+    case 'i': {
+      ++Pos;
+      size_t Start = Pos;
+      if (peek() == '-')
+        ++Pos;
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+      if (Pos == Start)
+        return false;
+      Out = Value::makeInt(
+          std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr, 10));
+      return true;
+    }
+    case 'b':
+      ++Pos;
+      if (peek() != '0' && peek() != '1')
+        return false;
+      Out = Value::makeBool(Text[Pos++] == '1');
+      return true;
+    case 'f': {
+      ++Pos;
+      if (Pos + 16 > Text.size())
+        return false;
+      uint64_t Bits = 0;
+      for (unsigned I = 0; I != 16; ++I) {
+        int D = hexDigit(Text[Pos + I]);
+        if (D < 0)
+          return false;
+        Bits = (Bits << 4) | unsigned(D);
+      }
+      Pos += 16;
+      double D;
+      std::memcpy(&D, &Bits, sizeof(D));
+      Out = Value::makeFloat(D);
+      return true;
+    }
+    case 's': {
+      ++Pos;
+      std::string S;
+      if (!readEscaped(S))
+        return false;
+      Out = Value::makeString(std::move(S));
+      return true;
+    }
+    case 'a': {
+      ++Pos;
+      if (!consume('['))
+        return false;
+      std::vector<Value> Elems;
+      if (!consume(']')) {
+        do {
+          Value E;
+          if (!readValue(E, Depth + 1))
+            return false;
+          Elems.push_back(std::move(E));
+        } while (consume(','));
+        if (!consume(']'))
+          return false;
+      }
+      Out = Value::makeArray(std::move(Elems));
+      return true;
+    }
+    case 't': {
+      ++Pos;
+      if (!consume('{'))
+        return false;
+      std::vector<std::pair<std::string, Value>> Fields;
+      if (!consume('}')) {
+        do {
+          std::string Name;
+          Value F;
+          if (!readEscaped(Name) || !consume('=') ||
+              !readValue(F, Depth + 1))
+            return false;
+          Fields.emplace_back(std::move(Name), std::move(F));
+        } while (consume(','));
+        if (!consume('}'))
+          return false;
+      }
+      Out = Value::makeStruct(std::move(Fields));
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+static void emitLoc(std::ostringstream &OS, SourceLoc Loc) {
+  OS << ' ' << Loc.BufferId << ' ' << Loc.Offset;
+}
+
+/// Renders a type as one escaped token, or "-" for null.
+static std::string typeToken(const types::Type *T) {
+  return T ? artifactEscape(T->str()) : std::string("-");
+}
+
+/// Per-instance records, emitted right after the instance's own line (and,
+/// for the root, right after the header).
+static bool emitInstanceBody(std::ostringstream &OS,
+                             const InstanceNode &Inst) {
+  for (const auto &[Name, V] : Inst.Params) {
+    std::string Enc;
+    if (!encodeValue(V, Enc))
+      return false;
+    OS << "param " << artifactEscape(Name) << ' ' << artifactEscape(Enc)
+       << '\n';
+  }
+  for (const auto &[Name, UV] : Inst.Userpoints) {
+    OS << "userpoint " << artifactEscape(Name) << ' '
+       << (UV.IsDefault ? 1 : 0);
+    emitLoc(OS, UV.Loc);
+    unsigned NArgs = UV.Sig ? unsigned(UV.Sig->Args.size()) : 0;
+    OS << ' ' << NArgs;
+    for (unsigned I = 0; I != NArgs; ++I)
+      OS << ' ' << artifactEscape(UV.Sig->Args[I].first);
+    OS << ' ' << artifactEscape(UV.Code) << '\n';
+  }
+  for (const std::string &Ev : Inst.Events)
+    OS << "event " << artifactEscape(Ev) << '\n';
+  for (const RuntimeVar &RV : Inst.RuntimeVars) {
+    std::string Enc;
+    if (!encodeValue(RV.Init, Enc))
+      return false;
+    OS << "var " << artifactEscape(RV.Name);
+    emitLoc(OS, RV.Loc);
+    OS << ' ' << artifactEscape(Enc) << '\n';
+  }
+  for (const Port &P : Inst.Ports) {
+    OS << "port " << artifactEscape(P.Name) << ' '
+       << (P.isInput() ? "in" : "out") << ' ' << P.Width << ' '
+       << (P.WidthInferred ? 1 : 0);
+    emitLoc(OS, P.Loc);
+    OS << ' ' << typeToken(P.Scheme) << ' ' << typeToken(P.Resolved)
+       << '\n';
+  }
+  for (const auto &[LHS, RHS] : Inst.ExtraConstraints)
+    OS << "constrain " << typeToken(LHS) << ' ' << typeToken(RHS) << '\n';
+  return true;
+}
+
+bool liberty::netlist::serializeNetlist(
+    const Netlist &NL, const std::set<std::string> &LibraryModules,
+    unsigned NumUserAnnotations, const std::vector<Diagnostic> &Diags,
+    std::string &Out) {
+  std::ostringstream OS;
+  OS << "LSSNL 1\n";
+  OS << "annotations " << NumUserAnnotations << '\n';
+  for (const std::string &M : LibraryModules)
+    OS << "libmodule " << artifactEscape(M) << '\n';
+  for (const Diagnostic &D : Diags) {
+    // Errors are never serialized: only clean compiles are cached.
+    if (D.Level == DiagLevel::Error)
+      return false;
+    OS << "diag " << (D.Level == DiagLevel::Warning ? 1 : 0);
+    emitLoc(OS, D.Loc);
+    OS << ' ' << artifactEscape(D.Message) << '\n';
+  }
+
+  const auto &Instances = NL.getInstances();
+  std::map<const InstanceNode *, int> Index;
+  for (size_t I = 0; I != Instances.size(); ++I)
+    Index[Instances[I].get()] = int(I);
+
+  // Root (index 0) carries no instance line of its own.
+  if (!emitInstanceBody(OS, *Instances.front()))
+    return false;
+  for (size_t I = 1; I != Instances.size(); ++I) {
+    const InstanceNode &Inst = *Instances[I];
+    auto ParentIt = Index.find(Inst.Parent);
+    if (ParentIt == Index.end() || ParentIt->second >= int(I))
+      return false; // Parents always precede children in creation order.
+    OS << "instance " << ParentIt->second << ' '
+       << artifactEscape(Inst.Name) << ' ' << artifactEscape(Inst.ModuleName)
+       << ' '
+       << (Inst.BehaviorId.empty() ? std::string("-")
+                                   : artifactEscape(Inst.BehaviorId))
+       << ' ' << Inst.NumTypeVars;
+    emitLoc(OS, Inst.Loc);
+    OS << '\n';
+    if (!emitInstanceBody(OS, Inst))
+      return false;
+  }
+
+  for (const auto &Conn : NL.getConnections()) {
+    auto EndpointIdx = [&](const PortRef &R) {
+      auto It = R.Inst ? Index.find(R.Inst) : Index.end();
+      return It == Index.end() ? -1 : It->second;
+    };
+    OS << "conn " << EndpointIdx(Conn->From) << ' '
+       << (Conn->From.Port.empty() ? std::string("-")
+                                   : artifactEscape(Conn->From.Port))
+       << ' ' << Conn->From.Index << ' ' << EndpointIdx(Conn->To) << ' '
+       << (Conn->To.Port.empty() ? std::string("-")
+                                 : artifactEscape(Conn->To.Port))
+       << ' ' << Conn->To.Index;
+    emitLoc(OS, Conn->Loc);
+    OS << ' ' << typeToken(Conn->Annotation) << '\n';
+  }
+  OS << "end\n";
+  Out = OS.str();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Deserialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits one artifact line into space-separated fields and provides
+/// checked decoders. Every accessor reports failure instead of asserting:
+/// the input may be a mutated cache entry.
+class LineReader {
+public:
+  /// Splits on spaces without copying: fields are views into the line,
+  /// which must outlive the reader. (Splitting with istreams costs more
+  /// than the whole cold compile on small models — this reader is the
+  /// cache's warm path, so it stays allocation-free.)
+  explicit LineReader(std::string_view Line) {
+    size_t I = 0, N = Line.size();
+    while (I < N) {
+      while (I < N && (Line[I] == ' ' || Line[I] == '\t' || Line[I] == '\r'))
+        ++I;
+      size_t Start = I;
+      while (I < N && Line[I] != ' ' && Line[I] != '\t' && Line[I] != '\r')
+        ++I;
+      if (I > Start)
+        Fields.push_back(Line.substr(Start, I - Start));
+    }
+  }
+
+  size_t size() const { return Fields.size(); }
+  std::string_view raw(size_t I) const { return Fields[I]; }
+
+  bool str(size_t I, std::string &Out) const {
+    return I < Fields.size() && artifactUnescape(Fields[I], Out);
+  }
+  /// "-" decodes as the empty string (absent optional field).
+  bool optStr(size_t I, std::string &Out) const {
+    if (I < Fields.size() && Fields[I] == "-") {
+      Out.clear();
+      return true;
+    }
+    return str(I, Out);
+  }
+  bool i64(size_t I, int64_t &Out) const {
+    if (I >= Fields.size() || Fields[I].empty())
+      return false;
+    std::string_view V = Fields[I];
+    bool Neg = V[0] == '-';
+    size_t P = Neg ? 1 : 0;
+    if (P == V.size())
+      return false;
+    uint64_t Acc = 0;
+    for (; P != V.size(); ++P) {
+      if (V[P] < '0' || V[P] > '9')
+        return false;
+      if (Acc > (uint64_t(INT64_MAX) - 9) / 10)
+        return false; // Overflow: reject rather than wrap.
+      Acc = Acc * 10 + uint64_t(V[P] - '0');
+    }
+    Out = Neg ? -int64_t(Acc) : int64_t(Acc);
+    return true;
+  }
+  bool u32(size_t I, uint32_t &Out) const {
+    int64_t V;
+    if (!i64(I, V) || V < 0 || V > int64_t(UINT32_MAX))
+      return false;
+    Out = uint32_t(V);
+    return true;
+  }
+  bool loc(size_t I, SourceLoc &Out) const {
+    return u32(I, Out.BufferId) && u32(I + 1, Out.Offset);
+  }
+
+private:
+  std::vector<std::string_view> Fields;
+};
+
+} // namespace
+
+static bool decodeValue(const LineReader &L, size_t I, Value &Out) {
+  std::string Enc;
+  if (!L.str(I, Enc))
+    return false;
+  return ValueReader(Enc).read(Out);
+}
+
+/// Decodes a type token ("-" -> null) through the artifact-wide VarMap.
+static bool decodeType(const LineReader &L, size_t I, types::TypeContext &TC,
+                       std::map<std::string, const types::Type *> &VarMap,
+                       const types::Type *&Out) {
+  Out = nullptr;
+  if (I < L.size() && L.raw(I) == "-")
+    return true;
+  std::string Text;
+  if (!L.str(I, Text))
+    return false;
+  Out = types::parseTypeText(Text, TC, VarMap);
+  return Out != nullptr;
+}
+
+SerializedCompile
+liberty::netlist::deserializeNetlist(const std::string &Text,
+                                     types::TypeContext &TC) {
+  SerializedCompile Result;
+  auto Fail = [&] {
+    Result = SerializedCompile();
+    return std::move(Result);
+  };
+
+  size_t LinePos = 0;
+  auto nextLine = [&](std::string_view &Line) {
+    if (LinePos >= Text.size())
+      return false;
+    size_t E = Text.find('\n', LinePos);
+    if (E == std::string::npos) {
+      Line = std::string_view(Text).substr(LinePos);
+      LinePos = Text.size();
+    } else {
+      Line = std::string_view(Text).substr(LinePos, E - LinePos);
+      LinePos = E + 1;
+    }
+    return true;
+  };
+
+  std::string_view Line;
+  if (!nextLine(Line) || Line != "LSSNL 1")
+    return Fail();
+
+  auto NL = std::make_unique<Netlist>();
+  InstanceNode *Cur = NL->getRoot();
+  std::map<std::string, const types::Type *> VarMap;
+  bool SawEnd = false;
+
+  while (nextLine(Line)) {
+    if (Line.empty())
+      return Fail();
+    LineReader L(Line);
+    if (L.size() == 0)
+      return Fail();
+    std::string_view Kind = L.raw(0);
+
+    if (Kind == "end") {
+      SawEnd = true;
+      break;
+    } else if (Kind == "annotations") {
+      int64_t N;
+      if (!L.i64(1, N) || N < 0 || L.size() != 2)
+        return Fail();
+      Result.NumUserAnnotations = unsigned(N);
+    } else if (Kind == "libmodule") {
+      std::string Name;
+      if (!L.str(1, Name) || L.size() != 2)
+        return Fail();
+      Result.LibraryModules.insert(std::move(Name));
+    } else if (Kind == "diag") {
+      int64_t Level;
+      Diagnostic D;
+      if (L.size() != 5 || !L.i64(1, Level) || Level < 0 || Level > 1 ||
+          !L.loc(2, D.Loc) || !L.str(4, D.Message))
+        return Fail();
+      D.Level = Level == 1 ? DiagLevel::Warning : DiagLevel::Note;
+      Result.Diags.push_back(std::move(D));
+    } else if (Kind == "instance") {
+      int64_t ParentIdx, NTV;
+      std::string Name, ModuleName, Behavior;
+      SourceLoc Loc;
+      if (L.size() != 8 || !L.i64(1, ParentIdx) || !L.str(2, Name) ||
+          !L.str(3, ModuleName) || !L.optStr(4, Behavior) ||
+          !L.i64(5, NTV) || NTV < 0 || !L.loc(6, Loc))
+        return Fail();
+      const auto &Instances = NL->getInstances();
+      if (ParentIdx < 0 || size_t(ParentIdx) >= Instances.size())
+        return Fail();
+      Cur = NL->createInstance(Instances[size_t(ParentIdx)].get(),
+                               std::move(Name), nullptr, Loc);
+      Cur->ModuleName = std::move(ModuleName);
+      Cur->BehaviorId = std::move(Behavior);
+      Cur->NumTypeVars = unsigned(NTV);
+    } else if (Kind == "param") {
+      std::string Name;
+      Value V;
+      if (L.size() != 3 || !L.str(1, Name) || !decodeValue(L, 2, V))
+        return Fail();
+      Cur->Params.emplace(std::move(Name), std::move(V));
+    } else if (Kind == "userpoint") {
+      int64_t IsDefault, NArgs;
+      std::string Name;
+      UserpointValue UV;
+      if (L.size() < 6 || !L.str(1, Name) || !L.i64(2, IsDefault) ||
+          !L.loc(3, UV.Loc) || !L.i64(5, NArgs) || NArgs < 0 ||
+          L.size() != size_t(7 + NArgs))
+        return Fail();
+      std::vector<std::string> Args;
+      for (int64_t I = 0; I != NArgs; ++I) {
+        std::string A;
+        if (!L.str(size_t(6 + I), A))
+          return Fail();
+        Args.push_back(std::move(A));
+      }
+      if (!L.str(size_t(6 + NArgs), UV.Code))
+        return Fail();
+      UV.IsDefault = IsDefault != 0;
+      UV.Sig = NL->createUserpointSig(std::move(Args));
+      Cur->Userpoints.emplace(std::move(Name), std::move(UV));
+    } else if (Kind == "event") {
+      std::string Name;
+      if (L.size() != 2 || !L.str(1, Name))
+        return Fail();
+      Cur->Events.push_back(std::move(Name));
+    } else if (Kind == "var") {
+      RuntimeVar RV;
+      if (L.size() != 5 || !L.str(1, RV.Name) || !L.loc(2, RV.Loc) ||
+          !decodeValue(L, 4, RV.Init))
+        return Fail();
+      Cur->RuntimeVars.push_back(std::move(RV));
+    } else if (Kind == "port") {
+      Port P;
+      int64_t Width, WInf;
+      if (L.size() != 9 || !L.str(1, P.Name) ||
+          (L.raw(2) != "in" && L.raw(2) != "out") || !L.i64(3, Width) ||
+          Width < 0 || !L.i64(4, WInf) || !L.loc(5, P.Loc) ||
+          !decodeType(L, 7, TC, VarMap, P.Scheme) ||
+          !decodeType(L, 8, TC, VarMap, P.Resolved))
+        return Fail();
+      P.Dir = L.raw(2) == "in" ? PortDirection::In : PortDirection::Out;
+      P.Width = int(Width);
+      P.WidthInferred = WInf != 0;
+      Cur->Ports.push_back(std::move(P));
+    } else if (Kind == "constrain") {
+      const types::Type *LHS, *RHS;
+      if (L.size() != 3 || !decodeType(L, 1, TC, VarMap, LHS) ||
+          !decodeType(L, 2, TC, VarMap, RHS) || !LHS || !RHS)
+        return Fail();
+      Cur->ExtraConstraints.emplace_back(LHS, RHS);
+    } else if (Kind == "conn") {
+      int64_t FromIdx, FromIndex, ToIdx, ToIndex;
+      std::string FromPort, ToPort;
+      SourceLoc Loc;
+      const types::Type *Annotation;
+      if (L.size() != 10 || !L.i64(1, FromIdx) || !L.optStr(2, FromPort) ||
+          !L.i64(3, FromIndex) || !L.i64(4, ToIdx) || !L.optStr(5, ToPort) ||
+          !L.i64(6, ToIndex) || !L.loc(7, Loc) ||
+          !decodeType(L, 9, TC, VarMap, Annotation))
+        return Fail();
+      const auto &Instances = NL->getInstances();
+      auto Resolve = [&](int64_t Idx, InstanceNode *&Out) {
+        if (Idx == -1) {
+          Out = nullptr;
+          return true;
+        }
+        if (Idx < 0 || size_t(Idx) >= Instances.size())
+          return false;
+        Out = Instances[size_t(Idx)].get();
+        return true;
+      };
+      Connection *C = NL->createConnection(Loc);
+      if (!Resolve(FromIdx, C->From.Inst) || !Resolve(ToIdx, C->To.Inst))
+        return Fail();
+      C->From.Port = std::move(FromPort);
+      C->From.Index = int(FromIndex);
+      C->To.Port = std::move(ToPort);
+      C->To.Index = int(ToIndex);
+      C->Annotation = Annotation;
+    } else {
+      return Fail();
+    }
+  }
+  if (!SawEnd)
+    return Fail();
+
+  Result.NL = std::move(NL);
+  return Result;
+}

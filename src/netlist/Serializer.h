@@ -1,0 +1,91 @@
+//===- Serializer.h - Stable netlist artifact round-trip --------*- C++ -*-===//
+///
+/// \file
+/// Byte-stable text serialization of an elaborated netlist, plus the
+/// compile metadata (library-module set, user annotation count, pending
+/// diagnostics) a warm compile needs to behave identically to a cold one.
+/// This is the "elaborated netlist" artifact of the content-addressed
+/// compile cache (docs/API.md): a cold compile serializes right after
+/// elaboration; a warm compile deserializes and skips parse + elaboration
+/// entirely.
+///
+/// Format contract ("LSSNL 1"):
+///  - line oriented; strings are %XX-escaped so every record is one line;
+///  - instances appear in creation order and reference each other (and
+///    connections reference instances) by dense index, so reloading
+///    reproduces the original traversal order exactly — type inference and
+///    simulator construction on a reloaded netlist are bit-identical to
+///    the cold compile;
+///  - the serializer itself is deterministic: serializing the same netlist
+///    twice — or a netlist and its reloaded copy — yields identical bytes
+///    regardless of how many threads inference ran on.
+///
+/// The deserializer trusts nothing: every record is bounds- and
+/// shape-checked, and any malformed byte makes it return null (a cache
+/// miss) rather than crash — mutated entries are a fuzz target
+/// (fuzz_cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_NETLIST_SERIALIZER_H
+#define LIBERTY_NETLIST_SERIALIZER_H
+
+#include "netlist/Netlist.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liberty {
+
+namespace types {
+class TypeContext;
+}
+
+namespace netlist {
+
+/// Everything a warm compile restores from the elaborated-netlist
+/// artifact.
+struct SerializedCompile {
+  std::unique_ptr<Netlist> NL;
+  /// Names of modules that came from the component library (reuse stats).
+  std::set<std::string> LibraryModules;
+  /// Explicit type annotations counted in user sources (Table 2).
+  unsigned NumUserAnnotations = 0;
+  /// Non-error diagnostics (warnings/notes) the cold compile emitted up to
+  /// and including elaboration, replayed verbatim on a warm compile.
+  /// SourceLocs stay valid because the warm compile registers the same
+  /// source texts in the same order.
+  std::vector<Diagnostic> Diags;
+};
+
+/// Renders \p NL (plus the compile metadata) as an LSSNL 1 artifact.
+/// Returns false — leaving \p Out unspecified — if the netlist holds a
+/// value that cannot round-trip (elaboration-only instance/port
+/// references); such compiles simply are not cached.
+bool serializeNetlist(const Netlist &NL,
+                      const std::set<std::string> &LibraryModules,
+                      unsigned NumUserAnnotations,
+                      const std::vector<Diagnostic> &Diags,
+                      std::string &Out);
+
+/// Parses an LSSNL 1 artifact. Types are rebuilt in \p TC. Returns an
+/// empty result (null NL) on any malformed input.
+SerializedCompile deserializeNetlist(const std::string &Text,
+                                     types::TypeContext &TC);
+
+/// %XX escaping shared by the artifact writers: escapes '%', whitespace,
+/// and every byte that is structural in an artifact line, so any string
+/// round-trips as a single space-free token. Exposed for the solution
+/// artifact (infer/Solution) and tests.
+std::string artifactEscape(const std::string &S);
+/// Inverse of artifactEscape; returns false on a malformed escape.
+bool artifactUnescape(std::string_view S, std::string &Out);
+
+} // namespace netlist
+} // namespace liberty
+
+#endif // LIBERTY_NETLIST_SERIALIZER_H

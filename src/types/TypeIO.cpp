@@ -1,0 +1,177 @@
+//===- TypeIO.cpp - Textual type round-trip ----------------------------------===//
+
+#include "types/TypeIO.h"
+
+#include "types/Type.h"
+#include "types/TypeContext.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace liberty;
+using namespace liberty::types;
+
+namespace {
+
+/// Recursive-descent parser over the Type::str() grammar. Every production
+/// checks bounds and returns null on the first malformed byte; the caller
+/// treats that as a corrupted cache entry.
+class TypeTextParser {
+public:
+  TypeTextParser(const std::string &Text, TypeContext &TC,
+                 std::map<std::string, const Type *> &VarMap)
+      : Text(Text), TC(TC), VarMap(VarMap) {}
+
+  const Type *parse() {
+    const Type *T = parseType();
+    // The whole string must be consumed: trailing garbage means the entry
+    // was truncated or spliced.
+    if (!T || Pos != Text.size())
+      return nullptr;
+    return T;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return atEnd() ? '\0' : Text[Pos]; }
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool consumeWord(const char *W) {
+    size_t Len = std::char_traits<char>::length(W);
+    if (Text.compare(Pos, Len, W) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  /// ident := [A-Za-z_][A-Za-z0-9_]*  (struct field names)
+  bool parseIdent(std::string &Out) {
+    size_t Start = Pos;
+    if (atEnd() || !(std::isalpha((unsigned char)peek()) || peek() == '_'))
+      return false;
+    while (!atEnd() &&
+           (std::isalnum((unsigned char)peek()) || peek() == '_'))
+      ++Pos;
+    Out = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  /// varname := [A-Za-z0-9_#]+  (NameHint "#" id, as freshVar spells it)
+  bool parseVarName(std::string &Out) {
+    size_t Start = Pos;
+    while (!atEnd() && (std::isalnum((unsigned char)peek()) ||
+                        peek() == '_' || peek() == '#'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool parseInt(int64_t &Out) {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (!atEnd() && std::isdigit((unsigned char)peek()))
+      ++Pos;
+    if (Pos == Start || (Text[Start] == '-' && Pos == Start + 1))
+      return false;
+    Out = std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr, 10);
+    return true;
+  }
+
+  const Type *parseType() {
+    if (Depth > MaxDepth)
+      return nullptr; // Hostile nesting in a mutated entry.
+    ++Depth;
+    const Type *T = parseBase();
+    // Array suffixes bind left-to-right: int[2][3] is (int[2])[3].
+    while (T && consume('[')) {
+      int64_t Size = 0;
+      if (!parseInt(Size) || !consume(']') || Size < 0) {
+        --Depth;
+        return nullptr;
+      }
+      T = TC.getArray(T, Size);
+    }
+    --Depth;
+    return T;
+  }
+
+  const Type *parseBase() {
+    switch (peek()) {
+    case 'i':
+      return consumeWord("int") ? TC.getInt() : nullptr;
+    case 'b':
+      return consumeWord("bool") ? TC.getBool() : nullptr;
+    case 'f':
+      return consumeWord("float") ? TC.getFloat() : nullptr;
+    case '\'': {
+      ++Pos;
+      std::string Name;
+      if (!parseVarName(Name))
+        return nullptr;
+      auto [It, Inserted] = VarMap.emplace(Name, nullptr);
+      if (Inserted) {
+        // Strip the "#id" suffix for the hint; the fresh variable gets a
+        // new unique id in this context.
+        size_t Hash = Name.find('#');
+        It->second = TC.freshVar(Name.substr(0, Hash));
+      }
+      return It->second;
+    }
+    case 's': {
+      if (consumeWord("string"))
+        return TC.getString();
+      if (!consumeWord("struct{"))
+        return nullptr;
+      std::vector<std::pair<std::string, const Type *>> Fields;
+      while (!consume('}')) {
+        std::string Field;
+        if (!parseIdent(Field) || !consume(':'))
+          return nullptr;
+        const Type *FT = parseType();
+        if (!FT || !consume(';'))
+          return nullptr;
+        Fields.emplace_back(std::move(Field), FT);
+      }
+      return TC.getStruct(std::move(Fields));
+    }
+    case '(': {
+      ++Pos;
+      std::vector<const Type *> Alts;
+      do {
+        const Type *A = parseType();
+        if (!A)
+          return nullptr;
+        Alts.push_back(A);
+      } while (consume('|'));
+      if (!consume(')') || Alts.empty())
+        return nullptr;
+      return TC.getDisjunct(std::move(Alts));
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  static constexpr unsigned MaxDepth = 200;
+
+  const std::string &Text;
+  TypeContext &TC;
+  std::map<std::string, const Type *> &VarMap;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+const Type *
+liberty::types::parseTypeText(const std::string &Text, TypeContext &TC,
+                              std::map<std::string, const Type *> &VarMap) {
+  return TypeTextParser(Text, TC, VarMap).parse();
+}

@@ -1,0 +1,48 @@
+//===- TypeIO.h - Textual type round-trip -----------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual type rendering produced by Type::str() back into
+/// arena-allocated Types. This is the type leg of the content-addressed
+/// artifact cache: resolved port types and polymorphic schemes are stored
+/// as text inside serialized netlist / inference-solution artifacts and
+/// reconstructed in a fresh TypeContext on reload.
+///
+/// The grammar is exactly what Type::str() emits:
+///
+///   type   := base ("[" int "]")*
+///   base   := "int" | "bool" | "float" | "string"
+///           | "struct{" (ident ":" type ";")* "}"
+///           | "(" type ("|" type)* ")"
+///           | "'" varname
+///
+/// Type variables are resolved through a caller-provided map keyed by the
+/// serialized variable token (e.g. "a#17"), so variable sharing within one
+/// artifact survives the round-trip even though the fresh context mints new
+/// variable ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_TYPES_TYPEIO_H
+#define LIBERTY_TYPES_TYPEIO_H
+
+#include <map>
+#include <string>
+
+namespace liberty {
+namespace types {
+
+class Type;
+class TypeContext;
+
+/// Parses \p Text (a Type::str() rendering) into \p TC. Variable tokens are
+/// looked up in \p VarMap; unseen tokens mint fresh variables and are added
+/// to the map so later occurrences alias the same Type. Returns null on any
+/// syntax error (never crashes, never throws): malformed cache entries must
+/// degrade to a cache miss.
+const Type *parseTypeText(const std::string &Text, TypeContext &TC,
+                          std::map<std::string, const Type *> &VarMap);
+
+} // namespace types
+} // namespace liberty
+
+#endif // LIBERTY_TYPES_TYPEIO_H

@@ -1,0 +1,432 @@
+//===- CacheTest.cpp - CompilerInvocation keys and the artifact cache ------===//
+///
+/// Covers the driver API redesign end to end:
+///  - CompilerInvocation fingerprint/key sensitivity, including the
+///    contract that Solve.NumThreads and the solver budgets never
+///    invalidate the solve artifact;
+///  - CompileService cold/warm compiles against a disk cache directory,
+///    with identical observable results (netlist print, simulation run);
+///  - per-field invalidation, corrupted/truncated-entry recovery, and the
+///    rule that failing compiles are never cached;
+///  - batch compiles: input-order results and determinism under threads;
+///  - the LSSNL/LSSSOL serializers: reload fixpoint and the byte-stability
+///    of the solution artifact across serial and parallel inference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileService.h"
+#include "driver/Compiler.h"
+#include "driver/CompilerInvocation.h"
+#include "infer/Solution.h"
+#include "netlist/Serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace liberty;
+
+namespace {
+
+const char *kChainSpec = R"(
+instance g:counter_source;
+instance one:const_source;
+one.value = 1;
+instance a:adder;
+instance s:sink;
+g.out -> a.in1;
+one.out -> a.in2;
+a.out -> s.in;
+)";
+
+const char *kMuxSpec = R"(
+instance sel:counter_source;
+instance i0:const_source;
+i0.value = 10;
+instance i1:const_source;
+i1.value = 11;
+instance m:mux;
+instance s:sink;
+sel.out -> m.sel;
+i0.out -> m.in[0];
+i1.out -> m.in[1];
+m.out -> s.in;
+)";
+
+driver::CompilerInvocation chainInvocation(const char *Spec = kChainSpec) {
+  driver::CompilerInvocation Inv;
+  Inv.addSource("chain.lss", Spec);
+  Inv.BuildSim = false;
+  return Inv;
+}
+
+/// A scratch directory for one test's disk cache, removed on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/lss_cachetest_XXXXXX";
+    Path = mkdtemp(Buf);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+driver::CompileService::Options diskOpts(const TempDir &Dir) {
+  driver::CompileService::Options O;
+  O.Cache.DiskDir = Dir.Path;
+  return O;
+}
+
+std::string netlistText(driver::Compiler &C) {
+  std::ostringstream OS;
+  C.getNetlist()->print(OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Key contract
+//===----------------------------------------------------------------------===//
+
+TEST(InvocationKeys, SourceTextChangesEveryKey) {
+  driver::CompilerInvocation A = chainInvocation();
+  driver::CompilerInvocation B = chainInvocation();
+  B.Sources[0].Text += "\ninstance extra:sink;\n";
+  EXPECT_NE(A.elabKey(), B.elabKey());
+  EXPECT_NE(A.solveKey(), B.solveKey());
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(InvocationKeys, SourceNameIsExcluded) {
+  // Content-addressed: renaming a file must hit the same artifacts.
+  driver::CompilerInvocation A = chainInvocation();
+  driver::CompilerInvocation B;
+  B.addSource("renamed.lss", kChainSpec);
+  B.BuildSim = false;
+  EXPECT_EQ(A.elabKey(), B.elabKey());
+  EXPECT_EQ(A.solveKey(), B.solveKey());
+}
+
+TEST(InvocationKeys, ElaborationOptionsInvalidateElabKey) {
+  driver::CompilerInvocation A = chainInvocation();
+  driver::CompilerInvocation B = chainInvocation();
+  B.Elab.MaxSteps = A.Elab.MaxSteps / 2;
+  EXPECT_NE(A.elabKey(), B.elabKey());
+
+  driver::CompilerInvocation C = chainInvocation();
+  C.Elab.MaxInstances = A.Elab.MaxInstances / 2;
+  EXPECT_NE(A.elabKey(), C.elabKey());
+
+  driver::CompilerInvocation D = chainInvocation();
+  D.UseCoreLibrary = false;
+  EXPECT_NE(A.elabKey(), D.elabKey());
+}
+
+TEST(InvocationKeys, SolverHeuristicsInvalidateSolveKeyOnly) {
+  driver::CompilerInvocation A = chainInvocation();
+  for (int Field = 0; Field != 3; ++Field) {
+    driver::CompilerInvocation B = chainInvocation();
+    if (Field == 0)
+      B.Solve.ReorderSimpleFirst = false;
+    else if (Field == 1)
+      B.Solve.ForcedDisjunctElimination = false;
+    else
+      B.Solve.Partition = false;
+    EXPECT_EQ(A.elabKey(), B.elabKey()) << "field " << Field;
+    EXPECT_NE(A.solveKey(), B.solveKey()) << "field " << Field;
+  }
+}
+
+TEST(InvocationKeys, ThreadCountsAndBudgetsNeverInvalidate) {
+  // The serial/parallel bit-identical contract: NumThreads must not be
+  // part of any key, and budgets only decide whether a solve finishes.
+  driver::CompilerInvocation A = chainInvocation();
+  driver::CompilerInvocation B = chainInvocation();
+  B.Solve.NumThreads = 8;
+  B.Solve.MaxSteps = 1234;
+  B.Solve.DeadlineMs = 99;
+  B.Sim.Jobs = 16;
+  EXPECT_EQ(A.elabKey(), B.elabKey());
+  EXPECT_EQ(A.solveKey(), B.solveKey());
+}
+
+//===----------------------------------------------------------------------===//
+// Cold/warm service compiles
+//===----------------------------------------------------------------------===//
+
+TEST(CacheService, ColdThenWarmHitsAndMatches) {
+  TempDir Dir;
+  std::string ColdPrint, WarmPrint;
+  {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompileResult R = Svc.compile(chainInvocation());
+    ASSERT_TRUE(R.Success);
+    EXPECT_FALSE(R.ElabFromCache);
+    EXPECT_FALSE(R.SolutionFromCache);
+    driver::CacheStats S = Svc.getCache().getStats();
+    EXPECT_EQ(S.Hits, 0u);
+    EXPECT_EQ(S.Misses, 2u);
+    EXPECT_EQ(S.Stores, 2u);
+    ColdPrint = netlistText(*R.C);
+  }
+  {
+    // A fresh service: nothing in memory, both artifacts come from disk.
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompileResult R = Svc.compile(chainInvocation());
+    ASSERT_TRUE(R.Success);
+    EXPECT_TRUE(R.ElabFromCache);
+    EXPECT_TRUE(R.SolutionFromCache);
+    driver::CacheStats S = Svc.getCache().getStats();
+    EXPECT_EQ(S.Hits, 2u);
+    EXPECT_EQ(S.DiskHits, 2u);
+    EXPECT_EQ(S.Misses, 0u);
+    WarmPrint = netlistText(*R.C);
+  }
+  EXPECT_EQ(ColdPrint, WarmPrint);
+}
+
+TEST(CacheService, MemoryCacheHitsWithoutDisk) {
+  driver::CompileService Svc; // Default: enabled, in-memory only.
+  driver::CompileResult Cold = Svc.compile(chainInvocation());
+  ASSERT_TRUE(Cold.Success);
+  driver::CompileResult Warm = Svc.compile(chainInvocation());
+  ASSERT_TRUE(Warm.Success);
+  EXPECT_TRUE(Warm.ElabFromCache);
+  EXPECT_TRUE(Warm.SolutionFromCache);
+  EXPECT_EQ(Svc.getCache().getStats().MemoryHits, 2u);
+  EXPECT_EQ(netlistText(*Cold.C), netlistText(*Warm.C));
+}
+
+TEST(CacheService, WarmSimulationMatchesCold) {
+  TempDir Dir;
+  auto RunOnce = [&](uint64_t &Cycle, std::string &Nets) {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompilerInvocation Inv = chainInvocation();
+    Inv.BuildSim = true;
+    driver::CompileResult R = Svc.compile(Inv);
+    ASSERT_TRUE(R.Success);
+    sim::Simulator *Sim = R.C->getSimulator();
+    ASSERT_NE(Sim, nullptr);
+    Sim->step(25);
+    Cycle = Sim->getCycle();
+    std::ostringstream OS;
+    const interp::Value *V = Sim->peekPort("s", "in", 0);
+    OS << (V ? V->str() : "(absent)");
+    Nets = OS.str();
+  };
+  uint64_t ColdCycle = 0, WarmCycle = 0;
+  std::string ColdNets, WarmNets;
+  RunOnce(ColdCycle, ColdNets);
+  RunOnce(WarmCycle, WarmNets);
+  EXPECT_EQ(ColdCycle, WarmCycle);
+  EXPECT_EQ(ColdNets, WarmNets);
+}
+
+TEST(CacheService, EditedSourceMisses) {
+  TempDir Dir;
+  driver::CompileService Svc(diskOpts(Dir));
+  ASSERT_TRUE(Svc.compile(chainInvocation()).Success);
+  driver::CompilerInvocation Edited = chainInvocation();
+  Edited.Sources[0].Text += "\ninstance extra:sink;\n";
+  driver::CompileResult R = Svc.compile(Edited);
+  ASSERT_TRUE(R.Success);
+  EXPECT_FALSE(R.ElabFromCache);
+  EXPECT_FALSE(R.SolutionFromCache);
+  EXPECT_EQ(Svc.getCache().getStats().Stores, 4u);
+}
+
+TEST(CacheService, DifferentThreadCountStillHits) {
+  TempDir Dir;
+  {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompilerInvocation Inv = chainInvocation();
+    Inv.Solve.NumThreads = 1;
+    ASSERT_TRUE(Svc.compile(Inv).Success);
+  }
+  driver::CompileService Svc(diskOpts(Dir));
+  driver::CompilerInvocation Inv = chainInvocation();
+  Inv.Solve.NumThreads = 8;
+  driver::CompileResult R = Svc.compile(Inv);
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(R.ElabFromCache);
+  EXPECT_TRUE(R.SolutionFromCache);
+}
+
+TEST(CacheService, FailingCompileIsNeverCached) {
+  TempDir Dir;
+  driver::CompilerInvocation Bad;
+  Bad.addSource("bad.lss", "instance g:counter_source;\ng.out -> g.nosuch;\n");
+  Bad.BuildSim = false;
+  for (int Round = 0; Round != 2; ++Round) {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompileResult R = Svc.compile(Bad);
+    EXPECT_FALSE(R.Success) << "round " << Round;
+    EXPECT_FALSE(R.ElabFromCache);
+    EXPECT_FALSE(R.SolutionFromCache);
+    EXPECT_EQ(Svc.getCache().getStats().Stores, 0u) << "round " << Round;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption recovery
+//===----------------------------------------------------------------------===//
+
+TEST(CacheService, CorruptedEntriesAreDiagnosedAndRecompiled) {
+  TempDir Dir;
+  std::string CleanPrint;
+  {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompileResult R = Svc.compile(chainInvocation());
+    ASSERT_TRUE(R.Success);
+    CleanPrint = netlistText(*R.C);
+  }
+  // Stomp every stored entry with garbage.
+  unsigned Stomped = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path)) {
+    std::ofstream(E.path()) << "garbage, definitely not an artifact\n";
+    ++Stomped;
+  }
+  ASSERT_EQ(Stomped, 2u);
+  {
+    driver::CompileService Svc(diskOpts(Dir));
+    driver::CompileResult R = Svc.compile(chainInvocation());
+    ASSERT_TRUE(R.Success); // Never a crash, never a failure.
+    EXPECT_FALSE(R.ElabFromCache);
+    EXPECT_FALSE(R.SolutionFromCache);
+    EXPECT_EQ(Svc.getCache().getStats().Corrupt, 2u);
+    EXPECT_NE(R.C->diagnosticsText().find("ignoring corrupted cache entry"),
+              std::string::npos);
+    EXPECT_EQ(netlistText(*R.C), CleanPrint);
+  }
+  // The recompile overwrote the stomped entries with valid ones.
+  driver::CompileService Svc(diskOpts(Dir));
+  driver::CompileResult R = Svc.compile(chainInvocation());
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(R.ElabFromCache);
+  EXPECT_TRUE(R.SolutionFromCache);
+}
+
+TEST(CacheService, TruncatedEntryIsAMiss) {
+  TempDir Dir;
+  {
+    driver::CompileService Svc(diskOpts(Dir));
+    ASSERT_TRUE(Svc.compile(chainInvocation()).Success);
+  }
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path)) {
+    std::error_code EC;
+    std::filesystem::resize_file(E.path(),
+                                 std::filesystem::file_size(E.path()) / 2, EC);
+    ASSERT_FALSE(EC);
+  }
+  driver::CompileService Svc(diskOpts(Dir));
+  driver::CompileResult R = Svc.compile(chainInvocation());
+  ASSERT_TRUE(R.Success);
+  EXPECT_FALSE(R.ElabFromCache);
+  EXPECT_EQ(Svc.getCache().getStats().Corrupt, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch compiles
+//===----------------------------------------------------------------------===//
+
+TEST(CacheService, BatchResultsAreInInputOrderAndDeterministic) {
+  // Reference prints from isolated compiles.
+  driver::CompileService Ref;
+  std::string ChainPrint =
+      netlistText(*Ref.compile(chainInvocation()).C);
+  driver::CompilerInvocation MuxInv;
+  MuxInv.addSource("mux.lss", kMuxSpec);
+  MuxInv.BuildSim = false;
+  std::string MuxPrint = netlistText(*Ref.compile(MuxInv).C);
+  ASSERT_NE(ChainPrint, MuxPrint);
+
+  std::vector<driver::CompilerInvocation> Invs;
+  for (int I = 0; I != 4; ++I) {
+    Invs.push_back(chainInvocation());
+    Invs.push_back(MuxInv);
+  }
+  for (int Round = 0; Round != 2; ++Round) {
+    driver::CompileService Svc;
+    std::vector<driver::CompileResult> Rs = Svc.compileBatch(Invs, 4);
+    ASSERT_EQ(Rs.size(), Invs.size());
+    for (size_t I = 0; I != Rs.size(); ++I) {
+      ASSERT_TRUE(Rs[I].Success) << "round " << Round << " input " << I;
+      EXPECT_EQ(netlistText(*Rs[I].C), I % 2 ? MuxPrint : ChainPrint)
+          << "round " << Round << " input " << I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer stability
+//===----------------------------------------------------------------------===//
+
+/// Compiles the chain spec and returns the serialized netlist bytes.
+static bool serializeOnce(driver::Compiler &C, std::string &Out) {
+  return netlist::serializeNetlist(*C.getNetlist(), C.getLibraryModules(),
+                                   C.getNumUserTypeAnnotations(), {}, Out);
+}
+
+TEST(Serializer, NetlistReloadReachesFixpoint) {
+  driver::CompileService Svc;
+  driver::CompileResult R = Svc.compile(chainInvocation());
+  ASSERT_TRUE(R.Success);
+  std::string S1;
+  ASSERT_TRUE(serializeOnce(*R.C, S1));
+
+  // One reload may rename type variables (fresh ids); the second must be
+  // byte-stable.
+  types::TypeContext TC2;
+  auto SC2 = netlist::deserializeNetlist(S1, TC2);
+  ASSERT_NE(SC2.NL, nullptr);
+  std::string S2;
+  ASSERT_TRUE(netlist::serializeNetlist(*SC2.NL, SC2.LibraryModules,
+                                        SC2.NumUserAnnotations, SC2.Diags,
+                                        S2));
+  types::TypeContext TC3;
+  auto SC3 = netlist::deserializeNetlist(S2, TC3);
+  ASSERT_NE(SC3.NL, nullptr);
+  std::string S3;
+  ASSERT_TRUE(netlist::serializeNetlist(*SC3.NL, SC3.LibraryModules,
+                                        SC3.NumUserAnnotations, SC3.Diags,
+                                        S3));
+  EXPECT_EQ(S2, S3);
+}
+
+TEST(Serializer, EmptyStringTokensRoundTrip) {
+  std::string Out;
+  ASSERT_TRUE(netlist::artifactUnescape(netlist::artifactEscape(""), Out));
+  EXPECT_EQ(Out, "");
+  ASSERT_TRUE(netlist::artifactUnescape(netlist::artifactEscape("%_"), Out));
+  EXPECT_EQ(Out, "%_");
+}
+
+TEST(Serializer, SolutionBytesAreThreadCountInvariant) {
+  // The bugfix regression: serial and parallel inference must export the
+  // exact same solution artifact, byte for byte.
+  auto SolveWith = [&](unsigned Threads, std::string &Bytes) {
+    driver::Compiler C;
+    driver::CompilerInvocation Inv;
+    Inv.addSource("mux.lss", kMuxSpec);
+    Inv.Solve.NumThreads = Threads;
+    ASSERT_TRUE(C.addSources(Inv));
+    ASSERT_TRUE(C.elaborate(Inv));
+    ASSERT_TRUE(C.inferTypes(Inv));
+    ASSERT_TRUE(
+        infer::exportSolution(*C.getNetlist(), C.getInferenceStats(), {},
+                              Bytes));
+  };
+  std::string Serial, Parallel;
+  SolveWith(1, Serial);
+  SolveWith(4, Parallel);
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, Parallel);
+}
+
+} // namespace

@@ -10,7 +10,9 @@ using namespace liberty;
 namespace {
 
 std::unique_ptr<driver::Compiler> compile(const std::string &Src) {
-  return driver::Compiler::compileForSim("t.lss", Src);
+  driver::CompilerInvocation Inv;
+  Inv.addSource("t.lss", Src);
+  return driver::Compiler::compileForSim(Inv);
 }
 
 int64_t peekInt(sim::Simulator *Sim, const std::string &Path,

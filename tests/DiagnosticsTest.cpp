@@ -209,9 +209,9 @@ TEST(Diagnostics, ElaborationRunawayLoopBudget) {
 instance s:spin;
 instance q:no_such_module;
 )"));
-  interp::Interpreter::Options Opts;
-  Opts.MaxSteps = 10000;
-  EXPECT_FALSE(C.elaborate(Opts));
+  driver::CompilerInvocation Inv;
+  Inv.Elab.MaxSteps = 10000;
+  EXPECT_FALSE(C.elaborate(Inv));
   expectRecovered(C, "elab_runaway");
 }
 
@@ -255,10 +255,10 @@ g2.out -> ei.in;
   driver::Compiler C;
   ASSERT_TRUE(C.addSource("infer_budget.lss", Src));
   ASSERT_TRUE(C.elaborate()) << C.diagnosticsText();
-  infer::SolveOptions Opts;
-  Opts.ForcedDisjunctElimination = false;
-  Opts.MaxSteps = 2000;
-  EXPECT_FALSE(C.inferTypes(Opts));
+  driver::CompilerInvocation Inv;
+  Inv.Solve.ForcedDisjunctElimination = false;
+  Inv.Solve.MaxSteps = 2000;
+  EXPECT_FALSE(C.inferTypes(Inv));
   const infer::NetlistInferenceStats &S = C.getInferenceStats();
   EXPECT_EQ(S.Solve.NumUnsolved, 1u) << "easy group must still be solved";
   EXPECT_TRUE(S.Solve.HitLimit);

@@ -337,9 +337,9 @@ TEST(Interp, StepLimitCatchesInfiniteLoops) {
   ASSERT_TRUE(C.addSource("loop.lss",
                           "module m { var i:int; while (true) { i = 1; } };\n"
                           "instance x:m;"));
-  interp::Interpreter::Options Opts;
-  Opts.MaxSteps = 10000;
-  EXPECT_FALSE(C.elaborate(Opts));
+  driver::CompilerInvocation Inv;
+  Inv.Elab.MaxSteps = 10000;
+  EXPECT_FALSE(C.elaborate(Inv));
   EXPECT_NE(C.diagnosticsText().find("step limit"), std::string::npos);
 }
 

@@ -182,9 +182,9 @@ std::map<std::string, std::string> modelPortTypes(const std::string &Id,
   driver::Compiler C;
   EXPECT_TRUE(models::loadModel(C, Id));
   EXPECT_TRUE(C.elaborate());
-  SolveOptions O;
-  O.NumThreads = Threads;
-  EXPECT_TRUE(C.inferTypes(O)) << C.diagnosticsText();
+  driver::CompilerInvocation Inv;
+  Inv.Solve.NumThreads = Threads;
+  EXPECT_TRUE(C.inferTypes(Inv)) << C.diagnosticsText();
   StatsOut = C.getInferenceStats().Solve;
   for (const auto &Inst : C.getNetlist()->getInstances())
     for (const netlist::Port &P : Inst->Ports)
@@ -331,9 +331,9 @@ os.out -> ok.in;
     ASSERT_TRUE(C.addCoreLibrary());
     ASSERT_TRUE(C.addSource("t.lss", Src));
     ASSERT_TRUE(C.elaborate());
-    SolveOptions O;
-    O.NumThreads = Threads;
-    EXPECT_FALSE(C.inferTypes(O));
+    driver::CompilerInvocation Inv;
+    Inv.Solve.NumThreads = Threads;
+    EXPECT_FALSE(C.inferTypes(Inv));
     EXPECT_EQ(C.getDiags().getNumErrors(), 1u) << C.diagnosticsText();
     std::string Error = C.getDiags().getFirstErrorMessage();
     EXPECT_NE(Error.find("no consistent assignment"), std::string::npos)

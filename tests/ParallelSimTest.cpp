@@ -49,7 +49,7 @@ void expectParallelMatchesSerial(const std::string &Name,
                                  const std::string &Text, uint64_t Cycles,
                                  bool Selective) {
   auto Serial =
-      driver::Compiler::compileForSim(Name, Text, engineOptions(Selective, 1));
+      compileSim(Name, Text, engineOptions(Selective, 1));
   ASSERT_NE(Serial, nullptr) << "serial compile failed for " << Name;
   TraceRecord Ref = runRecorded(*Serial, Cycles);
   ASSERT_FALSE(Serial->getSimulator()->hadRuntimeErrors()) << Name;
@@ -57,8 +57,7 @@ void expectParallelMatchesSerial(const std::string &Name,
 
   for (unsigned Jobs : JobCounts) {
     SCOPED_TRACE("jobs=" + std::to_string(Jobs));
-    auto Par = driver::Compiler::compileForSim(Name, Text,
-                                               engineOptions(Selective, Jobs));
+    auto Par = compileSim(Name, Text, engineOptions(Selective, Jobs));
     ASSERT_NE(Par, nullptr) << "parallel compile failed for " << Name;
     TraceRecord Got = runRecorded(*Par, Cycles);
     EXPECT_FALSE(Par->getSimulator()->hadRuntimeErrors()) << Name;
@@ -100,8 +99,7 @@ TEST(ParallelDifferential, WideIndependentLanes) {
     SCOPED_TRACE(Selective ? "selective" : "exhaustive");
     expectParallelMatchesSerial("wide_lanes.lss", Text, 30, Selective);
   }
-  auto C = driver::Compiler::compileForSim("wide_lanes.lss", Text,
-                                           engineOptions(true, 4));
+  auto C = compileSim("wide_lanes.lss", Text, engineOptions(true, 4));
   ASSERT_NE(C, nullptr);
   const sim::Simulator::BuildInfo &BI = C->getSimulator()->getBuildInfo();
   EXPECT_GE(BI.MaxLevelWidth, 64u) << "lanes should share one wide level";
@@ -137,13 +135,12 @@ TEST(ParallelDifferential, UninstrumentedFinalValuesMatch) {
   for (const SyntheticFamily &F : syntheticFamilies()) {
     SCOPED_TRACE(F.Name);
     auto Serial =
-        driver::Compiler::compileForSim(F.Name, F.Text, engineOptions(true, 1));
+        compileSim(F.Name, F.Text, engineOptions(true, 1));
     ASSERT_NE(Serial, nullptr);
     Serial->getSimulator()->step(F.Cycles);
     std::vector<std::string> Ref = collectFinalNets(*Serial);
     for (unsigned Jobs : JobCounts) {
-      auto Par = driver::Compiler::compileForSim(F.Name, F.Text,
-                                                 engineOptions(true, Jobs));
+      auto Par = compileSim(F.Name, F.Text, engineOptions(true, Jobs));
       ASSERT_NE(Par, nullptr);
       Par->getSimulator()->step(F.Cycles);
       EXPECT_EQ(Ref, collectFinalNets(*Par))
@@ -173,8 +170,7 @@ TEST(ParallelGolden, SyntheticFamilies) {
       for (bool Selective : {true, false}) {
         SCOPED_TRACE("jobs=" + std::to_string(Jobs) +
                      (Selective ? " selective" : " exhaustive"));
-        auto C = driver::Compiler::compileForSim(
-            F.Name, F.Text, engineOptions(Selective, Jobs));
+        auto C = compileSim(F.Name, F.Text, engineOptions(Selective, Jobs));
         ASSERT_NE(C, nullptr);
         EXPECT_EQ(Want, goldenLine(runRecorded(*C, F.Cycles)));
       }

@@ -283,9 +283,10 @@ TEST_P(RandomNetlistTest, LssEnginesMatchOopBaseline) {
   const std::string Spec = dagToLss(Nodes);
 
   auto MakeSim = [&](bool Selective) {
-    sim::Simulator::Options O;
-    O.Selective = Selective;
-    return driver::Compiler::compileForSim("rand_dag.lss", Spec, O);
+    driver::CompilerInvocation Inv;
+    Inv.addSource("rand_dag.lss", Spec);
+    Inv.Sim.Selective = Selective;
+    return driver::Compiler::compileForSim(Inv);
   };
   auto Sel = MakeSim(true);
   auto Exh = MakeSim(false);

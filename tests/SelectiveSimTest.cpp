@@ -30,10 +30,10 @@ bool GRegenGolden = false;
 void expectDifferentialMatch(const std::string &Name, const std::string &Text,
                              uint64_t Cycles) {
   auto Exhaustive =
-      driver::Compiler::compileForSim(Name, Text, engineOptions(false));
+      compileSim(Name, Text, engineOptions(false));
   ASSERT_NE(Exhaustive, nullptr) << "exhaustive compile failed for " << Name;
   auto Selective =
-      driver::Compiler::compileForSim(Name, Text, engineOptions(true));
+      compileSim(Name, Text, engineOptions(true));
   ASSERT_NE(Selective, nullptr) << "selective compile failed for " << Name;
 
   TraceRecord E = runRecorded(*Exhaustive, Cycles);
@@ -79,10 +79,8 @@ TEST(SelectiveDifferential, UninstrumentedFinalValuesMatch) {
   // must still match.
   for (const SyntheticFamily &F : syntheticFamilies()) {
     SCOPED_TRACE(F.Name);
-    auto Ex = driver::Compiler::compileForSim(F.Name, F.Text,
-                                              engineOptions(false));
-    auto Sel = driver::Compiler::compileForSim(F.Name, F.Text,
-                                               engineOptions(true));
+    auto Ex = compileSim(F.Name, F.Text, engineOptions(false));
+    auto Sel = compileSim(F.Name, F.Text, engineOptions(true));
     ASSERT_NE(Ex, nullptr);
     ASSERT_NE(Sel, nullptr);
     Ex->getSimulator()->step(F.Cycles);
@@ -96,8 +94,7 @@ TEST(SelectiveDifferential, UninstrumentedFinalValuesMatch) {
 //===----------------------------------------------------------------------===//
 
 TEST(SelectiveActivity, QuiescentGroupsAreSkipped) {
-  auto C = driver::Compiler::compileForSim("farm.lss", lowActivityFarm(16),
-                                           engineOptions(true));
+  auto C = compileSim("farm.lss", lowActivityFarm(16), engineOptions(true));
   ASSERT_NE(C, nullptr);
   sim::Simulator *Sim = C->getSimulator();
   EXPECT_GT(Sim->getBuildInfo().NumSkippableGroups, 0u);
@@ -113,8 +110,7 @@ TEST(SelectiveActivity, QuiescentGroupsAreSkipped) {
 }
 
 TEST(SelectiveActivity, ExhaustiveModeNeverSkips) {
-  auto C = driver::Compiler::compileForSim("farm.lss", lowActivityFarm(16),
-                                           engineOptions(false));
+  auto C = compileSim("farm.lss", lowActivityFarm(16), engineOptions(false));
   ASSERT_NE(C, nullptr);
   sim::Simulator *Sim = C->getSimulator();
   Sim->step(40);
@@ -126,8 +122,7 @@ TEST(SelectiveActivity, ExhaustiveModeNeverSkips) {
 }
 
 TEST(SelectiveActivity, ResetClearsCounters) {
-  auto C = driver::Compiler::compileForSim("farm.lss", lowActivityFarm(4),
-                                           engineOptions(true));
+  auto C = compileSim("farm.lss", lowActivityFarm(4), engineOptions(true));
   ASSERT_NE(C, nullptr);
   sim::Simulator *Sim = C->getSimulator();
   Sim->step(10);
@@ -145,8 +140,8 @@ TEST(SelectiveInstrumentation, MidRunAttachSeesFullStream) {
   // Attaching a collector part-way through a run must not lose events:
   // the engine forces one exhaustive cycle to rebuild replay records.
   auto Run = [](bool Selective) {
-    auto C = driver::Compiler::compileForSim("farm.lss", lowActivityFarm(8),
-                                             engineOptions(Selective));
+    auto C = compileSim("farm.lss", lowActivityFarm(8),
+                        engineOptions(Selective));
     EXPECT_NE(C, nullptr);
     sim::Simulator *Sim = C->getSimulator();
     Sim->step(10); // Uninstrumented prefix; skipping is in effect.
@@ -161,8 +156,7 @@ TEST(SelectiveInstrumentation, MidRunAttachSeesFullStream) {
 }
 
 TEST(SelectiveInstrumentation, ReplayedEventsAreCounted) {
-  auto C = driver::Compiler::compileForSim("farm.lss", lowActivityFarm(8),
-                                           engineOptions(true));
+  auto C = compileSim("farm.lss", lowActivityFarm(8), engineOptions(true));
   ASSERT_NE(C, nullptr);
   sim::Simulator *Sim = C->getSimulator();
   Sim->getInstrumentation().attachCounter("*", "*");
@@ -202,8 +196,8 @@ void checkGolden(const std::string &Name, const TraceRecord &R) {
 TEST(GoldenTrace, SyntheticFamilies) {
   for (const SyntheticFamily &F : syntheticFamilies()) {
     SCOPED_TRACE(F.Name);
-    auto C = driver::Compiler::compileForSim(std::string(F.Name) + ".lss",
-                                             F.Text, engineOptions(true));
+    auto C = compileSim(std::string(F.Name) + ".lss", F.Text,
+                        engineOptions(true));
     ASSERT_NE(C, nullptr);
     checkGolden(F.Name, runRecorded(*C, F.Cycles));
   }

@@ -38,6 +38,22 @@ inline sim::Simulator::Options engineOptions(bool Selective,
   return O;
 }
 
+/// The invocation most sim tests run: one source, given engine options.
+inline driver::CompilerInvocation invocationFor(const std::string &Name,
+                                                const std::string &Text,
+                                                sim::Simulator::Options O) {
+  driver::CompilerInvocation Inv;
+  Inv.addSource(Name, Text);
+  Inv.Sim = O;
+  return Inv;
+}
+
+inline std::unique_ptr<driver::Compiler>
+compileSim(const std::string &Name, const std::string &Text,
+           sim::Simulator::Options O) {
+  return driver::Compiler::compileForSim(invocationFor(Name, Text, O));
+}
+
 /// One run's full observable record: the instrumentation event stream (in
 /// emission order) and the final value/presence of every net, keyed by
 /// port instance.
@@ -89,8 +105,10 @@ inline TraceRecord runRecorded(driver::Compiler &C, uint64_t Cycles) {
 
 inline bool buildModelSim(driver::Compiler &C, const std::string &Id,
                           sim::Simulator::Options O) {
-  return models::loadModel(C, Id) && C.elaborate() && C.inferTypes() &&
-         C.buildSimulator(O) != nullptr;
+  driver::CompilerInvocation Inv;
+  Inv.Sim = O;
+  return models::loadModel(C, Id) && C.elaborate(Inv) && C.inferTypes(Inv) &&
+         C.buildSimulator(Inv) != nullptr;
 }
 
 //===----------------------------------------------------------------------===//

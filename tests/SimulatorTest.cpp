@@ -68,7 +68,9 @@ TEST(Scheduler, LargeChainIterativeTarjanNoOverflow) {
 //===----------------------------------------------------------------------===//
 
 std::unique_ptr<driver::Compiler> compile(const std::string &Src) {
-  return driver::Compiler::compileForSim("t.lss", Src);
+  driver::CompilerInvocation Inv;
+  Inv.addSource("t.lss", Src);
+  return driver::Compiler::compileForSim(Inv);
 }
 
 TEST(Simulator, CombinationalAdderSettlesSameCycle) {

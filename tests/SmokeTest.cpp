@@ -45,7 +45,9 @@ delay3.out -> hole.in;
 )";
 
 TEST(Smoke, DelayChainCompilesAndSimulates) {
-  auto C = driver::Compiler::compileForSim("fig9.lss", DelayChainLss);
+  driver::CompilerInvocation Inv;
+  Inv.addSource("fig9.lss", DelayChainLss);
+  auto C = driver::Compiler::compileForSim(Inv);
   ASSERT_NE(C, nullptr) << "compilation failed";
   EXPECT_FALSE(C->getDiags().hasErrors()) << C->diagnosticsText();
 

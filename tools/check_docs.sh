@@ -7,7 +7,10 @@
 #      the contributor map cannot silently go stale when a subsystem is
 #      added;
 #   2. every intra-repository markdown link in docs/*.md and README.md
-#      resolves to an existing file.
+#      resolves to an existing file;
+#   3. the driver library API reference (docs/API.md) exists and names the
+#      invocation/service entry points, and the cache/batch flags appear in
+#      both the lssc usage text and the README flag table.
 #
 # Exits non-zero with one line per violation.
 
@@ -61,6 +64,24 @@ if [ -e "$ROOT/.check_docs_failed" ]; then
   rm -f "$ROOT/.check_docs_failed"
   FAILURES=$((FAILURES + 1))
 fi
+
+# 3. The library API surface stays documented: docs/API.md exists and the
+# driver entry points it contracts for are named there; the cache/batch
+# flags are in both the lssc usage text and the README flag table.
+API=docs/API.md
+if [ ! -f "$API" ]; then
+  fail "missing $API (CompilerInvocation/CompileService reference)"
+else
+  for Name in CompilerInvocation CompileService elabKey solveKey; do
+    grep -q "$Name" "$API" || fail "$API does not document $Name"
+  done
+fi
+for Flag in cache-dir no-cache batch; do
+  grep -q -- "--$Flag" tools/lssc.cpp ||
+    fail "lssc usage text does not document --$Flag"
+  grep -q -- "--$Flag" README.md ||
+    fail "README.md flag table does not document --$Flag"
+done
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "check_docs: FAILED ($FAILURES problem(s))" >&2

@@ -22,6 +22,13 @@
 ///   --trace-order       print the instantiation-stack processing order
 ///   --max-errors N      stop after N errors (0 = unlimited; default 50)
 ///   --infer-deadline-ms N  wall-clock deadline for inference groups
+///   --cache-dir DIR     reuse parse/elaborate/solve artifacts across runs
+///   --no-cache          ignore --cache-dir (always compile cold)
+///   --batch FILE        compile every .lss listed in FILE concurrently
+///
+/// The tool is a thin shell over driver::CompileService: it builds one
+/// CompilerInvocation per model and lets the service run (or reload from
+/// the artifact cache) the pipeline phases.
 ///
 /// Exit codes are documented on the ExitCode enum below (0 ok, 1
 /// operational, 2 usage, 3 parse/semantic, 4 inference, 5 simulation).
@@ -32,10 +39,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/StaticNet.h"
+#include "driver/CompileService.h"
 #include "driver/Compiler.h"
 #include "driver/Stats.h"
 #include "netlist/DotEmitter.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,8 +60,8 @@ namespace {
 /// Documented exit codes. Scripts and the test suite key on these, so the
 /// values are part of the tool's contract and must not be renumbered:
 ///   0  success
-///   1  operational failure (unreadable input file, unwritable output path,
-///      component-library load failure)
+///   1  operational failure (unreadable input file, unwritable output
+///      path)
 ///   2  usage error (unknown flag, missing argument, no inputs)
 ///   3  parse or semantic error in the input specification
 ///   4  type inference failure (unsatisfiable constraints, or the work
@@ -88,6 +97,12 @@ struct CliOptions {
   unsigned MaxErrors = 50;
   /// Wall-clock deadline for type inference in milliseconds; 0 = none.
   uint64_t InferDeadlineMs = 0;
+  /// Artifact cache directory; empty = caching off.
+  std::string CacheDir;
+  /// Overrides --cache-dir (scripts/presets pass both).
+  bool NoCache = false;
+  /// File listing one .lss model per line; batch compile mode.
+  std::string BatchFile;
 };
 
 void printUsage() {
@@ -101,7 +116,9 @@ void printUsage() {
       "  --time-phases          print per-phase wall times to stderr\n"
       "  --j1                   solve type inference on one thread\n"
       "  --jobs N               solve H3 inference groups on N threads\n"
-      "                         (default: one per hardware thread)\n"
+      "                         (default: one per hardware thread);\n"
+      "                         with --batch, also the number of\n"
+      "                         concurrent model compiles\n"
       "  --emit-static          print the flattened static spec\n"
       "  --emit-dot             print a Graphviz digraph of the model\n"
       "  --run N                simulate N cycles\n"
@@ -112,12 +129,23 @@ void printUsage() {
       "                         (disable change-driven evaluation)\n"
       "  --no-infer-heuristics  use the naive exponential solver\n"
       "  --trace-order          print instance processing order\n"
+      "                         (disables the artifact cache: the order\n"
+      "                         only exists in a live elaboration)\n"
       "  --max-errors N         stop after N errors (0 = unlimited;\n"
       "                         default 50); shared by parsing,\n"
       "                         elaboration, and inference\n"
       "  --infer-deadline-ms N  abandon inference groups still unsolved\n"
       "                         after N ms of wall-clock time (other\n"
       "                         groups are still solved and reported)\n"
+      "  --cache-dir DIR        memoize parse/elaborate/solve results in\n"
+      "                         a content-addressed artifact cache under\n"
+      "                         DIR; later runs of unchanged sources\n"
+      "                         reload them instead of recompiling\n"
+      "  --no-cache             ignore --cache-dir; always compile cold\n"
+      "  --batch FILE           compile every .lss path listed in FILE\n"
+      "                         (one per line, '#' comments) concurrently\n"
+      "                         and report per-model status in list\n"
+      "                         order; exits with the worst model's code\n"
       "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
       "            4 inference failure, 5 simulation fault\n";
 }
@@ -192,6 +220,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     } else if (Arg == "--no-selective") {
       Opts.Selective = false;
+    } else if (Arg == "--cache-dir") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --cache-dir requires a directory\n";
+        return false;
+      }
+      Opts.CacheDir = Argv[I];
+    } else if (Arg == "--no-cache") {
+      Opts.NoCache = true;
+    } else if (Arg == "--batch") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --batch requires a file list\n";
+        return false;
+      }
+      Opts.BatchFile = Argv[I];
     } else if (Arg == "--watch") {
       if (++I >= Argc) {
         std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
@@ -215,11 +257,138 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Inputs.push_back(Arg);
     }
   }
-  if (Opts.Inputs.empty()) {
+  if (!Opts.BatchFile.empty() && !Opts.Inputs.empty()) {
+    std::cerr << "lssc: --batch cannot be combined with input files\n";
+    return false;
+  }
+  if (Opts.Inputs.empty() && Opts.BatchFile.empty()) {
     std::cerr << "lssc: no input files\n";
     return false;
   }
   return true;
+}
+
+/// Everything of the invocation except the sources: the per-phase options
+/// the flags select. Shared by the single-model and batch paths.
+driver::CompilerInvocation makeInvocation(const CliOptions &Opts) {
+  driver::CompilerInvocation Inv;
+  Inv.MaxErrors = Opts.MaxErrors;
+  Inv.Solve = Opts.NaiveInference ? infer::SolveOptions::naive()
+                                  : infer::SolveOptions();
+  Inv.Solve.NumThreads = Opts.Jobs; // 0 = one per hardware thread.
+  Inv.Solve.DeadlineMs = Opts.InferDeadlineMs;
+  Inv.Sim.Selective = Opts.Selective;
+  Inv.Sim.Jobs = Opts.SimJobs;
+  Inv.BuildSim = Opts.RunCycles > 0;
+  return Inv;
+}
+
+const char *phaseName(driver::CompileResult::Phase P) {
+  switch (P) {
+  case driver::CompileResult::Phase::Parse:
+    return "parsing";
+  case driver::CompileResult::Phase::Elaborate:
+    return "elaboration";
+  case driver::CompileResult::Phase::Infer:
+    return "type inference";
+  case driver::CompileResult::Phase::SimBuild:
+    return "simulator construction";
+  case driver::CompileResult::Phase::None:
+    break;
+  }
+  return "compilation";
+}
+
+int phaseExitCode(driver::CompileResult::Phase P) {
+  switch (P) {
+  case driver::CompileResult::Phase::Parse:
+  case driver::CompileResult::Phase::Elaborate:
+    return ExitParseSema;
+  case driver::CompileResult::Phase::Infer:
+    return ExitInference;
+  case driver::CompileResult::Phase::SimBuild:
+    return ExitSimFault;
+  case driver::CompileResult::Phase::None:
+    break;
+  }
+  return ExitSuccess;
+}
+
+/// True if the compile picked up cache-maintenance notes (corrupt or
+/// unreadable entries). These carry no source location — every diagnostic
+/// from an actual phase points into a buffer.
+bool hasCacheNotes(driver::Compiler &C) {
+  for (const Diagnostic &D : C.getDiags().getDiagnostics())
+    if (D.Level == DiagLevel::Note && !D.Loc.isValid())
+      return true;
+  return false;
+}
+
+/// --batch FILE: one CompilerInvocation per listed model, compiled
+/// concurrently through the service, reported in list order.
+int runBatch(driver::CompileService &Svc, const CliOptions &Opts,
+             std::ostream &Human) {
+  std::ifstream List(Opts.BatchFile);
+  if (!List) {
+    std::cerr << "lssc: cannot open file '" << Opts.BatchFile << "'\n";
+    return ExitOperational;
+  }
+  std::vector<std::string> Paths;
+  std::string Line;
+  while (std::getline(List, Line)) {
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos || Line[B] == '#')
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Paths.push_back(Line.substr(B, E - B + 1));
+  }
+  if (Paths.empty()) {
+    std::cerr << "lssc: batch list '" << Opts.BatchFile
+              << "' names no inputs\n";
+    return ExitUsage;
+  }
+
+  std::vector<driver::CompilerInvocation> Invs;
+  for (const std::string &Path : Paths) {
+    driver::CompilerInvocation Inv = makeInvocation(Opts);
+    Inv.BuildSim = false; // Batch mode compiles; it never simulates.
+    std::string Err;
+    if (!Inv.addFile(Path, &Err)) {
+      std::cerr << "lssc: cannot open file '" << Path << "'\n";
+      return ExitOperational;
+    }
+    Invs.push_back(std::move(Inv));
+  }
+
+  std::vector<driver::CompileResult> Results =
+      Svc.compileBatch(Invs, Opts.Jobs);
+
+  int Worst = ExitSuccess;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    driver::CompileResult &R = Results[I];
+    if (R.Success) {
+      driver::ModelStats S = driver::computeModelStats(
+          *R.C->getNetlist(), R.C->getLibraryModules(),
+          R.C->getNumUserTypeAnnotations(), Paths[I]);
+      Human << Paths[I] << ": ok (" << S.TotalInstances << " instances, "
+            << S.Connections << " connections)";
+      if (R.ElabFromCache && R.SolutionFromCache)
+        Human << " [cached]";
+      else if (R.ElabFromCache || R.SolutionFromCache)
+        Human << " [partially cached]";
+      Human << "\n";
+    } else {
+      Human << Paths[I] << ": " << phaseName(R.Failed) << " failed\n";
+      std::cerr << R.C->diagnosticsText();
+      Worst = std::max(Worst, phaseExitCode(R.Failed));
+    }
+  }
+  if (Svc.getOptions().CacheEnabled) {
+    driver::CacheStats CS = Svc.getCache().getStats();
+    Human << "cache: " << CS.Hits << " hits, " << CS.Misses << " misses, "
+          << CS.Stores << " stores\n";
+  }
+  return Worst;
 }
 
 } // namespace
@@ -238,40 +407,60 @@ int main(int Argc, char **Argv) {
   std::ostream &Human = JsonToStdout ? std::cerr : std::cout;
   FILE *HumanFile = JsonToStdout ? stderr : stdout;
 
-  driver::Compiler C;
-  C.getDiags().setMaxErrors(Opts.MaxErrors);
+  bool CacheRequested = !Opts.CacheDir.empty() && !Opts.NoCache;
+  if (CacheRequested && Opts.TraceOrder)
+    std::cerr << "lssc: note: --trace-order disables the artifact cache\n";
+  bool CacheOn = CacheRequested && !Opts.TraceOrder;
+
+  driver::CompileService::Options SvcOpts;
+  SvcOpts.CacheEnabled = CacheOn;
+  SvcOpts.Cache.DiskDir = Opts.CacheDir;
+  driver::CompileService Svc(SvcOpts);
+
+  if (!Opts.BatchFile.empty())
+    return runBatch(Svc, Opts, Human);
+
+  driver::CompilerInvocation Inv = makeInvocation(Opts);
+  for (const std::string &Path : Opts.Inputs) {
+    // An unreadable file is an operational failure (exit 1), distinct
+    // from a parse error in a file that exists (exit 3).
+    std::string Err;
+    if (!Inv.addFile(Path, &Err)) {
+      std::cerr << "lssc: cannot open file '" << Path << "'\n";
+      return ExitOperational;
+    }
+  }
+
+  driver::CompileResult R = Svc.compile(Inv);
+  driver::Compiler &C = *R.C;
   auto Bail = [&](const char *Phase, int Code) {
     std::cerr << "lssc: " << Phase << " failed\n" << C.diagnosticsText();
     return Code;
   };
+  using Phase = driver::CompileResult::Phase;
 
-  if (!C.addCoreLibrary())
-    return Bail("loading the component library", ExitOperational);
-  for (const std::string &Path : Opts.Inputs) {
-    // Probe readability first so a missing file is an operational failure
-    // (exit 1), distinct from a parse error in a file that exists (exit 3).
-    if (!std::ifstream(Path)) {
-      std::cerr << "lssc: cannot open file '" << Path << "'\n";
-      return ExitOperational;
-    }
-    if (!C.addFile(Path))
-      return Bail("parsing", ExitParseSema);
-  }
-  if (!C.elaborate())
-    return Bail("elaboration", ExitParseSema);
+  if (R.Failed == Phase::Parse || R.Failed == Phase::Elaborate)
+    return Bail(phaseName(R.Failed), ExitParseSema);
 
-  if (Opts.TraceOrder) {
+  // Elaboration succeeded, so the processing order exists (the cache was
+  // forced off above, making the elaboration live).
+  if (Opts.TraceOrder && C.getInterpreter()) {
     std::cout << "== instance processing order ==\n";
     for (const std::string &Path : C.getInterpreter()->getProcessingOrder())
       std::cout << "  " << Path << "\n";
   }
 
-  infer::SolveOptions SolveOpts =
-      Opts.NaiveInference ? infer::SolveOptions::naive()
-                          : infer::SolveOptions();
-  SolveOpts.NumThreads = Opts.Jobs; // 0 = one per hardware thread.
-  SolveOpts.DeadlineMs = Opts.InferDeadlineMs;
-  if (!C.inferTypes(SolveOpts)) {
+  driver::CacheReport CacheRep;
+  auto cacheReport = [&]() -> const driver::CacheReport * {
+    if (!CacheOn)
+      return nullptr;
+    CacheRep.Stats = Svc.getCache().getStats();
+    CacheRep.ElabFromCache = R.ElabFromCache;
+    CacheRep.SolutionFromCache = R.SolutionFromCache;
+    return &CacheRep;
+  };
+
+  if (R.Failed == Phase::Infer) {
     // Budget/deadline exhaustion still produced per-group results for
     // every other group, so honor --stats-json before exiting: it is how
     // callers observe groups_unsolved and which group failed.
@@ -281,17 +470,18 @@ int main(int Argc, char **Argv) {
           C.getNumUserTypeAnnotations(), Opts.Inputs.front());
       if (JsonToStdout) {
         driver::printStatsJson(std::cout, S, C.getInferenceStats(),
-                               C.getPhaseTimer(), nullptr);
+                               C.getPhaseTimer(), nullptr, cacheReport());
       } else if (std::ofstream Out{Opts.StatsJsonPath}) {
         driver::printStatsJson(Out, S, C.getInferenceStats(),
-                               C.getPhaseTimer(), nullptr);
+                               C.getPhaseTimer(), nullptr, cacheReport());
       }
     }
     return Bail("type inference", ExitInference);
   }
 
-  // Warnings (if any) still matter to users.
-  if (C.getDiags().getNumWarnings())
+  // Warnings (if any) still matter to users, as do the cache's
+  // corrupt-entry recovery notes.
+  if (C.getDiags().getNumWarnings() || hasCacheNotes(C))
     std::cerr << C.diagnosticsText();
 
   if (Opts.PrintNetlist)
@@ -321,12 +511,9 @@ int main(int Argc, char **Argv) {
     netlist::emitDot(*C.getNetlist(), std::cout);
 
   if (Opts.RunCycles) {
-    sim::Simulator::Options SimOpts;
-    SimOpts.Selective = Opts.Selective;
-    SimOpts.Jobs = Opts.SimJobs;
-    sim::Simulator *Sim = C.buildSimulator(SimOpts);
-    if (!Sim)
+    if (R.Failed == Phase::SimBuild)
       return Bail("simulator construction", ExitSimFault);
+    sim::Simulator *Sim = C.getSimulator();
     std::vector<uint64_t *> Counters;
     for (const auto &[Path, Event] : Opts.Watches)
       Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
@@ -365,7 +552,8 @@ int main(int Argc, char **Argv) {
         Opts.Inputs.front());
     if (Opts.StatsJsonPath == "-") {
       driver::printStatsJson(std::cout, S, C.getInferenceStats(),
-                             C.getPhaseTimer(), C.getSimulator());
+                             C.getPhaseTimer(), C.getSimulator(),
+                             cacheReport());
     } else {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
@@ -373,7 +561,8 @@ int main(int Argc, char **Argv) {
         return ExitOperational;
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
-                             C.getPhaseTimer(), C.getSimulator());
+                             C.getPhaseTimer(), C.getSimulator(),
+                             cacheReport());
     }
   }
   if (Opts.TimePhases)
