@@ -1,0 +1,266 @@
+//===- bench_daemon.cpp - lssd warm-cache load test ---------------------------===//
+///
+/// Drives an in-process DaemonServer the way a fleet of `lssc --daemon`
+/// clients would: N concurrent connections issuing a mixed hot/cold key
+/// stream against the daemon's shared warm ArtifactCache.
+///
+/// The workload is the paper's parametric delay chain at several sizes —
+/// elaboration unrolls the chain, so compile cost scales with n and the
+/// artifact cache has something real to amortize (Table 3's models compile
+/// in ~1ms, where socket round-trip noise would drown the signal).
+///
+///  1. Baseline: every chain compiled cold in-process (cache off), the way
+///     plain `lssc` does.
+///  2. Warm-up: one client round through the daemon pays each chain's cold
+///     compile once, filling the shared cache.
+///  3. Load: N client threads x M requests each. 80% of requests reuse a
+///     chain's exact source (hot key -> warm cache hit); 20% append a
+///     unique comment (cold key -> full compile), the "edited one file"
+///     case a build farm sees.
+///
+/// Reports client-observed latency for hot requests vs. the cold
+/// in-process baseline and writes BENCH_daemon.json. Exits 0 only when
+/// every request succeeded and hot daemon requests are >=2x faster than
+/// cold in-process compiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileClient.h"
+#include "driver/CompileService.h"
+#include "driver/DaemonServer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace liberty;
+
+namespace {
+
+constexpr unsigned NumClients = 4;
+constexpr unsigned RequestsPerClient = 20;
+const int ChainSizes[] = {600, 800, 1000, 1200, 1400, 1600};
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// The paper's parametric n-stage delay chain (bench_delaychain's figure
+/// workload): elaboration unrolls the loop into n delay instances.
+std::string delayChainSpec(int N) {
+  return R"(
+module delayn {
+  parameter n:int;
+  inport in: 'a;
+  outport out: 'a;
+  var delays:instance ref[];
+  delays = new instance[n](delay, "delays");
+  in -> delays[0].in;
+  var i:int;
+  for (i = 1; i < n; i = i + 1) {
+    delays[i-1].out -> delays[i].in;
+  }
+  delays[n-1].out -> out;
+};
+instance gen:counter_source;
+instance hole:sink;
+instance chain:delayn;
+chain.n = )" + std::to_string(N) + R"(;
+gen.out -> chain.in;
+chain.out -> hole.in;
+)";
+}
+
+driver::CompilerInvocation chainInvocation(int N) {
+  driver::CompilerInvocation Inv;
+  Inv.BuildSim = false;
+  Inv.addSource("chain" + std::to_string(N) + ".lss", delayChainSpec(N));
+  return Inv;
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  size_t K = size_t(P * double(V.size() - 1) + 0.5);
+  std::nth_element(V.begin(), V.begin() + K, V.end());
+  return V[K];
+}
+
+} // namespace
+
+int main() {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("lss_bench_daemon_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  std::string Sock = Dir + "/lssd.sock";
+
+  std::vector<driver::CompilerInvocation> Invs;
+  for (int N : ChainSizes)
+    Invs.push_back(chainInvocation(N));
+
+  // Throwaway compile: one-time process costs (behavior registration, the
+  // shared parsed core library) stay out of every timing below.
+  {
+    driver::CompileService Warmup;
+    Warmup.compile(Invs[0]);
+  }
+
+  std::printf("=== lssd daemon: warm shared cache under load ===\n\n");
+
+  // --- 1. Cold in-process baseline (what plain lssc does). ---------------
+  bool AllOk = true;
+  std::vector<double> ColdMs(Invs.size());
+  double ColdMean = 0;
+  {
+    driver::CompileService::Options SO;
+    SO.CacheEnabled = false;
+    std::printf("%8s %14s\n", "chain n", "cold(ms)");
+    for (size_t I = 0; I != Invs.size(); ++I) {
+      driver::CompileService Cold(SO);
+      auto T0 = std::chrono::steady_clock::now();
+      AllOk = Cold.compile(Invs[I]).Success && AllOk;
+      ColdMs[I] = msSince(T0);
+      ColdMean += ColdMs[I];
+      std::printf("%8d %14.3f\n", ChainSizes[I], ColdMs[I]);
+    }
+    ColdMean /= double(Invs.size());
+  }
+
+  // --- 2. Start the daemon; warm its cache with one round. ---------------
+  driver::DaemonServer::Options DO;
+  DO.Address = Sock;
+  DO.Service.Cache.DiskDir = Dir + "/cache";
+  // Provision one worker per client: hot requests must not serialize
+  // behind another client's cold compile (the deployment a shared daemon
+  // is sized for).
+  DO.Workers = NumClients;
+  driver::DaemonServer Server(std::move(DO));
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "bench_daemon: cannot start daemon: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  {
+    driver::CompileClient Warm(Sock);
+    if (!Warm.connect(&Err)) {
+      std::fprintf(stderr, "bench_daemon: connect failed: %s\n", Err.c_str());
+      return 1;
+    }
+    for (const driver::CompilerInvocation &Inv : Invs)
+      AllOk = Warm.compile(Inv).Success && AllOk;
+  }
+
+  // --- 3. Concurrent load, mixed hot/cold keys. --------------------------
+  std::vector<double> HotMs, ColdKeyMs;
+  std::mutex SampleMutex;
+  std::atomic<unsigned> Failures{0};
+  auto Client = [&](unsigned Tid) {
+    driver::CompileClient C(Sock);
+    std::string CErr;
+    if (!C.connect(&CErr)) {
+      ++Failures;
+      return;
+    }
+    std::vector<double> Hot, ColdK;
+    for (unsigned I = 0; I != RequestsPerClient; ++I) {
+      size_t Model = (Tid + I) % Invs.size();
+      bool ColdKey = I % 5 == 4; // 20%: a fresh key, as after an edit.
+      driver::CompilerInvocation Inv = Invs[Model];
+      if (ColdKey)
+        Inv.Sources.back().Text +=
+            "\n// edit t" + std::to_string(Tid) + "_" + std::to_string(I);
+      auto T0 = std::chrono::steady_clock::now();
+      driver::CompileClient::Result R = C.compile(Inv);
+      double Ms = msSince(T0);
+      if (!R.Error.empty() || !R.Success)
+        ++Failures;
+      (ColdKey ? ColdK : Hot).push_back(Ms);
+    }
+    std::lock_guard<std::mutex> Lock(SampleMutex);
+    HotMs.insert(HotMs.end(), Hot.begin(), Hot.end());
+    ColdKeyMs.insert(ColdKeyMs.end(), ColdK.begin(), ColdK.end());
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumClients; ++T)
+    Threads.emplace_back(Client, T);
+  for (std::thread &T : Threads)
+    T.join();
+  AllOk = AllOk && Failures.load() == 0;
+
+  driver::DaemonStats DS = Server.getStats();
+  Server.requestShutdown();
+  Server.wait();
+
+  double HotMean = 0;
+  for (double Ms : HotMs)
+    HotMean += Ms;
+  HotMean = HotMs.empty() ? 0 : HotMean / double(HotMs.size());
+  double HotP50 = percentile(HotMs, 0.5), HotP95 = percentile(HotMs, 0.95);
+  double ColdKeyMean = 0;
+  for (double Ms : ColdKeyMs)
+    ColdKeyMean += Ms;
+  ColdKeyMean = ColdKeyMs.empty() ? 0 : ColdKeyMean / double(ColdKeyMs.size());
+  double Speedup = HotMean > 0 ? ColdMean / HotMean : 0;
+
+  std::printf("\n%u clients x %u requests (80%% hot / 20%% cold keys)\n",
+              NumClients, RequestsPerClient);
+  std::printf("cold in-process mean: %10.3f ms\n", ColdMean);
+  std::printf("hot daemon mean:      %10.3f ms (p50 %.3f, p95 %.3f)\n",
+              HotMean, HotP50, HotP95);
+  std::printf("cold-key daemon mean: %10.3f ms\n", ColdKeyMean);
+  std::printf("daemon: %llu compiles, elab cache %llu/%llu hit/miss, "
+              "solve cache %llu/%llu hit/miss, %llu queue-full\n",
+              (unsigned long long)DS.CompileRequests,
+              (unsigned long long)DS.ElabCacheHits,
+              (unsigned long long)DS.ElabCacheMisses,
+              (unsigned long long)DS.SolveCacheHits,
+              (unsigned long long)DS.SolveCacheMisses,
+              (unsigned long long)DS.RejectedQueueFull);
+  std::printf("\nwarm target: >=2x vs cold in-process; measured %.1fx -> %s\n",
+              Speedup, Speedup >= 2.0 ? "ok" : "MISSED");
+
+  // --- BENCH_daemon.json --------------------------------------------------
+  driver::Json Cold = driver::Json::object();
+  for (size_t I = 0; I != Invs.size(); ++I)
+    Cold.set("n" + std::to_string(ChainSizes[I]), ColdMs[I]);
+  driver::Json J = driver::Json::object();
+  J.set("bench", "daemon")
+      .set("clients", uint64_t(NumClients))
+      .set("requests_per_client", uint64_t(RequestsPerClient))
+      .set("cold_inprocess_ms", std::move(Cold))
+      .set("cold_inprocess_mean_ms", ColdMean)
+      .set("hot_daemon_mean_ms", HotMean)
+      .set("hot_daemon_p50_ms", HotP50)
+      .set("hot_daemon_p95_ms", HotP95)
+      .set("cold_key_daemon_mean_ms", ColdKeyMean)
+      .set("speedup_vs_cold", Speedup)
+      .set("daemon_compiles", DS.CompileRequests)
+      .set("elab_cache_hits", DS.ElabCacheHits)
+      .set("solve_cache_hits", DS.SolveCacheHits)
+      .set("queue_full_rejections", DS.RejectedQueueFull)
+      .set("failures", uint64_t(Failures.load()))
+      .set("ok", AllOk && Speedup >= 2.0);
+  {
+    std::ofstream Out("BENCH_daemon.json");
+    Out << J.dump() << "\n";
+  }
+
+  std::filesystem::remove_all(Dir);
+  std::printf("\n%s (BENCH_daemon.json written)\n",
+              AllOk ? "all checks passed" : "CHECKS FAILED");
+  return AllOk && Speedup >= 2.0 ? 0 : 1;
+}

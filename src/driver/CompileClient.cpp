@@ -1,0 +1,207 @@
+//===- CompileClient.cpp - Client side of the lssd protocol -------------------===//
+
+#include "driver/CompileClient.h"
+
+#include <unistd.h>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+void CompileClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool CompileClient::connect(std::string *Err) {
+  close();
+  Fd = netConnect(Address, Err);
+  if (Fd < 0)
+    return false;
+
+  Json Hello = Json::object();
+  Hello.set("type", msg::Hello)
+      .set("version", uint64_t(DaemonProtocolVersion))
+      .set("client", "lssc");
+  Json Reply;
+  if (!roundTrip(Hello, Reply, Err))
+    return false;
+  if (Reply.getString("type") != msg::HelloOk) {
+    if (Err)
+      *Err = "handshake refused: " +
+             Reply.getString("message", "unexpected '" +
+                                            Reply.getString("type") +
+                                            "' reply");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool CompileClient::roundTrip(const Json &Msg, Json &Reply, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  if (!writeMessage(Fd, Msg)) {
+    if (Err)
+      *Err = "send failed (daemon gone?)";
+    close();
+    return false;
+  }
+  std::string Payload;
+  FrameStatus FS = readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes);
+  if (FS != FrameStatus::Ok) {
+    if (Err)
+      *Err = FS == FrameStatus::Eof ? "daemon closed the connection"
+                                    : "receive failed";
+    close();
+    return false;
+  }
+  std::string ParseErr;
+  if (!Json::parse(Payload, Reply, &ParseErr)) {
+    if (Err)
+      *Err = "malformed reply: " + ParseErr;
+    close();
+    return false;
+  }
+  return true;
+}
+
+Json CompileClient::requestBody(const CompilerInvocation &Inv,
+                                uint64_t DeadlineMs) {
+  Json Sources = Json::array();
+  for (const CompilerInvocation::Source &S : Inv.Sources) {
+    Json Src = Json::object();
+    Src.set("name", S.Name).set("text", S.Text);
+    Sources.push(std::move(Src));
+  }
+  // Only the wire-visible option subset crosses; docs/DAEMON.md specifies
+  // it. The three solver heuristics ship individually so a remote compile
+  // solves with exactly the invocation's configuration.
+  Json Options = Json::object();
+  Options.set("use_corelib", Inv.UseCoreLibrary)
+      .set("max_errors", uint64_t(Inv.MaxErrors))
+      .set("jobs", uint64_t(Inv.Solve.NumThreads))
+      .set("reorder", Inv.Solve.ReorderSimpleFirst)
+      .set("forced_elimination", Inv.Solve.ForcedDisjunctElimination)
+      .set("partition", Inv.Solve.Partition)
+      .set("infer_deadline_ms", Inv.Solve.DeadlineMs);
+  if (DeadlineMs)
+    Options.set("deadline_ms", DeadlineMs);
+
+  Json Req = Json::object();
+  Req.set("sources", std::move(Sources)).set("options", std::move(Options));
+  return Req;
+}
+
+CompileClient::Result CompileClient::resultFromWire(const Json &Msg) {
+  Result R;
+  const std::string Type = Msg.getString("type");
+  if (Type == msg::Error) {
+    R.ErrorCode = Msg.getString("code", "error");
+    R.Error = Msg.getString("message", "daemon error");
+    R.RetryAfterMs = Msg.getU64("retry_after_ms");
+    return R;
+  }
+  if (Type != msg::Result) {
+    R.Error = "unexpected '" + Type + "' reply";
+    return R;
+  }
+  R.Success = Msg.getBool("success");
+  R.FailedPhase = Msg.getString("failed_phase", "none");
+  R.ExitCode = int(Msg.getU64("exit_code"));
+  R.ElabFromCache = Msg.getBool("elab_from_cache");
+  R.SolutionFromCache = Msg.getBool("solution_from_cache");
+  R.Degraded = Msg.getBool("degraded");
+  R.GroupsUnsolved = Msg.getU64("groups_unsolved");
+  R.Diagnostics = Msg.getString("diagnostics");
+  R.Instances = Msg.getU64("instances");
+  R.Connections = Msg.getU64("connections");
+  R.QueueMs = Msg.getNumber("queue_ms");
+  R.ServiceMs = Msg.getNumber("service_ms");
+  return R;
+}
+
+CompileClient::Result CompileClient::compile(const CompilerInvocation &Inv,
+                                             uint64_t DeadlineMs) {
+  Json Req = requestBody(Inv, DeadlineMs);
+  Req.set("type", msg::Compile).set("id", NextId++);
+  Json Reply;
+  std::string Err;
+  if (!roundTrip(Req, Reply, &Err)) {
+    Result R;
+    R.Error = Err;
+    return R;
+  }
+  return resultFromWire(Reply);
+}
+
+std::vector<CompileClient::Result>
+CompileClient::compileBatch(const std::vector<CompilerInvocation> &Invs,
+                            uint64_t DeadlineMs) {
+  Json Requests = Json::array();
+  for (const CompilerInvocation &Inv : Invs)
+    Requests.push(requestBody(Inv, DeadlineMs));
+  Json Req = Json::object();
+  Req.set("type", msg::Batch)
+      .set("id", NextId++)
+      .set("requests", std::move(Requests));
+
+  std::vector<Result> Results(Invs.size());
+  Json Reply;
+  std::string Err;
+  if (!roundTrip(Req, Reply, &Err)) {
+    for (Result &R : Results)
+      R.Error = Err;
+    return Results;
+  }
+  if (Reply.getString("type") != msg::BatchResult) {
+    Result E = resultFromWire(Reply); // Carries the server error, if any.
+    if (E.Error.empty())
+      E.Error = "unexpected reply to batch";
+    for (Result &R : Results)
+      R = E;
+    return Results;
+  }
+  static const std::vector<Json> Empty;
+  const Json *Wire = Reply.get("results");
+  const std::vector<Json> &Items = Wire ? Wire->items() : Empty;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    if (I < Items.size())
+      Results[I] = resultFromWire(Items[I]);
+    else
+      Results[I].Error = "batch reply truncated";
+  }
+  return Results;
+}
+
+bool CompileClient::stats(Json &Out, std::string *Err) {
+  Json Req = Json::object();
+  Req.set("type", msg::Stats);
+  if (!roundTrip(Req, Out, Err))
+    return false;
+  if (Out.getString("type") != msg::StatsResult) {
+    if (Err)
+      *Err = "unexpected '" + Out.getString("type") + "' reply to stats";
+    return false;
+  }
+  return true;
+}
+
+bool CompileClient::shutdownServer(std::string *Err) {
+  Json Req = Json::object();
+  Req.set("type", msg::Shutdown);
+  Json Reply;
+  if (!roundTrip(Req, Reply, Err))
+    return false;
+  if (Reply.getString("type") != msg::ShutdownOk) {
+    if (Err)
+      *Err = "unexpected '" + Reply.getString("type") + "' reply to shutdown";
+    return false;
+  }
+  close(); // The server closes after shutdown_ok; so do we.
+  return true;
+}

@@ -1,0 +1,106 @@
+//===- CompileClient.h - Client side of the lssd protocol -------*- C++ -*-===//
+///
+/// \file
+/// Talks to a running `lssd` compile daemon: connect + version handshake,
+/// then compile/batch/stats/shutdown requests over the length-prefixed
+/// JSON protocol (DaemonProtocol.h, specified in docs/DAEMON.md).
+///
+/// The client ships a CompilerInvocation's sources and the wire-visible
+/// option subset (core library, error cap, solver heuristics/threads,
+/// inference deadline) and gets back the compile verdict: success,
+/// failed phase, the lssc-compatible exit code, cache provenance, the
+/// degradation record, and the rendered diagnostics text. Artifacts stay
+/// on the server — the point is the shared warm cache, not shipping
+/// netlists.
+///
+/// Transport failures never throw: every call reports through the
+/// Result::Error / ErrorCode fields (or a bool + *Err), so callers like
+/// `lssc --daemon` can fall back to an in-process compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_DRIVER_COMPILECLIENT_H
+#define LIBERTY_DRIVER_COMPILECLIENT_H
+
+#include "driver/CompilerInvocation.h"
+#include "driver/DaemonProtocol.h"
+
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace driver {
+
+class CompileClient {
+public:
+  /// One remote compile's outcome. Exactly one of these is true:
+  ///  - Error non-empty: transport/protocol failure (connection died,
+  ///    malformed reply); ErrorCode may name a server error code.
+  ///  - Error empty: the wire `result` fields below are valid.
+  struct Result {
+    // Transport / protocol-level failure.
+    std::string Error;      ///< Empty = a result arrived.
+    std::string ErrorCode;  ///< Server `error` code (e.g. "queue_full").
+    uint64_t RetryAfterMs = 0; ///< Backoff hint from queue_full.
+
+    // The wire result.
+    bool Success = false;
+    std::string FailedPhase; ///< "none"/"parse"/"elaborate"/"infer".
+    int ExitCode = 0;        ///< lssc-compatible (0/3/4/5).
+    bool ElabFromCache = false;
+    bool SolutionFromCache = false;
+    bool Degraded = false; ///< Inference budget/deadline degradation.
+    uint64_t GroupsUnsolved = 0;
+    std::string Diagnostics; ///< Rendered diagnostic text (may be empty).
+    uint64_t Instances = 0, Connections = 0; ///< On success.
+    double QueueMs = 0, ServiceMs = 0;       ///< Server-side timings.
+  };
+
+  explicit CompileClient(std::string Address) : Address(std::move(Address)) {}
+  ~CompileClient() { close(); }
+
+  CompileClient(const CompileClient &) = delete;
+  CompileClient &operator=(const CompileClient &) = delete;
+
+  /// Connects and performs the `hello` handshake. Returns false with
+  /// \p Err filled when the daemon is unreachable or incompatible.
+  bool connect(std::string *Err);
+  bool isConnected() const { return Fd >= 0; }
+  void close();
+
+  /// Compiles \p Inv remotely. \p DeadlineMs is the request's service
+  /// budget (queue wait + compile; 0 = none). Blocking.
+  Result compile(const CompilerInvocation &Inv, uint64_t DeadlineMs = 0);
+
+  /// Compiles a batch in one round trip; Results[i] corresponds to
+  /// Invs[i]. On a transport failure every result carries the error.
+  std::vector<Result> compileBatch(const std::vector<CompilerInvocation> &Invs,
+                                   uint64_t DeadlineMs = 0);
+
+  /// Fetches the server's `stats_result` message into \p Out.
+  bool stats(Json &Out, std::string *Err);
+
+  /// Asks the server to drain and exit. Returns true on `shutdown_ok`.
+  bool shutdownServer(std::string *Err);
+
+  const std::string &address() const { return Address; }
+
+  /// The compile-request body for \p Inv (shared with bench/tests that
+  /// speak the protocol directly).
+  static Json requestBody(const CompilerInvocation &Inv, uint64_t DeadlineMs);
+
+private:
+  /// Sends \p Msg and reads one reply frame. Returns false on transport
+  /// failure (and closes: the stream state is unknown).
+  bool roundTrip(const Json &Msg, Json &Reply, std::string *Err);
+  static Result resultFromWire(const Json &Msg);
+
+  std::string Address;
+  int Fd = -1;
+  uint64_t NextId = 1;
+};
+
+} // namespace driver
+} // namespace liberty
+
+#endif // LIBERTY_DRIVER_COMPILECLIENT_H

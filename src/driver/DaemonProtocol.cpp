@@ -1,0 +1,699 @@
+//===- DaemonProtocol.cpp - The lssd wire protocol ----------------------------===//
+
+#include "driver/DaemonProtocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+const std::string &Json::asString() const {
+  static const std::string Empty;
+  return K == Kind::String ? StrV : Empty;
+}
+
+Json &Json::set(const std::string &Key, Json V) {
+  if (K != Kind::Object) {
+    *this = object();
+  }
+  Obj[Key] = std::move(V);
+  return *this;
+}
+
+const Json *Json::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? nullptr : &It->second;
+}
+
+std::string Json::getString(const std::string &Key,
+                            const std::string &Default) const {
+  const Json *V = get(Key);
+  return V && V->K == Kind::String ? V->StrV : Default;
+}
+
+double Json::getNumber(const std::string &Key, double Default) const {
+  const Json *V = get(Key);
+  return V && V->K == Kind::Number ? V->NumV : Default;
+}
+
+uint64_t Json::getU64(const std::string &Key, uint64_t Default) const {
+  const Json *V = get(Key);
+  return V && V->K == Kind::Number && V->NumV >= 0 ? uint64_t(V->NumV)
+                                                   : Default;
+}
+
+bool Json::getBool(const std::string &Key, bool Default) const {
+  const Json *V = get(Key);
+  return V && V->K == Kind::Bool ? V->BoolV : Default;
+}
+
+Json &Json::push(Json V) {
+  if (K != Kind::Array)
+    *this = array();
+  Arr.push_back(std::move(V));
+  return *this;
+}
+
+const std::vector<Json> &Json::items() const {
+  static const std::vector<Json> Empty;
+  return K == Kind::Array ? Arr : Empty;
+}
+
+std::string liberty::driver::jsonEscapeString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void Json::write(std::ostream &OS) const {
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    break;
+  case Kind::Bool:
+    OS << (BoolV ? "true" : "false");
+    break;
+  case Kind::Number: {
+    // Integers (the common case: ids, counters, budgets) print exactly;
+    // everything else gets enough digits to round-trip.
+    double Rounded = double(int64_t(NumV));
+    if (Rounded == NumV && NumV >= -9.0e15 && NumV <= 9.0e15) {
+      OS << int64_t(NumV);
+    } else {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", NumV);
+      OS << Buf;
+    }
+    break;
+  }
+  case Kind::String:
+    OS << '"' << jsonEscapeString(StrV) << '"';
+    break;
+  case Kind::Array: {
+    OS << '[';
+    for (size_t I = 0; I != Arr.size(); ++I) {
+      if (I)
+        OS << ',';
+      Arr[I].write(OS);
+    }
+    OS << ']';
+    break;
+  }
+  case Kind::Object: {
+    OS << '{';
+    bool First = true;
+    for (const auto &[Key, Val] : Obj) {
+      if (!First)
+        OS << ',';
+      First = false;
+      OS << '"' << jsonEscapeString(Key) << "\":";
+      Val.write(OS);
+    }
+    OS << '}';
+    break;
+  }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream OS;
+  write(OS);
+  return OS.str();
+}
+
+namespace {
+
+/// Strict recursive-descent JSON parser. Depth-capped: frames come off the
+/// network, and 100k nested '[' must produce an error, not a stack
+/// overflow (the same discipline as the LSS parser's MaxNestingDepth).
+class JsonParser {
+public:
+  JsonParser(std::string_view Text) : Text(Text) {}
+
+  bool parse(Json &Out, std::string *Err) {
+    bool Ok = parseValue(Out, 0);
+    if (Ok) {
+      skipWhitespace();
+      if (Pos != Text.size()) {
+        fail("trailing characters after JSON document");
+        Ok = false;
+      }
+    }
+    if (!Ok && Err)
+      *Err = Error.empty() ? "invalid JSON" : Error;
+    return Ok;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 128;
+
+  void fail(const std::string &Why) {
+    if (Error.empty())
+      Error = Why + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    Out.clear();
+    while (Pos < Text.size()) {
+      unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (C != '\\') {
+        Out += char(C);
+        ++Pos;
+        continue;
+      }
+      // Escape sequence.
+      if (++Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        // Combine a surrogate pair when one follows; a lone surrogate
+        // degrades to U+FFFD rather than producing invalid UTF-8.
+        if (Code >= 0xD800 && Code <= 0xDBFF &&
+            Text.substr(Pos, 2) == "\\u") {
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low >= 0xDC00 && Low <= 0xDFFF)
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+          else
+            Code = 0xFFFD;
+        } else if (Code >= 0xD800 && Code <= 0xDFFF) {
+          Code = 0xFFFD;
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        fail("invalid escape sequence");
+        return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos++];
+      Code <<= 4;
+      if (C >= '0' && C <= '9')
+        Code |= unsigned(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Code |= unsigned(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Code |= unsigned(C - 'A' + 10);
+      else {
+        fail("invalid \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += char(Code);
+    } else if (Code < 0x800) {
+      Out += char(0xC0 | (Code >> 6));
+      Out += char(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += char(0xE0 | (Code >> 12));
+      Out += char(0x80 | ((Code >> 6) & 0x3F));
+      Out += char(0x80 | (Code & 0x3F));
+    } else {
+      Out += char(0xF0 | (Code >> 18));
+      Out += char(0x80 | ((Code >> 12) & 0x3F));
+      Out += char(0x80 | ((Code >> 6) & 0x3F));
+      Out += char(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected a number");
+      return false;
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size() || errno == ERANGE) {
+      fail("malformed number");
+      return false;
+    }
+    Out = Json(V);
+    return true;
+  }
+
+  bool parseValue(Json &Out, unsigned Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skipWhitespace();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = Json::object();
+      skipWhitespace();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        skipWhitespace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWhitespace();
+        if (!consume(':')) {
+          fail("expected ':'");
+          return false;
+        }
+        Json Val;
+        if (!parseValue(Val, Depth + 1))
+          return false;
+        Out.set(Key, std::move(Val));
+        skipWhitespace();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = Json::array();
+      skipWhitespace();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        Json Val;
+        if (!parseValue(Val, Depth + 1))
+          return false;
+        Out.push(std::move(Val));
+        skipWhitespace();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    if (C == 't') {
+      if (!parseLiteral("true")) {
+        fail("expected 'true'");
+        return false;
+      }
+      Out = Json(true);
+      return true;
+    }
+    if (C == 'f') {
+      if (!parseLiteral("false")) {
+        fail("expected 'false'");
+        return false;
+      }
+      Out = Json(false);
+      return true;
+    }
+    if (C == 'n') {
+      if (!parseLiteral("null")) {
+        fail("expected 'null'");
+        return false;
+      }
+      Out = Json();
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+bool Json::parse(std::string_view Text, Json &Out, std::string *Err) {
+  return JsonParser(Text).parse(Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads exactly \p N bytes (restarting on EINTR). Returns N on success, 0
+/// on immediate clean EOF, -1 on error or short read.
+ssize_t readFull(int Fd, char *Buf, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R == 0)
+      return Got == 0 ? 0 : -1;
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    Got += size_t(R);
+  }
+  return ssize_t(N);
+}
+
+bool writeFull(int Fd, const char *Buf, size_t N) {
+  size_t Sent = 0;
+  while (Sent < N) {
+    ssize_t W = ::write(Fd, Buf + Sent, N - Sent);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += size_t(W);
+  }
+  return true;
+}
+
+} // namespace
+
+FrameStatus liberty::driver::readFrame(int Fd, std::string &Payload,
+                                       uint64_t MaxBytes) {
+  unsigned char Hdr[4];
+  ssize_t R = readFull(Fd, reinterpret_cast<char *>(Hdr), 4);
+  if (R == 0)
+    return FrameStatus::Eof;
+  if (R < 0)
+    return FrameStatus::Error;
+  uint64_t Len = (uint64_t(Hdr[0]) << 24) | (uint64_t(Hdr[1]) << 16) |
+                 (uint64_t(Hdr[2]) << 8) | uint64_t(Hdr[3]);
+  if (Len > MaxBytes)
+    return FrameStatus::TooLarge;
+  Payload.resize(size_t(Len));
+  if (Len != 0 && readFull(Fd, Payload.data(), size_t(Len)) != ssize_t(Len))
+    return FrameStatus::Error;
+  return FrameStatus::Ok;
+}
+
+bool liberty::driver::writeFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > 0xFFFFFFFFull)
+    return false;
+  unsigned char Hdr[4] = {
+      (unsigned char)(Payload.size() >> 24),
+      (unsigned char)(Payload.size() >> 16),
+      (unsigned char)(Payload.size() >> 8),
+      (unsigned char)(Payload.size()),
+  };
+  return writeFull(Fd, reinterpret_cast<char *>(Hdr), 4) &&
+         writeFull(Fd, Payload.data(), Payload.size());
+}
+
+bool liberty::driver::writeMessage(int Fd, const Json &Msg) {
+  return writeFrame(Fd, Msg.dump());
+}
+
+//===----------------------------------------------------------------------===//
+// Socket helpers
+//===----------------------------------------------------------------------===//
+
+bool liberty::driver::isUnixAddress(const std::string &Address) {
+  if (Address.find('/') != std::string::npos)
+    return true;
+  return Address.size() > 5 &&
+         Address.compare(Address.size() - 5, 5, ".sock") == 0;
+}
+
+namespace {
+
+bool parsePort(const std::string &Address, uint16_t &Port, std::string *Err) {
+  if (Address.empty() ||
+      Address.find_first_not_of("0123456789") != std::string::npos) {
+    if (Err)
+      *Err = "invalid address '" + Address +
+             "' (expected a Unix socket path or a localhost TCP port)";
+    return false;
+  }
+  unsigned long V = std::strtoul(Address.c_str(), nullptr, 10);
+  if (V > 65535) {
+    if (Err)
+      *Err = "TCP port " + Address + " out of range";
+    return false;
+  }
+  Port = uint16_t(V);
+  return true;
+}
+
+void fillUnixAddr(const std::string &Path, sockaddr_un &SA, bool &Ok,
+                  std::string *Err) {
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(SA.sun_path)) {
+    Ok = false;
+    if (Err)
+      *Err = "Unix socket path too long: '" + Path + "'";
+    return;
+  }
+  std::memcpy(SA.sun_path, Path.c_str(), Path.size() + 1);
+  Ok = true;
+}
+
+std::string errnoString(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int liberty::driver::netListen(const std::string &Address, int *BoundPort,
+                               std::string *Err) {
+  if (isUnixAddress(Address)) {
+    sockaddr_un SA;
+    bool Ok = false;
+    fillUnixAddr(Address, SA, Ok, Err);
+    if (!Ok)
+      return -1;
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      if (Err)
+        *Err = errnoString("socket");
+      return -1;
+    }
+    ::unlink(Address.c_str()); // Stale socket from a crashed daemon.
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0 ||
+        ::listen(Fd, 64) < 0) {
+      if (Err)
+        *Err = errnoString("bind/listen") + " on '" + Address + "'";
+      ::close(Fd);
+      return -1;
+    }
+    if (BoundPort)
+      *BoundPort = -1;
+    return Fd;
+  }
+
+  uint16_t Port = 0;
+  if (!parsePort(Address, Port, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = errnoString("socket");
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sin_family = AF_INET;
+  SA.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Localhost only, by design.
+  SA.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    if (Err)
+      *Err = errnoString("bind/listen") + " on localhost:" + Address;
+    ::close(Fd);
+    return -1;
+  }
+  if (BoundPort) {
+    socklen_t Len = sizeof(SA);
+    *BoundPort = ::getsockname(Fd, reinterpret_cast<sockaddr *>(&SA), &Len) == 0
+                     ? ntohs(SA.sin_port)
+                     : int(Port);
+  }
+  return Fd;
+}
+
+int liberty::driver::netConnect(const std::string &Address, std::string *Err) {
+  if (isUnixAddress(Address)) {
+    sockaddr_un SA;
+    bool Ok = false;
+    fillUnixAddr(Address, SA, Ok, Err);
+    if (!Ok)
+      return -1;
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      if (Err)
+        *Err = errnoString("socket");
+      return -1;
+    }
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      if (Err)
+        *Err = errnoString("connect") + " to '" + Address + "'";
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  }
+
+  uint16_t Port = 0;
+  if (!parsePort(Address, Port, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = errnoString("socket");
+    return -1;
+  }
+  sockaddr_in SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sin_family = AF_INET;
+  SA.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  SA.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+    if (Err)
+      *Err = errnoString("connect") + " to localhost:" + Address;
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}

@@ -1,0 +1,223 @@
+//===- DaemonProtocol.h - The lssd wire protocol ----------------*- C++ -*-===//
+///
+/// \file
+/// Everything both ends of an `lssd` connection share: the protocol
+/// version, the canonical message-type and error-code registries, a small
+/// self-contained JSON value (parser + writer), length-prefixed frame I/O,
+/// and the socket helpers that turn an address string into a connected or
+/// listening file descriptor.
+///
+/// ## Framing
+///
+/// A frame is a 4-byte big-endian payload length followed by exactly that
+/// many bytes of UTF-8 JSON (one object per frame). Lengths above the
+/// receiver's frame cap are a protocol error: the receiver answers with an
+/// `error` message (code `bad_frame`) and closes the connection without
+/// reading the payload — an adversarial length can never force an
+/// allocation.
+///
+/// ## Addresses
+///
+/// An address string is either a Unix-domain socket path (anything
+/// containing '/' or ending in ".sock") or a localhost TCP port number
+/// ("7777"; "0" binds an ephemeral port the server reports). Remote TCP is
+/// deliberately not supported: the daemon trusts its clients (they share a
+/// cache directory), so the transport stays on-machine.
+///
+/// The full message schemas live in docs/DAEMON.md. The registries below
+/// are the source of truth check_docs.sh lints that document against: a
+/// message type or error code added here without a matching entry in the
+/// doc fails the `check_docs` ctest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_DRIVER_DAEMONPROTOCOL_H
+#define LIBERTY_DRIVER_DAEMONPROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liberty {
+namespace driver {
+
+/// Bumped whenever a frame or message schema changes incompatibly. The
+/// `hello` handshake carries the client's version; the server refuses a
+/// mismatch with `version_mismatch` so old clients fail loud, not weird.
+constexpr uint32_t DaemonProtocolVersion = 1;
+
+/// Frames larger than this default cap are rejected as `bad_frame`
+/// (DaemonServer::Options::MaxFrameBytes overrides).
+constexpr uint64_t DaemonDefaultMaxFrameBytes = 64ull << 20;
+
+/// The canonical message-type registry: every frame's "type" field is one
+/// of these. check_docs.sh extracts the quoted names and requires each to
+/// be documented in docs/DAEMON.md.
+#define LSSD_MESSAGE_TYPES(X)                                                  \
+  X(Hello, "hello")                                                            \
+  X(HelloOk, "hello_ok")                                                       \
+  X(Compile, "compile")                                                        \
+  X(Result, "result")                                                          \
+  X(Batch, "batch")                                                            \
+  X(BatchResult, "batch_result")                                               \
+  X(Stats, "stats")                                                            \
+  X(StatsResult, "stats_result")                                               \
+  X(Shutdown, "shutdown")                                                      \
+  X(ShutdownOk, "shutdown_ok")                                                 \
+  X(Error, "error")
+
+/// The canonical error-code registry (the "code" field of an `error`
+/// message), linted against docs/DAEMON.md like the message types.
+#define LSSD_ERROR_CODES(X)                                                    \
+  X(BadFrame, "bad_frame")                                                     \
+  X(BadMessage, "bad_message")                                                 \
+  X(VersionMismatch, "version_mismatch")                                       \
+  X(QueueFull, "queue_full")                                                   \
+  X(ShuttingDown, "shutting_down")
+
+namespace msg {
+#define LSSD_DEFINE_MSG(Ident, Name) constexpr const char *Ident = Name;
+LSSD_MESSAGE_TYPES(LSSD_DEFINE_MSG)
+#undef LSSD_DEFINE_MSG
+} // namespace msg
+
+namespace errc {
+#define LSSD_DEFINE_ERRC(Ident, Name) constexpr const char *Ident = Name;
+LSSD_ERROR_CODES(LSSD_DEFINE_ERRC)
+#undef LSSD_DEFINE_ERRC
+} // namespace errc
+
+//===----------------------------------------------------------------------===//
+// Json — a minimal JSON value for the daemon protocol
+//===----------------------------------------------------------------------===//
+
+/// Just enough JSON for the wire protocol: null/bool/number/string/
+/// array/object, a strict recursive-descent parser (depth-capped so
+/// adversarial nesting cannot overflow the stack), and a deterministic
+/// writer (object keys emit in sorted order). Numbers are doubles; the
+/// protocol's integers (ids, counts, millisecond budgets) all fit a
+/// double's 53-bit mantissa.
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), BoolV(B) {}
+  Json(double N) : K(Kind::Number), NumV(N) {}
+  Json(uint64_t N) : K(Kind::Number), NumV(double(N)) {}
+  Json(int N) : K(Kind::Number), NumV(N) {}
+  Json(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  Json(const char *S) : K(Kind::String), StrV(S) {}
+
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+
+  // --- Scalar accessors (defaults on kind mismatch; never trap). --------
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? BoolV : Default;
+  }
+  double asNumber(double Default = 0) const {
+    return K == Kind::Number ? NumV : Default;
+  }
+  uint64_t asU64(uint64_t Default = 0) const {
+    return K == Kind::Number && NumV >= 0 ? uint64_t(NumV) : Default;
+  }
+  const std::string &asString() const;
+
+  // --- Object access. ---------------------------------------------------
+  /// Sets a member (converting this value to an object if needed);
+  /// returns *this so message builders chain.
+  Json &set(const std::string &Key, Json V);
+  /// Member lookup; null when absent or this is not an object.
+  const Json *get(const std::string &Key) const;
+  // Typed member conveniences, with defaults for absent/mistyped fields.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  double getNumber(const std::string &Key, double Default = 0) const;
+  uint64_t getU64(const std::string &Key, uint64_t Default = 0) const;
+  bool getBool(const std::string &Key, bool Default = false) const;
+
+  // --- Array access. ----------------------------------------------------
+  /// Appends (converting this value to an array if needed).
+  Json &push(Json V);
+  const std::vector<Json> &items() const;
+
+  // --- Serialization. ---------------------------------------------------
+  void write(std::ostream &OS) const;
+  std::string dump() const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  /// On failure returns false and fills \p Err (when non-null) with a
+  /// one-line description including the byte offset.
+  static bool parse(std::string_view Text, Json &Out, std::string *Err);
+
+private:
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0;
+  std::string StrV;
+  std::vector<Json> Arr;
+  std::map<std::string, Json> Obj; ///< Sorted: writer output is canonical.
+};
+
+/// Escapes \p S for embedding in a JSON string literal (quotes excluded).
+std::string jsonEscapeString(const std::string &S);
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+enum class FrameStatus {
+  Ok,       ///< A complete frame was read.
+  Eof,      ///< The peer closed cleanly at a frame boundary.
+  TooLarge, ///< Advertised length exceeds the cap (payload never read).
+  Error,    ///< Short read/write or socket error.
+};
+
+/// Reads one length-prefixed frame from \p Fd into \p Payload.
+FrameStatus readFrame(int Fd, std::string &Payload, uint64_t MaxBytes);
+
+/// Writes one frame. Returns false on any short write.
+bool writeFrame(int Fd, std::string_view Payload);
+
+/// writeFrame of \p Msg serialized; the send side of every message.
+bool writeMessage(int Fd, const Json &Msg);
+
+//===----------------------------------------------------------------------===//
+// Socket helpers
+//===----------------------------------------------------------------------===//
+
+/// True if \p Address names a Unix-domain socket path (contains '/' or
+/// ends with ".sock") rather than a localhost TCP port.
+bool isUnixAddress(const std::string &Address);
+
+/// Creates a listening socket for \p Address (see the address grammar at
+/// the top of this file). On success returns the fd and, for TCP, stores
+/// the bound port in \p BoundPort (useful with port 0). Returns -1 and
+/// fills \p Err on failure. Unix paths are unlinked first: a daemon
+/// restarting over a stale socket file must not fail to bind.
+int netListen(const std::string &Address, int *BoundPort, std::string *Err);
+
+/// Connects to \p Address. Returns the fd, or -1 with \p Err filled.
+int netConnect(const std::string &Address, std::string *Err);
+
+} // namespace driver
+} // namespace liberty
+
+#endif // LIBERTY_DRIVER_DAEMONPROTOCOL_H

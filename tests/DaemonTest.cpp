@@ -1,0 +1,615 @@
+//===- DaemonTest.cpp - lssd protocol, admission, and lifecycle ------------===//
+///
+/// End-to-end coverage of the compile daemon:
+///  - version handshake (hello/hello_ok, version_mismatch closes, other
+///    messages before hello are refused);
+///  - compile round trips through CompileClient, with the second compile of
+///    the same key served from the daemon's warm cache;
+///  - N concurrent clients on the same key: exactly one cold compile, the
+///    rest warm (the tentpole property of the shared cache);
+///  - admission control: queue_full rejection with retry_after_ms while the
+///    single worker is busy, and eventual success on retry;
+///  - per-request deadlines returning the structured budget-degradation
+///    result (failed_phase=infer, degraded, groups_unsolved);
+///  - malformed frames: bad JSON answered without dropping the connection,
+///    oversized frames answered and closed, the server stays accepting;
+///  - drain-on-shutdown: shutdown_ok, the in-flight compile still answers,
+///    post-drain requests refused with shutting_down;
+///  - the `lssc --daemon` CLI: remote compile, fallback-with-note when the
+///    daemon is unreachable, --no-daemon-fallback, flag incompatibilities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileClient.h"
+#include "driver/DaemonServer.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace liberty;
+using namespace liberty::driver;
+
+namespace {
+
+#ifndef LSSC_PATH
+#define LSSC_PATH "./lssc"
+#endif
+#ifndef LIBERTY_MODELS_DIR
+#define LIBERTY_MODELS_DIR "models"
+#endif
+
+const char *kSmallSpec = R"(
+instance g:counter_source;
+instance one:const_source;
+one.value = 1;
+instance a:adder;
+instance s:sink;
+g.out -> a.in1;
+one.out -> a.in2;
+a.out -> s.in;
+)";
+
+/// The paper's parametric delay chain: elaboration unrolls n instances, so
+/// n tunes how long a cold compile holds a worker (the slow-compile knob
+/// for the admission and drain tests).
+std::string delayChainSpec(int N) {
+  return R"(
+module delayn {
+  parameter n:int;
+  inport in: 'a;
+  outport out: 'a;
+  var delays:instance ref[];
+  delays = new instance[n](delay, "delays");
+  in -> delays[0].in;
+  var i:int;
+  for (i = 1; i < n; i = i + 1) {
+    delays[i-1].out -> delays[i].in;
+  }
+  delays[n-1].out -> out;
+};
+instance gen:counter_source;
+instance hole:sink;
+instance chain:delayn;
+chain.n = )" + std::to_string(N) + R"(;
+gen.out -> chain.in;
+chain.out -> hole.in;
+)";
+}
+
+/// DiagnosticsTest's worst-case inference module: one H3 group with an
+/// exponential disjunct search, which the naive solver cannot finish
+/// before any realistic deadline.
+std::string hardInferSpec(int K) {
+  std::string Src = "module hard {\n";
+  for (int I = 0; I != K; ++I)
+    Src += "  outport p" + std::to_string(I) + ": 'v" + std::to_string(I) +
+           ";\n";
+  for (int I = 0; I != K; ++I)
+    Src += "  constrain 'v" + std::to_string(I) + " : (int | float);\n";
+  for (int I = 0; I + 1 != K; ++I) {
+    std::string L = "'l" + std::to_string(I);
+    Src += "  constrain " + L + " : struct{a:'v" + std::to_string(I) +
+           "; b:'v" + std::to_string(I + 1) + ";};\n";
+    Src += "  constrain " + L +
+           " : (struct{a:int;b:int;} | struct{a:float;b:float;});\n";
+  }
+  Src += "  constrain 'v" + std::to_string(K - 1) + " : (float | string);\n";
+  Src += "};\ninstance h:hard;\n";
+  return Src;
+}
+
+/// A fresh temp area (socket + cache dir) per fixture instance.
+struct TempArea {
+  std::string Dir;
+  TempArea(const char *Tag) {
+    Dir = (std::filesystem::temp_directory_path() /
+           (std::string("lss_daemon_test_") + Tag + "_" +
+            std::to_string(::getpid())))
+              .string();
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+  }
+  ~TempArea() { std::filesystem::remove_all(Dir); }
+  std::string sock() const { return Dir + "/d.sock"; }
+};
+
+DaemonServer::Options serverOptions(const TempArea &T) {
+  DaemonServer::Options O;
+  O.Address = T.sock();
+  O.Service.Cache.DiskDir = T.Dir + "/cache";
+  return O;
+}
+
+CompilerInvocation sourceInvocation(const std::string &Name,
+                                    const std::string &Text) {
+  CompilerInvocation Inv;
+  Inv.BuildSim = false;
+  Inv.addSource(Name, Text);
+  return Inv;
+}
+
+/// Raw-socket handshake for the protocol-level tests (CompileClient would
+/// paper over exactly the behaviors under test).
+int rawConnect(const std::string &Address) {
+  std::string Err;
+  int Fd = netConnect(Address, &Err);
+  EXPECT_GE(Fd, 0) << Err;
+  return Fd;
+}
+
+bool rawRoundTrip(int Fd, const Json &Msg, Json &Reply,
+                  uint64_t MaxBytes = DaemonDefaultMaxFrameBytes) {
+  if (!writeMessage(Fd, Msg))
+    return false;
+  std::string Payload;
+  if (readFrame(Fd, Payload, MaxBytes) != FrameStatus::Ok)
+    return false;
+  return Json::parse(Payload, Reply, nullptr);
+}
+
+Json helloMsg(uint64_t Version = DaemonProtocolVersion) {
+  Json H = Json::object();
+  H.set("type", "hello").set("version", Version);
+  return H;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Handshake and version negotiation
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, HandshakeAndVersioning) {
+  TempArea T("handshake");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // A well-formed hello gets hello_ok carrying the server's version.
+  {
+    int Fd = rawConnect(T.sock());
+    Json Reply;
+    ASSERT_TRUE(rawRoundTrip(Fd, helloMsg(), Reply));
+    EXPECT_EQ(Reply.getString("type"), "hello_ok");
+    EXPECT_EQ(Reply.getU64("version"), DaemonProtocolVersion);
+    ::close(Fd);
+  }
+
+  // A version mismatch is refused loudly and the connection closes.
+  {
+    int Fd = rawConnect(T.sock());
+    Json Reply;
+    ASSERT_TRUE(rawRoundTrip(Fd, helloMsg(DaemonProtocolVersion + 7), Reply));
+    EXPECT_EQ(Reply.getString("type"), "error");
+    EXPECT_EQ(Reply.getString("code"), "version_mismatch");
+    std::string Payload;
+    EXPECT_EQ(readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes),
+              FrameStatus::Eof);
+    ::close(Fd);
+  }
+
+  // Anything before hello is refused, but the connection survives and a
+  // handshake afterwards still works.
+  {
+    int Fd = rawConnect(T.sock());
+    Json Stats = Json::object();
+    Stats.set("type", "stats");
+    Json Reply;
+    ASSERT_TRUE(rawRoundTrip(Fd, Stats, Reply));
+    EXPECT_EQ(Reply.getString("type"), "error");
+    EXPECT_EQ(Reply.getString("code"), "bad_message");
+    ASSERT_TRUE(rawRoundTrip(Fd, helloMsg(), Reply));
+    EXPECT_EQ(Reply.getString("type"), "hello_ok");
+    ::close(Fd);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Compile round trips and the warm cache
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, CompileRoundTripWarmsCache) {
+  TempArea T("roundtrip");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+
+  CompilerInvocation Inv = sourceInvocation("small.lss", kSmallSpec);
+  CompileClient::Result R1 = Client.compile(Inv);
+  ASSERT_TRUE(R1.Error.empty()) << R1.Error;
+  EXPECT_TRUE(R1.Success) << R1.Diagnostics;
+  EXPECT_FALSE(R1.ElabFromCache);
+  EXPECT_FALSE(R1.SolutionFromCache);
+  EXPECT_GT(R1.Instances, 0u);
+  EXPECT_GT(R1.Connections, 0u);
+
+  CompileClient::Result R2 = Client.compile(Inv);
+  ASSERT_TRUE(R2.Error.empty()) << R2.Error;
+  EXPECT_TRUE(R2.Success);
+  EXPECT_TRUE(R2.ElabFromCache);
+  EXPECT_TRUE(R2.SolutionFromCache);
+  EXPECT_EQ(R2.Instances, R1.Instances);
+
+  // A failing compile reports the phase and the lssc-compatible exit code.
+  CompileClient::Result Bad =
+      Client.compile(sourceInvocation("bad.lss", "instance %%% nope"));
+  ASSERT_TRUE(Bad.Error.empty()) << Bad.Error;
+  EXPECT_FALSE(Bad.Success);
+  EXPECT_EQ(Bad.FailedPhase, "parse");
+  EXPECT_EQ(Bad.ExitCode, 3);
+  EXPECT_NE(Bad.Diagnostics.find("error"), std::string::npos);
+
+  // The stats endpoint saw all of it.
+  Json S;
+  ASSERT_TRUE(Client.stats(S, &Err)) << Err;
+  EXPECT_EQ(S.getString("type"), "stats_result");
+  EXPECT_EQ(S.getU64("compile_requests"), 3u);
+  EXPECT_EQ(S.getU64("elab_cache_hits"), 1u);
+  EXPECT_GE(S.getU64("requests_served"), 4u);
+  ASSERT_NE(S.get("latency_ms"), nullptr);
+  EXPECT_EQ(S.get("latency_ms")->getU64("samples"), 3u);
+  EXPECT_GT(S.get("latency_ms")->getNumber("max_ms"), 0.0);
+}
+
+TEST(Daemon, BatchRoundTrip) {
+  TempArea T("batch");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+
+  std::vector<CompilerInvocation> Invs;
+  Invs.push_back(sourceInvocation("a.lss", kSmallSpec));
+  Invs.push_back(sourceInvocation("bad.lss", "instance %%% nope"));
+  Invs.push_back(sourceInvocation("c.lss", delayChainSpec(5)));
+
+  std::vector<CompileClient::Result> Rs = Client.compileBatch(Invs);
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_TRUE(Rs[0].Error.empty() && Rs[0].Success) << Rs[0].Error;
+  EXPECT_TRUE(Rs[1].Error.empty()) << Rs[1].Error;
+  EXPECT_FALSE(Rs[1].Success);
+  EXPECT_EQ(Rs[1].FailedPhase, "parse");
+  EXPECT_TRUE(Rs[2].Error.empty() && Rs[2].Success) << Rs[2].Error;
+
+  Json S;
+  ASSERT_TRUE(Client.stats(S, &Err)) << Err;
+  EXPECT_EQ(S.getU64("batch_requests"), 1u);
+  EXPECT_EQ(S.getU64("compile_requests"), 3u);
+}
+
+TEST(Daemon, ConcurrentClientsShareOneColdCompile) {
+  TempArea T("concurrent");
+  DaemonServer::Options O = serverOptions(T);
+  O.Workers = 1; // Serialize compiles: exactly one can be the cold one.
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  constexpr unsigned N = 4;
+  std::atomic<unsigned> Ok{0};
+  std::atomic<unsigned> Warm{0};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&] {
+      CompileClient Client(T.sock());
+      std::string CErr;
+      if (!Client.connect(&CErr))
+        return;
+      CompileClient::Result R =
+          Client.compile(sourceInvocation("shared.lss", kSmallSpec));
+      if (R.Error.empty() && R.Success)
+        ++Ok;
+      if (R.ElabFromCache && R.SolutionFromCache)
+        ++Warm;
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Ok.load(), N);
+  // One cold compile total; every other client rode the shared cache.
+  EXPECT_EQ(Warm.load(), N - 1);
+  DaemonStats DS = Server.getStats();
+  EXPECT_EQ(DS.CompileRequests, N);
+  EXPECT_EQ(DS.ElabCacheMisses, 1u);
+  EXPECT_EQ(DS.ElabCacheHits, N - 1);
+  EXPECT_EQ(DS.Cache.Stores, 2u); // One elab artifact + one solution.
+}
+
+//===--------------------------------------------------------------------===//
+// Admission control
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, QueueFullRejectsWithRetryAfter) {
+  TempArea T("queuefull");
+  DaemonServer::Options O = serverOptions(T);
+  O.Workers = 1;
+  O.QueueBound = 0; // No queueing: busy worker = reject immediately.
+  O.RetryAfterMs = 25;
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // Occupy the only worker with a slow elaboration.
+  std::thread Slow([&] {
+    CompileClient Client(T.sock());
+    std::string CErr;
+    ASSERT_TRUE(Client.connect(&CErr)) << CErr;
+    CompileClient::Result R =
+        Client.compile(sourceInvocation("slow.lss", delayChainSpec(2500)));
+    EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error << R.Diagnostics;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompilerInvocation Inv = sourceInvocation("mine.lss", kSmallSpec);
+  CompileClient::Result R = Client.compile(Inv);
+  // The slow compile should still be holding the worker after 40ms; if the
+  // machine is so loaded it already finished, the request just succeeds
+  // and the rejection assertions below are vacuous but the retry loop
+  // contract still holds.
+  bool SawReject = false;
+  for (int Attempt = 0; Attempt != 400 && !R.Error.empty(); ++Attempt) {
+    ASSERT_EQ(R.ErrorCode, "queue_full") << R.Error;
+    EXPECT_EQ(R.RetryAfterMs, 25u);
+    SawReject = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(R.RetryAfterMs));
+    R = Client.compile(Inv);
+  }
+  EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
+  Slow.join();
+  if (SawReject)
+    EXPECT_GE(Server.getStats().RejectedQueueFull, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Deadlines degrade through the PR 4 machinery
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, DeadlineReturnsDegradedResult) {
+  TempArea T("deadline");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+
+  CompilerInvocation Inv = sourceInvocation("hard.lss", hardInferSpec(24));
+  // Keep the search exponential but the partitioner on: the degraded
+  // result then reports the unsolved group, like --no-infer-heuristics
+  // never could (naive mode has no group accounting to report).
+  Inv.Solve.ForcedDisjunctElimination = false;
+  Inv.Solve.NumThreads = 1;
+  CompileClient::Result R = Client.compile(Inv, /*DeadlineMs=*/25);
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.FailedPhase, "infer");
+  EXPECT_EQ(R.ExitCode, 4);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_GE(R.GroupsUnsolved, 1u);
+  EXPECT_NE(R.Diagnostics.find("deadline"), std::string::npos)
+      << R.Diagnostics;
+
+  DaemonStats DS = Server.getStats();
+  EXPECT_GE(DS.DeadlineDegraded, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Robustness against malformed input
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, MalformedFramesDoNotKillTheServer) {
+  TempArea T("malformed");
+  DaemonServer::Options O = serverOptions(T);
+  O.MaxFrameBytes = 4096;
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // Unparseable JSON: answered with bad_message, connection stays usable.
+  {
+    int Fd = rawConnect(T.sock());
+    ASSERT_TRUE(writeFrame(Fd, "this is not json {"));
+    std::string Payload;
+    ASSERT_EQ(readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes),
+              FrameStatus::Ok);
+    Json Reply;
+    ASSERT_TRUE(Json::parse(Payload, Reply, nullptr));
+    EXPECT_EQ(Reply.getString("code"), "bad_message");
+    ASSERT_TRUE(rawRoundTrip(Fd, helloMsg(), Reply));
+    EXPECT_EQ(Reply.getString("type"), "hello_ok");
+    ::close(Fd);
+  }
+
+  // A JSON scalar is not a message object.
+  {
+    int Fd = rawConnect(T.sock());
+    ASSERT_TRUE(writeFrame(Fd, "42"));
+    std::string Payload;
+    ASSERT_EQ(readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes),
+              FrameStatus::Ok);
+    Json Reply;
+    ASSERT_TRUE(Json::parse(Payload, Reply, nullptr));
+    EXPECT_EQ(Reply.getString("code"), "bad_message");
+    ::close(Fd);
+  }
+
+  // An oversized frame header: answered with bad_frame, then closed (the
+  // stream is desynced by construction).
+  {
+    int Fd = rawConnect(T.sock());
+    unsigned char Header[4] = {0x7f, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(Fd, Header, 4), 4);
+    std::string Payload;
+    ASSERT_EQ(readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes),
+              FrameStatus::Ok);
+    Json Reply;
+    ASSERT_TRUE(Json::parse(Payload, Reply, nullptr));
+    EXPECT_EQ(Reply.getString("code"), "bad_frame");
+    EXPECT_EQ(readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes),
+              FrameStatus::Eof);
+    ::close(Fd);
+  }
+
+  // After all of that the server still accepts and compiles.
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompileClient::Result R =
+      Client.compile(sourceInvocation("ok.lss", kSmallSpec));
+  EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
+  EXPECT_GE(Server.getStats().ProtocolErrors, 3u);
+}
+
+//===--------------------------------------------------------------------===//
+// Draining shutdown
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, DrainOnShutdownFinishesInFlightCompiles) {
+  TempArea T("drain");
+  DaemonServer::Options O = serverOptions(T);
+  O.Workers = 1;
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // A long compile in flight when the shutdown lands.
+  std::atomic<bool> SlowDone{false};
+  std::thread Slow([&] {
+    CompileClient Client(T.sock());
+    std::string CErr;
+    ASSERT_TRUE(Client.connect(&CErr)) << CErr;
+    CompileClient::Result R =
+        Client.compile(sourceInvocation("slow.lss", delayChainSpec(2500)));
+    EXPECT_TRUE(R.Error.empty()) << R.Error;
+    EXPECT_TRUE(R.Success) << R.Diagnostics;
+    SlowDone = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  // A second, already-connected client observes the drain refusal.
+  CompileClient Bystander(T.sock());
+  ASSERT_TRUE(Bystander.connect(&Err)) << Err;
+
+  CompileClient Stopper(T.sock());
+  ASSERT_TRUE(Stopper.connect(&Err)) << Err;
+  ASSERT_TRUE(Stopper.shutdownServer(&Err)) << Err;
+  EXPECT_TRUE(Server.isShuttingDown());
+
+  CompileClient::Result Refused =
+      Bystander.compile(sourceInvocation("late.lss", kSmallSpec));
+  EXPECT_FALSE(Refused.Error.empty());
+  EXPECT_EQ(Refused.ErrorCode, "shutting_down");
+
+  // wait() returns only after the admitted compile answered its client.
+  Server.wait();
+  EXPECT_TRUE(SlowDone.load());
+  Slow.join();
+
+  // The listener is gone: new connections fail.
+  std::string ConnErr;
+  EXPECT_LT(netConnect(T.sock(), &ConnErr), 0);
+}
+
+//===--------------------------------------------------------------------===//
+// The lssc --daemon CLI
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+struct ToolResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+ToolResult runTool(const std::string &Args) {
+  ToolResult R;
+  std::string Cmd = std::string(LSSC_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string modelArgs() {
+  return std::string(LIBERTY_MODELS_DIR) + "/uarch.lss " +
+         LIBERTY_MODELS_DIR + "/a.lss";
+}
+
+} // namespace
+
+TEST(DaemonCli, CompileThroughDaemon) {
+  TempArea T("cli");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  ToolResult R = runTool("--daemon " + T.sock() + " " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // No fallback note: the compile really went through the daemon.
+  EXPECT_EQ(R.Output.find("compiling in-process"), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(Server.getStats().CompileRequests, 1u);
+
+  // A parse error comes back with the documented exit code and the
+  // daemon-rendered diagnostics.
+  std::string BadPath = T.Dir + "/bad.lss";
+  {
+    std::FILE *F = std::fopen(BadPath.c_str(), "w");
+    std::fputs("instance %%% nope\n", F);
+    std::fclose(F);
+  }
+  R = runTool("--daemon " + T.sock() + " " + BadPath);
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("parsing failed"), std::string::npos) << R.Output;
+}
+
+TEST(DaemonCli, FallbackAndItsRefusal) {
+  TempArea T("clifall");
+  std::string Nowhere = T.Dir + "/absent.sock";
+
+  // Unreachable daemon: an explicit note, then a successful in-process
+  // compile (never a silent fallback).
+  ToolResult R = runTool("--daemon " + Nowhere + " " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("note: daemon at"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("compiling in-process"), std::string::npos)
+      << R.Output;
+
+  // --no-daemon-fallback turns that into an operational failure.
+  R = runTool("--daemon " + Nowhere + " --no-daemon-fallback " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("unreachable"), std::string::npos) << R.Output;
+
+  // Flags that need local artifacts are usage errors with --daemon.
+  R = runTool("--daemon " + Nowhere + " --print-netlist " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  R = runTool("--daemon " + Nowhere + " --run 10 " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  // And the daemon-only knobs require --daemon.
+  R = runTool("--deadline-ms 100 " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  R = runTool("--no-daemon-fallback " + modelArgs());
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+}

@@ -10,7 +10,10 @@
 #      resolves to an existing file;
 #   3. the driver library API reference (docs/API.md) exists and names the
 #      invocation/service entry points, and the cache/batch flags appear in
-#      both the lssc usage text and the README flag table.
+#      both the lssc usage text and the README flag table;
+#   4. the daemon protocol doc (docs/DAEMON.md) documents every message
+#      type and error code registered in src/driver/DaemonProtocol.h, so
+#      the wire-protocol spec cannot drift from the header.
 #
 # Exits non-zero with one line per violation.
 
@@ -76,12 +79,40 @@ else
     grep -q "$Name" "$API" || fail "$API does not document $Name"
   done
 fi
-for Flag in cache-dir no-cache batch; do
+for Flag in cache-dir no-cache batch daemon deadline-ms no-daemon-fallback; do
   grep -q -- "--$Flag" tools/lssc.cpp ||
     fail "lssc usage text does not document --$Flag"
   grep -q -- "--$Flag" README.md ||
     fail "README.md flag table does not document --$Flag"
 done
+
+# 4. The daemon wire-protocol doc tracks the header registries: every
+# message type in LSSD_MESSAGE_TYPES and every error code in
+# LSSD_ERROR_CODES (src/driver/DaemonProtocol.h) must appear, backtick-
+# quoted, in docs/DAEMON.md. Adding a wire name without documenting it
+# fails here.
+PROTO=src/driver/DaemonProtocol.h
+DAEMON=docs/DAEMON.md
+if [ ! -f "$DAEMON" ]; then
+  fail "missing $DAEMON (lssd wire-protocol spec)"
+else
+  for Macro in LSSD_MESSAGE_TYPES LSSD_ERROR_CODES; do
+    # The registry is an X-macro: one `X(Ident, "wire_name")` per line,
+    # backslash-continued. Pull the quoted wire names out of its extent.
+    sed -n "/#define $Macro(X)/,/[^\\\\]\$/p" "$PROTO" |
+    grep -o '"[a-z_][a-z_]*"' | tr -d '"' |
+    while IFS= read -r Name; do
+      if ! grep -q "\`$Name\`" "$DAEMON"; then
+        echo "check_docs: $DAEMON does not document $Macro entry '$Name'" >&2
+        touch "$ROOT/.check_docs_failed"
+      fi
+    done
+  done
+  if [ -e "$ROOT/.check_docs_failed" ]; then
+    rm -f "$ROOT/.check_docs_failed"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "check_docs: FAILED ($FAILURES problem(s))" >&2

@@ -25,6 +25,12 @@
 ///   --cache-dir DIR     reuse parse/elaborate/solve artifacts across runs
 ///   --no-cache          ignore --cache-dir (always compile cold)
 ///   --batch FILE        compile every .lss listed in FILE concurrently
+///   --daemon ADDR       compile via a running lssd daemon (shared warm
+///                       cache); falls back to an in-process compile when
+///                       the daemon is unreachable
+///   --no-daemon-fallback  with --daemon: exit 1 instead of falling back
+///   --deadline-ms N     with --daemon: per-request service budget (queue
+///                       wait + compile); expiry degrades inference
 ///
 /// The tool is a thin shell over driver::CompileService: it builds one
 /// CompilerInvocation per model and lets the service run (or reload from
@@ -39,18 +45,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/StaticNet.h"
+#include "driver/CompileClient.h"
 #include "driver/CompileService.h"
 #include "driver/Compiler.h"
 #include "driver/Stats.h"
 #include "netlist/DotEmitter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace liberty;
@@ -103,6 +112,13 @@ struct CliOptions {
   bool NoCache = false;
   /// File listing one .lss model per line; batch compile mode.
   std::string BatchFile;
+  /// lssd address (Unix socket path or localhost port); empty = compile
+  /// in-process.
+  std::string DaemonAddress;
+  /// With --daemon: fail instead of falling back when unreachable.
+  bool NoDaemonFallback = false;
+  /// With --daemon: per-request service budget in ms (0 = none).
+  uint64_t DeadlineMs = 0;
 };
 
 void printUsage() {
@@ -146,6 +162,16 @@ void printUsage() {
       "                         (one per line, '#' comments) concurrently\n"
       "                         and report per-model status in list\n"
       "                         order; exits with the worst model's code\n"
+      "  --daemon ADDR          compile via the lssd daemon at ADDR (a\n"
+      "                         Unix socket path or localhost TCP port)\n"
+      "                         and share its warm artifact cache; falls\n"
+      "                         back to an in-process compile (with a\n"
+      "                         note) when the daemon is unreachable\n"
+      "  --no-daemon-fallback   with --daemon: exit 1 when the daemon is\n"
+      "                         unreachable instead of falling back\n"
+      "  --deadline-ms N        with --daemon: total service budget per\n"
+      "                         request (queue wait + compile); on expiry\n"
+      "                         inference degrades rather than hangs\n"
       "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
       "            4 inference failure, 5 simulation fault\n";
 }
@@ -234,6 +260,24 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.BatchFile = Argv[I];
+    } else if (Arg == "--daemon") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --daemon requires an address\n";
+        return false;
+      }
+      Opts.DaemonAddress = Argv[I];
+    } else if (Arg == "--no-daemon-fallback") {
+      Opts.NoDaemonFallback = true;
+    } else if (Arg == "--deadline-ms") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --deadline-ms requires a duration\n";
+        return false;
+      }
+      Opts.DeadlineMs = std::strtoull(Argv[I], nullptr, 10);
+      if (Opts.DeadlineMs == 0) {
+        std::cerr << "lssc: --deadline-ms requires a positive duration\n";
+        return false;
+      }
     } else if (Arg == "--watch") {
       if (++I >= Argc) {
         std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
@@ -264,6 +308,42 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (Opts.Inputs.empty() && Opts.BatchFile.empty()) {
     std::cerr << "lssc: no input files\n";
     return false;
+  }
+  if (Opts.DaemonAddress.empty()) {
+    if (Opts.NoDaemonFallback) {
+      std::cerr << "lssc: --no-daemon-fallback requires --daemon\n";
+      return false;
+    }
+    if (Opts.DeadlineMs) {
+      std::cerr << "lssc: --deadline-ms requires --daemon\n";
+      return false;
+    }
+  } else {
+    // The daemon returns a compile verdict, not artifacts: flags that need
+    // the netlist/simulator in this process cannot be served remotely.
+    const char *Bad = nullptr;
+    if (Opts.RunCycles || !Opts.Watches.empty())
+      Bad = "--run";
+    else if (Opts.PrintNetlist)
+      Bad = "--print-netlist";
+    else if (Opts.Stats)
+      Bad = "--stats";
+    else if (!Opts.StatsJsonPath.empty())
+      Bad = "--stats-json";
+    else if (Opts.EmitStatic)
+      Bad = "--emit-static";
+    else if (Opts.EmitDot)
+      Bad = "--emit-dot";
+    else if (Opts.TraceOrder)
+      Bad = "--trace-order";
+    else if (Opts.TimePhases)
+      Bad = "--time-phases";
+    if (Bad) {
+      std::cerr << "lssc: " << Bad
+                << " cannot be combined with --daemon (the daemon keeps "
+                   "artifacts server-side)\n";
+      return false;
+    }
   }
   return true;
 }
@@ -324,16 +404,16 @@ bool hasCacheNotes(driver::Compiler &C) {
   return false;
 }
 
-/// --batch FILE: one CompilerInvocation per listed model, compiled
-/// concurrently through the service, reported in list order.
-int runBatch(driver::CompileService &Svc, const CliOptions &Opts,
-             std::ostream &Human) {
-  std::ifstream List(Opts.BatchFile);
+/// Reads a --batch list file: one .lss path per line, '#' comments.
+/// Returns false with \p Exit set to the appropriate exit code.
+bool readBatchList(const std::string &File, std::vector<std::string> &Paths,
+                   int &Exit) {
+  std::ifstream List(File);
   if (!List) {
-    std::cerr << "lssc: cannot open file '" << Opts.BatchFile << "'\n";
-    return ExitOperational;
+    std::cerr << "lssc: cannot open file '" << File << "'\n";
+    Exit = ExitOperational;
+    return false;
   }
-  std::vector<std::string> Paths;
   std::string Line;
   while (std::getline(List, Line)) {
     size_t B = Line.find_first_not_of(" \t\r");
@@ -343,10 +423,21 @@ int runBatch(driver::CompileService &Svc, const CliOptions &Opts,
     Paths.push_back(Line.substr(B, E - B + 1));
   }
   if (Paths.empty()) {
-    std::cerr << "lssc: batch list '" << Opts.BatchFile
-              << "' names no inputs\n";
-    return ExitUsage;
+    std::cerr << "lssc: batch list '" << File << "' names no inputs\n";
+    Exit = ExitUsage;
+    return false;
   }
+  return true;
+}
+
+/// --batch FILE: one CompilerInvocation per listed model, compiled
+/// concurrently through the service, reported in list order.
+int runBatch(driver::CompileService &Svc, const CliOptions &Opts,
+             std::ostream &Human) {
+  std::vector<std::string> Paths;
+  int Exit = ExitSuccess;
+  if (!readBatchList(Opts.BatchFile, Paths, Exit))
+    return Exit;
 
   std::vector<driver::CompilerInvocation> Invs;
   for (const std::string &Path : Paths) {
@@ -391,6 +482,144 @@ int runBatch(driver::CompileService &Svc, const CliOptions &Opts,
   return Worst;
 }
 
+/// Human phase phrase for a wire `failed_phase` string.
+const char *daemonPhaseName(const std::string &Phase) {
+  if (Phase == "parse")
+    return "parsing";
+  if (Phase == "elaborate")
+    return "elaboration";
+  if (Phase == "infer")
+    return "type inference";
+  if (Phase == "simbuild")
+    return "simulator construction";
+  return "compilation";
+}
+
+/// One remote compile with a bounded retry loop on queue_full (honoring
+/// the daemon's retry_after_ms backoff hint).
+driver::CompileClient::Result
+daemonCompileWithRetry(driver::CompileClient &Client,
+                       const driver::CompilerInvocation &Inv,
+                       uint64_t DeadlineMs) {
+  constexpr int MaxAttempts = 5;
+  driver::CompileClient::Result R;
+  for (int Attempt = 1;; ++Attempt) {
+    R = Client.compile(Inv, DeadlineMs);
+    if (R.ErrorCode != "queue_full" || Attempt == MaxAttempts)
+      return R;
+    uint64_t Backoff = R.RetryAfterMs ? R.RetryAfterMs : 50;
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+  }
+}
+
+/// Prints one remote compile's verdict in the batch-report style and
+/// returns its exit code. Transport errors map to ExitOperational.
+int reportDaemonResult(const std::string &Name,
+                       const driver::CompileClient::Result &R,
+                       std::ostream &Human) {
+  if (!R.Error.empty()) {
+    std::cerr << "lssc: daemon error for '" << Name << "': " << R.Error
+              << "\n";
+    return ExitOperational;
+  }
+  if (R.Success) {
+    Human << Name << ": ok (" << R.Instances << " instances, "
+          << R.Connections << " connections)";
+    if (R.ElabFromCache && R.SolutionFromCache)
+      Human << " [cached]";
+    else if (R.ElabFromCache || R.SolutionFromCache)
+      Human << " [partially cached]";
+    Human << "\n";
+    // Warnings survive remote compiles as rendered diagnostic text.
+    if (!R.Diagnostics.empty())
+      std::cerr << R.Diagnostics;
+    return ExitSuccess;
+  }
+  Human << Name << ": " << daemonPhaseName(R.FailedPhase) << " failed";
+  if (R.Degraded)
+    Human << " (deadline/budget degraded, " << R.GroupsUnsolved
+          << " groups unsolved)";
+  Human << "\n";
+  std::cerr << R.Diagnostics;
+  return R.ExitCode;
+}
+
+/// --daemon: ship the compile(s) to a running lssd. Returns the exit code,
+/// or -1 when the daemon is unreachable and falling back in-process is
+/// allowed (the caller then compiles locally).
+int runDaemon(const CliOptions &Opts, std::ostream &Human) {
+  driver::CompileClient Client(Opts.DaemonAddress);
+  std::string Err;
+  if (!Client.connect(&Err)) {
+    if (Opts.NoDaemonFallback) {
+      std::cerr << "lssc: error: daemon at '" << Opts.DaemonAddress
+                << "' unreachable: " << Err << "\n";
+      return ExitOperational;
+    }
+    // An explicit note, not silence: the user asked for the shared warm
+    // cache and is getting a cold in-process compile instead.
+    std::cerr << "lssc: note: daemon at '" << Opts.DaemonAddress
+              << "' unreachable (" << Err << "); compiling in-process\n";
+    return -1;
+  }
+
+  if (!Opts.BatchFile.empty()) {
+    std::vector<std::string> Paths;
+    int Exit = ExitSuccess;
+    if (!readBatchList(Opts.BatchFile, Paths, Exit))
+      return Exit;
+    std::vector<driver::CompilerInvocation> Invs;
+    for (const std::string &Path : Paths) {
+      driver::CompilerInvocation Inv = makeInvocation(Opts);
+      Inv.BuildSim = false;
+      std::string FileErr;
+      if (!Inv.addFile(Path, &FileErr)) {
+        std::cerr << "lssc: cannot open file '" << Path << "'\n";
+        return ExitOperational;
+      }
+      Invs.push_back(std::move(Inv));
+    }
+    std::vector<driver::CompileClient::Result> Results =
+        Client.compileBatch(Invs, Opts.DeadlineMs);
+    // Elements the admission queue bounced get a bounded individual retry.
+    for (size_t I = 0; I != Results.size(); ++I)
+      if (Results[I].ErrorCode == "queue_full")
+        Results[I] = daemonCompileWithRetry(Client, Invs[I], Opts.DeadlineMs);
+    int Worst = ExitSuccess;
+    for (size_t I = 0; I != Results.size(); ++I)
+      Worst = std::max(Worst, reportDaemonResult(Paths[I], Results[I], Human));
+    return Worst;
+  }
+
+  driver::CompilerInvocation Inv = makeInvocation(Opts);
+  for (const std::string &Path : Opts.Inputs) {
+    std::string FileErr;
+    if (!Inv.addFile(Path, &FileErr)) {
+      std::cerr << "lssc: cannot open file '" << Path << "'\n";
+      return ExitOperational;
+    }
+  }
+  driver::CompileClient::Result R =
+      daemonCompileWithRetry(Client, Inv, Opts.DeadlineMs);
+  if (!R.Error.empty() && R.ErrorCode == "queue_full") {
+    std::cerr << "lssc: daemon at '" << Opts.DaemonAddress
+              << "' is overloaded (queue full after retries)\n";
+    return ExitOperational;
+  }
+  if (R.Success) {
+    if (!R.Diagnostics.empty())
+      std::cerr << R.Diagnostics;
+    return ExitSuccess;
+  }
+  if (!R.Error.empty()) {
+    std::cerr << "lssc: daemon error: " << R.Error << "\n";
+    return ExitOperational;
+  }
+  std::cerr << "lssc: " << daemonPhaseName(R.FailedPhase) << " failed\n"
+            << R.Diagnostics;
+  return R.ExitCode;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -406,6 +635,13 @@ int main(int Argc, char **Argv) {
   bool JsonToStdout = Opts.StatsJsonPath == "-";
   std::ostream &Human = JsonToStdout ? std::cerr : std::cout;
   FILE *HumanFile = JsonToStdout ? stderr : stdout;
+
+  if (!Opts.DaemonAddress.empty()) {
+    int Code = runDaemon(Opts, Human);
+    if (Code >= 0)
+      return Code;
+    // Unreachable daemon with fallback allowed: compile in-process below.
+  }
 
   bool CacheRequested = !Opts.CacheDir.empty() && !Opts.NoCache;
   if (CacheRequested && Opts.TraceOrder)

@@ -1,0 +1,169 @@
+//===- lssd.cpp - The LSS compile daemon ----------------------------------------===//
+///
+/// Long-running compile server over driver::DaemonServer: one warm
+/// content-addressed ArtifactCache shared by every client that connects
+/// (`lssc --daemon ADDR`, CompileClient, or anything speaking the
+/// docs/DAEMON.md protocol).
+///
+///   lssd --listen ADDR [options]
+///
+///   --listen ADDR        Unix socket path (contains '/' or ends .sock)
+///                        or localhost TCP port ("7777"; "0" = ephemeral,
+///                        the bound port is printed)
+///   --cache-dir DIR      persist artifacts under DIR (shared with lssc)
+///   --workers N          compile worker threads (0 = hardware threads)
+///   --queue-bound N      admitted-but-unstarted request cap (default 64;
+///                        0 = no queue, reject unless a worker is free)
+///   --retry-after-ms N   backoff hint sent with queue_full rejections
+///   --max-frame-bytes N  reject larger request frames as bad_frame
+///   --verbose            log one line per request to stderr
+///
+/// Runs until a client sends `shutdown` or the process receives
+/// SIGINT/SIGTERM; both paths drain: admitted compiles finish and answer
+/// before the process exits. Exit codes follow lssc's convention: 0 clean
+/// shutdown, 1 operational failure (bad address, bind failure), 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/DaemonServer.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+using namespace liberty;
+
+namespace {
+
+volatile std::sig_atomic_t SignalledShutdown = 0;
+
+void onSignal(int) { SignalledShutdown = 1; }
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: lssd --listen ADDR [options]\n"
+               "  --listen ADDR        Unix socket path or localhost TCP "
+               "port (0 = ephemeral)\n"
+               "  --cache-dir DIR      persist compile artifacts under DIR\n"
+               "  --workers N          compile worker threads (0 = one per "
+               "hardware thread)\n"
+               "  --queue-bound N      admission queue bound (default 64)\n"
+               "  --retry-after-ms N   backoff hint on queue_full "
+               "(default 50)\n"
+               "  --max-frame-bytes N  request frame cap (default 64MiB)\n"
+               "  --verbose            log requests to stderr\n"
+               "protocol and operations guide: docs/DAEMON.md\n");
+}
+
+bool parseUnsigned(const char *Arg, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(Arg, &End, 10);
+  return End && *End == '\0' && End != Arg;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  driver::DaemonServer::Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "lssd: %s requires a value\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    uint64_t N = 0;
+    if (Arg == "--listen") {
+      const char *V = needValue("--listen");
+      if (!V)
+        return 2;
+      Opts.Address = V;
+    } else if (Arg == "--cache-dir") {
+      const char *V = needValue("--cache-dir");
+      if (!V)
+        return 2;
+      Opts.Service.Cache.DiskDir = V;
+    } else if (Arg == "--workers") {
+      const char *V = needValue("--workers");
+      if (!V || !parseUnsigned(V, N)) {
+        std::fprintf(stderr, "lssd: --workers requires a count\n");
+        return 2;
+      }
+      Opts.Workers = unsigned(N);
+    } else if (Arg == "--queue-bound") {
+      const char *V = needValue("--queue-bound");
+      if (!V || !parseUnsigned(V, N)) {
+        std::fprintf(stderr, "lssd: --queue-bound requires a count\n");
+        return 2;
+      }
+      Opts.QueueBound = unsigned(N);
+    } else if (Arg == "--retry-after-ms") {
+      const char *V = needValue("--retry-after-ms");
+      if (!V || !parseUnsigned(V, N) || N == 0) {
+        std::fprintf(stderr,
+                     "lssd: --retry-after-ms requires a positive duration\n");
+        return 2;
+      }
+      Opts.RetryAfterMs = N;
+    } else if (Arg == "--max-frame-bytes") {
+      const char *V = needValue("--max-frame-bytes");
+      if (!V || !parseUnsigned(V, N) || N == 0) {
+        std::fprintf(stderr,
+                     "lssd: --max-frame-bytes requires a positive size\n");
+        return 2;
+      }
+      Opts.MaxFrameBytes = N;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "lssd: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    }
+  }
+  if (Opts.Address.empty()) {
+    std::fprintf(stderr, "lssd: --listen ADDR is required\n");
+    printUsage();
+    return 2;
+  }
+
+  driver::DaemonServer Server(std::move(Opts));
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "lssd: cannot listen: %s\n", Err.c_str());
+    return 1;
+  }
+  // Announce readiness on stdout so wrappers can wait for the line (and
+  // learn the ephemeral port when --listen 0 was used).
+  if (Server.port() >= 0)
+    std::printf("lssd: ready on localhost:%d\n", Server.port());
+  else
+    std::printf("lssd: ready on %s\n",
+                Server.getOptions().Address.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  // SIGPIPE would kill the process when a client vanishes mid-reply; the
+  // write error is handled per-connection instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The accept loop runs on its own thread; this thread only watches for
+  // signal- or client-initiated shutdown, then drains.
+  while (!Server.isShuttingDown() && !SignalledShutdown)
+    ::usleep(100 * 1000);
+  if (SignalledShutdown && Server.getOptions().Verbose)
+    std::fprintf(stderr, "lssd: signal received; draining\n");
+  Server.requestShutdown();
+  Server.wait();
+  return 0;
+}
