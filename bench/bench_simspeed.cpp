@@ -32,18 +32,25 @@ using namespace liberty;
 
 namespace {
 
-/// --selective on|off (default on): engine mode for the LSS benchmarks
-/// that don't A/B it themselves, enabling whole-suite comparisons.
+/// --sim-engine NAME (default auto): the engine for the LSS benchmarks
+/// that don't sweep engines themselves, enabling whole-suite comparisons.
+/// The legacy --selective on|off and --sim-jobs N flags remain as
+/// aliases; they only matter when the engine is auto (the Options
+/// resolution rules then pick selective/wavefront from them, exactly as
+/// lssc does).
+sim::EngineKind GEngine = sim::EngineKind::Auto;
+
+/// --selective on|off (default on): legacy alias, see GEngine.
 bool GSelective = true;
 
-/// --sim-jobs N (default 1): wavefront worker threads for the LSS
-/// benchmarks that don't sweep the thread count themselves.
+/// --sim-jobs N (default 1): legacy alias, see GEngine.
 unsigned GSimJobs = 1;
 
 sim::Simulator::Options simOptions() {
   sim::Simulator::Options O;
   O.Selective = GSelective;
   O.Jobs = GSimJobs;
+  O.Engine = GEngine;
   return O;
 }
 
@@ -299,10 +306,7 @@ BENCHMARK(BM_HandCodedPipeline);
 /// Measures steady-state cycles/s for one engine configuration on the
 /// wide model: warm up, then run 200-cycle batches until ~0.25 s of wall
 /// time has accumulated.
-double measureWideLanes(unsigned Jobs, bool Selective) {
-  sim::Simulator::Options O;
-  O.Selective = Selective;
-  O.Jobs = Jobs;
+double measureWideLanes(sim::Simulator::Options O) {
   auto C = driver::Compiler::compileForSim(
       invocationFor("wide.lss", wideLanesSpec(64), O));
   if (!C)
@@ -321,34 +325,46 @@ double measureWideLanes(unsigned Jobs, bool Selective) {
   return double(Cycles) / Elapsed;
 }
 
-/// `--sweep [FILE]`: the machine-readable jobs x selective sweep. Writes
-/// cycles/s for jobs 1/2/4/8 with selective on and off, plus the speedup
-/// of each configuration over serial in the same selective mode.
+/// `--sweep [FILE]`: the machine-readable per-engine sweep. One row per
+/// engine configuration (the wavefront engine at several thread counts),
+/// each with cycles/s and its speedup over the serial interpreter — the
+/// baseline every other engine is an optimization of.
 int runSweep(const std::string &Path) {
   std::ofstream Out(Path);
   if (!Out) {
     std::cerr << "bench_simspeed: cannot write '" << Path << "'\n";
     return 1;
   }
+  struct Config {
+    sim::EngineKind Engine;
+    unsigned Jobs;
+  };
+  const Config Configs[] = {
+      {sim::EngineKind::Interp, 1},    {sim::EngineKind::Selective, 1},
+      {sim::EngineKind::Wavefront, 2}, {sim::EngineKind::Wavefront, 4},
+      {sim::EngineKind::Wavefront, 8}, {sim::EngineKind::Compiled, 1},
+  };
   Out << "{\n  \"model\": \"wide_lanes_64\",\n  \"runs\": [";
+  double Serial = 0.0;
   bool First = true;
-  for (bool Selective : {false, true}) {
-    double Serial = 0.0;
-    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
-      double Rate = measureWideLanes(Jobs, Selective);
-      if (Jobs == 1)
-        Serial = Rate;
-      if (!First)
-        Out << ",";
-      First = false;
-      Out << "\n    {\"jobs\": " << Jobs << ", \"selective\": "
-          << (Selective ? "true" : "false") << ", \"cycles_per_s\": " << Rate
-          << ", \"speedup_vs_serial\": "
-          << (Serial > 0.0 ? Rate / Serial : 0.0) << "}";
-      std::cerr << "sweep: jobs=" << Jobs << " selective="
-                << (Selective ? "on" : "off") << " -> " << uint64_t(Rate)
-                << " cycles/s\n";
-    }
+  for (const Config &Cfg : Configs) {
+    sim::Simulator::Options O;
+    O.Engine = Cfg.Engine;
+    O.Jobs = Cfg.Jobs;
+    double Rate = measureWideLanes(O);
+    if (Cfg.Engine == sim::EngineKind::Interp)
+      Serial = Rate;
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n    {\"engine\": \"" << sim::engineName(Cfg.Engine)
+        << "\", \"jobs\": " << Cfg.Jobs << ", \"selective\": "
+        << (Cfg.Engine == sim::EngineKind::Selective ? "true" : "false")
+        << ", \"cycles_per_s\": " << Rate << ", \"speedup_vs_serial\": "
+        << (Serial > 0.0 ? Rate / Serial : 0.0) << "}";
+    std::cerr << "sweep: engine=" << sim::engineName(Cfg.Engine)
+              << " jobs=" << Cfg.Jobs << " -> " << uint64_t(Rate)
+              << " cycles/s\n";
   }
   Out << "\n  ]\n}\n";
   std::cerr << "bench_simspeed: wrote " << Path << "\n";
@@ -357,15 +373,28 @@ int runSweep(const std::string &Path) {
 
 } // namespace
 
-// Custom main so the whole suite can be A/B'd with `--selective on|off`
-// and `--sim-jobs N`, and so `--sweep [FILE]` can emit the machine-
-// readable scaling record (all stripped before Google Benchmark sees the
-// arguments).
+// Custom main so the whole suite can be A/B'd with `--sim-engine NAME`
+// (or the legacy `--selective on|off` / `--sim-jobs N` aliases, which
+// feed the auto engine's resolution rules), and so `--sweep [FILE]` can
+// emit the machine-readable per-engine scaling record (all stripped
+// before Google Benchmark sees the arguments).
 int main(int argc, char **argv) {
   std::vector<char *> Args;
   bool Sweep = false;
   std::string SweepPath = "BENCH_simspeed.json";
   for (int I = 0; I < argc; ++I) {
+    if ((std::strcmp(argv[I], "--sim-engine") == 0 ||
+         std::strcmp(argv[I], "--engine") == 0) &&
+        I + 1 < argc) {
+      if (!sim::parseEngineName(argv[I + 1], GEngine)) {
+        std::cerr << "bench_simspeed: unknown engine '" << argv[I + 1]
+                  << "' (expected interp, selective, wavefront, or "
+                     "compiled)\n";
+        return 1;
+      }
+      ++I;
+      continue;
+    }
     if (std::strcmp(argv[I], "--selective") == 0 && I + 1 < argc) {
       GSelective = std::strcmp(argv[I + 1], "off") != 0;
       ++I;

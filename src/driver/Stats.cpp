@@ -4,6 +4,7 @@
 
 #include "lss/AST.h"
 #include "netlist/Netlist.h"
+#include "sim/CompiledKernel.h"
 #include "sim/Simulator.h"
 #include "support/PhaseTimer.h"
 
@@ -112,7 +113,8 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
                                      const infer::NetlistInferenceStats &IS,
                                      const PhaseTimer &Timer,
                                      const sim::Simulator *Sim,
-                                     const CacheReport *Cache) {
+                                     const CacheReport *Cache,
+                                     double CyclesPerSec) {
   OS << "{\n";
   OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
   OS << "  \"phases\": ";
@@ -151,6 +153,7 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
     const sim::ActivityStats &A = Sim->getActivityStats();
     const sim::Simulator::BuildInfo &BI = Sim->getBuildInfo();
     OS << "  \"simulation\": {\n"
+       << "    \"engine\": \"" << jsonEscape(Sim->getEngineName()) << "\",\n"
        << "    \"selective\": " << (A.Selective ? "true" : "false") << ",\n"
        << "    \"jobs\": " << Sim->getOptions().Jobs << ",\n"
        << "    \"levels\": " << BI.NumLevels << ",\n"
@@ -163,8 +166,24 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"fixpoint_iters\": " << A.FixpointIters << ",\n"
        << "    \"net_writes\": " << A.NetWrites << ",\n"
        << "    \"net_changes\": " << A.NetChanges << ",\n"
-       << "    \"events_replayed\": " << A.EventsReplayed << "\n"
-       << "  },\n";
+       << "    \"events_replayed\": " << A.EventsReplayed;
+    if (const sim::KernelStats *KS = Sim->getKernelStats()) {
+      OS << ",\n"
+         << "    \"kernel_from_cache\": " << (KS->FromCache ? "true" : "false")
+         << ",\n"
+         << "    \"kernel_build_ms\": " << std::fixed << std::setprecision(3)
+         << KS->BuildMs << ",\n"
+         << "    \"kernel_ops\": " << KS->NumOps << ",\n"
+         << "    \"kernel_specialized_ops\": " << KS->NumSpecializedOps
+         << ",\n"
+         << "    \"kernel_generic_ops\": " << KS->NumGenericOps << ",\n"
+         << "    \"kernel_seq_ops\": " << KS->NumSeqOps << ",\n"
+         << "    \"kernel_seq_elided\": " << KS->NumSeqElided;
+    }
+    if (CyclesPerSec > 0.0)
+      OS << ",\n    \"cycles_per_s\": " << std::fixed << std::setprecision(1)
+         << CyclesPerSec;
+    OS << "\n  },\n";
   }
 
   if (Cache) {
@@ -180,7 +199,9 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"elab_from_cache\": "
        << (Cache->ElabFromCache ? "true" : "false") << ",\n"
        << "    \"solution_from_cache\": "
-       << (Cache->SolutionFromCache ? "true" : "false") << "\n"
+       << (Cache->SolutionFromCache ? "true" : "false") << ",\n"
+       << "    \"kernel_from_cache\": "
+       << (Cache->KernelFromCache ? "true" : "false") << "\n"
        << "  },\n";
   }
 

@@ -93,6 +93,7 @@ struct CacheReport {
   CacheStats Stats;
   bool ElabFromCache = false;
   bool SolutionFromCache = false;
+  bool KernelFromCache = false;
 };
 
 /// Serializes one compilation's observability record as a JSON document:
@@ -100,15 +101,19 @@ struct CacheReport {
 /// record including per-H3-group unify-step counts, and the Table 2 reuse
 /// metrics. This is the payload of `lssc --stats-json`. When \p Sim is
 /// non-null (a simulation ran), a "simulation" section reports the
-/// engine configuration (worker threads, wavefront level shape) and the
-/// selective-trace activity counters. When \p Cache is non-null (the
-/// artifact cache was enabled), a "cache" section reports hit/miss
+/// engine configuration (resolved engine name, worker threads, wavefront
+/// level shape), the selective-trace activity counters, the compiled
+/// engine's kernel build record when one exists, and — when the caller
+/// measured it — the achieved simulation rate in cycles per second
+/// (\p CyclesPerSec; <= 0 omits the field). When \p Cache is non-null
+/// (the artifact cache was enabled), a "cache" section reports hit/miss
 /// counters and which phases were reloaded.
 void printStatsJson(std::ostream &OS, const ModelStats &S,
                     const infer::NetlistInferenceStats &IS,
                     const PhaseTimer &Timer,
                     const sim::Simulator *Sim = nullptr,
-                    const CacheReport *Cache = nullptr);
+                    const CacheReport *Cache = nullptr,
+                    double CyclesPerSec = 0.0);
 
 } // namespace driver
 } // namespace liberty

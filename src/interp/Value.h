@@ -83,6 +83,18 @@ public:
   int64_t getInt() const;
   bool getBool() const;
   double getFloat() const;
+
+  /// In-place integer store: when this value is already an Int, only the
+  /// payload is updated — none of the (empty) container members are
+  /// touched. The simulation engines' hot path for integer wires;
+  /// observationally identical to assigning makeInt(V).
+  void setInt(int64_t V) {
+    if (K == Kind::Int) {
+      IntVal = V;
+      return;
+    }
+    *this = makeInt(V);
+  }
   /// Numeric accessor that widens Int to double.
   double getNumeric() const;
   const std::string &getString() const;

@@ -420,79 +420,10 @@ bool liberty::netlist::serializeNetlist(
 // Deserialization
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Splits one artifact line into space-separated fields and provides
-/// checked decoders. Every accessor reports failure instead of asserting:
-/// the input may be a mutated cache entry.
-class LineReader {
-public:
-  /// Splits on spaces without copying: fields are views into the line,
-  /// which must outlive the reader. (Splitting with istreams costs more
-  /// than the whole cold compile on small models — this reader is the
-  /// cache's warm path, so it stays allocation-free.)
-  explicit LineReader(std::string_view Line) {
-    size_t I = 0, N = Line.size();
-    while (I < N) {
-      while (I < N && (Line[I] == ' ' || Line[I] == '\t' || Line[I] == '\r'))
-        ++I;
-      size_t Start = I;
-      while (I < N && Line[I] != ' ' && Line[I] != '\t' && Line[I] != '\r')
-        ++I;
-      if (I > Start)
-        Fields.push_back(Line.substr(Start, I - Start));
-    }
-  }
-
-  size_t size() const { return Fields.size(); }
-  std::string_view raw(size_t I) const { return Fields[I]; }
-
-  bool str(size_t I, std::string &Out) const {
-    return I < Fields.size() && artifactUnescape(Fields[I], Out);
-  }
-  /// "-" decodes as the empty string (absent optional field).
-  bool optStr(size_t I, std::string &Out) const {
-    if (I < Fields.size() && Fields[I] == "-") {
-      Out.clear();
-      return true;
-    }
-    return str(I, Out);
-  }
-  bool i64(size_t I, int64_t &Out) const {
-    if (I >= Fields.size() || Fields[I].empty())
-      return false;
-    std::string_view V = Fields[I];
-    bool Neg = V[0] == '-';
-    size_t P = Neg ? 1 : 0;
-    if (P == V.size())
-      return false;
-    uint64_t Acc = 0;
-    for (; P != V.size(); ++P) {
-      if (V[P] < '0' || V[P] > '9')
-        return false;
-      if (Acc > (uint64_t(INT64_MAX) - 9) / 10)
-        return false; // Overflow: reject rather than wrap.
-      Acc = Acc * 10 + uint64_t(V[P] - '0');
-    }
-    Out = Neg ? -int64_t(Acc) : int64_t(Acc);
-    return true;
-  }
-  bool u32(size_t I, uint32_t &Out) const {
-    int64_t V;
-    if (!i64(I, V) || V < 0 || V > int64_t(UINT32_MAX))
-      return false;
-    Out = uint32_t(V);
-    return true;
-  }
-  bool loc(size_t I, SourceLoc &Out) const {
-    return u32(I, Out.BufferId) && u32(I + 1, Out.Offset);
-  }
-
-private:
-  std::vector<std::string_view> Fields;
-};
-
-} // namespace
+// The field splitter/decoder moved to the public header as
+// netlist::ArtifactLineReader so other artifact parsers (infer/Solution,
+// the simulator's LSSKRN kernel plans) share one hardened implementation.
+using LineReader = liberty::netlist::ArtifactLineReader;
 
 static bool decodeValue(const LineReader &L, size_t I, Value &Out) {
   std::string Enc;

@@ -1,0 +1,152 @@
+//===- CompiledKernel.h - Flat cycle kernel for the compiled engine -*- C++ -*-===//
+///
+/// \file
+/// The compiled simulation engine's execution plan: the elaborated netlist,
+/// lowered by sim/KernelBuilder into a flat structure-of-arrays program that
+/// one tight loop replays every cycle. Where the interpreted engines walk
+/// schedule groups and dispatch through LeafBehavior virtual calls, the
+/// kernel holds:
+///
+///  - one Op per schedule group, in the precomputed ASAP evaluation order
+///    (ascending group index — the serial engine's order);
+///  - devirtualized op kinds for the hot corelib behaviors (const/counter
+///    sources, adder, fanout, delay, sink), whose evaluate() bodies are
+///    replayed directly over dense net ids with no virtual call, no
+///    port-slot indirection, and no string hashing;
+///  - a Generic kind that falls back to Simulator::evaluateGroup for
+///    everything else (multi-member fixpoint groups, unspecialized
+///    behaviors), so diagnostics and fixpoint semantics stay bit-identical;
+///  - a sequential-phase op list with the no-op endOfTimestep calls of
+///    eot-free behaviors elided and the delay latch devirtualized.
+///
+/// All net/runtime id lists live in one shared operand pool (NetPool) and
+/// ops reference it by [Begin, Count) ranges — the structure-of-arrays
+/// layout keeps the per-cycle walk cache-linear.
+///
+/// Semantics contract: running the kernel is bit-identical (events, final
+/// net values, runtime state) to the exhaustive serial interpreter, which
+/// the repo's differential tests pin to the selective and wavefront
+/// engines too. The kernel intentionally does not maintain the
+/// selective-trace machinery (DirtyCycle stamps, replay records) or the
+/// per-evaluate activity counters — neither is observable in exhaustive
+/// runs; ActivityStats under the compiled engine reports cycles and the
+/// generic-op counters only.
+///
+/// The structural plan serializes as the byte-stable "LSSKRN 1" artifact
+/// (see serialize()), cached by driver/CompileService keyed off the
+/// elaboration key; KernelBuilder::load revalidates every id against the
+/// live simulator before adopting a cached plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_SIM_COMPILEDKERNEL_H
+#define LIBERTY_SIM_COMPILEDKERNEL_H
+
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberty {
+namespace sim {
+
+class Simulator;
+
+/// How the kernel for a compiled-engine simulator came to be, reported
+/// through --stats-json.
+struct KernelStats {
+  bool FromCache = false;   ///< Adopted from a cached LSSKRN artifact.
+  double BuildMs = 0.0;     ///< Wall time spent lowering (or validating).
+  unsigned NumOps = 0;            ///< Combinational ops (== schedule groups).
+  unsigned NumSpecializedOps = 0; ///< Devirtualized singleton groups.
+  unsigned NumGenericOps = 0;     ///< evaluateGroup fallbacks.
+  unsigned NumSeqOps = 0;         ///< Sequential-phase ops kept.
+  unsigned NumSeqElided = 0;      ///< No-op endOfTimestep calls removed.
+};
+
+class CompiledKernel {
+public:
+  /// Combinational op kinds. Every kind except Generic replays one
+  /// specific corelib behavior's evaluate() body; Generic delegates the
+  /// whole group to Simulator::evaluateGroup.
+  enum class OpKind : uint8_t {
+    Generic = 0,
+    ConstSource,   ///< corelib/const_source
+    CounterSource, ///< corelib/counter_source
+    Adder,         ///< corelib/adder
+    Fanout,        ///< corelib/fanout
+    DelayEval,     ///< corelib/delay.tar (combinational half)
+    Sink,          ///< corelib/sink
+  };
+
+  /// Sequential-phase op kinds.
+  enum class SeqKind : uint8_t {
+    GenericEot = 0, ///< Behavior->endOfTimestep(*Runtime)
+    DelayLatch,     ///< corelib/delay.tar: held <- in[0]
+  };
+
+  /// [Begin, Begin+Count) slice of NetPool.
+  struct Range {
+    int32_t Begin = 0;
+    int32_t Count = 0;
+  };
+
+  struct Op {
+    OpKind Kind = OpKind::Generic;
+    int32_t Group = -1;      ///< Schedule group index (== position in Ops).
+    int32_t RuntimeIdx = -1; ///< Dense runtime index (-1 for Generic).
+    /// Output nets to prepare (PrevHas <- Has; Has <- false) before the
+    /// body runs; empty for Generic (evaluateGroup prepares internally).
+    Range Prep;
+    /// Connected output nets in port-index order (writes + port events).
+    Range Out;
+    /// Input nets the body reads, kind-specific layout (see the runner).
+    Range In;
+    int64_t ImmA = 0; ///< CounterSource: start.
+    int64_t ImmB = 0; ///< CounterSource: stride.
+    /// ConstSource: the materialized parameter value.
+    interp::Value Const;
+    /// DelayEval: the "held" slot; Sink: the "received" slot. Stable
+    /// across reset() (bsl::StateTable pointers survive resetValues).
+    interp::Value *State = nullptr;
+    /// "port:<name>" of the written output slot (automatic port events);
+    /// Sink: the declared "received" event name.
+    const std::string *EventName = nullptr;
+    const std::string *Path = nullptr; ///< Instance path for events.
+  };
+
+  struct SeqOp {
+    SeqKind Kind = SeqKind::GenericEot;
+    int32_t RuntimeIdx = -1;
+    int32_t InNet = -1; ///< DelayLatch: in[0] net id, or -1.
+    interp::Value *State = nullptr; ///< DelayLatch: the "held" slot.
+  };
+
+  /// Runs \p N cycles of \p Sim through the kernel. \p Sim must be the
+  /// simulator this kernel was built against.
+  void run(Simulator &Sim, uint64_t N);
+
+  /// Renders the structural plan as a byte-stable "LSSKRN 1" artifact.
+  /// Deterministic: the same simulator always serializes to the same
+  /// bytes, and a plan adopted via KernelBuilder::load re-serializes to
+  /// its canonical form.
+  std::string serialize() const;
+
+  /// The declared event name Sink emits; kernel-owned so the emitted
+  /// Event's name pointer has a stable address.
+  static const std::string &sinkEventName();
+
+  static const char *opKindName(OpKind K);
+  static const char *seqKindName(SeqKind K);
+
+  std::vector<Op> Ops;
+  std::vector<SeqOp> SeqOps;
+  std::vector<int32_t> NetPool; ///< Backing store for every Range.
+  KernelStats Stats;
+};
+
+} // namespace sim
+} // namespace liberty
+
+#endif // LIBERTY_SIM_COMPILEDKERNEL_H

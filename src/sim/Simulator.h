@@ -49,6 +49,31 @@
 namespace liberty {
 namespace sim {
 
+class CompiledKernel;
+class KernelBuilder;
+class KernelBuilderImpl;
+struct KernelStats;
+
+/// Which execution engine steps the simulator. Auto preserves the
+/// historical flag-driven selection (Jobs > 1 -> wavefront, else
+/// Selective on/off); the named kinds pin one engine explicitly
+/// (lssc --sim-engine). All engines are bit-identical in traces, final
+/// net values, and runtime state — pinned by the cross-engine
+/// differential tests.
+enum class EngineKind {
+  Auto,      ///< Resolve from Selective/Jobs (legacy flags).
+  Interp,    ///< Exhaustive serial interpreter.
+  Selective, ///< Change-driven (activity-based) serial interpreter.
+  Wavefront, ///< Level-parallel interpreter (Jobs workers).
+  Compiled,  ///< Flat cycle kernel (sim/CompiledKernel).
+};
+
+/// Stable lowercase name ("interp", "compiled", ...) for CLI/stats.
+const char *engineName(EngineKind K);
+/// Parses an engineName() string (also accepts "auto"); returns false and
+/// leaves \p Out untouched on an unknown name.
+bool parseEngineName(const std::string &Name, EngineKind &Out);
+
 /// Per-run activity counters for the selective-trace engine, reported
 /// through the --stats-json path. All counts are cumulative since the last
 /// reset(). Under the wavefront engine each worker accumulates into its
@@ -81,6 +106,10 @@ public:
     /// phase (lssc --sim-jobs). 1 = the serial engine; any value produces
     /// bit-identical traces, stats, and diagnostics.
     unsigned Jobs = 1;
+    /// Engine selection (lssc --sim-engine). Auto resolves from the two
+    /// legacy flags above; an explicit kind wins and build() normalizes
+    /// Selective/Jobs to match it.
+    EngineKind Engine = EngineKind::Auto;
   };
 
   /// Structural facts about the generated simulator.
@@ -105,6 +134,14 @@ public:
   static std::unique_ptr<Simulator> build(netlist::Netlist &NL, SourceMgr &SM,
                                           DiagnosticEngine &Diags,
                                           Options Opts);
+  /// As above, additionally offering a cached "LSSKRN 1" kernel artifact
+  /// to adopt when the compiled engine is selected (null = build fresh).
+  /// A rejected artifact silently falls back to a fresh lowering —
+  /// getKernelStats()->FromCache reports what happened.
+  static std::unique_ptr<Simulator> build(netlist::Netlist &NL, SourceMgr &SM,
+                                          DiagnosticEngine &Diags,
+                                          Options Opts,
+                                          const std::string *KernelArtifact);
 
   ~Simulator();
 
@@ -120,6 +157,17 @@ public:
   const Options &getOptions() const { return Opts; }
   const BuildInfo &getBuildInfo() const { return Info; }
   const ActivityStats &getActivityStats() const { return Activity; }
+
+  /// The engine build() resolved (never Auto).
+  EngineKind getEngine() const { return ResolvedEngine; }
+  const char *getEngineName() const { return engineName(ResolvedEngine); }
+  /// Kernel provenance and op counts; null unless the compiled engine is
+  /// active.
+  const KernelStats *getKernelStats() const;
+  /// Renders the compiled kernel as its byte-stable "LSSKRN 1" artifact
+  /// for caching; returns false (leaving \p Out untouched) unless the
+  /// compiled engine is active.
+  bool serializeKernel(std::string &Out) const;
 
   /// The value most recently driven on (instance path, output port, index),
   /// or null if none was sent this cycle / the node does not exist.
@@ -211,6 +259,13 @@ private:
   /// Instance path -> runtime record, for O(log n) findState resolution.
   std::map<std::string, Runtime *> PathToRuntime;
 
+  /// The engine resolved from Opts at build time (never Auto).
+  EngineKind ResolvedEngine = EngineKind::Interp;
+  /// The compiled engine's flat cycle program (sim/CompiledKernel),
+  /// lowered by KernelBuilder after construct()+reset(); null for the
+  /// interpreted engines. step() routes through it when set.
+  std::unique_ptr<CompiledKernel> Kernel;
+
   uint64_t Cycle = 0;
   /// Sticky error flag; atomic because worker threads running userpoints
   /// or failing fixpoints set it during the parallel phase.
@@ -263,6 +318,11 @@ private:
   std::vector<int> LevelPending;
 
   friend class SimulatorTestPeer;
+  /// The compiled engine: KernelBuilder lowers over the private slot
+  /// tables; CompiledKernel::run drives Nets/Instr/Cycle directly.
+  friend class CompiledKernel;
+  friend class KernelBuilder;
+  friend class KernelBuilderImpl;
 };
 
 } // namespace sim

@@ -1,0 +1,132 @@
+//===- EngineMatrix.h - Cross-engine differential harness -------*- C++ -*-===//
+///
+/// \file
+/// The four-way engine matrix: run any model on the serial interpreter,
+/// the selective-trace engine, the wavefront engine, and the compiled
+/// cycle kernel, and assert that every engine produces a bit-identical
+/// observable record (event stream, final net values, total emission
+/// count) against the serial interpreter reference.
+///
+/// This is the enforcement point for the engines' shared contract: the
+/// serial interpreter defines the semantics, and every other engine is an
+/// optimization that must be observationally invisible. Any test binary
+/// can include this header (on top of SimTestModels.h) and sweep a model
+/// across the matrix with one call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_TESTS_ENGINEMATRIX_H
+#define LIBERTY_TESTS_ENGINEMATRIX_H
+
+#include "SimTestModels.h"
+
+namespace simtest {
+
+struct EngineConfig {
+  const char *Name;
+  liberty::sim::Simulator::Options Opts;
+};
+
+/// Every engine the simulator can resolve to. The wavefront entry pins
+/// Jobs=3 so shard merging is exercised even on single-core hosts.
+inline std::vector<EngineConfig> engineMatrix() {
+  using liberty::sim::EngineKind;
+  std::vector<EngineConfig> Out;
+  {
+    EngineConfig E{"interp", {}};
+    E.Opts.Engine = EngineKind::Interp;
+    Out.push_back(E);
+  }
+  {
+    EngineConfig E{"selective", {}};
+    E.Opts.Engine = EngineKind::Selective;
+    Out.push_back(E);
+  }
+  {
+    EngineConfig E{"wavefront", {}};
+    E.Opts.Engine = EngineKind::Wavefront;
+    E.Opts.Jobs = 3;
+    Out.push_back(E);
+  }
+  {
+    EngineConfig E{"compiled", {}};
+    E.Opts.Engine = EngineKind::Compiled;
+    Out.push_back(E);
+  }
+  return Out;
+}
+
+/// Requires \p Got to equal the reference record \p Ref, reporting the
+/// first diverging event line (trace diff, not just a size or hash
+/// mismatch) on failure.
+inline void expectTraceEqual(const std::string &What, const TraceRecord &Ref,
+                             const TraceRecord &Got) {
+  if (Got.Events != Ref.Events) {
+    size_t N = std::min(Ref.Events.size(), Got.Events.size());
+    size_t First = N;
+    for (size_t I = 0; I != N; ++I)
+      if (Ref.Events[I] != Got.Events[I]) {
+        First = I;
+        break;
+      }
+    ADD_FAILURE() << What << ": event streams diverge ("
+                  << Ref.Events.size() << " reference events, "
+                  << Got.Events.size() << " actual); first difference at #"
+                  << First << ":\n  reference: "
+                  << (First < Ref.Events.size() ? Ref.Events[First]
+                                                : "<missing>")
+                  << "\n  actual:    "
+                  << (First < Got.Events.size() ? Got.Events[First]
+                                                : "<missing>");
+    return;
+  }
+  EXPECT_EQ(Ref.FinalNets, Got.FinalNets)
+      << What << ": final net values diverge";
+  EXPECT_EQ(Ref.TotalEmitted, Got.TotalEmitted) << What;
+}
+
+/// Compiles \p Text once per engine, runs each for \p Cycles, and
+/// requires all records to match the serial-interpreter reference.
+inline void expectAllEnginesMatch(const std::string &Name,
+                                  const std::string &Text, uint64_t Cycles) {
+  TraceRecord Ref;
+  bool HaveRef = false;
+  for (const EngineConfig &E : engineMatrix()) {
+    auto C = compileSim(Name, Text, E.Opts);
+    ASSERT_NE(C, nullptr) << E.Name << " compile failed for " << Name;
+    TraceRecord R = runRecorded(*C, Cycles);
+    EXPECT_FALSE(C->getSimulator()->hadRuntimeErrors())
+        << E.Name << " on " << Name;
+    if (!HaveRef) {
+      Ref = std::move(R);
+      HaveRef = true;
+      continue;
+    }
+    expectTraceEqual(std::string(E.Name) + " vs interp on " + Name, Ref, R);
+  }
+}
+
+/// The model-library variant of expectAllEnginesMatch.
+inline void expectAllEnginesMatchModel(const std::string &Id,
+                                       uint64_t Cycles) {
+  TraceRecord Ref;
+  bool HaveRef = false;
+  for (const EngineConfig &E : engineMatrix()) {
+    liberty::driver::Compiler C;
+    ASSERT_TRUE(buildModelSim(C, Id, E.Opts))
+        << E.Name << " compile failed for model " << Id << "\n"
+        << C.diagnosticsText();
+    TraceRecord R = runRecorded(C, Cycles);
+    if (!HaveRef) {
+      Ref = std::move(R);
+      HaveRef = true;
+      continue;
+    }
+    expectTraceEqual(std::string(E.Name) + " vs interp on model " + Id, Ref,
+                     R);
+  }
+}
+
+} // namespace simtest
+
+#endif // LIBERTY_TESTS_ENGINEMATRIX_H

@@ -79,7 +79,8 @@ else
     grep -q "$Name" "$API" || fail "$API does not document $Name"
   done
 fi
-for Flag in cache-dir no-cache batch daemon deadline-ms no-daemon-fallback; do
+for Flag in cache-dir no-cache batch daemon deadline-ms no-daemon-fallback \
+            sim-engine; do
   grep -q -- "--$Flag" tools/lssc.cpp ||
     fail "lssc usage text does not document --$Flag"
   grep -q -- "--$Flag" README.md ||

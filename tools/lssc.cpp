@@ -50,6 +50,7 @@
 #include "driver/Compiler.h"
 #include "driver/Stats.h"
 #include "netlist/DotEmitter.h"
+#include "sim/CompiledKernel.h"
 
 #include <algorithm>
 #include <chrono>
@@ -100,6 +101,9 @@ struct CliOptions {
   uint64_t RunCycles = 0;
   bool Selective = true;
   unsigned SimJobs = 1; ///< Wavefront worker threads; 1 = serial engine.
+  /// Explicit engine selection; Auto derives the engine from the legacy
+  /// --no-selective / --sim-jobs flags.
+  sim::EngineKind SimEngine = sim::EngineKind::Auto;
   std::vector<std::pair<std::string, std::string>> Watches;
   /// Error cap shared by the parser, elaboration, and inference through
   /// the DiagnosticEngine; 0 = unlimited.
@@ -140,6 +144,10 @@ void printUsage() {
       "  --run N                simulate N cycles\n"
       "  --sim-jobs N           simulate with N worker threads (wavefront\n"
       "                         engine; identical traces for any N)\n"
+      "  --sim-engine E         select the simulation engine: interp,\n"
+      "                         selective, wavefront, or compiled (all\n"
+      "                         produce identical traces); default picks\n"
+      "                         from --no-selective / --sim-jobs\n"
       "  --watch 'PATH EVENT'   count matching events while running\n"
       "  --no-selective         evaluate every component every cycle\n"
       "                         (disable change-driven evaluation)\n"
@@ -225,6 +233,23 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SimJobs = unsigned(std::strtoul(Argv[I], nullptr, 10));
       if (Opts.SimJobs == 0) {
         std::cerr << "lssc: --sim-jobs requires a positive thread count\n";
+        return false;
+      }
+    } else if (Arg == "--sim-engine" || Arg.rfind("--sim-engine=", 0) == 0) {
+      std::string Name;
+      if (Arg == "--sim-engine") {
+        if (++I >= Argc) {
+          std::cerr << "lssc: --sim-engine requires an engine name\n";
+          return false;
+        }
+        Name = Argv[I];
+      } else {
+        Name = Arg.substr(std::strlen("--sim-engine="));
+      }
+      if (!sim::parseEngineName(Name, Opts.SimEngine)) {
+        std::cerr << "lssc: unknown engine '" << Name
+                  << "' (expected interp, selective, wavefront, or "
+                     "compiled)\n";
         return false;
       }
     } else if (Arg == "--max-errors") {
@@ -359,6 +384,7 @@ driver::CompilerInvocation makeInvocation(const CliOptions &Opts) {
   Inv.Solve.DeadlineMs = Opts.InferDeadlineMs;
   Inv.Sim.Selective = Opts.Selective;
   Inv.Sim.Jobs = Opts.SimJobs;
+  Inv.Sim.Engine = Opts.SimEngine;
   Inv.BuildSim = Opts.RunCycles > 0;
   return Inv;
 }
@@ -693,6 +719,7 @@ int main(int Argc, char **Argv) {
     CacheRep.Stats = Svc.getCache().getStats();
     CacheRep.ElabFromCache = R.ElabFromCache;
     CacheRep.SolutionFromCache = R.SolutionFromCache;
+    CacheRep.KernelFromCache = R.KernelFromCache;
     return &CacheRep;
   };
 
@@ -746,6 +773,7 @@ int main(int Argc, char **Argv) {
   if (Opts.EmitDot)
     netlist::emitDot(*C.getNetlist(), std::cout);
 
+  double CyclesPerSec = 0.0;
   if (Opts.RunCycles) {
     if (R.Failed == Phase::SimBuild)
       return Bail("simulator construction", ExitSimFault);
@@ -753,14 +781,20 @@ int main(int Argc, char **Argv) {
     std::vector<uint64_t *> Counters;
     for (const auto &[Path, Event] : Opts.Watches)
       Counters.push_back(&Sim->getInstrumentation().attachCounter(Path, Event));
+    auto RunStart = std::chrono::steady_clock::now();
     Sim->step(Opts.RunCycles);
+    double RunSecs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - RunStart)
+                         .count();
+    if (RunSecs > 0.0)
+      CyclesPerSec = double(Opts.RunCycles) / RunSecs;
     std::fprintf(HumanFile,
-                 "ran %llu cycles (%u leaves, %u nets, %u schedule groups, "
-                 "%u levels, %u jobs)\n",
-                 (unsigned long long)Sim->getCycle(),
+                 "ran %llu cycles on the %s engine (%u leaves, %u nets, "
+                 "%u schedule groups, %u levels, %u jobs)\n",
+                 (unsigned long long)Sim->getCycle(), Sim->getEngineName(),
                  Sim->getBuildInfo().NumLeaves, Sim->getBuildInfo().NumNets,
                  Sim->getBuildInfo().NumGroups, Sim->getBuildInfo().NumLevels,
-                 Opts.SimJobs);
+                 Sim->getOptions().Jobs);
     const sim::ActivityStats &A = Sim->getActivityStats();
     std::fprintf(HumanFile,
                  "selective: %s (%u skippable groups; %llu evaluated, "
@@ -770,6 +804,15 @@ int main(int Argc, char **Argv) {
                  (unsigned long long)A.GroupsEvaluated,
                  (unsigned long long)A.GroupsSkipped,
                  (unsigned long long)A.LeafEvals);
+    // Cache status and build time stay out of the human line so stdout is
+    // byte-identical cold vs. warm (see tools/check_cache_stability.sh);
+    // both are reported in --stats-json.
+    if (const sim::KernelStats *KS = Sim->getKernelStats())
+      std::fprintf(HumanFile,
+                   "kernel: %u ops (%u specialized, %u generic), %u seq ops "
+                   "(%u elided)\n",
+                   KS->NumOps, KS->NumSpecializedOps, KS->NumGenericOps,
+                   KS->NumSeqOps, KS->NumSeqElided);
     for (unsigned I = 0; I != Opts.Watches.size(); ++I)
       std::fprintf(HumanFile, "watch '%s %s': %llu events\n",
                    Opts.Watches[I].first.c_str(),
@@ -789,7 +832,7 @@ int main(int Argc, char **Argv) {
     if (Opts.StatsJsonPath == "-") {
       driver::printStatsJson(std::cout, S, C.getInferenceStats(),
                              C.getPhaseTimer(), C.getSimulator(),
-                             cacheReport());
+                             cacheReport(), CyclesPerSec);
     } else {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
@@ -798,7 +841,7 @@ int main(int Argc, char **Argv) {
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
                              C.getPhaseTimer(), C.getSimulator(),
-                             cacheReport());
+                             cacheReport(), CyclesPerSec);
     }
   }
   if (Opts.TimePhases)
