@@ -10,6 +10,10 @@
 /// Also reports a batch A/B: all six Table 3 models compiled serially vs.
 /// through CompileService::compileBatch on a thread pool.
 ///
+/// Results (per-model cold/warm ms, per-kind artifact bytes from the
+/// cache directory, batch A/B) are written to BENCH_cache.json in the
+/// working directory.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/CompileService.h"
@@ -18,6 +22,9 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -103,6 +110,23 @@ int main() {
     Rows.push_back(R);
   }
 
+  // Per-kind artifact footprint, read off the cache directory while it
+  // still holds every model's entries ("<key>.<phase>.lssart").
+  std::map<std::string, uint64_t> KindBytes;
+  std::map<std::string, unsigned> KindFiles;
+  for (const auto &Ent : std::filesystem::directory_iterator(Dir)) {
+    if (!Ent.is_regular_file())
+      continue;
+    std::string Name = Ent.path().filename().string();
+    if (Name.size() < 8 || Name.substr(Name.size() - 7) != ".lssart")
+      continue;
+    std::string Stem = Name.substr(0, Name.size() - 7);
+    size_t Dot = Stem.rfind('.');
+    std::string Kind = Dot == std::string::npos ? "?" : Stem.substr(Dot + 1);
+    KindBytes[Kind] += uint64_t(Ent.file_size());
+    KindFiles[Kind] += 1;
+  }
+
   double ColdTotal = 0, WarmTotal = 0;
   for (const Row &R : Rows) {
     ColdTotal += R.ColdMs;
@@ -138,6 +162,50 @@ int main() {
               PoolMs > 0 ? SerialMs / PoolMs : 0.0);
 
   std::filesystem::remove_all(Dir);
+
+  {
+    std::ostringstream JS;
+    JS << "{\n  \"bench\": \"cache\",\n  \"models\": [";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      if (I)
+        JS << ",";
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf),
+                    "\n    {\"model\": \"%s\", \"cold_ms\": %.3f, "
+                    "\"warm_ms\": %.3f, \"speedup\": %.2f, \"ok\": %s}",
+                    R.Id.c_str(), R.ColdMs, R.WarmMs,
+                    R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
+                    R.Ok ? "true" : "false");
+      JS << Buf;
+    }
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n  ],\n  \"total\": {\"cold_ms\": %.3f, \"warm_ms\": "
+                  "%.3f, \"speedup\": %.2f},\n",
+                  ColdTotal, WarmTotal, Speedup);
+    JS << Buf;
+    JS << "  \"artifact_bytes\": {";
+    bool First = true;
+    for (const auto &[Kind, Bytes] : KindBytes) {
+      JS << (First ? "" : ", ") << "\"" << Kind << "\": " << Bytes;
+      First = false;
+    }
+    JS << "},\n  \"artifact_files\": {";
+    First = true;
+    for (const auto &[Kind, N] : KindFiles) {
+      JS << (First ? "" : ", ") << "\"" << Kind << "\": " << N;
+      First = false;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "},\n  \"batch\": {\"serial_ms\": %.3f, \"pooled_ms\": "
+                  "%.3f, \"speedup\": %.2f}\n}\n",
+                  SerialMs, PoolMs, PoolMs > 0 ? SerialMs / PoolMs : 0.0);
+    JS << Buf;
+    std::ofstream("BENCH_cache.json") << JS.str();
+    std::printf("\nwrote BENCH_cache.json\n");
+  }
+
   std::printf("\n%s\n", AllOk ? "all checks passed" : "CHECKS FAILED");
   return AllOk && Speedup >= 2.0 ? 0 : 1;
 }

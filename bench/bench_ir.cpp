@@ -1,0 +1,339 @@
+//===- bench_ir.cpp - Dense interned IR benchmark (BENCH_ir.json) -------------===//
+///
+/// Proves the dense interned netlist IR at scale. For synthetic workloads
+/// of 1k/4k/10k leaf instances (infer::buildSyntheticNetlist) it measures:
+///
+///  - elaboration: netlist construction plus freezeIds() id assignment;
+///  - constraint generation: the dense id-indexed generator
+///    (infer::buildNetlistConstraints) against a faithful in-bench replica
+///    of the old string-keyed generator (per-port path concatenation,
+///    eagerly rendered context strings, by-name port scans);
+///  - LSSNL artifact bytes, v1 (in-place strings) vs v2 (interned table);
+///  - warm cache load: deserializeNetlist wall time on each format.
+///
+/// Results go to BENCH_ir.json (override with --out FILE). --smoke runs
+/// only the 1k point and skips the performance acceptance gates — it is
+/// the bench_smoke ctest entry, so it must stay fast and insensitive to
+/// machine load — but still self-checks the emitted JSON schema. A full
+/// run exits nonzero unless, at the largest size, dense constraint-gen is
+/// >= 1.5x the string-keyed baseline, v2 artifacts are >= 20% smaller
+/// than v1, and the v2 warm load is no slower than v1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "infer/InferenceEngine.h"
+#include "infer/Synthetic.h"
+#include "netlist/Netlist.h"
+#include "netlist/Serializer.h"
+#include "support/Diagnostics.h"
+#include "types/TypeContext.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace liberty;
+using infer::Constraint;
+
+namespace {
+
+double msNow() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-N wall time in milliseconds. Best-of (not mean) because the
+/// quantities compared are deterministic work; the minimum is the run
+/// least disturbed by the machine.
+double bestOf(unsigned Reps, const std::function<void()> &Fn) {
+  double Best = 1e300;
+  for (unsigned I = 0; I != Reps; ++I) {
+    double T0 = msNow();
+    Fn();
+    Best = std::min(Best, msNow() - T0);
+  }
+  return Best;
+}
+
+/// The pre-dense-IR constraint generator, reproduced verbatim from the
+/// string-keyed implementation this PR replaced: fresh variables named by
+/// a per-port "<path>.<port>" concatenation, diagnostic context strings
+/// rendered eagerly for every constraint, and connection endpoints
+/// resolved with by-name linear port scans. This is the baseline the
+/// acceptance gate compares against.
+std::vector<Constraint> buildConstraintsStringKeyed(netlist::Netlist &NL,
+                                                    types::TypeContext &TC) {
+  std::vector<Constraint> Cs;
+  for (const auto &Inst : NL.getInstances()) {
+    for (netlist::Port &P : Inst->Ports) {
+      P.InferVar = TC.freshVar(Inst->Path + "." + P.Name);
+      if (P.Scheme)
+        Cs.push_back(Constraint{P.InferVar, P.Scheme, P.Loc,
+                                "annotation of port '" + P.Name +
+                                    "' on instance '" + Inst->Path + "'",
+                                Inst->Path});
+    }
+    for (const auto &[LHS, RHS] : Inst->ExtraConstraints)
+      Cs.push_back(Constraint{LHS, RHS, Inst->Loc,
+                              "constrain statement of instance '" +
+                                  Inst->Path + "'",
+                              Inst->Path});
+  }
+  for (const auto &Conn : NL.getConnections()) {
+    if (!Conn->isFullyResolved())
+      continue;
+    netlist::Port *PF = Conn->From.Inst->findPort(Conn->From.Port);
+    netlist::Port *PT = Conn->To.Inst->findPort(Conn->To.Port);
+    if (!PF || !PT || !PF->InferVar || !PT->InferVar)
+      continue;
+    Cs.push_back(Constraint{PF->InferVar, PT->InferVar, Conn->Loc,
+                            "connection", Conn->From.Inst->Path});
+    if (Conn->Annotation)
+      Cs.push_back(Constraint{PF->InferVar, Conn->Annotation, Conn->Loc,
+                              "connection annotation",
+                              Conn->From.Inst->Path});
+  }
+  return Cs;
+}
+
+struct SizeResult {
+  unsigned Instances = 0;
+  unsigned Lanes = 0;
+  unsigned DisjunctPermille = 0;
+  unsigned Ports = 0;
+  unsigned Connections = 0;
+  unsigned Constraints = 0;
+  double ElaborateMs = 0;
+  double GenDenseMs = 0;
+  double GenStringMs = 0;
+  double V1Bytes = 0;
+  double V2Bytes = 0;
+  double LoadV1Ms = 0;
+  double LoadV2Ms = 0;
+
+  double genSpeedup() const {
+    return GenDenseMs > 0 ? GenStringMs / GenDenseMs : 0;
+  }
+  double bytesSavedPct() const {
+    return V1Bytes > 0 ? 100.0 * (V1Bytes - V2Bytes) / V1Bytes : 0;
+  }
+  double loadSpeedup() const {
+    return LoadV2Ms > 0 ? LoadV1Ms / LoadV2Ms : 0;
+  }
+};
+
+SizeResult runSize(unsigned Instances, unsigned Reps) {
+  SizeResult R;
+  infer::SyntheticNetlistSpec Spec;
+  Spec.Instances = Instances;
+  R.Instances = Instances;
+  R.Lanes = Spec.Lanes;
+  R.DisjunctPermille = Spec.DisjunctPermille;
+
+  // Elaboration: build-and-discard per rep so each run pays the full
+  // interning and id-assignment cost on a fresh netlist.
+  R.ElaborateMs = bestOf(Reps, [&] {
+    types::TypeContext TC;
+    netlist::Netlist NL;
+    infer::buildSyntheticNetlist(NL, TC, Spec);
+  });
+
+  types::TypeContext TC;
+  netlist::Netlist NL;
+  infer::buildSyntheticNetlist(NL, TC, Spec);
+  for (const auto &Inst : NL.getInstances())
+    R.Ports += unsigned(Inst->Ports.size());
+  R.Connections = unsigned(NL.getConnections().size());
+
+  std::vector<Constraint> Cs;
+  R.GenDenseMs =
+      bestOf(Reps, [&] { Cs = infer::buildNetlistConstraints(NL, TC); });
+  R.Constraints = unsigned(Cs.size());
+  R.GenStringMs =
+      bestOf(Reps, [&] { Cs = buildConstraintsStringKeyed(NL, TC); });
+  // The string-keyed pass overwrote every InferVar; regenerate densely so
+  // the netlist leaves the bench in the state the real pipeline produces.
+  Cs = infer::buildNetlistConstraints(NL, TC);
+
+  std::set<std::string> LibraryModules;
+  std::vector<Diagnostic> NoDiags;
+  std::string V1, V2;
+  if (!netlist::serializeNetlist(NL, LibraryModules, 0, NoDiags, V1, 1) ||
+      !netlist::serializeNetlist(NL, LibraryModules, 0, NoDiags, V2, 2)) {
+    std::fprintf(stderr, "bench_ir: serialization failed at %u instances\n",
+                 Instances);
+    return R;
+  }
+  R.V1Bytes = double(V1.size());
+  R.V2Bytes = double(V2.size());
+
+  // Interleaved A/B: alternating the formats within each rep keeps
+  // machine-load drift from biasing one side of the comparison.
+  auto LoadOnce = [](const std::string &Text) {
+    double T0 = msNow();
+    types::TypeContext LoadTC;
+    netlist::SerializedCompile SC = netlist::deserializeNetlist(Text, LoadTC);
+    if (!SC.NL)
+      std::fprintf(stderr, "bench_ir: artifact reload failed\n");
+    return msNow() - T0;
+  };
+  R.LoadV1Ms = R.LoadV2Ms = 1e300;
+  for (unsigned I = 0; I != Reps + 2; ++I) {
+    R.LoadV1Ms = std::min(R.LoadV1Ms, LoadOnce(V1));
+    R.LoadV2Ms = std::min(R.LoadV2Ms, LoadOnce(V2));
+  }
+  return R;
+}
+
+void printRow(const SizeResult &R) {
+  std::printf("%9u %9.2f %11.2f %12.2f %8.2fx %10.0f %10.0f %7.1f%% "
+              "%8.2f %8.2f\n",
+              R.Instances, R.ElaborateMs, R.GenDenseMs, R.GenStringMs,
+              R.genSpeedup(), R.V1Bytes, R.V2Bytes, R.bytesSavedPct(),
+              R.LoadV1Ms, R.LoadV2Ms);
+}
+
+void writeJson(const std::string &Path, const std::vector<SizeResult> &Rows,
+               bool Smoke) {
+  std::ostringstream OS;
+  OS << "{\n  \"bench\": \"ir\",\n  \"smoke\": " << (Smoke ? "true" : "false")
+     << ",\n  \"sizes\": [";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const SizeResult &R = Rows[I];
+    if (I)
+      OS << ",";
+    char Buf[1024];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "\n    {\n"
+        "      \"instances\": %u,\n"
+        "      \"lanes\": %u,\n"
+        "      \"disjunct_permille\": %u,\n"
+        "      \"ports\": %u,\n"
+        "      \"connections\": %u,\n"
+        "      \"constraints\": %u,\n"
+        "      \"elaborate_ms\": %.3f,\n"
+        "      \"constraint_gen_dense_ms\": %.3f,\n"
+        "      \"constraint_gen_string_ms\": %.3f,\n"
+        "      \"constraint_gen_speedup\": %.3f,\n"
+        "      \"lssnl_v1_bytes\": %.0f,\n"
+        "      \"lssnl_v2_bytes\": %.0f,\n"
+        "      \"lssnl_bytes_saved_pct\": %.1f,\n"
+        "      \"warm_load_v1_ms\": %.3f,\n"
+        "      \"warm_load_v2_ms\": %.3f,\n"
+        "      \"warm_load_speedup\": %.3f\n"
+        "    }",
+        R.Instances, R.Lanes, R.DisjunctPermille, R.Ports, R.Connections,
+        R.Constraints, R.ElaborateMs, R.GenDenseMs, R.GenStringMs,
+        R.genSpeedup(), R.V1Bytes, R.V2Bytes, R.bytesSavedPct(), R.LoadV1Ms,
+        R.LoadV2Ms, R.loadSpeedup());
+    OS << Buf;
+  }
+  OS << "\n  ]\n}\n";
+  std::ofstream Out(Path);
+  Out << OS.str();
+}
+
+/// Re-reads the emitted file and checks every schema key is present —
+/// the bench_smoke ctest gate, so a field rename can't silently produce
+/// an unparseable BENCH_ir.json.
+bool validateJson(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string Text = SS.str();
+  static const char *Keys[] = {
+      "\"bench\"",                     "\"smoke\"",
+      "\"sizes\"",                     "\"instances\"",
+      "\"constraints\"",               "\"elaborate_ms\"",
+      "\"constraint_gen_dense_ms\"",   "\"constraint_gen_string_ms\"",
+      "\"constraint_gen_speedup\"",    "\"lssnl_v1_bytes\"",
+      "\"lssnl_v2_bytes\"",            "\"lssnl_bytes_saved_pct\"",
+      "\"warm_load_v1_ms\"",           "\"warm_load_v2_ms\"",
+      "\"warm_load_speedup\"",
+  };
+  for (const char *K : Keys)
+    if (Text.find(K) == std::string::npos) {
+      std::fprintf(stderr, "bench_ir: BENCH_ir.json is missing %s\n", K);
+      return false;
+    }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_ir.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<unsigned> Sizes =
+      Smoke ? std::vector<unsigned>{1000}
+            : std::vector<unsigned>{1000, 4000, 10000};
+  const unsigned Reps = Smoke ? 2 : 5;
+
+  std::printf("Dense interned IR benchmark (%s)\n",
+              Smoke ? "smoke: 1k point only" : "1k/4k/10k");
+  std::printf("%9s %9s %11s %12s %9s %10s %10s %8s %8s %8s\n", "instances",
+              "elab_ms", "gen_dense", "gen_string", "speedup", "v1_bytes",
+              "v2_bytes", "saved", "load_v1", "load_v2");
+  std::vector<SizeResult> Rows;
+  for (unsigned N : Sizes) {
+    Rows.push_back(runSize(N, Reps));
+    printRow(Rows.back());
+  }
+
+  writeJson(OutPath, Rows, Smoke);
+  std::printf("wrote %s\n", OutPath.c_str());
+  if (!validateJson(OutPath))
+    return 1;
+
+  const SizeResult &Last = Rows.back();
+  bool Sane = Last.Constraints > 0 && Last.V1Bytes > 0 && Last.V2Bytes > 0 &&
+              Last.GenDenseMs > 0 && Last.LoadV2Ms > 0;
+  if (!Sane) {
+    std::fprintf(stderr, "bench_ir: degenerate measurements\n");
+    return 1;
+  }
+  if (Smoke)
+    return 0; // Schema and sanity only; no timing gates under ctest load.
+
+  bool Ok = true;
+  if (Last.genSpeedup() < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: dense constraint-gen only %.2fx the string-keyed "
+                 "baseline at %u instances (need >= 1.5x)\n",
+                 Last.genSpeedup(), Last.Instances);
+    Ok = false;
+  }
+  if (Last.bytesSavedPct() < 20.0) {
+    std::fprintf(stderr,
+                 "FAIL: LSSNL v2 only %.1f%% smaller than v1 at %u instances "
+                 "(need >= 20%%)\n",
+                 Last.bytesSavedPct(), Last.Instances);
+    Ok = false;
+  }
+  if (Last.LoadV2Ms > Last.LoadV1Ms) {
+    std::fprintf(stderr,
+                 "FAIL: v2 warm load (%.2fms) slower than v1 (%.2fms)\n",
+                 Last.LoadV2Ms, Last.LoadV1Ms);
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

@@ -54,7 +54,8 @@ a.out -> s.in;
 /// record kind (instance, port, connection, userpoint, diag, p, stats)
 /// appears in them, so splices hit real parse paths.
 struct SeedArtifacts {
-  std::string NetlistArt;
+  std::string NetlistArt;   ///< Current format (LSSNL 2, interned strtab).
+  std::string NetlistArtV1; ///< Legacy format the loader still accepts.
   std::string SolutionArt;
   bool Ok = false;
 };
@@ -70,6 +71,9 @@ const SeedArtifacts &seeds() {
     A.Ok = netlist::serializeNetlist(*C.getNetlist(), C.getLibraryModules(),
                                      C.getNumUserTypeAnnotations(), {},
                                      A.NetlistArt) &&
+           netlist::serializeNetlist(*C.getNetlist(), C.getLibraryModules(),
+                                     C.getNumUserTypeAnnotations(), {},
+                                     A.NetlistArtV1, 1) &&
            infer::exportSolution(*C.getNetlist(), C.getInferenceStats(), {},
                                  A.SolutionArt);
     return A;
@@ -179,7 +183,10 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
   std::string Raw(reinterpret_cast<const char *>(Data), Size);
   exercise(Raw);
   exerciseKernel(Raw);
+  // Splice against both wire formats: v2's strtab/id-reference records
+  // and v1's in-place escaped strings take different parse paths.
   exercise(patch(seeds().NetlistArt, Data, Size));
+  exercise(patch(seeds().NetlistArtV1, Data, Size));
   exercise(patch(seeds().SolutionArt, Data, Size));
   exerciseKernel(patch(kernelSeed().KernelArt, Data, Size));
   return 0;

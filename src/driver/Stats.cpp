@@ -166,7 +166,8 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"fixpoint_iters\": " << A.FixpointIters << ",\n"
        << "    \"net_writes\": " << A.NetWrites << ",\n"
        << "    \"net_changes\": " << A.NetChanges << ",\n"
-       << "    \"events_replayed\": " << A.EventsReplayed;
+       << "    \"events_replayed\": " << A.EventsReplayed << ",\n"
+       << "    \"bypass_cycles\": " << A.BypassCycles;
     if (const sim::KernelStats *KS = Sim->getKernelStats()) {
       OS << ",\n"
          << "    \"kernel_from_cache\": " << (KS->FromCache ? "true" : "false")

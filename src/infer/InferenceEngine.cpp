@@ -19,6 +19,32 @@ using namespace liberty;
 using namespace liberty::infer;
 using types::Type;
 
+std::string Constraint::renderContext() const {
+  if (!Context.empty() || !Inst)
+    return Context;
+  switch (Origin) {
+  case ConstraintOriginKind::PortAnnotation:
+    return "annotation of port '" +
+           Inst->Ports[static_cast<size_t>(PortIdx)].Name +
+           "' on instance '" + Inst->Path + "'";
+  case ConstraintOriginKind::ConstrainStmt:
+    return "constrain statement of instance '" + Inst->Path + "'";
+  case ConstraintOriginKind::Connection:
+    return "connection";
+  case ConstraintOriginKind::ConnAnnotation:
+    return "connection annotation";
+  case ConstraintOriginKind::None:
+    break;
+  }
+  return Context;
+}
+
+const std::string &Constraint::instancePath() const {
+  if (!InstancePath.empty() || !Inst)
+    return InstancePath;
+  return Inst->Path;
+}
+
 /// Total number of alternatives across every disjunct node in \p T —
 /// the "how overloaded is this constraint" figure reported when a group
 /// exhausts its budget.
@@ -137,12 +163,12 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
                : "type inference exceeded its work budget";
   };
 
-  // Pending disjunctive work, with provenance for diagnostics.
+  // Pending disjunctive work. Provenance stays a pointer to the original
+  // constraint — contexts and instance paths are rendered only on the
+  // (cold) failure paths, never copied per work item.
   struct PendingItem {
     TypePair P;
-    SourceLoc Loc;
-    std::string Context;
-    std::string InstancePath;
+    const Constraint *From = nullptr;
   };
   std::list<PendingItem> Pending;
 
@@ -152,21 +178,20 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     for (const Constraint &C : Constraints) {
       if (containsDisjunct(C.A) || containsDisjunct(C.B)) {
         ++Stats.NumDisjunctive;
-        Pending.push_back(
-            PendingItem{{C.A, C.B}, C.Loc, C.Context, C.InstancePath});
+        Pending.push_back(PendingItem{{C.A, C.B}, &C});
         continue;
       }
       std::vector<TypePair> Deferred;
       if (!U.unifyStructural(C.A, C.B, Deferred))
-        return Fail(U.getLastFailure() + " (" + C.Context + ")", C.Loc);
+        return Fail(U.getLastFailure() + " (" + C.renderContext() + ")",
+                    C.Loc);
       assert(Deferred.empty() && "non-disjunctive constraint deferred work");
     }
   } else {
     for (const Constraint &C : Constraints) {
       if (containsDisjunct(C.A) || containsDisjunct(C.B))
         ++Stats.NumDisjunctive;
-      Pending.push_back(
-          PendingItem{{C.A, C.B}, C.Loc, C.Context, C.InstancePath});
+      Pending.push_back(PendingItem{{C.A, C.B}, &C});
     }
   }
 
@@ -179,7 +204,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       Progress = false;
       for (auto It = Pending.begin(); It != Pending.end();) {
         if (overBudget(U, Opts, Stats))
-          return Fail(BudgetMessage(), It->Loc);
+          return Fail(BudgetMessage(), It->From->Loc);
         const Type *A = U.find(It->P.A);
         const Type *B = U.find(It->P.B);
         if (!A->isDisjunct() && !B->isDisjunct()) {
@@ -187,11 +212,11 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
           // directly, queueing any nested disjuncts it exposes.
           std::vector<TypePair> Deferred;
           if (!U.unifyStructural(A, B, Deferred))
-            return Fail(U.getLastFailure() + " (" + It->Context + ")",
-                        It->Loc);
+            return Fail(U.getLastFailure() + " (" +
+                            It->From->renderContext() + ")",
+                        It->From->Loc);
           for (const TypePair &D : Deferred)
-            Pending.push_back(
-                PendingItem{D, It->Loc, It->Context, It->InstancePath});
+            Pending.push_back(PendingItem{D, It->From});
           It = Pending.erase(It);
           Progress = true;
           continue;
@@ -208,8 +233,9 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
         }
         if (Viable.empty())
           return Fail("no alternative of " + D->str() + " is compatible "
-                      "with " + O->str() + " (" + It->Context + ")",
-                      It->Loc);
+                      "with " + O->str() + " (" +
+                      It->From->renderContext() + ")",
+                      It->From->Loc);
         if (Viable.size() == 1) {
           bool Ok =
               solveList(U, {TypePair{Viable.front(), O}}, Opts, Stats, 0);
@@ -248,7 +274,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       return Fail(Stats.HitLimit || Stats.HitDeadline
                       ? BudgetMessage()
                       : "no consistent assignment for overloaded components",
-                  Residual.front().Loc);
+                  Residual.front().From->Loc);
     Stats.Success = true;
     Stats.UnifySteps = U.getSteps() - StepsBefore;
     return Stats;
@@ -264,30 +290,39 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
       X = Rep[X] = Rep[Rep[X]];
     return X;
   };
-  std::map<uint32_t, unsigned> VarOwner;
+  // Type-variable ids are dense (TypeContext mints them 0,1,2,...), so
+  // ownership is a flat array indexed by id — no per-variable map nodes or
+  // string/int hashing on this path.
+  constexpr unsigned NoOwner = ~0u;
+  std::vector<unsigned> VarOwner(TC.getNumVars(), NoOwner);
+  std::vector<uint32_t> Vars;
   for (unsigned I = 0; I != N; ++I) {
-    std::vector<uint32_t> Vars;
+    Vars.clear();
     U.collectUnboundVars(Residual[I].P.A, Vars);
     U.collectUnboundVars(Residual[I].P.B, Vars);
     for (uint32_t V : Vars) {
-      auto [It, Inserted] = VarOwner.emplace(V, I);
-      if (!Inserted)
-        Rep[FindRep(I)] = FindRep(It->second);
+      unsigned &Owner = VarOwner[V];
+      if (Owner == NoOwner)
+        Owner = I;
+      else
+        Rep[FindRep(I)] = FindRep(Owner);
     }
   }
-  std::map<unsigned, std::vector<unsigned>> ByRoot;
-  for (unsigned I = 0; I != N; ++I)
-    ByRoot[FindRep(I)].push_back(I);
-  // Deterministic group order: by first (lowest-index) member. Members are
-  // already ascending because constraints were scanned in order.
+  // Group members by root. Scanning constraints in ascending order and
+  // numbering each component at its root's first appearance yields members
+  // in ascending order and components ordered by first (lowest-index)
+  // member — the same deterministic group order the ordered-map + sort
+  // version produced, in one linear pass.
+  std::vector<unsigned> ComponentOf(N, NoOwner);
   std::vector<std::vector<unsigned>> Components;
-  Components.reserve(ByRoot.size());
-  for (auto &[Root, Members] : ByRoot)
-    Components.push_back(std::move(Members));
-  std::sort(Components.begin(), Components.end(),
-            [](const std::vector<unsigned> &A, const std::vector<unsigned> &B) {
-              return A.front() < B.front();
-            });
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned Root = FindRep(I);
+    if (ComponentOf[Root] == NoOwner) {
+      ComponentOf[Root] = unsigned(Components.size());
+      Components.emplace_back();
+    }
+    Components[ComponentOf[Root]].push_back(I);
+  }
   Stats.NumComponents = Components.size();
 
   // The groups touch disjoint unbound variables, so each one searches on a
@@ -383,11 +418,11 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     if (!Out.Ok && (Out.Local.HitLimit || Out.Local.HitDeadline)) {
       // Budget exhaustion: capture the group's provenance for the
       // structured diagnostic, leave its variables free, and keep going.
-      GS.FirstLoc = Residual[Components[G].front()].Loc;
+      GS.FirstLoc = Residual[Components[G].front()].From->Loc;
       for (unsigned I : Components[G]) {
         GS.NumDisjunctAlternatives += countAlternatives(Residual[I].P.A) +
                                       countAlternatives(Residual[I].P.B);
-        const std::string &Path = Residual[I].InstancePath;
+        const std::string &Path = Residual[I].From->instancePath();
         if (!Path.empty() && GS.InstancePaths.size() < 8 &&
             std::find(GS.InstancePaths.begin(), GS.InstancePaths.end(),
                       Path) == GS.InstancePaths.end())
@@ -401,7 +436,7 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
     if (!Out.Ok) {
       Stats.Success = false;
       Stats.FailMessage = "no consistent assignment for overloaded components";
-      Stats.FailLoc = Residual[Components[G].front()].Loc;
+      Stats.FailLoc = Residual[Components[G].front()].From->Loc;
       Stats.UnifySteps = (U.getSteps() - StepsBefore) + GroupSteps;
       return Stats;
     }
@@ -431,38 +466,59 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
 std::vector<Constraint>
 liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
                                         types::TypeContext &TC) {
+  // Freeze the dense id layer: endpoint PortIdx resolution below replaces
+  // the per-connection by-name port scans, and diagnostics-only strings
+  // (contexts, instance paths) are rendered lazily from the dense origin,
+  // so this loop allocates nothing per constraint beyond the vector slot.
+  NL.freezeIds();
   std::vector<Constraint> Cs;
+  auto MakeConstraint = [](const Type *A, const Type *B, SourceLoc Loc,
+                           ConstraintOriginKind Kind,
+                           const netlist::InstanceNode *Inst,
+                           int PortIdx = -1) {
+    Constraint C;
+    C.A = A;
+    C.B = B;
+    C.Loc = Loc;
+    C.Origin = Kind;
+    C.Inst = Inst;
+    C.PortIdx = PortIdx;
+    return C;
+  };
   // One fresh variable per port; the port's annotated scheme constrains it.
   for (const auto &Inst : NL.getInstances()) {
-    for (netlist::Port &P : Inst->Ports) {
-      P.InferVar = TC.freshVar(Inst->Path + "." + P.Name);
+    for (size_t PI = 0; PI != Inst->Ports.size(); ++PI) {
+      netlist::Port &P = Inst->Ports[PI];
+      P.InferVar = TC.freshVar(P.Name);
       if (P.Scheme)
-        Cs.push_back(Constraint{P.InferVar, P.Scheme, P.Loc,
-                                "annotation of port '" + P.Name +
-                                    "' on instance '" + Inst->Path + "'",
-                                Inst->Path});
+        Cs.push_back(MakeConstraint(P.InferVar, P.Scheme, P.Loc,
+                                    ConstraintOriginKind::PortAnnotation,
+                                    Inst.get(), int(PI)));
     }
     for (const auto &[LHS, RHS] : Inst->ExtraConstraints)
-      Cs.push_back(Constraint{LHS, RHS, Inst->Loc,
-                              "constrain statement of instance '" +
-                                  Inst->Path + "'",
-                              Inst->Path});
+      Cs.push_back(MakeConstraint(LHS, RHS, Inst->Loc,
+                                  ConstraintOriginKind::ConstrainStmt,
+                                  Inst.get()));
   }
   // Connected ports share a type (modulo unresolved endpoints, which were
-  // already diagnosed during elaboration).
+  // already diagnosed during elaboration). Endpoint ports are reached by
+  // the PortIdx freezeIds() resolved, not a by-name scan.
   for (const auto &Conn : NL.getConnections()) {
     if (!Conn->isFullyResolved())
       continue;
-    netlist::Port *PF = Conn->From.Inst->findPort(Conn->From.Port);
-    netlist::Port *PT = Conn->To.Inst->findPort(Conn->To.Port);
-    if (!PF || !PT || !PF->InferVar || !PT->InferVar)
+    if (Conn->From.PortIdx < 0 || Conn->To.PortIdx < 0)
       continue;
-    Cs.push_back(Constraint{PF->InferVar, PT->InferVar, Conn->Loc,
-                            "connection", Conn->From.Inst->Path});
+    netlist::Port &PF = Conn->From.Inst->Ports[size_t(Conn->From.PortIdx)];
+    netlist::Port &PT = Conn->To.Inst->Ports[size_t(Conn->To.PortIdx)];
+    if (!PF.InferVar || !PT.InferVar)
+      continue;
+    Cs.push_back(MakeConstraint(PF.InferVar, PT.InferVar, Conn->Loc,
+                                ConstraintOriginKind::Connection,
+                                Conn->From.Inst));
     if (Conn->Annotation)
-      Cs.push_back(Constraint{PF->InferVar, Conn->Annotation, Conn->Loc,
-                              "connection annotation",
-                              Conn->From.Inst->Path});
+      Cs.push_back(MakeConstraint(PF.InferVar, Conn->Annotation, Conn->Loc,
+                                  ConstraintOriginKind::ConnAnnotation,
+                                  Conn->From.Inst));
   }
   return Cs;
 }

@@ -39,20 +39,48 @@ class PhaseTimer;
 
 namespace netlist {
 class Netlist;
+class InstanceNode;
 }
 
 namespace infer {
+
+/// Where a netlist constraint came from. Rendered into diagnostic text
+/// lazily (renderContext), so the hot constraint-generation path never
+/// builds strings for the overwhelmingly common case of constraints that
+/// unify cleanly.
+enum class ConstraintOriginKind : uint8_t {
+  None,           ///< Synthetic/test constraint; Context carries the text.
+  PortAnnotation, ///< Port scheme vs the port's inference variable.
+  ConstrainStmt,  ///< `constrain` statement of an instance.
+  Connection,     ///< Two connected ports share a type.
+  ConnAnnotation, ///< Connection's explicit type annotation.
+};
 
 /// One equality constraint with provenance for diagnostics.
 struct Constraint {
   const types::Type *A = nullptr;
   const types::Type *B = nullptr;
   SourceLoc Loc;
+  /// Pre-rendered context for synthetic producers (tests, benches). Empty
+  /// for netlist constraints, whose context is rendered on demand from
+  /// the dense origin fields below.
   std::string Context;
   /// Hierarchical path of the instance this constraint came from (empty for
   /// synthetic systems). Budget-exhaustion diagnostics name the instances
-  /// of the group that could not be solved.
+  /// of the group that could not be solved. Netlist constraints leave this
+  /// empty and carry Inst instead.
   std::string InstancePath;
+  /// Dense origin: kind + the instance (and port index, for
+  /// PortAnnotation) it came from. Only read on failure paths.
+  ConstraintOriginKind Origin = ConstraintOriginKind::None;
+  const netlist::InstanceNode *Inst = nullptr;
+  int PortIdx = -1;
+
+  /// Diagnostic context text: Context if pre-rendered, else built from the
+  /// dense origin. Cold path only.
+  std::string renderContext() const;
+  /// Hierarchical path of the originating instance ("" if unknown).
+  const std::string &instancePath() const;
 };
 
 struct SolveOptions {

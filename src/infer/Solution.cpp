@@ -32,9 +32,15 @@ static std::string doubleBits(double D) {
 bool liberty::infer::exportSolution(const netlist::Netlist &NL,
                                     const NetlistInferenceStats &Stats,
                                     const std::vector<Diagnostic> &Diags,
-                                    std::string &Out) {
+                                    std::string &Out,
+                                    unsigned FormatVersion) {
+  if (FormatVersion < 1 || FormatVersion > CurrentLSSSOLVersion)
+    return false;
+  netlist::ArtifactStrTableBuilder Tab;
+  netlist::ArtifactTokenEmitter E{FormatVersion >= 2 ? &Tab : nullptr};
+  // The body is rendered first so the v2 string table (first-use order)
+  // is complete before the header is written.
   std::ostringstream OS;
-  OS << "LSSSOL 1\n";
   const SolveStats &S = Stats.Solve;
   OS << "stats " << (S.Success ? 1 : 0) << ' ' << (S.HitLimit ? 1 : 0) << ' '
      << (S.HitDeadline ? 1 : 0) << ' ' << S.UnifySteps << ' '
@@ -52,8 +58,8 @@ bool liberty::infer::exportSolution(const netlist::Netlist &NL,
     if (D.Level == DiagLevel::Error)
       return false; // Failed solves are never cached.
     OS << "diag " << (D.Level == DiagLevel::Warning ? 1 : 0) << ' '
-       << D.Loc.BufferId << ' ' << D.Loc.Offset << ' '
-       << artifactEscape(D.Message) << '\n';
+       << D.Loc.BufferId << ' ' << D.Loc.Offset << ' ' << E.tok(D.Message)
+       << '\n';
   }
   const auto &Instances = NL.getInstances();
   for (size_t I = 0; I != Instances.size(); ++I) {
@@ -61,10 +67,18 @@ bool liberty::infer::exportSolution(const netlist::Netlist &NL,
     for (size_t P = 0; P != Ports.size(); ++P)
       if (Ports[P].Resolved)
         OS << "p " << I << ' ' << P << ' '
-           << artifactEscape(Ports[P].Resolved->str()) << '\n';
+           << E.tok(Ports[P].Resolved->str()) << '\n';
   }
   OS << "end\n";
-  Out = OS.str();
+
+  std::ostringstream Head;
+  Head << "LSSSOL " << FormatVersion << '\n';
+  if (FormatVersion >= 2) {
+    Head << "strtab " << Tab.strings().size() << '\n';
+    for (const std::string &Str : Tab.strings())
+      Head << "s " << artifactEscape(Str) << '\n';
+  }
+  Out = Head.str() + OS.str();
   return true;
 }
 
@@ -117,6 +131,13 @@ struct Fields {
     Out = F[I] == "1";
     return true;
   }
+  // Adapter surface for netlist::ArtifactFieldDecoder (v1/v2 string
+  // slots).
+  size_t size() const { return F.size(); }
+  std::string_view raw(size_t I) const { return F[I]; }
+  bool str(size_t I, std::string &Out) const {
+    return I < F.size() && artifactUnescape(F[I], Out);
+  }
   bool dbl(size_t I, double &Out) const {
     if (I >= F.size() || F[I].size() != 16)
       return false;
@@ -159,8 +180,38 @@ bool liberty::infer::importSolution(const std::string &Text,
   };
 
   std::string_view Line;
-  if (!nextLine(Line) || Line != "LSSSOL 1")
+  unsigned Version;
+  if (!nextLine(Line))
     return false;
+  if (Line == "LSSSOL 1")
+    Version = 1;
+  else if (Line == "LSSSOL 2")
+    Version = 2;
+  else
+    return false;
+
+  // v2: the header string table precedes all records.
+  std::vector<std::string> Strtab;
+  if (Version >= 2) {
+    if (!nextLine(Line))
+      return false;
+    Fields H(Line);
+    unsigned N;
+    if (H.F.size() != 2 || H.F[0] != "strtab" || !H.u32(1, N))
+      return false;
+    if (size_t(N) > Text.size())
+      return false; // More entries than bytes: malformed.
+    Strtab.reserve(N);
+    for (unsigned I = 0; I != N; ++I) {
+      if (!nextLine(Line))
+        return false;
+      Fields SL(Line);
+      std::string Str;
+      if (SL.F.size() != 2 || SL.F[0] != "s" || !SL.str(1, Str))
+        return false;
+      Strtab.push_back(std::move(Str));
+    }
+  }
 
   NetlistInferenceStats Stats;
   std::vector<Diagnostic> Diags;
@@ -175,6 +226,8 @@ bool liberty::infer::importSolution(const std::string &Text,
     Fields L(Line);
     if (L.F.empty())
       return false;
+    netlist::ArtifactFieldDecoder<Fields> Dec{
+        L, Version >= 2 ? &Strtab : nullptr};
     std::string_view Kind = L.F[0];
     if (Kind == "end") {
       SawEnd = true;
@@ -207,7 +260,7 @@ bool liberty::infer::importSolution(const std::string &Text,
       uint64_t Level;
       if (L.F.size() != 5 || !L.u64(1, Level) || Level > 1 ||
           !L.u32(2, D.Loc.BufferId) || !L.u32(3, D.Loc.Offset) ||
-          !artifactUnescape(L.F[4], D.Message))
+          !Dec.str(4, D.Message))
         return false;
       D.Level = Level == 1 ? DiagLevel::Warning : DiagLevel::Note;
       Diags.push_back(std::move(D));
@@ -215,7 +268,7 @@ bool liberty::infer::importSolution(const std::string &Text,
       uint64_t InstIdx, PortIdx;
       std::string TypeText;
       if (L.F.size() != 4 || !L.u64(1, InstIdx) || !L.u64(2, PortIdx) ||
-          !artifactUnescape(L.F[3], TypeText))
+          !Dec.str(3, TypeText))
         return false;
       if (InstIdx >= Instances.size() ||
           PortIdx >= Instances[InstIdx]->Ports.size())

@@ -9,11 +9,15 @@
 /// solver entirely, while still reporting the cold run's statistics and
 /// diagnostics verbatim.
 ///
-/// Format contract ("LSSSOL 1"): line oriented, strings %XX-escaped (the
-/// escaping of netlist/Serializer.h), ports referenced by dense
+/// Format contract ("LSSSOL 2", current — the loader also accepts v1):
+/// line oriented; every string (diagnostic messages, resolved type texts)
+/// is interned into a header string table ("strtab N" + "s <%XX-escaped>"
+/// lines, first-use order) and referenced by decimal id, so a type shared
+/// by thousands of ports is stored once; ports referenced by dense
 /// (instance, port) index into the creation-order netlist traversal.
-/// Because serial and parallel solves produce bit-identical bindings
-/// (SolveOptions::NumThreads contract), the exported artifact is
+/// "LSSSOL 1" is the same record grammar with strings %XX-escaped in
+/// place. Because serial and parallel solves produce bit-identical
+/// bindings (SolveOptions::NumThreads contract), the exported artifact is
 /// byte-identical across --jobs settings — a regression test diffs the two.
 ///
 //===----------------------------------------------------------------------===//
@@ -35,14 +39,19 @@ class Netlist;
 
 namespace infer {
 
+/// The LSSSOL version exportSolution writes by default.
+constexpr unsigned CurrentLSSSOLVersion = 2;
+
 /// Renders the resolved port types of \p NL plus \p Stats and the
-/// inference-phase diagnostics \p Diags as an LSSSOL 1 artifact. Returns
+/// inference-phase diagnostics \p Diags as an LSSSOL artifact
+/// (\p FormatVersion 2 = interned string table, 1 = legacy). Returns
 /// false if \p Diags contains an error (failed solves are never cached).
 bool exportSolution(const netlist::Netlist &NL,
                     const NetlistInferenceStats &Stats,
-                    const std::vector<Diagnostic> &Diags, std::string &Out);
+                    const std::vector<Diagnostic> &Diags, std::string &Out,
+                    unsigned FormatVersion = CurrentLSSSOLVersion);
 
-/// Parses an LSSSOL 1 artifact and writes each recorded resolved type back
+/// Parses an LSSSOL 1 or 2 artifact and writes each recorded resolved type back
 /// into \p NL's ports. Types are rebuilt in \p TC; statistics and replayed
 /// diagnostics land in \p StatsOut / \p DiagsOut. Returns false — leaving
 /// the netlist's resolved types unspecified — on any malformed input or

@@ -2,7 +2,10 @@
 
 #include "infer/Synthetic.h"
 
+#include "netlist/Netlist.h"
 #include "types/Type.h"
+
+#include <algorithm>
 
 using namespace liberty;
 using namespace liberty::infer;
@@ -108,4 +111,63 @@ liberty::infer::makeUnsatPairs(types::TypeContext &TC, unsigned K) {
   for (unsigned I = 0; I != K; ++I)
     Cs.push_back(Constraint{As[I], Bs[I], SourceLoc(), "unsat-eq", ""});
   return Cs;
+}
+
+unsigned
+liberty::infer::buildSyntheticNetlist(netlist::Netlist &NL,
+                                      types::TypeContext &TC,
+                                      const SyntheticNetlistSpec &Spec) {
+  const unsigned Lanes = std::max(1u, Spec.Lanes);
+  const unsigned Stages = std::max(1u, Spec.Instances / Lanes);
+  const Type *IntFloat = TC.getDisjunct({TC.getInt(), TC.getFloat()});
+  // xorshift32: deterministic for a given Seed, cheap enough to vanish
+  // against the instance-creation cost being benchmarked.
+  uint32_t State = Spec.Seed ? Spec.Seed : 1u;
+  auto NextPermille = [&State]() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State % 1000u;
+  };
+  auto PickScheme = [&](bool Anchor) -> const Type * {
+    if (Anchor)
+      return TC.getInt();
+    return NextPermille() < Spec.DisjunctPermille ? IntFloat : TC.getInt();
+  };
+  auto AddPort = [](netlist::InstanceNode *Inst, const char *Name,
+                    netlist::PortDirection Dir,
+                    const Type *Scheme) {
+    netlist::Port P;
+    P.Name = Name;
+    P.Dir = Dir;
+    P.Scheme = Scheme;
+    P.Width = 1;
+    P.WidthInferred = true;
+    Inst->Ports.push_back(std::move(P));
+  };
+  unsigned Created = 0;
+  for (unsigned L = 0; L != Lanes; ++L) {
+    netlist::InstanceNode *Lane = NL.createInstance(
+        NL.getRoot(), "lane" + std::to_string(L), nullptr, SourceLoc());
+    netlist::InstanceNode *Prev = nullptr;
+    for (unsigned S = 0; S != Stages; ++S) {
+      netlist::InstanceNode *Stage = NL.createInstance(
+          Lane, "s" + std::to_string(S), nullptr, SourceLoc());
+      ++Created;
+      // Stage 0 is the lane's int-typed source anchor: whatever mixture of
+      // disjunctive schemes the chain carries, propagation from the anchor
+      // keeps every lane satisfiable (int is in every alternative set).
+      if (S != 0)
+        AddPort(Stage, "in", netlist::PortDirection::In, PickScheme(false));
+      AddPort(Stage, "out", netlist::PortDirection::Out, PickScheme(S == 0));
+      if (Prev) {
+        netlist::Connection *Conn = NL.createConnection(SourceLoc());
+        Conn->From = netlist::PortRef{Prev, "out", 0, -1};
+        Conn->To = netlist::PortRef{Stage, "in", 0, -1};
+      }
+      Prev = Stage;
+    }
+  }
+  NL.freezeIds();
+  return Created;
 }

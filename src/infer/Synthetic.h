@@ -14,7 +14,38 @@
 #include "infer/InferenceEngine.h"
 
 namespace liberty {
+namespace netlist {
+class Netlist;
+}
 namespace infer {
+
+/// Shape parameters for buildSyntheticNetlist().
+struct SyntheticNetlistSpec {
+  /// Approximate number of leaf instances (rounded down to a multiple of
+  /// Lanes).
+  unsigned Instances = 1000;
+  /// Independent chains; each lane is one hierarchical instance holding
+  /// Instances/Lanes leaf stages connected head to tail.
+  unsigned Lanes = 16;
+  /// Per-port probability, in permille, that the port's scheme is the
+  /// (int|float) disjunct instead of ground int. Controls how much H2
+  /// forcing the solve needs; 0 makes every constraint ground.
+  unsigned DisjunctPermille = 250;
+  /// Seed for the deterministic per-port scheme choice.
+  unsigned Seed = 0x9e3779b9u;
+};
+
+/// Builds a scaled elaboration-shaped workload directly into \p NL: Lanes
+/// hierarchical instances each holding a chain of leaf stages, every stage
+/// connected to the next through width-1 in/out ports, each lane anchored
+/// at int so the system is always satisfiable regardless of disjunct
+/// density. The result satisfies buildNetlistConstraints()'s contract
+/// (resolved connection endpoints, per-port schemes) and round-trips
+/// through the LSSNL serializer, so one netlist exercises elaboration id
+/// assignment, constraint generation, and artifact IO at 10k+ instances.
+/// Returns the number of leaf instances created.
+unsigned buildSyntheticNetlist(netlist::Netlist &NL, types::TypeContext &TC,
+                               const SyntheticNetlistSpec &Spec);
 
 /// K independent overloaded pairs, adversarially ordered: all disjunctive
 /// constraints precede the equalities that couple them. Plain unification

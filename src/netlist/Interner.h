@@ -1,0 +1,117 @@
+//===- Interner.h - Arena-backed string interner ----------------*- C++ -*-===//
+///
+/// \file
+/// A stable string interner for the netlist IR. Every hierarchical name,
+/// port name, module name, and behavior id is interned once at elaboration
+/// (or deserialization) time into an arena; downstream consumers carry
+/// 32-bit `SymbolId` handles and compare/index with integers instead of
+/// re-hashing strings on every hot path.
+///
+/// Guarantees:
+///  - Handles are dense: ids are assigned 0,1,2,... in first-intern order.
+///  - `text()` views are stable for the interner's lifetime (arena-backed;
+///    never reallocated or moved).
+///  - Interning the same string twice returns the same id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_NETLIST_INTERNER_H
+#define LIBERTY_NETLIST_INTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace liberty {
+namespace netlist {
+
+/// Dense handle to a string owned by a StringInterner.
+struct SymbolId {
+  static constexpr uint32_t Invalid = UINT32_MAX;
+  uint32_t Value = Invalid;
+
+  SymbolId() = default;
+  explicit SymbolId(uint32_t V) : Value(V) {}
+
+  bool isValid() const { return Value != Invalid; }
+  uint32_t index() const {
+    assert(isValid() && "indexing an invalid SymbolId");
+    return Value;
+  }
+
+  bool operator==(SymbolId O) const { return Value == O.Value; }
+  bool operator!=(SymbolId O) const { return Value != O.Value; }
+  bool operator<(SymbolId O) const { return Value < O.Value; }
+};
+
+/// Arena-backed interner with dense, insertion-ordered ids.
+class StringInterner {
+public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p S, returning its stable id (existing id if already interned).
+  SymbolId intern(std::string_view S) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      return SymbolId(It->second);
+    std::string_view Stored = copyToArena(S);
+    uint32_t Id = static_cast<uint32_t>(Table.size());
+    Table.push_back(Stored);
+    Map.emplace(Stored, Id);
+    return SymbolId(Id);
+  }
+
+  /// Non-inserting lookup; returns an invalid id if \p S was never interned.
+  SymbolId lookup(std::string_view S) const {
+    auto It = Map.find(S);
+    return It == Map.end() ? SymbolId() : SymbolId(It->second);
+  }
+
+  /// The interned text for \p Id. Stable for the interner's lifetime.
+  std::string_view text(SymbolId Id) const {
+    assert(Id.isValid() && Id.Value < Table.size() && "bad SymbolId");
+    return Table[Id.Value];
+  }
+
+  /// Number of distinct strings interned so far (== the next fresh id).
+  size_t size() const { return Table.size(); }
+
+  /// Total bytes held in the arena (for stats/benchmarks).
+  size_t arenaBytes() const { return ArenaUsed; }
+
+private:
+  std::string_view copyToArena(std::string_view S) {
+    if (S.empty())
+      return std::string_view("", 0);
+    if (Chunks.empty() || ChunkUsed + S.size() > ChunkSize) {
+      size_t Cap = S.size() > ChunkSize ? S.size() : ChunkSize;
+      Chunks.push_back(std::unique_ptr<char[]>(new char[Cap]));
+      ChunkUsed = 0;
+      ChunkCap = Cap;
+    }
+    char *Dst = Chunks.back().get() + ChunkUsed;
+    std::memcpy(Dst, S.data(), S.size());
+    ChunkUsed += S.size();
+    ArenaUsed += S.size();
+    return std::string_view(Dst, S.size());
+  }
+
+  static constexpr size_t ChunkSize = 64 * 1024;
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t ChunkUsed = 0;
+  size_t ChunkCap = 0;
+  size_t ArenaUsed = 0;
+  std::vector<std::string_view> Table;
+  std::unordered_map<std::string_view, uint32_t> Map;
+};
+
+} // namespace netlist
+} // namespace liberty
+
+#endif // LIBERTY_NETLIST_INTERNER_H

@@ -24,6 +24,20 @@ const Port *InstanceNode::findPort(const std::string &PortName) const {
   return nullptr;
 }
 
+int InstanceNode::findPortIdx(const std::string &PortName) const {
+  for (size_t I = 0; I != Ports.size(); ++I)
+    if (Ports[I].Name == PortName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int InstanceNode::findPortIdx(SymbolId PortName) const {
+  for (size_t I = 0; I != Ports.size(); ++I)
+    if (Ports[I].NameSym == PortName)
+      return static_cast<int>(I);
+  return -1;
+}
+
 unsigned InstanceNode::subtreeSize() const {
   unsigned N = 1;
   for (const InstanceNode *Child : Children)
@@ -35,7 +49,10 @@ Netlist::Netlist() {
   auto RootNode = std::make_unique<InstanceNode>();
   RootNode->Name = "<top>";
   RootNode->Path = "";
+  RootNode->Id = 0;
+  RootNode->PathSym = Interner.intern("");
   Root = RootNode.get();
+  PathIndex.emplace(Root->PathSym.index(), Root);
   Instances.push_back(std::move(RootNode));
 }
 
@@ -63,9 +80,15 @@ InstanceNode *Netlist::createInstance(InstanceNode *Parent, std::string Name,
     Node->ModuleName = Module->getName();
   Node->Parent = Parent;
   Node->Loc = Loc;
+  Node->Id = static_cast<uint32_t>(Instances.size());
+  Node->PathSym = Interner.intern(Node->Path);
   InstanceNode *Ptr = Node.get();
+  // First creation wins, matching the old linear scan's first-match
+  // semantics on (malformed) duplicate paths.
+  PathIndex.emplace(Node->PathSym.index(), Ptr);
   Parent->Children.push_back(Ptr);
   Instances.push_back(std::move(Node));
+  IdsFrozen = false;
   return Ptr;
 }
 
@@ -78,10 +101,39 @@ Connection *Netlist::createConnection(SourceLoc Loc) {
 }
 
 InstanceNode *Netlist::findByPath(const std::string &Path) {
-  for (const auto &Inst : Instances)
-    if (Inst->Path == Path)
-      return Inst.get();
-  return nullptr;
+  SymbolId Sym = Interner.lookup(Path);
+  if (!Sym.isValid())
+    return nullptr;
+  auto It = PathIndex.find(Sym.index());
+  return It == PathIndex.end() ? nullptr : It->second;
+}
+
+uint32_t Netlist::freezeIds() {
+  if (IdsFrozen)
+    return NumPortNodes;
+  uint32_t Next = 0;
+  for (auto &InstPtr : Instances) {
+    InstanceNode &N = *InstPtr;
+    N.NodeBase = Next;
+    uint32_t Off = 0;
+    for (Port &P : N.Ports) {
+      P.NameSym = Interner.intern(P.Name);
+      P.NodeOffset = Off;
+      if (P.Width > 0)
+        Off += static_cast<uint32_t>(P.Width);
+    }
+    Next += Off;
+  }
+  NumPortNodes = Next;
+  for (auto &C : Connections) {
+    for (PortRef *R : {&C->From, &C->To}) {
+      if (!R->Inst)
+        continue;
+      R->PortIdx = R->Inst->findPortIdx(R->Port);
+    }
+  }
+  IdsFrozen = true;
+  return NumPortNodes;
 }
 
 static void printInstance(std::ostream &OS, const InstanceNode *Node,

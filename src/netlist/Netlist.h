@@ -14,11 +14,13 @@
 #define LIBERTY_NETLIST_NETLIST_H
 
 #include "interp/Value.h"
+#include "netlist/Interner.h"
 #include "support/SourceMgr.h"
 
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace liberty {
@@ -46,6 +48,9 @@ struct PortRef {
   InstanceNode *Inst = nullptr;
   std::string Port;
   int Index = -1;
+  /// Dense index of Port within Inst->Ports; filled by Netlist::freezeIds()
+  /// (-1 until then). Lets hot paths skip the by-name port scan.
+  int PortIdx = -1;
 
   bool isResolved() const { return Index >= 0; }
 };
@@ -56,6 +61,13 @@ struct PortRef {
 class Port {
 public:
   std::string Name;
+  /// Interned Name; filled by Netlist::freezeIds().
+  SymbolId NameSym;
+  /// Offset of this port's first port instance within the owning
+  /// instance's node block (see InstanceNode::NodeBase); filled by
+  /// Netlist::freezeIds(). Node id of instance I of this port is
+  /// `Inst->NodeBase + NodeOffset + I`.
+  uint32_t NodeOffset = 0;
   PortDirection Dir = PortDirection::In;
   SourceLoc Loc;
 
@@ -118,8 +130,19 @@ struct PendingConn {
 /// One module instance in the elaborated hierarchy.
 class InstanceNode {
 public:
+  /// Dense creation-order id: index of this node in Netlist::getInstances()
+  /// (root is 0). Assigned by Netlist::createInstance and stable for the
+  /// netlist's lifetime — serializers and per-instance side tables index
+  /// flat arrays with it instead of rebuilding pointer maps.
+  uint32_t Id = 0;
+  /// Base node id for this instance's port-instance block; filled by
+  /// Netlist::freezeIds(). Port instance I of port P has the design-wide
+  /// dense node id `NodeBase + P.NodeOffset + I`.
+  uint32_t NodeBase = 0;
   std::string Name; ///< Local name, e.g. "delays[2]".
   std::string Path; ///< Hierarchical path, e.g. "delay3.delays[2]".
+  /// Interned Path (set by createInstance; "" for the root).
+  SymbolId PathSym;
   const lss::ModuleDecl *Module = nullptr; ///< Null for the synthetic root.
   /// Name of the instantiated module; empty for the synthetic root. Kept
   /// separately from Module so consumers that only need the name (stats,
@@ -158,6 +181,10 @@ public:
 
   Port *findPort(const std::string &Name);
   const Port *findPort(const std::string &Name) const;
+  /// Index of the named port within Ports, or -1. The by-symbol overload
+  /// compares interned ids (valid after Netlist::freezeIds()).
+  int findPortIdx(const std::string &Name) const;
+  int findPortIdx(SymbolId Name) const;
 
   /// Total number of instances in this subtree, including this node.
   unsigned subtreeSize() const;
@@ -203,8 +230,32 @@ public:
   }
 
   /// Finds an instance by hierarchical path (e.g. "cpu.fetch"); returns
-  /// null if absent.
+  /// null if absent. O(1): backed by the interner + a path index kept
+  /// up to date by createInstance.
   InstanceNode *findByPath(const std::string &Path);
+
+  /// The netlist-wide string interner. All instance paths are interned at
+  /// creation; freezeIds() interns port names. Consumers may intern
+  /// additional strings (module names, behavior ids) as needed.
+  StringInterner &getInterner() { return Interner; }
+  const StringInterner &getInterner() const { return Interner; }
+
+  /// Freezes the dense numbering layer: assigns every port a NodeOffset
+  /// and every instance a NodeBase so each port instance ("node") has a
+  /// design-wide dense id, interns port names, and resolves PortIdx on
+  /// every connection endpoint. Idempotent; call after elaboration or
+  /// deserialization, before building schedulers/kernels. Returns the
+  /// total node count.
+  uint32_t freezeIds();
+  bool idsFrozen() const { return IdsFrozen; }
+  /// Total port-instance (node) count; valid after freezeIds().
+  uint32_t getNumPortNodes() const { return NumPortNodes; }
+  /// Dense node id of a resolved endpoint; valid after freezeIds().
+  static uint32_t nodeIdOf(const PortRef &R) {
+    return R.Inst->NodeBase +
+           R.Inst->Ports[static_cast<size_t>(R.PortIdx)].NodeOffset +
+           static_cast<uint32_t>(R.Index);
+  }
 
   /// Pretty-prints the hierarchy with widths and resolved types.
   void print(std::ostream &OS) const;
@@ -223,6 +274,12 @@ private:
   std::vector<std::unique_ptr<Connection>> Connections;
   /// Owned signatures for reloaded userpoints (see createUserpointSig).
   std::vector<std::unique_ptr<lss::UserpointSig>> OwnedSigs;
+  StringInterner Interner;
+  /// Path symbol id -> instance, first creation wins (matches the old
+  /// linear scan's first-match semantics).
+  std::unordered_map<uint32_t, InstanceNode *> PathIndex;
+  bool IdsFrozen = false;
+  uint32_t NumPortNodes = 0;
 };
 
 } // namespace netlist

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 using namespace liberty;
 using namespace liberty::netlist;
@@ -304,115 +305,131 @@ static void emitLoc(std::ostringstream &OS, SourceLoc Loc) {
   OS << ' ' << Loc.BufferId << ' ' << Loc.Offset;
 }
 
-/// Renders a type as one escaped token, or "-" for null.
-static std::string typeToken(const types::Type *T) {
-  return T ? artifactEscape(T->str()) : std::string("-");
-}
+namespace {
+
+/// Extends the shared token emitter with type rendering ("-" for null).
+struct TokenEmitter : ArtifactTokenEmitter {
+  explicit TokenEmitter(ArtifactStrTableBuilder *T) {
+    Tab = T;
+  }
+  std::string type(const types::Type *T) const {
+    return T ? tok(T->str()) : std::string("-");
+  }
+};
+
+} // namespace
 
 /// Per-instance records, emitted right after the instance's own line (and,
 /// for the root, right after the header).
-static bool emitInstanceBody(std::ostringstream &OS,
-                             const InstanceNode &Inst) {
+static bool emitInstanceBody(std::ostringstream &OS, const InstanceNode &Inst,
+                             const TokenEmitter &E) {
   for (const auto &[Name, V] : Inst.Params) {
     std::string Enc;
     if (!encodeValue(V, Enc))
       return false;
-    OS << "param " << artifactEscape(Name) << ' ' << artifactEscape(Enc)
-       << '\n';
+    OS << "param " << E.tok(Name) << ' ' << E.tok(Enc) << '\n';
   }
   for (const auto &[Name, UV] : Inst.Userpoints) {
-    OS << "userpoint " << artifactEscape(Name) << ' '
-       << (UV.IsDefault ? 1 : 0);
+    OS << "userpoint " << E.tok(Name) << ' ' << (UV.IsDefault ? 1 : 0);
     emitLoc(OS, UV.Loc);
     unsigned NArgs = UV.Sig ? unsigned(UV.Sig->Args.size()) : 0;
     OS << ' ' << NArgs;
     for (unsigned I = 0; I != NArgs; ++I)
-      OS << ' ' << artifactEscape(UV.Sig->Args[I].first);
-    OS << ' ' << artifactEscape(UV.Code) << '\n';
+      OS << ' ' << E.tok(UV.Sig->Args[I].first);
+    OS << ' ' << E.tok(UV.Code) << '\n';
   }
   for (const std::string &Ev : Inst.Events)
-    OS << "event " << artifactEscape(Ev) << '\n';
+    OS << "event " << E.tok(Ev) << '\n';
   for (const RuntimeVar &RV : Inst.RuntimeVars) {
     std::string Enc;
     if (!encodeValue(RV.Init, Enc))
       return false;
-    OS << "var " << artifactEscape(RV.Name);
+    OS << "var " << E.tok(RV.Name);
     emitLoc(OS, RV.Loc);
-    OS << ' ' << artifactEscape(Enc) << '\n';
+    OS << ' ' << E.tok(Enc) << '\n';
   }
   for (const Port &P : Inst.Ports) {
-    OS << "port " << artifactEscape(P.Name) << ' '
-       << (P.isInput() ? "in" : "out") << ' ' << P.Width << ' '
-       << (P.WidthInferred ? 1 : 0);
+    // v2 shortens the high-frequency records: "p"/"i"/"c" keywords and a
+    // numeric direction. Ports dominate artifact line counts, so the two
+    // spellings are worth the reader accepting both.
+    OS << (E.Tab ? "p " : "port ") << E.tok(P.Name) << ' '
+       << (E.Tab ? (P.isInput() ? "0" : "1") : (P.isInput() ? "in" : "out"))
+       << ' ' << P.Width << ' ' << (P.WidthInferred ? 1 : 0);
     emitLoc(OS, P.Loc);
-    OS << ' ' << typeToken(P.Scheme) << ' ' << typeToken(P.Resolved)
-       << '\n';
+    OS << ' ' << E.type(P.Scheme) << ' ' << E.type(P.Resolved) << '\n';
   }
   for (const auto &[LHS, RHS] : Inst.ExtraConstraints)
-    OS << "constrain " << typeToken(LHS) << ' ' << typeToken(RHS) << '\n';
+    OS << "constrain " << E.type(LHS) << ' ' << E.type(RHS) << '\n';
   return true;
 }
 
 bool liberty::netlist::serializeNetlist(
     const Netlist &NL, const std::set<std::string> &LibraryModules,
     unsigned NumUserAnnotations, const std::vector<Diagnostic> &Diags,
-    std::string &Out) {
+    std::string &Out, unsigned FormatVersion) {
+  if (FormatVersion < 1 || FormatVersion > CurrentLSSNLVersion)
+    return false;
+  ArtifactStrTableBuilder Tab;
+  TokenEmitter E(FormatVersion >= 2 ? &Tab : nullptr);
+
+  // The body is rendered first so the v2 string table (first-use order)
+  // is complete before the header is written.
   std::ostringstream OS;
-  OS << "LSSNL 1\n";
   OS << "annotations " << NumUserAnnotations << '\n';
   for (const std::string &M : LibraryModules)
-    OS << "libmodule " << artifactEscape(M) << '\n';
+    OS << "libmodule " << E.tok(M) << '\n';
   for (const Diagnostic &D : Diags) {
     // Errors are never serialized: only clean compiles are cached.
     if (D.Level == DiagLevel::Error)
       return false;
     OS << "diag " << (D.Level == DiagLevel::Warning ? 1 : 0);
     emitLoc(OS, D.Loc);
-    OS << ' ' << artifactEscape(D.Message) << '\n';
+    OS << ' ' << E.tok(D.Message) << '\n';
   }
 
+  // Instances reference each other by dense InstanceNode::Id — the
+  // creation-order index the netlist itself maintains, so no per-serialize
+  // pointer map is needed. CacheTest pins the id/order agreement.
   const auto &Instances = NL.getInstances();
-  std::map<const InstanceNode *, int> Index;
-  for (size_t I = 0; I != Instances.size(); ++I)
-    Index[Instances[I].get()] = int(I);
 
   // Root (index 0) carries no instance line of its own.
-  if (!emitInstanceBody(OS, *Instances.front()))
+  if (!emitInstanceBody(OS, *Instances.front(), E))
     return false;
   for (size_t I = 1; I != Instances.size(); ++I) {
     const InstanceNode &Inst = *Instances[I];
-    auto ParentIt = Index.find(Inst.Parent);
-    if (ParentIt == Index.end() || ParentIt->second >= int(I))
+    if (Inst.Id != I || !Inst.Parent || Inst.Parent->Id >= Inst.Id)
       return false; // Parents always precede children in creation order.
-    OS << "instance " << ParentIt->second << ' '
-       << artifactEscape(Inst.Name) << ' ' << artifactEscape(Inst.ModuleName)
-       << ' '
-       << (Inst.BehaviorId.empty() ? std::string("-")
-                                   : artifactEscape(Inst.BehaviorId))
-       << ' ' << Inst.NumTypeVars;
+    OS << (E.Tab ? "i " : "instance ") << Inst.Parent->Id << ' '
+       << E.tok(Inst.Name) << ' '
+       << E.tok(Inst.ModuleName) << ' ' << E.opt(Inst.BehaviorId) << ' '
+       << Inst.NumTypeVars;
     emitLoc(OS, Inst.Loc);
     OS << '\n';
-    if (!emitInstanceBody(OS, Inst))
+    if (!emitInstanceBody(OS, Inst, E))
       return false;
   }
 
   for (const auto &Conn : NL.getConnections()) {
     auto EndpointIdx = [&](const PortRef &R) {
-      auto It = R.Inst ? Index.find(R.Inst) : Index.end();
-      return It == Index.end() ? -1 : It->second;
+      return R.Inst ? int64_t(R.Inst->Id) : int64_t(-1);
     };
-    OS << "conn " << EndpointIdx(Conn->From) << ' '
-       << (Conn->From.Port.empty() ? std::string("-")
-                                   : artifactEscape(Conn->From.Port))
+    OS << (E.Tab ? "c " : "conn ") << EndpointIdx(Conn->From) << ' '
+       << E.opt(Conn->From.Port)
        << ' ' << Conn->From.Index << ' ' << EndpointIdx(Conn->To) << ' '
-       << (Conn->To.Port.empty() ? std::string("-")
-                                 : artifactEscape(Conn->To.Port))
-       << ' ' << Conn->To.Index;
+       << E.opt(Conn->To.Port) << ' ' << Conn->To.Index;
     emitLoc(OS, Conn->Loc);
-    OS << ' ' << typeToken(Conn->Annotation) << '\n';
+    OS << ' ' << E.type(Conn->Annotation) << '\n';
   }
   OS << "end\n";
-  Out = OS.str();
+
+  std::ostringstream Head;
+  Head << "LSSNL " << FormatVersion << '\n';
+  if (FormatVersion >= 2) {
+    Head << "strtab " << Tab.strings().size() << '\n';
+    for (const std::string &S : Tab.strings())
+      Head << "s " << artifactEscape(S) << '\n';
+  }
+  Out = Head.str() + OS.str();
   return true;
 }
 
@@ -424,25 +441,41 @@ bool liberty::netlist::serializeNetlist(
 // netlist::ArtifactLineReader so other artifact parsers (infer/Solution,
 // the simulator's LSSKRN kernel plans) share one hardened implementation.
 using LineReader = liberty::netlist::ArtifactLineReader;
+using FieldDecoder = liberty::netlist::ArtifactFieldDecoder<LineReader>;
 
-static bool decodeValue(const LineReader &L, size_t I, Value &Out) {
+static bool decodeValue(const FieldDecoder &F, size_t I, Value &Out) {
   std::string Enc;
-  if (!L.str(I, Enc))
+  if (!F.str(I, Enc))
     return false;
   return ValueReader(Enc).read(Out);
 }
 
 /// Decodes a type token ("-" -> null) through the artifact-wide VarMap.
-static bool decodeType(const LineReader &L, size_t I, types::TypeContext &TC,
+/// For v2 input, \p Memo caches decoded types by string-table id: equal
+/// ids are the same text, and parseTypeText is idempotent for a given
+/// (text, VarMap) — variables resolve through the shared VarMap — so
+/// repeated references (the common case: a design has few distinct port
+/// schemes) skip the parse entirely. This is what makes the v2 warm load
+/// measurably faster than v1, not just smaller (bench_ir pins it).
+static bool decodeType(const FieldDecoder &F, size_t I,
+                       types::TypeContext &TC,
                        std::map<std::string, const types::Type *> &VarMap,
+                       std::vector<const types::Type *> &Memo,
                        const types::Type *&Out) {
   Out = nullptr;
-  if (I < L.size() && L.raw(I) == "-")
+  if (I < F.L.size() && F.L.raw(I) == "-")
     return true;
+  uint32_t Id = UINT32_MAX;
+  if (F.Table && F.L.u32(I, Id) && Id < Memo.size() && Memo[Id]) {
+    Out = Memo[Id];
+    return true;
+  }
   std::string Text;
-  if (!L.str(I, Text))
+  if (!F.str(I, Text))
     return false;
   Out = types::parseTypeText(Text, TC, VarMap);
+  if (Out && F.Table && Id < Memo.size())
+    Memo[Id] = Out;
   return Out != nullptr;
 }
 
@@ -471,12 +504,47 @@ liberty::netlist::deserializeNetlist(const std::string &Text,
   };
 
   std::string_view Line;
-  if (!nextLine(Line) || Line != "LSSNL 1")
+  unsigned Version;
+  if (!nextLine(Line))
     return Fail();
+  if (Line == "LSSNL 1")
+    Version = 1;
+  else if (Line == "LSSNL 2")
+    Version = 2;
+  else
+    return Fail();
+
+  // v2: the header string table precedes all records.
+  std::vector<std::string> Strtab;
+  if (Version >= 2) {
+    if (!nextLine(Line))
+      return Fail();
+    LineReader H(Line);
+    uint32_t N;
+    if (H.size() != 2 || H.raw(0) != "strtab" || !H.u32(1, N))
+      return Fail();
+    // Each table line is at least 3 bytes, so a count beyond the input
+    // size is malformed (and would otherwise let a fuzzed header force a
+    // huge reserve).
+    if (size_t(N) > Text.size())
+      return Fail();
+    Strtab.reserve(N);
+    for (uint32_t I = 0; I != N; ++I) {
+      if (!nextLine(Line))
+        return Fail();
+      LineReader S(Line);
+      std::string Str;
+      if (S.size() != 2 || S.raw(0) != "s" || !S.str(1, Str))
+        return Fail();
+      Strtab.push_back(std::move(Str));
+    }
+  }
 
   auto NL = std::make_unique<Netlist>();
   InstanceNode *Cur = NL->getRoot();
   std::map<std::string, const types::Type *> VarMap;
+  // Per-table-id type decode cache (v2 only; stays empty for v1).
+  std::vector<const types::Type *> TypeMemo(Strtab.size(), nullptr);
   bool SawEnd = false;
 
   while (nextLine(Line)) {
@@ -485,6 +553,7 @@ liberty::netlist::deserializeNetlist(const std::string &Text,
     LineReader L(Line);
     if (L.size() == 0)
       return Fail();
+    FieldDecoder F{L, Version >= 2 ? &Strtab : nullptr};
     std::string_view Kind = L.raw(0);
 
     if (Kind == "end") {
@@ -497,23 +566,23 @@ liberty::netlist::deserializeNetlist(const std::string &Text,
       Result.NumUserAnnotations = unsigned(N);
     } else if (Kind == "libmodule") {
       std::string Name;
-      if (!L.str(1, Name) || L.size() != 2)
+      if (!F.str(1, Name) || L.size() != 2)
         return Fail();
       Result.LibraryModules.insert(std::move(Name));
     } else if (Kind == "diag") {
       int64_t Level;
       Diagnostic D;
       if (L.size() != 5 || !L.i64(1, Level) || Level < 0 || Level > 1 ||
-          !L.loc(2, D.Loc) || !L.str(4, D.Message))
+          !L.loc(2, D.Loc) || !F.str(4, D.Message))
         return Fail();
       D.Level = Level == 1 ? DiagLevel::Warning : DiagLevel::Note;
       Result.Diags.push_back(std::move(D));
-    } else if (Kind == "instance") {
+    } else if (Kind == "instance" || Kind == "i") {
       int64_t ParentIdx, NTV;
       std::string Name, ModuleName, Behavior;
       SourceLoc Loc;
-      if (L.size() != 8 || !L.i64(1, ParentIdx) || !L.str(2, Name) ||
-          !L.str(3, ModuleName) || !L.optStr(4, Behavior) ||
+      if (L.size() != 8 || !L.i64(1, ParentIdx) || !F.str(2, Name) ||
+          !F.str(3, ModuleName) || !F.optStr(4, Behavior) ||
           !L.i64(5, NTV) || NTV < 0 || !L.loc(6, Loc))
         return Fail();
       const auto &Instances = NL->getInstances();
@@ -527,68 +596,71 @@ liberty::netlist::deserializeNetlist(const std::string &Text,
     } else if (Kind == "param") {
       std::string Name;
       Value V;
-      if (L.size() != 3 || !L.str(1, Name) || !decodeValue(L, 2, V))
+      if (L.size() != 3 || !F.str(1, Name) || !decodeValue(F, 2, V))
         return Fail();
       Cur->Params.emplace(std::move(Name), std::move(V));
     } else if (Kind == "userpoint") {
       int64_t IsDefault, NArgs;
       std::string Name;
       UserpointValue UV;
-      if (L.size() < 6 || !L.str(1, Name) || !L.i64(2, IsDefault) ||
+      if (L.size() < 6 || !F.str(1, Name) || !L.i64(2, IsDefault) ||
           !L.loc(3, UV.Loc) || !L.i64(5, NArgs) || NArgs < 0 ||
           L.size() != size_t(7 + NArgs))
         return Fail();
       std::vector<std::string> Args;
       for (int64_t I = 0; I != NArgs; ++I) {
         std::string A;
-        if (!L.str(size_t(6 + I), A))
+        if (!F.str(size_t(6 + I), A))
           return Fail();
         Args.push_back(std::move(A));
       }
-      if (!L.str(size_t(6 + NArgs), UV.Code))
+      if (!F.str(size_t(6 + NArgs), UV.Code))
         return Fail();
       UV.IsDefault = IsDefault != 0;
       UV.Sig = NL->createUserpointSig(std::move(Args));
       Cur->Userpoints.emplace(std::move(Name), std::move(UV));
     } else if (Kind == "event") {
       std::string Name;
-      if (L.size() != 2 || !L.str(1, Name))
+      if (L.size() != 2 || !F.str(1, Name))
         return Fail();
       Cur->Events.push_back(std::move(Name));
     } else if (Kind == "var") {
       RuntimeVar RV;
-      if (L.size() != 5 || !L.str(1, RV.Name) || !L.loc(2, RV.Loc) ||
-          !decodeValue(L, 4, RV.Init))
+      if (L.size() != 5 || !F.str(1, RV.Name) || !L.loc(2, RV.Loc) ||
+          !decodeValue(F, 4, RV.Init))
         return Fail();
       Cur->RuntimeVars.push_back(std::move(RV));
-    } else if (Kind == "port") {
+    } else if (Kind == "port" || Kind == "p") {
       Port P;
       int64_t Width, WInf;
-      if (L.size() != 9 || !L.str(1, P.Name) ||
-          (L.raw(2) != "in" && L.raw(2) != "out") || !L.i64(3, Width) ||
-          Width < 0 || !L.i64(4, WInf) || !L.loc(5, P.Loc) ||
-          !decodeType(L, 7, TC, VarMap, P.Scheme) ||
-          !decodeType(L, 8, TC, VarMap, P.Resolved))
+      std::string_view Dir;
+      if (L.size() != 9 || !F.str(1, P.Name) ||
+          ((Dir = L.raw(2)) != "in" && Dir != "out" && Dir != "0" &&
+           Dir != "1") ||
+          !L.i64(3, Width) || Width < 0 || !L.i64(4, WInf) ||
+          !L.loc(5, P.Loc) || !decodeType(F, 7, TC, VarMap, TypeMemo, P.Scheme) ||
+          !decodeType(F, 8, TC, VarMap, TypeMemo, P.Resolved))
         return Fail();
-      P.Dir = L.raw(2) == "in" ? PortDirection::In : PortDirection::Out;
+      P.Dir = (Dir == "in" || Dir == "0") ? PortDirection::In
+                                          : PortDirection::Out;
       P.Width = int(Width);
       P.WidthInferred = WInf != 0;
       Cur->Ports.push_back(std::move(P));
     } else if (Kind == "constrain") {
       const types::Type *LHS, *RHS;
-      if (L.size() != 3 || !decodeType(L, 1, TC, VarMap, LHS) ||
-          !decodeType(L, 2, TC, VarMap, RHS) || !LHS || !RHS)
+      if (L.size() != 3 || !decodeType(F, 1, TC, VarMap, TypeMemo, LHS) ||
+          !decodeType(F, 2, TC, VarMap, TypeMemo, RHS) || !LHS || !RHS)
         return Fail();
       Cur->ExtraConstraints.emplace_back(LHS, RHS);
-    } else if (Kind == "conn") {
+    } else if (Kind == "conn" || Kind == "c") {
       int64_t FromIdx, FromIndex, ToIdx, ToIndex;
       std::string FromPort, ToPort;
       SourceLoc Loc;
       const types::Type *Annotation;
-      if (L.size() != 10 || !L.i64(1, FromIdx) || !L.optStr(2, FromPort) ||
-          !L.i64(3, FromIndex) || !L.i64(4, ToIdx) || !L.optStr(5, ToPort) ||
+      if (L.size() != 10 || !L.i64(1, FromIdx) || !F.optStr(2, FromPort) ||
+          !L.i64(3, FromIndex) || !L.i64(4, ToIdx) || !F.optStr(5, ToPort) ||
           !L.i64(6, ToIndex) || !L.loc(7, Loc) ||
-          !decodeType(L, 9, TC, VarMap, Annotation))
+          !decodeType(F, 9, TC, VarMap, TypeMemo, Annotation))
         return Fail();
       const auto &Instances = NL->getInstances();
       auto Resolve = [&](int64_t Idx, InstanceNode *&Out) {

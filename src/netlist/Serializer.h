@@ -9,16 +9,24 @@
 /// elaboration; a warm compile deserializes and skips parse + elaboration
 /// entirely.
 ///
-/// Format contract ("LSSNL 1"):
-///  - line oriented; strings are %XX-escaped so every record is one line;
+/// Format contract ("LSSNL 2", current — the loader also accepts v1):
+///  - line oriented; every string is interned into a header string table
+///    ("strtab N" then N "s <%XX-escaped>" lines, ids 0..N-1 in first-use
+///    order) and referenced from records by decimal id, so repeated names,
+///    type texts, and value encodings are stored once;
 ///  - instances appear in creation order and reference each other (and
-///    connections reference instances) by dense index, so reloading
-///    reproduces the original traversal order exactly — type inference and
-///    simulator construction on a reloaded netlist are bit-identical to
-///    the cold compile;
+///    connections reference instances) by dense InstanceNode::Id, so
+///    reloading reproduces the original traversal order exactly — type
+///    inference and simulator construction on a reloaded netlist are
+///    bit-identical to the cold compile;
 ///  - the serializer itself is deterministic: serializing the same netlist
 ///    twice — or a netlist and its reloaded copy — yields identical bytes
-///    regardless of how many threads inference ran on.
+///    regardless of how many threads inference ran on (first-use string
+///    table order is a pure function of record order, so the fixpoint
+///    carries over from v1);
+///  - "LSSNL 1" is the same record grammar with strings %XX-escaped
+///    in place instead of table references; deserializeNetlist accepts
+///    both, so caches written before the v2 bump stay warm.
 ///
 /// The deserializer trusts nothing: every record is bounds- and
 /// shape-checked, and any malformed byte makes it return null (a cache
@@ -38,6 +46,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace liberty {
@@ -63,18 +72,24 @@ struct SerializedCompile {
   std::vector<Diagnostic> Diags;
 };
 
-/// Renders \p NL (plus the compile metadata) as an LSSNL 1 artifact.
-/// Returns false — leaving \p Out unspecified — if the netlist holds a
-/// value that cannot round-trip (elaboration-only instance/port
-/// references); such compiles simply are not cached.
+/// The LSSNL version serializeNetlist writes by default.
+constexpr unsigned CurrentLSSNLVersion = 2;
+
+/// Renders \p NL (plus the compile metadata) as an LSSNL artifact.
+/// \p FormatVersion selects the wire format (2 = interned string table,
+/// 1 = legacy in-place escaping, kept for size benchmarking and loader
+/// compatibility tests). Returns false — leaving \p Out unspecified — if
+/// the netlist holds a value that cannot round-trip (elaboration-only
+/// instance/port references); such compiles simply are not cached.
 bool serializeNetlist(const Netlist &NL,
                       const std::set<std::string> &LibraryModules,
                       unsigned NumUserAnnotations,
                       const std::vector<Diagnostic> &Diags,
-                      std::string &Out);
+                      std::string &Out,
+                      unsigned FormatVersion = CurrentLSSNLVersion);
 
-/// Parses an LSSNL 1 artifact. Types are rebuilt in \p TC. Returns an
-/// empty result (null NL) on any malformed input.
+/// Parses an LSSNL 1 or LSSNL 2 artifact. Types are rebuilt in \p TC.
+/// Returns an empty result (null NL) on any malformed input.
 SerializedCompile deserializeNetlist(const std::string &Text,
                                      types::TypeContext &TC);
 
@@ -155,6 +170,73 @@ public:
 
 private:
   std::vector<std::string_view> Fields;
+};
+
+/// First-use-ordered string table built while a v2 artifact body is
+/// rendered. Ids are a pure function of record order, so serialization
+/// stays byte-stable and the reload fixpoint carries over from the v1
+/// formats. Shared by the LSSNL and LSSSOL writers.
+class ArtifactStrTableBuilder {
+public:
+  uint32_t id(const std::string &S) {
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.push_back(S);
+    Ids.emplace(S, Id);
+    return Id;
+  }
+  const std::vector<std::string> &strings() const { return Strings; }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// Renders string-slot tokens for the selected wire format: v2 interns
+/// into the table and emits the decimal id; v1 escapes in place.
+struct ArtifactTokenEmitter {
+  ArtifactStrTableBuilder *Tab = nullptr; ///< Null means v1.
+
+  std::string tok(const std::string &S) const {
+    return Tab ? std::to_string(Tab->id(S)) : artifactEscape(S);
+  }
+  /// "-" for the empty string (absent optional field).
+  std::string opt(const std::string &S) const {
+    return S.empty() ? std::string("-") : tok(S);
+  }
+};
+
+/// Decodes a record's string-slot fields for either artifact wire format:
+/// v1 slots hold %XX-escaped text in place; v2 slots hold decimal ids into
+/// the artifact's header string table. Numeric/loc fields are unchanged
+/// between versions, so readers keep using the underlying line reader for
+/// those. Shared by the LSSNL and LSSSOL parsers; works over any reader
+/// exposing size()/raw()/str()/u32() (ArtifactLineReader or
+/// infer/Solution's field splitter).
+template <typename Reader> struct ArtifactFieldDecoder {
+  const Reader &L;
+  /// Null means v1 (in-place escaped strings).
+  const std::vector<std::string> *Table;
+
+  bool str(size_t I, std::string &Out) const {
+    if (!Table)
+      return L.str(I, Out);
+    uint32_t Id;
+    if (!L.u32(I, Id) || Id >= Table->size())
+      return false;
+    Out = (*Table)[Id];
+    return true;
+  }
+  /// "-" decodes as the empty string (absent optional field).
+  bool optStr(size_t I, std::string &Out) const {
+    if (I < L.size() && L.raw(I) == "-") {
+      Out.clear();
+      return true;
+    }
+    return str(I, Out);
+  }
 };
 
 } // namespace netlist

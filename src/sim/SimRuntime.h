@@ -17,6 +17,7 @@
 
 #include "sim/Simulator.h"
 
+#include <map>
 #include <mutex>
 
 namespace liberty {

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 
 using namespace liberty;
 using namespace liberty::sim;
@@ -139,55 +140,54 @@ bool Simulator::serializeKernel(std::string &Out) const {
   return true;
 }
 
-static std::string nodeKey(const netlist::InstanceNode *Inst,
-                           const std::string &Port, int Index) {
-  return Inst->Path + "|" + Port + "|" + std::to_string(Index);
-}
-
 bool Simulator::construct() {
   unsigned ErrorsBefore = Diags.getNumErrors();
 
-  // 1. Enumerate port-instance nodes and union them through connections.
-  std::vector<int> Parent; // Union-find over provisional node ids.
+  // 1. Freeze the netlist's dense numbering: every port instance ("node")
+  //    gets a design-wide id (NodeBase + NodeOffset + index), so the
+  //    union-find runs over a flat array — no string keys, no hashing.
+  const uint32_t NumNodes = NL.freezeIds();
+  std::vector<int> Parent(NumNodes); // Union-find over dense node ids.
+  for (uint32_t I = 0; I != NumNodes; ++I)
+    Parent[I] = int(I);
   auto FindRoot = [&](int X) {
     while (Parent[X] != X)
       X = Parent[X] = Parent[Parent[X]];
     return X;
   };
-  auto GetNode = [&](const netlist::InstanceNode *Inst,
-                     const std::string &Port, int Index) {
-    std::string Key = nodeKey(Inst, Port, Index);
-    auto [It, Inserted] = NodeToNet.emplace(Key, (int)Parent.size());
-    if (Inserted)
-      Parent.push_back(It->second);
-    return It->second;
-  };
-
-  for (const auto &Inst : NL.getInstances())
-    for (const netlist::Port &P : Inst->Ports)
-      for (int I = 0; I != P.Width; ++I)
-        GetNode(Inst.get(), P.Name, I);
 
   for (const auto &Conn : NL.getConnections()) {
     if (!Conn->isFullyResolved())
       continue;
-    int A = GetNode(Conn->From.Inst, Conn->From.Port, Conn->From.Index);
-    int B = GetNode(Conn->To.Inst, Conn->To.Port, Conn->To.Index);
+    const netlist::PortRef &F = Conn->From, &T = Conn->To;
+    // Endpoints whose port vanished or whose index exceeds the counted
+    // width were already diagnosed by elaboration; they have no node.
+    if (F.PortIdx < 0 || T.PortIdx < 0 ||
+        F.Index >= F.Inst->Ports[size_t(F.PortIdx)].Width ||
+        T.Index >= T.Inst->Ports[size_t(T.PortIdx)].Width)
+      continue;
+    int A = int(netlist::Netlist::nodeIdOf(F));
+    int B = int(netlist::Netlist::nodeIdOf(T));
     Parent[FindRoot(A)] = FindRoot(B);
   }
 
-  // 2. Compress to dense net ids.
-  std::map<int, int> RootToNet;
-  for (auto &[Key, NodeId] : NodeToNet) {
-    int Root = FindRoot(NodeId);
-    auto [It, Inserted] = RootToNet.emplace(Root, (int)RootToNet.size());
-    NodeId = It->second;
+  // 2. Compress to dense net ids, numbered by first appearance in node-id
+  //    order (instance creation order, then port declaration order).
+  NodeNet.assign(NumNodes, -1);
+  std::vector<int> RootNet(NumNodes, -1);
+  int NumNets = 0;
+  for (uint32_t I = 0; I != NumNodes; ++I) {
+    int &RN = RootNet[size_t(FindRoot(int(I)))];
+    if (RN < 0)
+      RN = NumNets++;
+    NodeNet[I] = RN;
   }
-  Nets.assign(RootToNet.size(), Net());
+  Nets.assign(size_t(NumNets), Net());
   Info.NumNets = Nets.size();
 
   // 3. Create runtimes: every leaf, plus any instance carrying userpoints
   //    or runtime variables (they participate in the userpoint phases).
+  RuntimeOfInstance.assign(NL.getInstances().size(), nullptr);
   std::vector<int> LeafRuntimes;
   for (const auto &Inst : NL.getInstances()) {
     bool NeedsRuntime = Inst->isLeaf() || !Inst->Userpoints.empty() ||
@@ -206,11 +206,8 @@ bool Simulator::construct() {
       for (const netlist::Port &P : Inst->Ports) {
         Runtime::PortSlot &PS = RT->addSlot(P.Name);
         PS.Nets.resize(P.Width, -1);
-        for (int I = 0; I != P.Width; ++I) {
-          auto It = NodeToNet.find(nodeKey(Inst.get(), P.Name, I));
-          if (It != NodeToNet.end())
-            PS.Nets[I] = It->second;
-        }
+        for (int I = 0; I != P.Width; ++I)
+          PS.Nets[I] = NodeNet[Inst->NodeBase + P.NodeOffset + uint32_t(I)];
         if (!P.isInput()) {
           PS.IsOutput = true;
           PS.EventName = "port:" + P.Name;
@@ -230,7 +227,7 @@ bool Simulator::construct() {
       ++Info.NumUserpoints;
       RT->Userpoints.emplace(Name, std::move(CU));
     }
-    PathToRuntime[Inst->Path] = RT.get();
+    RuntimeOfInstance[Inst->Id] = RT.get();
     Runtimes.push_back(std::move(RT));
   }
   Info.NumLeaves = LeafRuntimes.size();
@@ -360,6 +357,7 @@ void Simulator::reset() {
   for (ActivityStats &S : StatShards)
     S = ActivityStats();
   BufferEvents = false;
+  BypassCountdown = 0;
   LastInstrVersion = Instr.getVersion();
   for (auto &RT : Runtimes) {
     RT->resetState();
@@ -500,25 +498,23 @@ void Simulator::reportFixpointFailure(size_t GroupIdx) {
                   " iterations; group members: " + Members);
   // Name the nets the watchdog saw still changing in the final iteration,
   // with the values they oscillated to — the concrete evidence for
-  // debugging the cycle. NodeToNet keys are "path|port|index".
+  // debugging the cycle. Each net is named after its first port instance
+  // in creation order ("path.port[index]"); cold path, so the full scan
+  // over the netlist is fine.
   const std::vector<int> &Osc = GroupOscillating[GroupIdx];
   if (Osc.empty())
     return;
   std::map<int, std::string> NetName;
-  for (const auto &[Key, NetId] : NodeToNet)
-    if (std::find(Osc.begin(), Osc.end(), NetId) != Osc.end() &&
-        !NetName.count(NetId)) {
-      std::string Pretty = Key;
-      size_t P1 = Pretty.find('|');
-      if (P1 != std::string::npos)
-        Pretty[P1] = '.';
-      size_t P2 = Pretty.find('|', P1 + 1);
-      if (P2 != std::string::npos) {
-        std::string Index = Pretty.substr(P2 + 1);
-        Pretty = Pretty.substr(0, P2) + "[" + Index + "]";
+  for (const auto &Inst : NL.getInstances())
+    for (const netlist::Port &P : Inst->Ports)
+      for (int I = 0; I != P.Width; ++I) {
+        int NetId = NodeNet[Inst->NodeBase + P.NodeOffset + uint32_t(I)];
+        if (std::find(Osc.begin(), Osc.end(), NetId) == Osc.end() ||
+            NetName.count(NetId))
+          continue;
+        NetName[NetId] =
+            Inst->Path + "." + P.Name + "[" + std::to_string(I) + "]";
       }
-      NetName[NetId] = Pretty;
-    }
   for (int NetId : Osc) {
     const Net &N = Nets[NetId];
     auto It = NetName.find(NetId);
@@ -604,9 +600,21 @@ void Simulator::stepSerial(uint64_t N) {
       LastInstrVersion = Instr.getVersion();
       ForceFull = true;
     }
+    // All-dirty bypass: while armed, suppress the quiescence scan and
+    // evaluate everything — exactly the exhaustive engine's cycle, so
+    // traces are unchanged and on all-active models the selective
+    // engine's bookkeeping decays to one probe scan per window.
+    bool Bypass = false;
+    if (Opts.Selective && !ForceFull && BypassCountdown) {
+      --BypassCountdown;
+      Bypass = true;
+      ++Activity.BypassCycles;
+    }
+    uint64_t Eligible = 0, Skipped = 0;
     for (size_t G = 0; G != Sched.Groups.size(); ++G) {
-      if (Opts.Selective && !ForceFull && Sched.GroupSkippable[G] &&
+      if (Opts.Selective && !ForceFull && !Bypass && Sched.GroupSkippable[G] &&
           GroupEvaluated[G]) {
+        ++Eligible;
         bool Quiescent = true;
         for (int NetId : Sched.GroupInputNets[G])
           if (Nets[NetId].DirtyCycle == Cycle) {
@@ -614,12 +622,14 @@ void Simulator::stepSerial(uint64_t N) {
             break;
           }
         if (Quiescent) {
+          ++Skipped;
           skipGroup(G);
           continue;
         }
       }
       evaluateGroup(G, Activity);
     }
+    maybeArmBypass(Eligible, Skipped);
     runSequentialPhase();
     ++Cycle;
     ++Activity.Cycles;
@@ -635,6 +645,7 @@ static void mergeActivity(ActivityStats &To, ActivityStats &From) {
   To.NetWrites += From.NetWrites;
   To.NetChanges += From.NetChanges;
   To.EventsReplayed += From.EventsReplayed;
+  To.BypassCycles += From.BypassCycles;
   From = ActivityStats();
 }
 
@@ -646,6 +657,16 @@ void Simulator::stepWavefront(uint64_t N) {
       ForceFull = true;
     }
     const bool DoInstr = !Instr.empty();
+    // All-dirty bypass, identical to stepSerial's: decided on the main
+    // thread before dispatch, so stats and traces match the serial engine
+    // bit for bit at any thread count.
+    bool Bypass = false;
+    if (Opts.Selective && !ForceFull && BypassCountdown) {
+      --BypassCountdown;
+      Bypass = true;
+      ++Activity.BypassCycles;
+    }
+    uint64_t Eligible = 0, Skipped = 0;
     // Route events into per-group buffers for the whole combinational
     // phase (including main-thread skips, so replays interleave with live
     // events exactly as in the serial engine).
@@ -657,8 +678,9 @@ void Simulator::stepWavefront(uint64_t N) {
       // driver has a scheduling edge and therefore a smaller level).
       LevelPending.clear();
       for (int G : L) {
-        if (Opts.Selective && !ForceFull && Sched.GroupSkippable[G] &&
-            GroupEvaluated[G]) {
+        if (Opts.Selective && !ForceFull && !Bypass &&
+            Sched.GroupSkippable[G] && GroupEvaluated[G]) {
+          ++Eligible;
           bool Quiescent = true;
           for (int NetId : Sched.GroupInputNets[G])
             if (Nets[NetId].DirtyCycle == Cycle) {
@@ -666,6 +688,7 @@ void Simulator::stepWavefront(uint64_t N) {
               break;
             }
           if (Quiescent) {
+            ++Skipped;
             skipGroup(size_t(G));
             continue;
           }
@@ -697,6 +720,7 @@ void Simulator::stepWavefront(uint64_t N) {
         Pool->wait(); // Level barrier.
       }
     }
+    maybeArmBypass(Eligible, Skipped);
     if (DoInstr)
       flushCycleEvents();
     // Deferred fixpoint diagnostics, in ascending group order (the serial
@@ -731,9 +755,16 @@ void Simulator::stepWavefront(uint64_t N) {
 
 int Simulator::resolvePortNet(const std::string &InstPath,
                               const std::string &Port, int Index) const {
-  auto It = NodeToNet.find(InstPath + "|" + Port + "|" +
-                           std::to_string(Index));
-  return It == NodeToNet.end() ? -1 : It->second;
+  const netlist::InstanceNode *Inst = NL.findByPath(InstPath);
+  if (!Inst)
+    return -1;
+  int PI = Inst->findPortIdx(Port);
+  if (PI < 0)
+    return -1;
+  const netlist::Port &P = Inst->Ports[size_t(PI)];
+  if (Index < 0 || Index >= P.Width)
+    return -1;
+  return NodeNet[Inst->NodeBase + P.NodeOffset + uint32_t(Index)];
 }
 
 const Value *Simulator::peekPort(int NetId) const {
@@ -750,8 +781,9 @@ const Value *Simulator::peekPort(const std::string &InstPath,
 
 interp::Value *Simulator::findState(const std::string &InstPath,
                                     const std::string &Name) {
-  auto It = PathToRuntime.find(InstPath);
-  if (It == PathToRuntime.end())
+  const netlist::InstanceNode *Inst = NL.findByPath(InstPath);
+  if (!Inst || Inst->Id >= RuntimeOfInstance.size())
     return nullptr;
-  return It->second->StateVars.lookup(Name);
+  Runtime *RT = RuntimeOfInstance[Inst->Id];
+  return RT ? RT->StateVars.lookup(Name) : nullptr;
 }

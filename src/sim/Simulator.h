@@ -40,7 +40,6 @@
 #include "support/ThreadPool.h"
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +89,11 @@ struct ActivityStats {
   uint64_t NetWrites = 0;     ///< setOutput calls reaching a net.
   uint64_t NetChanges = 0;    ///< Writes that changed value or presence.
   uint64_t EventsReplayed = 0;///< Automatic port events served from replay.
+  /// Cycles where the quiescence scan was suppressed because the last
+  /// probe cycle found nearly every skippable group active (all-dirty
+  /// bypass). Bypassed cycles evaluate every group, exactly like the
+  /// exhaustive engine, so traces are unaffected.
+  uint64_t BypassCycles = 0;
 };
 
 class Simulator {
@@ -254,10 +258,14 @@ private:
   std::vector<std::unique_ptr<Runtime>> Runtimes;
   /// Runtime indices of leaves, in schedule order groups.
   Schedule Sched;
-  /// Map from port-instance key "path|port|index" to net id.
-  std::map<std::string, int> NodeToNet;
-  /// Instance path -> runtime record, for O(log n) findState resolution.
-  std::map<std::string, Runtime *> PathToRuntime;
+  /// Dense node id (netlist::Netlist::nodeIdOf over the frozen numbering)
+  /// -> net id. Flat array: probe resolution and slot wiring never build
+  /// or hash string keys.
+  std::vector<int> NodeNet;
+  /// InstanceNode::Id -> runtime record (null for instances without one);
+  /// findState resolves the path once through the netlist's interned path
+  /// index, then indexes this directly.
+  std::vector<Runtime *> RuntimeOfInstance;
 
   /// The engine resolved from Opts at build time (never Auto).
   EngineKind ResolvedEngine = EngineKind::Interp;
@@ -284,6 +292,21 @@ private:
   /// forces one exhaustive cycle so freshly attached collectors see every
   /// event live and replay records are rebuilt.
   unsigned LastInstrVersion = 0;
+  /// All-dirty bypass (selective engines): a probe cycle that skips fewer
+  /// than 1 in 8 of its eligible skippable groups arms this countdown, and
+  /// while it is nonzero the per-group quiescence scan is suppressed
+  /// entirely — every group evaluates, exactly as the exhaustive engine
+  /// would, so the selective engine's overhead on all-active models decays
+  /// to one probe scan per window. Identical logic in the serial and
+  /// wavefront engines (the decision runs on the main thread), so stats
+  /// stay bit-identical across thread counts.
+  static constexpr uint64_t BypassWindow = 32;
+  uint64_t BypassCountdown = 0;
+  /// Probe-cycle accounting shared by both step loops.
+  void maybeArmBypass(uint64_t Eligible, uint64_t Skipped) {
+    if (Eligible && Skipped * 8 < Eligible)
+      BypassCountdown = BypassWindow;
+  }
   /// Runtimes carrying an end_of_timestep userpoint (hot-path cache).
   std::vector<Runtime *> EotRuntimes;
   bool EotRuntimesValid = false;

@@ -399,6 +399,35 @@ TEST(Serializer, NetlistReloadReachesFixpoint) {
   EXPECT_EQ(S2, S3);
 }
 
+TEST(Serializer, InstanceIdsAgreeWithSerializationOrder) {
+  // The serializer writes parent references as dense InstanceNode::Ids
+  // instead of rebuilding a pointer->index map per serialize, which is
+  // only sound if Id always equals the instance's position in creation
+  // order — on a freshly elaborated netlist and on a reloaded one.
+  driver::CompileService Svc;
+  driver::CompileResult R = Svc.compile(chainInvocation());
+  ASSERT_TRUE(R.Success);
+  auto CheckIds = [](const netlist::Netlist &NL) {
+    const auto &Instances = NL.getInstances();
+    ASSERT_FALSE(Instances.empty());
+    EXPECT_EQ(Instances.front()->Id, 0u); // Root.
+    for (size_t I = 0; I != Instances.size(); ++I) {
+      EXPECT_EQ(Instances[I]->Id, I);
+      if (I)
+        EXPECT_LT(Instances[I]->Parent->Id, Instances[I]->Id)
+            << "parents must precede children";
+    }
+  };
+  CheckIds(*R.C->getNetlist());
+
+  std::string S1;
+  ASSERT_TRUE(serializeOnce(*R.C, S1));
+  types::TypeContext TC;
+  auto SC = netlist::deserializeNetlist(S1, TC);
+  ASSERT_NE(SC.NL, nullptr);
+  CheckIds(*SC.NL);
+}
+
 TEST(Serializer, EmptyStringTokensRoundTrip) {
   std::string Out;
   ASSERT_TRUE(netlist::artifactUnescape(netlist::artifactEscape(""), Out));

@@ -1,0 +1,282 @@
+//===- NetlistIRTest.cpp - Dense interned netlist IR invariants ---------------===//
+///
+/// Pins the contracts the dense IR hot paths depend on:
+///  - StringInterner: dense first-intern-order ids, idempotent intern,
+///    arena-stable text views, non-inserting lookup;
+///  - Netlist::freezeIds(): creation-order instance ids, contiguous
+///    port-node numbering, PortRef::PortIdx resolution, idempotence;
+///  - LSSNL v1 -> v2 loader compatibility: a v2-capable loader accepts
+///    artifacts of both versions and reconstructs the same netlist;
+///  - the v2 string table's byte stability: first-use order, pinned
+///    literally for a tiny fixed netlist so accidental table-order or
+///    record-syntax changes are caught here, not in the cache hash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "infer/Synthetic.h"
+#include "netlist/Netlist.h"
+#include "netlist/Serializer.h"
+#include "support/Diagnostics.h"
+#include "types/TypeContext.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace liberty;
+using namespace liberty::netlist;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(Interner, IdsAreDenseAndStable) {
+  StringInterner In;
+  SymbolId A = In.intern("alpha");
+  SymbolId B = In.intern("beta");
+  SymbolId C = In.intern("gamma");
+  EXPECT_EQ(A.index(), 0u);
+  EXPECT_EQ(B.index(), 1u);
+  EXPECT_EQ(C.index(), 2u);
+  // Idempotent: re-interning returns the original id, mints nothing.
+  EXPECT_EQ(In.intern("beta"), B);
+  EXPECT_EQ(In.size(), 3u);
+}
+
+TEST(Interner, DistinctStringsGetDistinctIds) {
+  StringInterner In;
+  std::set<uint32_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_TRUE(Seen.insert(In.intern("s" + std::to_string(I)).index()).second);
+  EXPECT_EQ(In.size(), 1000u);
+}
+
+TEST(Interner, TextViewsSurviveArenaGrowth) {
+  StringInterner In;
+  // Big enough to span multiple 64k arena chunks; the early views must
+  // stay valid as chunks are added.
+  SymbolId First = In.intern("the-first-string");
+  std::string_view FirstView = In.text(First);
+  for (int I = 0; I != 5000; ++I)
+    In.intern("padding-padding-padding-" + std::to_string(I));
+  EXPECT_EQ(FirstView, "the-first-string");
+  EXPECT_EQ(In.text(First).data(), FirstView.data());
+}
+
+TEST(Interner, LookupDoesNotInsert) {
+  StringInterner In;
+  EXPECT_FALSE(In.lookup("never-interned").isValid());
+  EXPECT_EQ(In.size(), 0u);
+  SymbolId Id = In.intern("present");
+  EXPECT_EQ(In.lookup("present"), Id);
+  EXPECT_EQ(In.size(), 1u);
+}
+
+TEST(Interner, EmptyStringInterns) {
+  StringInterner In;
+  SymbolId E = In.intern("");
+  EXPECT_TRUE(E.isValid());
+  EXPECT_EQ(In.text(E), "");
+  EXPECT_EQ(In.intern(""), E);
+}
+
+//===----------------------------------------------------------------------===//
+// Dense id compaction
+//===----------------------------------------------------------------------===//
+
+/// root -> a (in[2], out[1]), b (x[1]); a -> a.c (y[3]).
+struct SmallDesign {
+  types::TypeContext TC;
+  Netlist NL;
+  InstanceNode *A, *B, *C;
+
+  SmallDesign() {
+    A = NL.createInstance(NL.getRoot(), "a", nullptr, SourceLoc());
+    addPort(A, "in", PortDirection::In, 2);
+    addPort(A, "out", PortDirection::Out, 1);
+    B = NL.createInstance(NL.getRoot(), "b", nullptr, SourceLoc());
+    addPort(B, "x", PortDirection::In, 1);
+    C = NL.createInstance(A, "c", nullptr, SourceLoc());
+    addPort(C, "y", PortDirection::Out, 3);
+    Connection *Conn = NL.createConnection(SourceLoc());
+    Conn->From = PortRef{A, "out", 0, -1};
+    Conn->To = PortRef{B, "x", 0, -1};
+  }
+
+  static void addPort(InstanceNode *Inst, const char *Name, PortDirection Dir,
+                      int Width) {
+    Port P;
+    P.Name = Name;
+    P.Dir = Dir;
+    P.Width = Width;
+    Inst->Ports.push_back(std::move(P));
+  }
+};
+
+TEST(DenseIds, InstanceIdsFollowCreationOrder) {
+  SmallDesign D;
+  EXPECT_EQ(D.NL.getRoot()->Id, 0u);
+  EXPECT_EQ(D.A->Id, 1u);
+  EXPECT_EQ(D.B->Id, 2u);
+  EXPECT_EQ(D.C->Id, 3u);
+  // Ids mirror the Instances vector: consumers may index flat arrays by Id.
+  const auto &Instances = D.NL.getInstances();
+  for (size_t I = 0; I != Instances.size(); ++I)
+    EXPECT_EQ(Instances[I]->Id, I);
+}
+
+TEST(DenseIds, FreezeAssignsContiguousPortNodes) {
+  SmallDesign D;
+  uint32_t NumNodes = D.NL.freezeIds();
+  // 2 + 1 + 1 + 3 port instances across the design.
+  EXPECT_EQ(NumNodes, 7u);
+  EXPECT_EQ(D.NL.getNumPortNodes(), 7u);
+
+  // Every (instance, port, index) triple maps to a distinct node id in
+  // [0, NumNodes), covering the range with no gaps.
+  std::set<uint32_t> Nodes;
+  for (const auto &Inst : D.NL.getInstances())
+    for (const Port &P : Inst->Ports)
+      for (int I = 0; I != P.Width; ++I) {
+        uint32_t Node = Inst->NodeBase + P.NodeOffset + uint32_t(I);
+        EXPECT_LT(Node, NumNodes);
+        EXPECT_TRUE(Nodes.insert(Node).second) << "node id collision";
+      }
+  EXPECT_EQ(Nodes.size(), size_t(NumNodes));
+}
+
+TEST(DenseIds, FreezeResolvesPortRefsAndIsIdempotent) {
+  SmallDesign D;
+  D.NL.freezeIds();
+  ASSERT_EQ(D.NL.getConnections().size(), 1u);
+  const Connection &Conn = *D.NL.getConnections().front();
+  EXPECT_EQ(Conn.From.PortIdx, 1); // a.out is a's second port.
+  EXPECT_EQ(Conn.To.PortIdx, 0);  // b.x is b's first port.
+  EXPECT_EQ(Netlist::nodeIdOf(Conn.From), D.A->NodeBase + 2u);
+  EXPECT_EQ(Netlist::nodeIdOf(Conn.To), D.B->NodeBase);
+
+  // Freezing again must not renumber anything.
+  uint32_t Base = D.A->NodeBase;
+  EXPECT_EQ(D.NL.freezeIds(), 7u);
+  EXPECT_EQ(D.A->NodeBase, Base);
+}
+
+TEST(DenseIds, PortNamesInternedOnFreeze) {
+  SmallDesign D;
+  D.NL.freezeIds();
+  const StringInterner &In = D.NL.getInterner();
+  for (const auto &Inst : D.NL.getInstances())
+    for (const Port &P : Inst->Ports) {
+      ASSERT_TRUE(P.NameSym.isValid());
+      EXPECT_EQ(In.text(P.NameSym), P.Name);
+    }
+  // Same port name on different instances -> same symbol (dense compare).
+  EXPECT_EQ(D.NL.findByPath("a"), D.A);
+  EXPECT_EQ(D.NL.findByPath("a.c"), D.C);
+  EXPECT_EQ(D.NL.findByPath("nope"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// LSSNL v1 -> v2 loader compatibility
+//===----------------------------------------------------------------------===//
+
+/// Serializes the synthetic workload at both format versions and checks a
+/// v2-capable loader reconstructs identical structure from each.
+TEST(LssnlFormats, LoaderAcceptsV1AndV2) {
+  types::TypeContext TC;
+  Netlist NL;
+  infer::SyntheticNetlistSpec Spec;
+  Spec.Instances = 64;
+  Spec.Lanes = 4;
+  infer::buildSyntheticNetlist(NL, TC, Spec);
+
+  std::set<std::string> Lib;
+  std::vector<Diagnostic> NoDiags;
+  std::string V1, V2;
+  ASSERT_TRUE(serializeNetlist(NL, Lib, 0, NoDiags, V1, 1));
+  ASSERT_TRUE(serializeNetlist(NL, Lib, 0, NoDiags, V2, 2));
+  ASSERT_TRUE(V1.rfind("LSSNL 1\n", 0) == 0);
+  ASSERT_TRUE(V2.rfind("LSSNL 2\n", 0) == 0);
+  EXPECT_LT(V2.size(), V1.size()) << "interned format should be smaller";
+
+  for (const std::string *Text : {&V1, &V2}) {
+    types::TypeContext LoadTC;
+    SerializedCompile SC = deserializeNetlist(*Text, LoadTC);
+    ASSERT_NE(SC.NL, nullptr);
+    const auto &Orig = NL.getInstances();
+    const auto &Got = SC.NL->getInstances();
+    ASSERT_EQ(Got.size(), Orig.size());
+    for (size_t I = 0; I != Orig.size(); ++I) {
+      EXPECT_EQ(Got[I]->Name, Orig[I]->Name);
+      EXPECT_EQ(Got[I]->Path, Orig[I]->Path);
+      EXPECT_EQ(Got[I]->Id, Orig[I]->Id);
+      ASSERT_EQ(Got[I]->Ports.size(), Orig[I]->Ports.size());
+      for (size_t P = 0; P != Orig[I]->Ports.size(); ++P) {
+        EXPECT_EQ(Got[I]->Ports[P].Name, Orig[I]->Ports[P].Name);
+        EXPECT_EQ(Got[I]->Ports[P].Dir, Orig[I]->Ports[P].Dir);
+        EXPECT_EQ(Got[I]->Ports[P].Width, Orig[I]->Ports[P].Width);
+      }
+    }
+    ASSERT_EQ(SC.NL->getConnections().size(), NL.getConnections().size());
+  }
+}
+
+/// A reserialized reload must be byte-identical to the original artifact
+/// in both formats (the cache-stability invariant, format by format).
+TEST(LssnlFormats, RoundTripIsByteStable) {
+  types::TypeContext TC;
+  Netlist NL;
+  infer::SyntheticNetlistSpec Spec;
+  Spec.Instances = 32;
+  Spec.Lanes = 2;
+  infer::buildSyntheticNetlist(NL, TC, Spec);
+
+  std::set<std::string> Lib;
+  std::vector<Diagnostic> NoDiags;
+  for (unsigned Version : {1u, 2u}) {
+    std::string First, Second;
+    ASSERT_TRUE(serializeNetlist(NL, Lib, 0, NoDiags, First, Version));
+    types::TypeContext LoadTC;
+    SerializedCompile SC = deserializeNetlist(First, LoadTC);
+    ASSERT_NE(SC.NL, nullptr);
+    ASSERT_TRUE(serializeNetlist(*SC.NL, SC.LibraryModules,
+                                 SC.NumUserAnnotations, SC.Diags, Second,
+                                 Version));
+    EXPECT_EQ(First, Second) << "LSSNL v" << Version << " not byte-stable";
+  }
+}
+
+/// Literal pin of the v2 header and string table for a tiny fixed design:
+/// first-use order, "s <escaped>" lines, short record keywords. If this
+/// fails without a deliberate format-version bump, cached artifacts from
+/// the previous build would hash differently.
+TEST(LssnlFormats, V2StringTableBytesArePinned) {
+  types::TypeContext TC;
+  Netlist NL;
+  InstanceNode *U = NL.createInstance(NL.getRoot(), "u", nullptr, SourceLoc());
+  SmallDesign::addPort(U, "clk", PortDirection::In, 1);
+  InstanceNode *V = NL.createInstance(NL.getRoot(), "v", nullptr, SourceLoc());
+  SmallDesign::addPort(V, "clk", PortDirection::In, 1);
+  NL.freezeIds();
+
+  std::set<std::string> Lib;
+  std::vector<Diagnostic> NoDiags;
+  std::string Out;
+  ASSERT_TRUE(serializeNetlist(NL, Lib, 0, NoDiags, Out, 2));
+  EXPECT_EQ(Out, "LSSNL 2\n"
+                 "strtab 4\n"
+                 "s u\n"
+                 "s %_\n"
+                 "s clk\n"
+                 "s v\n"
+                 "annotations 0\n"
+                 "i 0 0 1 - 0 0 0\n"
+                 "p 2 0 1 0 0 0 - -\n"
+                 "i 0 3 1 - 0 0 0\n"
+                 "p 2 0 1 0 0 0 - -\n"
+                 "end\n");
+}
+
+} // namespace

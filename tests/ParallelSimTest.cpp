@@ -40,6 +40,7 @@ void expectStatsEqual(const sim::ActivityStats &Ref,
   EXPECT_EQ(Ref.NetWrites, Got.NetWrites);
   EXPECT_EQ(Ref.NetChanges, Got.NetChanges);
   EXPECT_EQ(Ref.EventsReplayed, Got.EventsReplayed);
+  EXPECT_EQ(Ref.BypassCycles, Got.BypassCycles);
 }
 
 /// Runs \p Text serially, then at 2/4/8 worker threads, and requires the
