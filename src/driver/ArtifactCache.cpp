@@ -2,11 +2,17 @@
 
 #include "driver/ArtifactCache.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace liberty;
 using namespace liberty::driver;
@@ -26,9 +32,50 @@ static std::string hex16(uint64_t V) {
   return Buf;
 }
 
+/// A temp name unique across processes sharing one cache dir: lssc and
+/// lssd both write here, so PID + per-process counter + a random tag keep
+/// concurrent writers from renaming each other's partial files.
+static std::string uniqueTmpName(const std::string &Path) {
+  static std::atomic<unsigned> TmpCounter{0};
+  static const uint64_t ProcessTag = [] {
+    std::random_device RD;
+    return (uint64_t(RD()) << 32) ^ RD();
+  }();
+  return Path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(TmpCounter++) + "." + hex16(ProcessTag);
+}
+
 std::string ArtifactCache::diskPath(const std::string &Key,
                                     const std::string &Phase) const {
   return Opts.DiskDir + "/" + Key + "." + Phase + ".lssart";
+}
+
+void ArtifactCache::sweepDiskDir() {
+  if (Opts.DiskDir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Opts.DiskDir, EC), End;
+  if (EC)
+    return; // Dir doesn't exist yet; nothing to sweep.
+  auto Now = std::filesystem::file_time_type::clock::now();
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      return;
+    std::string Name = It->path().filename().string();
+    if (Name.find(".lssart.tmp") == std::string::npos)
+      continue;
+    auto Written = std::filesystem::last_write_time(It->path(), EC);
+    if (EC)
+      continue;
+    auto AgeSec =
+        std::chrono::duration_cast<std::chrono::seconds>(Now - Written)
+            .count();
+    if (AgeSec < 0 || uint64_t(AgeSec) < Opts.TmpSweepAgeSeconds)
+      continue; // Could be a live writer in another process.
+    std::error_code RmEC;
+    if (std::filesystem::remove(It->path(), RmEC) && !RmEC)
+      ++Stats.TmpSwept;
+  }
 }
 
 void ArtifactCache::insertMemory(const std::string &MapKey,
@@ -103,20 +150,31 @@ bool ArtifactCache::get(const std::string &Key, const std::string &Phase,
     return true;
   }
 
-  if (!Opts.DiskDir.empty()) {
+  if (!Opts.DiskDir.empty() && !faultShouldFail("cache.disk.open_read")) {
     std::string Path = diskPath(Key, Phase);
     std::ifstream In(Path, std::ios::binary);
     if (In) {
       std::ostringstream SS;
       SS << In.rdbuf();
+      std::string Raw = SS.str();
+      if (faultShouldFail("cache.disk.read"))
+        Raw.resize(Raw.size() / 2); // Simulated short read.
       std::string Reason;
-      if (openEnvelope(SS.str(), Phase, Payload, Reason)) {
+      if (openEnvelope(Raw, Phase, Payload, Reason)) {
         insertMemory(MapKey, Payload);
         ++Stats.Hits;
         ++Stats.DiskHits;
         return true;
       }
       ++Stats.Corrupt;
+      // Quarantine the failing entry: move it aside so every later run
+      // doesn't re-read and re-reject the same bytes. The recompile will
+      // publish a fresh entry under the original name.
+      In.close();
+      std::error_code QEC;
+      std::filesystem::rename(Path, Path + ".quarantined", QEC);
+      if (!QEC)
+        ++Stats.Quarantined;
       if (Note)
         *Note = "ignoring corrupted cache entry '" + Path + "' (" + Reason +
                 "); recompiling";
@@ -126,6 +184,54 @@ bool ArtifactCache::get(const std::string &Key, const std::string &Phase,
   return false;
 }
 
+bool ArtifactCache::writeDiskEntry(const std::string &Path,
+                                   const std::string &Phase,
+                                   const std::string &Payload) {
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.DiskDir, EC);
+  if (EC)
+    return false;
+  std::string Envelope = "LSSART 1 " + Phase + ' ' +
+                         std::to_string(Payload.size()) + ' ' +
+                         hex16(fnv64(Payload)) + '\n' + Payload;
+  // Atomic publish: write a unique temp file, then rename over the final
+  // name. Readers either see the old complete entry or the new one.
+  std::string Tmp = uniqueTmpName(Path);
+  if (faultShouldFail("cache.disk.open_write"))
+    return false;
+  std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  if (faultShouldFail("cache.disk.write")) {
+    // Simulated crash mid-write: a truncated temp file stays behind for
+    // the next startup sweep to collect.
+    Out << Envelope.substr(0, Envelope.size() / 2);
+    return false;
+  }
+  Out << Envelope;
+  Out.close();
+  if (!Out) {
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  if (faultShouldFail("cache.disk.rename")) {
+    // Simulated torn publish: truncated bytes land at the *final* name.
+    // The envelope checksum is what makes this recoverable — the next
+    // reader rejects it, quarantines it, and recompiles.
+    std::ofstream Torn(Path, std::ios::binary | std::ios::trunc);
+    Torn << Envelope.substr(0, Envelope.size() / 2);
+    Torn.close();
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
 void ArtifactCache::put(const std::string &Key, const std::string &Phase,
                         const std::string &Payload) {
   std::string MapKey = Key + "." + Phase;
@@ -133,36 +239,25 @@ void ArtifactCache::put(const std::string &Key, const std::string &Phase,
   ++Stats.Stores;
   insertMemory(MapKey, Payload);
 
-  if (Opts.DiskDir.empty())
+  if (Opts.DiskDir.empty() || DegradedMode)
     return;
-  std::error_code EC;
-  std::filesystem::create_directories(Opts.DiskDir, EC);
-  if (EC)
+  if (writeDiskEntry(diskPath(Key, Phase), Phase, Payload)) {
+    ConsecutiveDiskFailures = 0;
     return;
-  // Atomic publish: write a unique temp file, then rename over the final
-  // name. Readers either see the old complete entry or the new one.
-  static std::atomic<unsigned> TmpCounter{0};
-  std::string Path = diskPath(Key, Phase);
-  std::string Tmp = Path + ".tmp" + std::to_string(TmpCounter++);
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return;
-    Out << "LSSART 1 " << Phase << ' ' << Payload.size() << ' '
-        << hex16(fnv64(Payload)) << '\n'
-        << Payload;
-    if (!Out) {
-      Out.close();
-      std::filesystem::remove(Tmp, EC);
-      return;
-    }
   }
-  std::filesystem::rename(Tmp, Path, EC);
-  if (EC)
-    std::filesystem::remove(Tmp, EC);
+  ++Stats.DiskWriteFailures;
+  if (++ConsecutiveDiskFailures >= Opts.DegradeAfterFailures) {
+    DegradedMode = true;
+    Stats.Degraded = true;
+  }
 }
 
 CacheStats ArtifactCache::getStats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Stats;
+}
+
+bool ArtifactCache::isDegraded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return DegradedMode;
 }

@@ -39,6 +39,10 @@ struct CacheStats {
   uint64_t Evictions = 0;  ///< In-memory entries dropped by the LRU budget.
   uint64_t Corrupt = 0;    ///< Disk entries rejected by validation.
   uint64_t BytesInMemory = 0;
+  uint64_t TmpSwept = 0;   ///< Orphaned temp files deleted by the sweep.
+  uint64_t Quarantined = 0; ///< Corrupt disk entries moved aside.
+  uint64_t DiskWriteFailures = 0; ///< put() calls that failed to persist.
+  bool Degraded = false;   ///< Disk gave up; running memory-only.
 };
 
 class ArtifactCache {
@@ -49,10 +53,19 @@ public:
     std::string DiskDir;
     /// LRU budget for in-memory payload bytes.
     uint64_t MemoryBudgetBytes = 64ull << 20;
+    /// The startup sweep only deletes orphaned temp files at least this
+    /// old, so it can never race a live writer in another process that is
+    /// about to rename its temp file. Tests set 0 to sweep everything.
+    uint64_t TmpSweepAgeSeconds = 60;
+    /// After this many *consecutive* disk write failures the cache stops
+    /// touching the disk for writes (memory-only degraded mode; reads
+    /// still work). A full or read-only cache dir must not slow every
+    /// compile down with doomed write attempts.
+    unsigned DegradeAfterFailures = 3;
   };
 
   ArtifactCache() = default;
-  explicit ArtifactCache(Options O) : Opts(std::move(O)) {}
+  explicit ArtifactCache(Options O) : Opts(std::move(O)) { sweepDiskDir(); }
 
   /// Looks up (key, phase). On a hit fills \p Payload and returns true;
   /// disk hits are promoted into the memory LRU. If a disk entry fails
@@ -62,8 +75,9 @@ public:
            std::string &Payload, std::string *Note = nullptr);
 
   /// Stores a payload under (key, phase), in memory and — when a DiskDir
-  /// is configured — on disk. Disk write failures are silent: the cache is
-  /// an accelerator, never a correctness dependency.
+  /// is configured — on disk. Disk write failures never fail the compile
+  /// (the cache is an accelerator, not a correctness dependency); they are
+  /// counted, and enough consecutive ones trip memory-only degraded mode.
   void put(const std::string &Key, const std::string &Phase,
            const std::string &Payload);
 
@@ -71,14 +85,26 @@ public:
 
   const Options &getOptions() const { return Opts; }
 
+  /// True once disk writes have been abandoned (see DegradeAfterFailures).
+  bool isDegraded() const;
+
 private:
   std::string diskPath(const std::string &Key, const std::string &Phase) const;
   /// Inserts into the LRU and evicts down to budget. Lock held.
   void insertMemory(const std::string &MapKey, const std::string &Payload);
+  /// Deletes orphaned `*.lssart.tmp*` files (older than the sweep age)
+  /// left behind by a crashed writer. Runs once at construction.
+  void sweepDiskDir();
+  /// Writes the envelope to disk via temp+rename. Lock held. Returns
+  /// false on any failure (including injected faults).
+  bool writeDiskEntry(const std::string &Path, const std::string &Phase,
+                      const std::string &Payload);
 
   Options Opts;
   mutable std::mutex Mu;
   CacheStats Stats;
+  unsigned ConsecutiveDiskFailures = 0;
+  bool DegradedMode = false;
   /// MRU-first list of map keys; Entries holds payload + LRU position.
   std::list<std::string> LruOrder;
   struct Entry {

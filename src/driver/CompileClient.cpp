@@ -2,6 +2,12 @@
 
 #include "driver/CompileClient.h"
 
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include <unistd.h>
 
 using namespace liberty;
@@ -16,7 +22,12 @@ void CompileClient::close() {
 
 bool CompileClient::connect(std::string *Err) {
   close();
-  Fd = netConnect(Address, Err);
+  if (faultShouldFail("client.connect")) {
+    if (Err)
+      *Err = "connect to '" + Address + "': injected fault";
+    return false;
+  }
+  Fd = netConnect(Address, Err, Policy.ConnectTimeoutMs);
   if (Fd < 0)
     return false;
 
@@ -45,18 +56,26 @@ bool CompileClient::roundTrip(const Json &Msg, Json &Reply, std::string *Err) {
       *Err = "not connected";
     return false;
   }
-  if (!writeMessage(Fd, Msg)) {
+  if (faultShouldFail("client.send") || !writeMessage(Fd, Msg)) {
     if (Err)
       *Err = "send failed (daemon gone?)";
     close();
     return false;
   }
   std::string Payload;
-  FrameStatus FS = readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes);
+  FrameStatus FS =
+      faultShouldFail("client.recv")
+          ? FrameStatus::Error
+          : readFrameDeadline(Fd, Payload, DaemonDefaultMaxFrameBytes,
+                              Policy.ReadTimeoutMs, /*IdleDeadline=*/true);
   if (FS != FrameStatus::Ok) {
     if (Err)
-      *Err = FS == FrameStatus::Eof ? "daemon closed the connection"
-                                    : "receive failed";
+      *Err = FS == FrameStatus::Eof       ? "daemon closed the connection"
+             : FS == FrameStatus::Timeout ? "receive timed out after " +
+                                                std::to_string(
+                                                    Policy.ReadTimeoutMs) +
+                                                " ms"
+                                          : "receive failed";
     close();
     return false;
   }
@@ -189,6 +208,134 @@ bool CompileClient::stats(Json &Out, std::string *Err) {
     return false;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Retry / backoff / circuit breaker
+//===----------------------------------------------------------------------===//
+
+static uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void CompileClient::noteTransportFailure() {
+  ++Stats.TransportFailures;
+  if (++ConsecutiveTransportFailures >= Policy.BreakerThreshold &&
+      !Stats.BreakerOpen) {
+    Stats.BreakerOpen = true;
+    ++Stats.BreakerTrips;
+  }
+}
+
+void CompileClient::noteTransportSuccess() { ConsecutiveTransportFailures = 0; }
+
+uint64_t CompileClient::backoffMs(unsigned Attempt, uint64_t RetryAfterMs) {
+  if (JitterState == 0)
+    JitterState = Policy.Seed * 0x9e3779b97f4a7c15ull + 1;
+  uint64_t Backoff = Policy.BaseBackoffMs;
+  for (unsigned I = 1; I < Attempt && Backoff < Policy.MaxBackoffMs; ++I)
+    Backoff *= 2;
+  Backoff = std::min(Backoff, Policy.MaxBackoffMs);
+  // Full jitter on top of the exponential floor; a server retry_after_ms
+  // hint raises the floor (it knows its queue better than we do).
+  uint64_t Jitter = splitmix64(JitterState) % (Backoff / 2 + 1);
+  return std::max(Backoff / 2 + Jitter, RetryAfterMs);
+}
+
+static CompileClient::Result breakerOpenResult() {
+  CompileClient::Result R;
+  R.Error = "circuit breaker open: daemon transport failing repeatedly; "
+            "not retrying";
+  return R;
+}
+
+/// True when \p R is worth another attempt: transport failures (Error set
+/// without a server code — the daemon may be back by the next try) and
+/// queue_full rejections (the server asked us to come back).
+static bool isRetryable(const CompileClient::Result &R) {
+  if (R.Error.empty())
+    return false;
+  return R.ErrorCode.empty() || R.ErrorCode == errc::QueueFull;
+}
+
+CompileClient::Result CompileClient::compileWithRetry(
+    const CompilerInvocation &Inv, uint64_t DeadlineMs) {
+  Result Last;
+  for (unsigned Attempt = 1; Attempt <= Policy.MaxAttempts; ++Attempt) {
+    if (Stats.BreakerOpen)
+      return breakerOpenResult();
+    if (Attempt > 1) {
+      ++Stats.Retries;
+      if (Last.ErrorCode == errc::QueueFull)
+        ++Stats.QueueFullRetries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoffMs(Attempt - 1, Last.RetryAfterMs)));
+    }
+    std::string Err;
+    if (!isConnected() && !connect(&Err)) {
+      noteTransportFailure();
+      Last = Result();
+      Last.Error = Err;
+      continue;
+    }
+    Last = compile(Inv, DeadlineMs);
+    if (Last.Error.empty()) {
+      noteTransportSuccess();
+      return Last;
+    }
+    if (!Last.ErrorCode.empty())
+      noteTransportSuccess(); // The server answered; transport is fine.
+    else
+      noteTransportFailure();
+    if (!isRetryable(Last))
+      return Last;
+  }
+  return Last;
+}
+
+std::vector<CompileClient::Result> CompileClient::compileBatchWithRetry(
+    const std::vector<CompilerInvocation> &Invs, uint64_t DeadlineMs) {
+  std::vector<Result> Last(Invs.size());
+  for (unsigned Attempt = 1; Attempt <= Policy.MaxAttempts; ++Attempt) {
+    if (Stats.BreakerOpen) {
+      for (Result &R : Last)
+        R = breakerOpenResult();
+      return Last;
+    }
+    if (Attempt > 1) {
+      ++Stats.Retries;
+      if (!Last.empty() && Last.front().ErrorCode == errc::QueueFull)
+        ++Stats.QueueFullRetries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          backoffMs(Attempt - 1, Last.empty() ? 0 : Last.front().RetryAfterMs)));
+    }
+    std::string Err;
+    if (!isConnected() && !connect(&Err)) {
+      noteTransportFailure();
+      for (Result &R : Last) {
+        R = Result();
+        R.Error = Err;
+      }
+      continue;
+    }
+    Last = compileBatch(Invs, DeadlineMs);
+    if (Last.empty())
+      return Last;
+    if (Last.front().Error.empty()) {
+      noteTransportSuccess();
+      return Last;
+    }
+    if (!Last.front().ErrorCode.empty())
+      noteTransportSuccess();
+    else
+      noteTransportFailure();
+    if (!isRetryable(Last.front()))
+      return Last;
+  }
+  return Last;
 }
 
 bool CompileClient::shutdownServer(std::string *Err) {

@@ -33,6 +33,32 @@ namespace driver {
 
 class CompileClient {
 public:
+  /// Knobs for compileWithRetry / compileBatchWithRetry and the transport
+  /// deadlines. Defaults suit an interactive `lssc --daemon` call.
+  struct RetryPolicy {
+    unsigned MaxAttempts = 5;   ///< Total tries (first attempt included).
+    uint64_t BaseBackoffMs = 20; ///< Exponential base; doubled per retry.
+    uint64_t MaxBackoffMs = 1000; ///< Backoff clamp.
+    uint64_t ConnectTimeoutMs = 2000; ///< connect() bound (0 = block).
+    uint64_t ReadTimeoutMs = 0; ///< Reply deadline per round trip (0 = none).
+    /// Consecutive transport failures before the circuit breaker opens.
+    /// An open breaker fails every further request instantly so the
+    /// caller (lssc) falls back to an in-process compile at once instead
+    /// of burning MaxAttempts against a dead daemon per request.
+    unsigned BreakerThreshold = 3;
+    uint64_t Seed = 1; ///< Deterministic backoff jitter stream.
+  };
+
+  /// Client-side robustness counters, surfaced by `lssc --daemon
+  /// --stats-json`.
+  struct ClientStats {
+    uint64_t Retries = 0;          ///< Re-attempts, any cause.
+    uint64_t QueueFullRetries = 0; ///< Re-attempts after queue_full.
+    uint64_t TransportFailures = 0; ///< Failed connects/sends/recvs.
+    uint64_t BreakerTrips = 0;     ///< Times the breaker opened.
+    bool BreakerOpen = false;
+  };
+
   /// One remote compile's outcome. Exactly one of these is true:
   ///  - Error non-empty: transport/protocol failure (connection died,
   ///    malformed reply); ErrorCode may name a server error code.
@@ -77,6 +103,25 @@ public:
   std::vector<Result> compileBatch(const std::vector<CompilerInvocation> &Invs,
                                    uint64_t DeadlineMs = 0);
 
+  /// compile() wrapped in the retry policy: reconnects on transport
+  /// failure, honors `retry_after_ms` on queue_full with jittered
+  /// exponential backoff, and fails fast once the circuit breaker is
+  /// open. The returned Result's Error is non-empty only when every
+  /// attempt failed (or the breaker was already open).
+  Result compileWithRetry(const CompilerInvocation &Inv,
+                          uint64_t DeadlineMs = 0);
+
+  /// compileBatch() under the same retry policy. A batch is retried as a
+  /// unit (the daemon admits whole batches).
+  std::vector<Result>
+  compileBatchWithRetry(const std::vector<CompilerInvocation> &Invs,
+                        uint64_t DeadlineMs = 0);
+
+  void setRetryPolicy(const RetryPolicy &P) { Policy = P; }
+  const RetryPolicy &getRetryPolicy() const { return Policy; }
+  const ClientStats &getClientStats() const { return Stats; }
+  bool breakerOpen() const { return Stats.BreakerOpen; }
+
   /// Fetches the server's `stats_result` message into \p Out.
   bool stats(Json &Out, std::string *Err);
 
@@ -95,9 +140,21 @@ private:
   bool roundTrip(const Json &Msg, Json &Reply, std::string *Err);
   static Result resultFromWire(const Json &Msg);
 
+  /// Bookkeeping after a failed/successful transport interaction; may
+  /// open the breaker.
+  void noteTransportFailure();
+  void noteTransportSuccess();
+  /// The jittered backoff for retry number \p Attempt (1-based), floored
+  /// at the server's \p RetryAfterMs hint when present.
+  uint64_t backoffMs(unsigned Attempt, uint64_t RetryAfterMs);
+
   std::string Address;
   int Fd = -1;
   uint64_t NextId = 1;
+  RetryPolicy Policy;
+  ClientStats Stats;
+  unsigned ConsecutiveTransportFailures = 0;
+  uint64_t JitterState = 0; ///< Lazily seeded from Policy.Seed.
 };
 
 } // namespace driver

@@ -2,14 +2,18 @@
 
 #include "driver/DaemonProtocol.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -54,8 +58,7 @@ double Json::getNumber(const std::string &Key, double Default) const {
 
 uint64_t Json::getU64(const std::string &Key, uint64_t Default) const {
   const Json *V = get(Key);
-  return V && V->K == Kind::Number && V->NumV >= 0 ? uint64_t(V->NumV)
-                                                   : Default;
+  return V ? V->asU64(Default) : Default; // Same strictness as asU64.
 }
 
 bool Json::getBool(const std::string &Key, bool Default) const {
@@ -492,10 +495,48 @@ ssize_t readFull(int Fd, char *Buf, size_t N) {
   return ssize_t(N);
 }
 
+/// readFull with a wall-clock deadline: each read waits (via poll) at most
+/// the remaining budget. Returns N on success, 0 on immediate clean EOF,
+/// -1 on error, -2 on deadline expiry.
+ssize_t readFullDeadline(int Fd, char *Buf, size_t N,
+                         std::chrono::steady_clock::time_point Deadline) {
+  size_t Got = 0;
+  while (Got < N) {
+    auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline)
+      return -2;
+    auto RemainMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count();
+    pollfd PFd = {Fd, POLLIN, 0};
+    int PR = ::poll(&PFd, 1, int(std::min<long long>(RemainMs, 60000)));
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (PR == 0)
+      continue; // Re-check the deadline.
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R == 0)
+      return Got == 0 ? 0 : -1;
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    Got += size_t(R);
+  }
+  return ssize_t(N);
+}
+
 bool writeFull(int Fd, const char *Buf, size_t N) {
   size_t Sent = 0;
   while (Sent < N) {
-    ssize_t W = ::write(Fd, Buf + Sent, N - Sent);
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE
+    // (a clean `false` here), never as a process-killing SIGPIPE — the
+    // library cannot assume every embedder ignores the signal.
+    ssize_t W = ::send(Fd, Buf + Sent, N - Sent, MSG_NOSIGNAL);
     if (W < 0) {
       if (errno == EINTR)
         continue;
@@ -523,6 +564,55 @@ FrameStatus liberty::driver::readFrame(int Fd, std::string &Payload,
   Payload.resize(size_t(Len));
   if (Len != 0 && readFull(Fd, Payload.data(), size_t(Len)) != ssize_t(Len))
     return FrameStatus::Error;
+  return FrameStatus::Ok;
+}
+
+FrameStatus liberty::driver::readFrameDeadline(int Fd, std::string &Payload,
+                                               uint64_t MaxBytes,
+                                               uint64_t DeadlineMs,
+                                               bool IdleDeadline) {
+  if (DeadlineMs == 0)
+    return readFrame(Fd, Payload, MaxBytes);
+  unsigned char Hdr[4];
+  // The deadline clock starts with the frame. Unless the caller also wants
+  // the idle wait bounded, block (unbounded) for the first header byte,
+  // then demand the rest of the frame within DeadlineMs.
+  ssize_t R;
+  auto FarFuture = std::chrono::steady_clock::now() + std::chrono::hours(24);
+  if (IdleDeadline) {
+    R = readFullDeadline(Fd, reinterpret_cast<char *>(Hdr), 4,
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(DeadlineMs));
+  } else {
+    R = readFullDeadline(Fd, reinterpret_cast<char *>(Hdr), 1, FarFuture);
+    if (R > 0) {
+      ssize_t R2 = readFullDeadline(
+          Fd, reinterpret_cast<char *>(Hdr) + 1, 3,
+          std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(DeadlineMs));
+      R = R2 == 3 ? 4 : (R2 == 0 ? -1 : R2);
+    }
+  }
+  if (R == 0)
+    return FrameStatus::Eof;
+  if (R == -2)
+    return FrameStatus::Timeout;
+  if (R < 0)
+    return FrameStatus::Error;
+  uint64_t Len = (uint64_t(Hdr[0]) << 24) | (uint64_t(Hdr[1]) << 16) |
+                 (uint64_t(Hdr[2]) << 8) | uint64_t(Hdr[3]);
+  if (Len > MaxBytes)
+    return FrameStatus::TooLarge;
+  Payload.resize(size_t(Len));
+  if (Len != 0) {
+    ssize_t Body = readFullDeadline(Fd, Payload.data(), size_t(Len),
+                                    std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(DeadlineMs));
+    if (Body == -2)
+      return FrameStatus::Timeout;
+    if (Body != ssize_t(Len))
+      return FrameStatus::Error;
+  }
   return FrameStatus::Ok;
 }
 
@@ -592,6 +682,53 @@ std::string errnoString(const char *What) {
   return std::string(What) + ": " + std::strerror(errno);
 }
 
+/// connect() with an optional wall-clock bound: non-blocking connect,
+/// poll for writability, then SO_ERROR tells the truth. The fd is
+/// returned to blocking mode on success. TimeoutMs of 0 blocks.
+bool connectWithTimeout(int Fd, const sockaddr *SA, socklen_t Len,
+                        uint64_t TimeoutMs, std::string *Err,
+                        const std::string &Where) {
+  if (TimeoutMs == 0) {
+    if (::connect(Fd, SA, Len) < 0) {
+      if (Err)
+        *Err = errnoString("connect") + " to " + Where;
+      return false;
+    }
+    return true;
+  }
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int RC = ::connect(Fd, SA, Len);
+  if (RC < 0 && errno != EINPROGRESS) {
+    if (Err)
+      *Err = errnoString("connect") + " to " + Where;
+    return false;
+  }
+  if (RC < 0) {
+    pollfd PFd = {Fd, POLLOUT, 0};
+    int PR;
+    do {
+      PR = ::poll(&PFd, 1, int(std::min<uint64_t>(TimeoutMs, 60000)));
+    } while (PR < 0 && errno == EINTR);
+    if (PR <= 0) {
+      if (Err)
+        *Err = "connect to " + Where + ": timed out after " +
+               std::to_string(TimeoutMs) + " ms";
+      return false;
+    }
+    int SoErr = 0;
+    socklen_t SoLen = sizeof(SoErr);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SoLen);
+    if (SoErr != 0) {
+      if (Err)
+        *Err = "connect to " + Where + ": " + std::strerror(SoErr);
+      return false;
+    }
+  }
+  ::fcntl(Fd, F_SETFL, Flags);
+  return true;
+}
+
 } // namespace
 
 int liberty::driver::netListen(const std::string &Address, int *BoundPort,
@@ -653,7 +790,8 @@ int liberty::driver::netListen(const std::string &Address, int *BoundPort,
   return Fd;
 }
 
-int liberty::driver::netConnect(const std::string &Address, std::string *Err) {
+int liberty::driver::netConnect(const std::string &Address, std::string *Err,
+                                uint64_t TimeoutMs) {
   if (isUnixAddress(Address)) {
     sockaddr_un SA;
     bool Ok = false;
@@ -666,9 +804,8 @@ int liberty::driver::netConnect(const std::string &Address, std::string *Err) {
         *Err = errnoString("socket");
       return -1;
     }
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
-      if (Err)
-        *Err = errnoString("connect") + " to '" + Address + "'";
+    if (!connectWithTimeout(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA),
+                            TimeoutMs, Err, "'" + Address + "'")) {
       ::close(Fd);
       return -1;
     }
@@ -689,9 +826,8 @@ int liberty::driver::netConnect(const std::string &Address, std::string *Err) {
   SA.sin_family = AF_INET;
   SA.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   SA.sin_port = htons(Port);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
-    if (Err)
-      *Err = errnoString("connect") + " to localhost:" + Address;
+  if (!connectWithTimeout(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA),
+                          TimeoutMs, Err, "localhost:" + Address)) {
     ::close(Fd);
     return -1;
   }

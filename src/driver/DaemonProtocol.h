@@ -135,8 +135,15 @@ public:
   double asNumber(double Default = 0) const {
     return K == Kind::Number ? NumV : Default;
   }
+  /// Strict unsigned accessor: the number must be a non-negative integral
+  /// value representable exactly in a double (<= 2^53). Anything else —
+  /// fractional, negative, NaN, or huge — yields \p Default so a malformed
+  /// `len`/`retry_after_ms` can't silently truncate to a bogus integer.
   uint64_t asU64(uint64_t Default = 0) const {
-    return K == Kind::Number && NumV >= 0 ? uint64_t(NumV) : Default;
+    if (K != Kind::Number || !(NumV >= 0) || NumV > 9007199254740992.0 ||
+        NumV != double(uint64_t(NumV)))
+      return Default;
+    return uint64_t(NumV);
   }
   const std::string &asString() const;
 
@@ -188,10 +195,21 @@ enum class FrameStatus {
   Eof,      ///< The peer closed cleanly at a frame boundary.
   TooLarge, ///< Advertised length exceeds the cap (payload never read).
   Error,    ///< Short read/write or socket error.
+  Timeout,  ///< A started frame stalled past the read deadline.
 };
 
 /// Reads one length-prefixed frame from \p Fd into \p Payload.
 FrameStatus readFrame(int Fd, std::string &Payload, uint64_t MaxBytes);
+
+/// Deadline-aware readFrame: once the first byte of a frame has arrived,
+/// the rest must land within \p DeadlineMs or the read fails with
+/// FrameStatus::Timeout (slow-loris protection). Waiting for a frame to
+/// *start* is not bounded — an idle connection is legitimate — unless
+/// \p IdleDeadline is true, which also bounds the wait for the first
+/// byte (the client side: a response is always expected). DeadlineMs of 0
+/// means no deadline.
+FrameStatus readFrameDeadline(int Fd, std::string &Payload, uint64_t MaxBytes,
+                              uint64_t DeadlineMs, bool IdleDeadline = false);
 
 /// Writes one frame. Returns false on any short write.
 bool writeFrame(int Fd, std::string_view Payload);
@@ -215,7 +233,9 @@ bool isUnixAddress(const std::string &Address);
 int netListen(const std::string &Address, int *BoundPort, std::string *Err);
 
 /// Connects to \p Address. Returns the fd, or -1 with \p Err filled.
-int netConnect(const std::string &Address, std::string *Err);
+/// \p TimeoutMs bounds the connect itself (0 = block indefinitely).
+int netConnect(const std::string &Address, std::string *Err,
+               uint64_t TimeoutMs = 0);
 
 } // namespace driver
 } // namespace liberty

@@ -3,6 +3,7 @@
 #include "driver/DaemonServer.h"
 
 #include "driver/Stats.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -117,6 +118,12 @@ void DaemonServer::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
+    if (faultShouldFail("daemon.accept")) {
+      // Injected accept failure: the client sees a closed connection and
+      // retries; the accept loop itself must keep serving.
+      ::close(Fd);
+      continue;
+    }
     std::lock_guard<std::mutex> Lock(ConnMutex);
     if (Draining.load()) {
       ::close(Fd);
@@ -154,7 +161,18 @@ void DaemonServer::handleConnection(int Fd) {
       continue;
     }
 
-    FrameStatus FS = readFrame(Fd, Payload, Opts.MaxFrameBytes);
+    FrameStatus FS =
+        faultShouldFail("daemon.recv")
+            ? FrameStatus::Error
+            : readFrameDeadline(Fd, Payload, Opts.MaxFrameBytes,
+                                Opts.ReadDeadlineMs);
+    if (FS == FrameStatus::Timeout) {
+      // Slow loris: a frame started but stalled. Drop only this
+      // connection thread — workers and other connections are untouched.
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.ReadTimeouts;
+      return;
+    }
     if (FS == FrameStatus::Eof || FS == FrameStatus::Error)
       return;
     if (FS == FrameStatus::TooLarge) {
@@ -184,7 +202,7 @@ void DaemonServer::handleConnection(int Fd) {
       std::lock_guard<std::mutex> Lock(StatsMutex);
       ++Stats.RequestsServed;
     }
-    if (!writeMessage(Fd, Reply))
+    if (faultShouldFail("daemon.send") || !writeMessage(Fd, Reply))
       return;
     if (!KeepOpen)
       return;
@@ -499,7 +517,11 @@ Json DaemonServer::buildStats() const {
       .set("disk_hits", S.Cache.DiskHits)
       .set("stores", S.Cache.Stores)
       .set("evictions", S.Cache.Evictions)
-      .set("corrupt", S.Cache.Corrupt);
+      .set("corrupt", S.Cache.Corrupt)
+      .set("tmp_swept", S.Cache.TmpSwept)
+      .set("quarantined", S.Cache.Quarantined)
+      .set("disk_write_failures", S.Cache.DiskWriteFailures)
+      .set("cache_degraded", S.Cache.Degraded);
   Json Latency = Json::object();
   Latency.set("samples", S.LatencySamples)
       .set("p50_ms", S.P50Ms)
@@ -514,6 +536,7 @@ Json DaemonServer::buildStats() const {
       .set("rejected_queue_full", S.RejectedQueueFull)
       .set("deadline_degraded", S.DeadlineDegraded)
       .set("protocol_errors", S.ProtocolErrors)
+      .set("read_timeouts", S.ReadTimeouts)
       .set("queue_depth", S.QueueDepth)
       .set("queue_bound", uint64_t(Opts.QueueBound))
       .set("active_compiles", S.ActiveCompiles)

@@ -70,6 +70,7 @@ struct DaemonStats {
   uint64_t RejectedQueueFull = 0;
   uint64_t DeadlineDegraded = 0; ///< Compiles whose deadline expired.
   uint64_t ProtocolErrors = 0;   ///< bad_frame/bad_message/version_mismatch.
+  uint64_t ReadTimeouts = 0; ///< Connections dropped mid-frame (slow loris).
   uint64_t QueueDepth = 0;       ///< Admitted, not yet started (now).
   uint64_t ActiveCompiles = 0;   ///< Running on pool workers (now).
   /// Per-phase cache traffic, from each compile's CompileResult flags.
@@ -97,6 +98,11 @@ public:
     uint64_t RetryAfterMs = 50;
     /// Frame-size cap; larger frames are rejected as `bad_frame`.
     uint64_t MaxFrameBytes = DaemonDefaultMaxFrameBytes;
+    /// Once a frame has *started* arriving, the rest of it must land
+    /// within this budget or the connection is dropped (slow-loris
+    /// protection; only the connection thread is lost, never a worker).
+    /// Idle connections between frames are not bounded. 0 disables.
+    uint64_t ReadDeadlineMs = 10000;
     /// One line per request/lifecycle event on stderr.
     bool Verbose = false;
   };

@@ -197,6 +197,11 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"stores\": " << CS.Stores << ",\n"
        << "    \"evictions\": " << CS.Evictions << ",\n"
        << "    \"corrupt\": " << CS.Corrupt << ",\n"
+       << "    \"tmp_swept\": " << CS.TmpSwept << ",\n"
+       << "    \"quarantined\": " << CS.Quarantined << ",\n"
+       << "    \"disk_write_failures\": " << CS.DiskWriteFailures << ",\n"
+       << "    \"cache_degraded\": " << (CS.Degraded ? "true" : "false")
+       << ",\n"
        << "    \"elab_from_cache\": "
        << (Cache->ElabFromCache ? "true" : "false") << ",\n"
        << "    \"solution_from_cache\": "

@@ -2,6 +2,8 @@
 
 #include "infer/Solution.h"
 
+#include "support/FaultInjection.h"
+
 #include "netlist/Netlist.h"
 #include "netlist/Serializer.h"
 #include "types/Type.h"
@@ -35,6 +37,8 @@ bool liberty::infer::exportSolution(const netlist::Netlist &NL,
                                     std::string &Out,
                                     unsigned FormatVersion) {
   if (FormatVersion < 1 || FormatVersion > CurrentLSSSOLVersion)
+    return false;
+  if (faultShouldFail("serialize.solution"))
     return false;
   netlist::ArtifactStrTableBuilder Tab;
   netlist::ArtifactTokenEmitter E{FormatVersion >= 2 ? &Tab : nullptr};
@@ -164,6 +168,8 @@ bool liberty::infer::importSolution(const std::string &Text,
                                     types::TypeContext &TC,
                                     NetlistInferenceStats &StatsOut,
                                     std::vector<Diagnostic> &DiagsOut) {
+  if (faultShouldFail("deserialize.solution"))
+    return false;
   size_t LinePos = 0;
   auto nextLine = [&](std::string_view &Line) {
     if (LinePos >= Text.size())

@@ -2,6 +2,8 @@
 
 #include "netlist/Serializer.h"
 
+#include "support/FaultInjection.h"
+
 #include "interp/Value.h"
 #include "lss/AST.h"
 #include "types/Type.h"
@@ -369,6 +371,8 @@ bool liberty::netlist::serializeNetlist(
     std::string &Out, unsigned FormatVersion) {
   if (FormatVersion < 1 || FormatVersion > CurrentLSSNLVersion)
     return false;
+  if (faultShouldFail("serialize.netlist"))
+    return false; // Injected stream failure: artifact just isn't cached.
   ArtifactStrTableBuilder Tab;
   TokenEmitter E(FormatVersion >= 2 ? &Tab : nullptr);
 
@@ -487,6 +491,8 @@ liberty::netlist::deserializeNetlist(const std::string &Text,
     Result = SerializedCompile();
     return std::move(Result);
   };
+  if (faultShouldFail("deserialize.netlist"))
+    return Fail(); // Injected stream failure: caller recompiles.
 
   size_t LinePos = 0;
   auto nextLine = [&](std::string_view &Line) {

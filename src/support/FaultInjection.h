@@ -1,0 +1,82 @@
+//===- FaultInjection.h - Deterministic fault-point registry ----*- C++ -*-===//
+///
+/// \file
+/// A process-wide registry of named fault sites for testing failure paths.
+/// Code sprinkles `faultShouldFail("cache.disk.write")` at I/O edges; a
+/// fault *schedule* (from the `LSS_FAULT` env var or a tool's
+/// `--fault-inject` flag) decides which hits actually fail. Schedules are
+/// deterministic: trigger-on-Nth rules and seeded-probability rules replay
+/// identically for the same spec string.
+///
+/// Spec grammar (rules separated by `,` or `;`):
+///
+///   site            fire on every hit
+///   site@N          fire on the Nth hit only (1-based)
+///   site@N+         fire on the Nth and every later hit
+///   site%P          fire on each hit with probability P percent (seeded)
+///   seed=S          seed for all `%P` rules (default 1)
+///
+/// A rule's site name may end in `*` to prefix-match a family of sites
+/// (e.g. `cache.disk.*`). When no schedule is armed the check is a single
+/// relaxed atomic load — zero-cost in production builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIBERTY_SUPPORT_FAULTINJECTION_H
+#define LIBERTY_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberty {
+
+class FaultInjection {
+public:
+  struct SiteStats {
+    std::string Site; ///< Rule pattern, as written in the spec.
+    uint64_t Hits = 0;
+    uint64_t Fires = 0;
+  };
+
+  /// Parses \p Spec and arms the registry. Replaces any previous schedule.
+  /// Returns false (and sets \p Err if non-null) on a malformed spec; the
+  /// previous schedule stays in effect on failure. An empty spec disarms.
+  static bool configure(const std::string &Spec, std::string *Err = nullptr);
+
+  /// Disarms the registry and clears all rules and stats.
+  static void reset();
+
+  /// True when a non-empty schedule is armed.
+  static bool armed() { return Armed.load(std::memory_order_relaxed); }
+
+  /// The hot-path check: did the armed schedule decide this hit of
+  /// \p Site fails? Always false when disarmed (one relaxed atomic load).
+  static bool shouldFail(const char *Site) {
+    if (!Armed.load(std::memory_order_relaxed))
+      return false;
+    return fire(Site);
+  }
+
+  /// Per-rule hit/fire counts for the current schedule.
+  static std::vector<SiteStats> stats();
+
+  /// Arms from the LSS_FAULT environment variable if set (exits the
+  /// process with a message on a malformed value). Called once by tools;
+  /// library code never reads the environment.
+  static void configureFromEnv();
+
+private:
+  static std::atomic<bool> Armed;
+  static bool fire(const char *Site);
+};
+
+/// Convenience wrapper so call sites read as a condition.
+inline bool faultShouldFail(const char *Site) {
+  return FaultInjection::shouldFail(Site);
+}
+
+} // namespace liberty
+
+#endif // LIBERTY_SUPPORT_FAULTINJECTION_H

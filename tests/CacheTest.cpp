@@ -19,6 +19,7 @@
 #include "driver/CompilerInvocation.h"
 #include "infer/Solution.h"
 #include "netlist/Serializer.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -329,6 +330,187 @@ TEST(CacheService, TruncatedEntryIsAMiss) {
   ASSERT_TRUE(R.Success);
   EXPECT_FALSE(R.ElabFromCache);
   EXPECT_EQ(Svc.getCache().getStats().Corrupt, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache self-healing: tmp sweep, quarantine, degraded mode
+//===----------------------------------------------------------------------===//
+
+/// Clears the fault schedule around each test: these tests inject disk
+/// faults and must never leak them into later suites.
+class CacheSelfHeal : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjection::reset(); }
+  void TearDown() override { FaultInjection::reset(); }
+};
+
+driver::ArtifactCache::Options cacheOpts(const TempDir &Dir,
+                                         uint64_t SweepAge = 0) {
+  driver::ArtifactCache::Options O;
+  O.DiskDir = Dir.Path;
+  O.TmpSweepAgeSeconds = SweepAge;
+  return O;
+}
+
+TEST_F(CacheSelfHeal, StartupSweepDeletesOnlyOldOrphanedTmpFiles) {
+  TempDir Dir;
+  std::string Orphan = Dir.Path + "/k.elab.lssart.tmp.999.0.deadbeef";
+  std::string Bystander = Dir.Path + "/README.txt";
+  std::ofstream(Orphan) << "half an envelope";
+  std::ofstream(Bystander) << "not cache state";
+
+  // A fresh tmp file survives the default sweep age (it could belong to a
+  // live writer in another process)...
+  {
+    driver::ArtifactCache Cache(cacheOpts(Dir, /*SweepAge=*/3600));
+    EXPECT_EQ(Cache.getStats().TmpSwept, 0u);
+    EXPECT_TRUE(std::filesystem::exists(Orphan));
+  }
+  // ...and is collected once the age threshold admits it (tests use 0).
+  {
+    driver::ArtifactCache Cache(cacheOpts(Dir));
+    EXPECT_EQ(Cache.getStats().TmpSwept, 1u);
+    EXPECT_FALSE(std::filesystem::exists(Orphan));
+    EXPECT_TRUE(std::filesystem::exists(Bystander));
+  }
+}
+
+TEST_F(CacheSelfHeal, CrashMidWriteLeavesTmpThenSweepCollectsIt) {
+  TempDir Dir;
+  {
+    driver::ArtifactCache Cache(cacheOpts(Dir));
+    ASSERT_TRUE(FaultInjection::configure("cache.disk.write@1"));
+    Cache.put("k1", "elab", "payload bytes");
+    FaultInjection::reset();
+    EXPECT_EQ(Cache.getStats().DiskWriteFailures, 1u);
+  }
+  // The simulated crash left a truncated temp file and no final entry.
+  unsigned Tmps = 0, Finals = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path)) {
+    std::string Name = E.path().filename().string();
+    if (Name.find(".lssart.tmp") != std::string::npos)
+      ++Tmps;
+    else if (Name.find(".lssart") != std::string::npos)
+      ++Finals;
+  }
+  EXPECT_EQ(Tmps, 1u);
+  EXPECT_EQ(Finals, 0u);
+
+  // The next startup sweeps the orphan; a clean put then publishes.
+  driver::ArtifactCache Cache(cacheOpts(Dir));
+  EXPECT_EQ(Cache.getStats().TmpSwept, 1u);
+  Cache.put("k1", "elab", "payload bytes");
+  driver::ArtifactCache Reader(cacheOpts(Dir));
+  std::string Back;
+  EXPECT_TRUE(Reader.get("k1", "elab", Back));
+  EXPECT_EQ(Back, "payload bytes");
+}
+
+TEST_F(CacheSelfHeal, TornRenameIsQuarantinedAndRecompiledIdentically) {
+  TempDir Dir;
+  const std::string Payload = "the artifact bytes, cold == warm";
+  {
+    driver::ArtifactCache Cache(cacheOpts(Dir));
+    ASSERT_TRUE(FaultInjection::configure("cache.disk.rename@1"));
+    Cache.put("k2", "solve", Payload); // Torn bytes land at the final name.
+    FaultInjection::reset();
+  }
+  driver::ArtifactCache Cache(cacheOpts(Dir));
+  std::string Back, Note;
+  // The torn entry fails its checksum: a diagnosed miss, moved aside.
+  EXPECT_FALSE(Cache.get("k2", "solve", Back, &Note));
+  EXPECT_EQ(Cache.getStats().Corrupt, 1u);
+  EXPECT_EQ(Cache.getStats().Quarantined, 1u);
+  EXPECT_NE(Note.find("ignoring corrupted cache entry"), std::string::npos);
+
+  // The quarantined file is out of the read path: the next miss is clean.
+  Note.clear();
+  EXPECT_FALSE(Cache.get("k2", "solve", Back, &Note));
+  EXPECT_EQ(Cache.getStats().Corrupt, 1u);
+  EXPECT_TRUE(Note.empty());
+
+  // The "recompile" republished under the original name with the same
+  // bytes a never-faulted write would have produced.
+  Cache.put("k2", "solve", Payload);
+  driver::ArtifactCache Reader(cacheOpts(Dir));
+  EXPECT_TRUE(Reader.get("k2", "solve", Back));
+  EXPECT_EQ(Back, Payload);
+}
+
+TEST_F(CacheSelfHeal, ConsecutiveWriteFailuresDegradeToMemoryOnly) {
+  TempDir Dir;
+  driver::ArtifactCache::Options O = cacheOpts(Dir);
+  O.DegradeAfterFailures = 3;
+  driver::ArtifactCache Cache(O);
+
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.open_write"));
+  Cache.put("a", "elab", "pa");
+  Cache.put("b", "elab", "pb");
+  EXPECT_FALSE(Cache.isDegraded()); // Two failures: still trying.
+  Cache.put("c", "elab", "pc");
+  FaultInjection::reset();
+
+  EXPECT_TRUE(Cache.isDegraded());
+  EXPECT_TRUE(Cache.getStats().Degraded);
+  EXPECT_EQ(Cache.getStats().DiskWriteFailures, 3u);
+
+  // Degraded mode is sticky: even with the disk healthy again, no new
+  // disk entries appear — but the memory LRU still serves everything.
+  Cache.put("d", "elab", "pd");
+  EXPECT_EQ(Cache.getStats().DiskWriteFailures, 3u);
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path))
+    FAIL() << "unexpected disk entry " << E.path();
+  std::string Back;
+  EXPECT_TRUE(Cache.get("d", "elab", Back));
+  EXPECT_EQ(Back, "pd");
+}
+
+TEST_F(CacheSelfHeal, ASuccessfulWriteResetsTheFailureStreak) {
+  TempDir Dir;
+  driver::ArtifactCache::Options O = cacheOpts(Dir);
+  O.DegradeAfterFailures = 3;
+  driver::ArtifactCache Cache(O);
+
+  // Fail, fail, succeed, fail, fail: never three in a row.
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.open_write@1,"
+                                        "cache.disk.open_write@2,"
+                                        "cache.disk.open_write@4,"
+                                        "cache.disk.open_write@5"));
+  for (int I = 0; I != 5; ++I)
+    Cache.put("k" + std::to_string(I), "elab", "p");
+  FaultInjection::reset();
+
+  EXPECT_FALSE(Cache.isDegraded());
+  EXPECT_EQ(Cache.getStats().DiskWriteFailures, 4u);
+  // The one successful write really published.
+  driver::ArtifactCache Reader(cacheOpts(Dir));
+  std::string Back;
+  EXPECT_TRUE(Reader.get("k2", "elab", Back));
+}
+
+TEST_F(CacheSelfHeal, ServiceStaysCorrectWhileCacheDegrades) {
+  TempDir Dir;
+  std::string CleanPrint;
+  {
+    driver::CompileService Ref;
+    CleanPrint = netlistText(*Ref.compile(chainInvocation()).C);
+  }
+  driver::CompileService::Options O = diskOpts(Dir);
+  O.Cache.DegradeAfterFailures = 1;
+  driver::CompileService Svc(O);
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.open_write"));
+  driver::CompileResult R = Svc.compile(chainInvocation());
+  FaultInjection::reset();
+  ASSERT_TRUE(R.Success); // The cache is an accelerator, never a gate.
+  EXPECT_EQ(netlistText(*R.C), CleanPrint);
+  EXPECT_TRUE(Svc.getCache().isDegraded());
+
+  // Warm compiles still ride the in-memory level.
+  driver::CompileResult R2 = Svc.compile(chainInvocation());
+  ASSERT_TRUE(R2.Success);
+  EXPECT_TRUE(R2.ElabFromCache);
+  EXPECT_TRUE(R2.SolutionFromCache);
+  EXPECT_EQ(netlistText(*R2.C), CleanPrint);
 }
 
 //===----------------------------------------------------------------------===//

@@ -22,6 +22,7 @@
 
 #include "driver/CompileClient.h"
 #include "driver/DaemonServer.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -30,6 +31,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -474,6 +476,211 @@ TEST(Daemon, MalformedFramesDoNotKillTheServer) {
       Client.compile(sourceInvocation("ok.lss", kSmallSpec));
   EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
   EXPECT_GE(Server.getStats().ProtocolErrors, 3u);
+}
+
+//===--------------------------------------------------------------------===//
+// Client retry / backoff / circuit breaker
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, QueueFullRetryEventuallySucceeds) {
+  TempArea T("retryq");
+  DaemonServer::Options O = serverOptions(T);
+  O.Workers = 1;
+  O.QueueBound = 0; // No queueing: busy worker = queue_full immediately.
+  O.RetryAfterMs = 25;
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // Occupy the only worker with a slow elaboration.
+  std::thread Slow([&] {
+    CompileClient Client(T.sock());
+    std::string CErr;
+    ASSERT_TRUE(Client.connect(&CErr)) << CErr;
+    CompileClient::Result R =
+        Client.compile(sourceInvocation("slow.lss", delayChainSpec(2500)));
+    EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error << R.Diagnostics;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  // compileWithRetry must honor retry_after_ms and win without any manual
+  // retry loop: the whole point of the policy.
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompileClient::RetryPolicy P;
+  P.MaxAttempts = 400;
+  P.BaseBackoffMs = 5;
+  P.MaxBackoffMs = 50;
+  P.Seed = 42;
+  Client.setRetryPolicy(P);
+  CompileClient::Result R =
+      Client.compileWithRetry(sourceInvocation("mine.lss", kSmallSpec));
+  EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
+  Slow.join();
+
+  // If the worker was actually busy (it should be, 40ms into a slow
+  // compile) the client went through at least one queue_full backoff.
+  const CompileClient::ClientStats &CS = Client.getClientStats();
+  if (Server.getStats().RejectedQueueFull > 0) {
+    EXPECT_GE(CS.Retries, 1u);
+    EXPECT_GE(CS.QueueFullRetries, 1u);
+  }
+  // queue_full is a server answer, not a transport failure: the breaker
+  // must not have moved.
+  EXPECT_EQ(CS.BreakerTrips, 0u);
+  EXPECT_FALSE(CS.BreakerOpen);
+}
+
+TEST(Daemon, BreakerTripsAfterRepeatedTransportFailures) {
+  FaultInjection::reset();
+  // Every connect attempt dies at the transport layer.
+  ASSERT_TRUE(FaultInjection::configure("client.connect"));
+
+  CompileClient Client("/nonexistent/lss_breaker_test.sock");
+  CompileClient::RetryPolicy P;
+  P.MaxAttempts = 10;
+  P.BaseBackoffMs = 1;
+  P.MaxBackoffMs = 2;
+  P.BreakerThreshold = 3;
+  Client.setRetryPolicy(P);
+
+  CompileClient::Result R =
+      Client.compileWithRetry(sourceInvocation("x.lss", kSmallSpec));
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("circuit breaker open"), std::string::npos)
+      << R.Error;
+
+  const CompileClient::ClientStats &CS = Client.getClientStats();
+  EXPECT_EQ(CS.TransportFailures, 3u); // Stopped at the threshold...
+  EXPECT_EQ(CS.BreakerTrips, 1u);
+  EXPECT_TRUE(CS.BreakerOpen);
+  EXPECT_TRUE(Client.breakerOpen());
+
+  // ...and the open breaker fails the next request instantly, even with
+  // the fault gone: the caller is meant to fall back in-process.
+  FaultInjection::reset();
+  R = Client.compileWithRetry(sourceInvocation("y.lss", kSmallSpec));
+  EXPECT_NE(R.Error.find("circuit breaker open"), std::string::npos);
+  EXPECT_EQ(Client.getClientStats().TransportFailures, 3u);
+}
+
+TEST(Daemon, BatchRetriedAsAUnitOnTransportFailure) {
+  FaultInjection::reset();
+  TempArea T("batchretry");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompileClient::RetryPolicy P;
+  P.MaxAttempts = 5;
+  P.BaseBackoffMs = 1;
+  P.MaxBackoffMs = 2;
+  Client.setRetryPolicy(P);
+
+  // The first send dies; the retry reconnects and the batch succeeds.
+  ASSERT_TRUE(FaultInjection::configure("client.send@1"));
+  std::vector<CompilerInvocation> Invs;
+  Invs.push_back(sourceInvocation("a.lss", kSmallSpec));
+  Invs.push_back(sourceInvocation("b.lss", delayChainSpec(5)));
+  std::vector<CompileClient::Result> Rs = Client.compileBatchWithRetry(Invs);
+  FaultInjection::reset();
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_TRUE(Rs[0].Error.empty() && Rs[0].Success) << Rs[0].Error;
+  EXPECT_TRUE(Rs[1].Error.empty() && Rs[1].Success) << Rs[1].Error;
+  EXPECT_GE(Client.getClientStats().Retries, 1u);
+  EXPECT_GE(Client.getClientStats().TransportFailures, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Slow-loris read deadlines and torn frames
+//===--------------------------------------------------------------------===//
+
+TEST(Daemon, SlowLorisConnectionDroppedWithoutWorkerLoss) {
+  TempArea T("loris");
+  DaemonServer::Options O = serverOptions(T);
+  O.ReadDeadlineMs = 100;
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // Start a frame (one header byte) and stall. The server must cut the
+  // connection after ReadDeadlineMs instead of waiting forever.
+  int Fd = rawConnect(T.sock());
+  unsigned char HalfHeader = 0x00;
+  ASSERT_EQ(::write(Fd, &HalfHeader, 1), 1);
+  std::string Payload;
+  FrameStatus FS = readFrame(Fd, Payload, DaemonDefaultMaxFrameBytes);
+  EXPECT_EQ(FS, FrameStatus::Eof); // Dropped, not answered.
+  ::close(Fd);
+
+  EXPECT_GE(Server.getStats().ReadTimeouts, 1u);
+
+  // Only that connection thread died; the server still accepts and
+  // compiles for well-behaved clients.
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompileClient::Result R =
+      Client.compile(sourceInvocation("ok.lss", kSmallSpec));
+  EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
+}
+
+TEST(Daemon, TruncatedFramesNeverCostAWorker) {
+  TempArea T("torn");
+  DaemonServer::Options O = serverOptions(T);
+  O.ReadDeadlineMs = 100;
+  O.Workers = 1; // One worker: losing it would hang the probe below.
+  DaemonServer Server(std::move(O));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // Several clients promise a payload, deliver half of it, and vanish.
+  for (int I = 0; I != 3; ++I) {
+    int Fd = rawConnect(T.sock());
+    unsigned char Header[4] = {0, 0, 0, 64}; // "64 bytes follow."
+    ASSERT_EQ(::write(Fd, Header, 4), 4);
+    ASSERT_EQ(::write(Fd, "{\"type\":", 8), 8);
+    ::close(Fd); // Torn mid-frame.
+  }
+
+  // The single worker survived all three teardowns.
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  CompileClient::Result R =
+      Client.compile(sourceInvocation("ok.lss", kSmallSpec));
+  EXPECT_TRUE(R.Error.empty() && R.Success) << R.Error;
+}
+
+//===--------------------------------------------------------------------===//
+// Wire-number strictness
+//===--------------------------------------------------------------------===//
+
+TEST(DaemonJson, AsU64RejectsNonIntegralAndHugeNumbers) {
+  EXPECT_EQ(Json(uint64_t(42)).asU64(7), 42u);
+  EXPECT_EQ(Json(0).asU64(7), 0u);
+  EXPECT_EQ(Json(2.5).asU64(7), 7u);         // Fractional.
+  EXPECT_EQ(Json(-1.0).asU64(7), 7u);        // Negative.
+  EXPECT_EQ(Json(-0.5).asU64(7), 7u);        // Negative fractional.
+  EXPECT_EQ(Json(1e300).asU64(7), 7u);       // Way past 2^53.
+  EXPECT_EQ(Json(9007199254740992.0).asU64(7), 9007199254740992u); // 2^53.
+  EXPECT_EQ(Json(9007199254740994.0).asU64(7), 7u); // > 2^53.
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Json(NaN).asU64(7), 7u);
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(Inf).asU64(7), 7u);
+  EXPECT_EQ(Json("12").asU64(7), 7u); // Strings never coerce.
+  EXPECT_EQ(Json().asU64(7), 7u);     // Nor nulls.
+
+  // The same strictness through the wire-parser path a malformed client
+  // would actually exercise.
+  Json Msg;
+  ASSERT_TRUE(Json::parse("{\"retry_after_ms\": 12.75}", Msg, nullptr));
+  EXPECT_EQ(Msg.getU64("retry_after_ms", 99), 99u);
+  ASSERT_TRUE(Json::parse("{\"len\": 1e300}", Msg, nullptr));
+  EXPECT_EQ(Msg.getU64("len", 99), 99u);
+  ASSERT_TRUE(Json::parse("{\"len\": 4096}", Msg, nullptr));
+  EXPECT_EQ(Msg.getU64("len", 99), 4096u);
 }
 
 //===--------------------------------------------------------------------===//

@@ -1,11 +1,13 @@
 //===- SupportTest.cpp - SourceMgr and diagnostics tests -------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/PhaseTimer.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 
@@ -256,6 +258,129 @@ TEST(PhaseTimer, JsonEscape) {
   EXPECT_EQ(jsonEscape("plain"), "plain");
   EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+/// Clears the process-wide fault schedule around each test so one test's
+/// rules can never leak into another (or into later suites).
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjection::reset(); }
+  void TearDown() override { FaultInjection::reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedIsAlwaysFalse) {
+  EXPECT_FALSE(FaultInjection::armed());
+  EXPECT_FALSE(faultShouldFail("cache.disk.write"));
+  EXPECT_TRUE(FaultInjection::stats().empty());
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisarms) {
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.write"));
+  EXPECT_TRUE(FaultInjection::armed());
+  ASSERT_TRUE(FaultInjection::configure(""));
+  EXPECT_FALSE(FaultInjection::armed());
+  EXPECT_FALSE(faultShouldFail("cache.disk.write"));
+}
+
+TEST_F(FaultInjectionTest, AlwaysRuleFiresEveryHit) {
+  ASSERT_TRUE(FaultInjection::configure("client.send"));
+  EXPECT_TRUE(faultShouldFail("client.send"));
+  EXPECT_TRUE(faultShouldFail("client.send"));
+  EXPECT_FALSE(faultShouldFail("client.recv")); // Different site.
+}
+
+TEST_F(FaultInjectionTest, NthOnlyFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.rename@3"));
+  EXPECT_FALSE(faultShouldFail("cache.disk.rename"));
+  EXPECT_FALSE(faultShouldFail("cache.disk.rename"));
+  EXPECT_TRUE(faultShouldFail("cache.disk.rename"));
+  EXPECT_FALSE(faultShouldFail("cache.disk.rename"));
+}
+
+TEST_F(FaultInjectionTest, NthAndLaterStaysOn) {
+  ASSERT_TRUE(FaultInjection::configure("daemon.recv@2+"));
+  EXPECT_FALSE(faultShouldFail("daemon.recv"));
+  EXPECT_TRUE(faultShouldFail("daemon.recv"));
+  EXPECT_TRUE(faultShouldFail("daemon.recv"));
+}
+
+TEST_F(FaultInjectionTest, PrefixMatchCoversFamily) {
+  ASSERT_TRUE(FaultInjection::configure("cache.disk.*@2+"));
+  // The rule's hit counter is shared across the whole family.
+  EXPECT_FALSE(faultShouldFail("cache.disk.open_write"));
+  EXPECT_TRUE(faultShouldFail("cache.disk.write"));
+  EXPECT_TRUE(faultShouldFail("cache.disk.rename"));
+  EXPECT_FALSE(faultShouldFail("client.send"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  auto Run = [](const std::string &Spec) {
+    EXPECT_TRUE(FaultInjection::configure(Spec));
+    std::vector<bool> Out;
+    for (int I = 0; I != 64; ++I)
+      Out.push_back(faultShouldFail("serialize.netlist"));
+    return Out;
+  };
+  std::vector<bool> A = Run("seed=7,serialize.netlist%50");
+  std::vector<bool> B = Run("seed=7,serialize.netlist%50");
+  std::vector<bool> C = Run("seed=8,serialize.netlist%50");
+  EXPECT_EQ(A, B); // Same seed replays identically.
+  EXPECT_NE(A, C); // Different seed is a different stream.
+  // 50% over 64 draws should fire some but not all.
+  size_t Fires = size_t(std::count(A.begin(), A.end(), true));
+  EXPECT_GT(Fires, 0u);
+  EXPECT_LT(Fires, 64u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremes) {
+  ASSERT_TRUE(FaultInjection::configure("a%0,b%100"));
+  for (int I = 0; I != 16; ++I) {
+    EXPECT_FALSE(faultShouldFail("a"));
+    EXPECT_TRUE(faultShouldFail("b"));
+  }
+}
+
+TEST_F(FaultInjectionTest, StatsCountHitsAndFires) {
+  ASSERT_TRUE(FaultInjection::configure("x@2"));
+  faultShouldFail("x");
+  faultShouldFail("x");
+  faultShouldFail("x");
+  faultShouldFail("y"); // No matching rule: uncounted.
+  std::vector<FaultInjection::SiteStats> St = FaultInjection::stats();
+  ASSERT_EQ(St.size(), 1u);
+  EXPECT_EQ(St[0].Site, "x");
+  EXPECT_EQ(St[0].Hits, 3u);
+  EXPECT_EQ(St[0].Fires, 1u);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsRejectedOldScheduleKept) {
+  ASSERT_TRUE(FaultInjection::configure("keep.me"));
+  std::string Err;
+  EXPECT_FALSE(FaultInjection::configure("site@0", &Err)); // Zero count.
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(FaultInjection::configure("site@x", &Err));   // Non-numeric.
+  EXPECT_FALSE(FaultInjection::configure("site%101", &Err)); // P > 100.
+  EXPECT_FALSE(FaultInjection::configure("site@1%5", &Err)); // Mixed @ and %.
+  EXPECT_FALSE(FaultInjection::configure("@3", &Err));       // Empty name.
+  EXPECT_FALSE(FaultInjection::configure("seed=abc", &Err)); // Bad seed.
+  // The previous schedule survived every failed configure.
+  EXPECT_TRUE(FaultInjection::armed());
+  EXPECT_TRUE(faultShouldFail("keep.me"));
+}
+
+TEST_F(FaultInjectionTest, RuleListWithWhitespaceAndSemicolons) {
+  ASSERT_TRUE(FaultInjection::configure(" a@1 ; b%100 , seed=3 ,, "));
+  EXPECT_TRUE(faultShouldFail("a"));
+  EXPECT_FALSE(faultShouldFail("a"));
+  EXPECT_TRUE(faultShouldFail("b"));
+}
+
+TEST_F(FaultInjectionTest, ResetClearsEverything) {
+  ASSERT_TRUE(FaultInjection::configure("a"));
+  faultShouldFail("a");
+  FaultInjection::reset();
+  EXPECT_FALSE(FaultInjection::armed());
+  EXPECT_TRUE(FaultInjection::stats().empty());
 }
 
 } // namespace

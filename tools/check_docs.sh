@@ -80,7 +80,7 @@ else
   done
 fi
 for Flag in cache-dir no-cache batch daemon deadline-ms no-daemon-fallback \
-            sim-engine; do
+            sim-engine fault-inject; do
   grep -q -- "--$Flag" tools/lssc.cpp ||
     fail "lssc usage text does not document --$Flag"
   grep -q -- "--$Flag" README.md ||

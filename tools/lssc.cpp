@@ -51,6 +51,7 @@
 #include "driver/Stats.h"
 #include "netlist/DotEmitter.h"
 #include "sim/CompiledKernel.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <chrono>
@@ -123,6 +124,9 @@ struct CliOptions {
   bool NoDaemonFallback = false;
   /// With --daemon: per-request service budget in ms (0 = none).
   uint64_t DeadlineMs = 0;
+  /// Fault-injection schedule (see support/FaultInjection.h); also
+  /// settable via the LSS_FAULT environment variable.
+  std::string FaultSpec;
 };
 
 void printUsage() {
@@ -180,6 +184,10 @@ void printUsage() {
       "  --deadline-ms N        with --daemon: total service budget per\n"
       "                         request (queue wait + compile); on expiry\n"
       "                         inference degrades rather than hangs\n"
+      "  --fault-inject SPEC    arm deterministic fault injection at the\n"
+      "                         named I/O sites (testing; e.g.\n"
+      "                         'cache.disk.rename@1,seed=7'; also via\n"
+      "                         the LSS_FAULT environment variable)\n"
       "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
       "            4 inference failure, 5 simulation fault\n";
 }
@@ -303,6 +311,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::cerr << "lssc: --deadline-ms requires a positive duration\n";
         return false;
       }
+    } else if (Arg == "--fault-inject") {
+      if (++I >= Argc) {
+        std::cerr << "lssc: --fault-inject requires a fault spec\n";
+        return false;
+      }
+      Opts.FaultSpec = Argv[I];
     } else if (Arg == "--watch") {
       if (++I >= Argc) {
         std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
@@ -353,8 +367,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Bad = "--print-netlist";
     else if (Opts.Stats)
       Bad = "--stats";
-    else if (!Opts.StatsJsonPath.empty())
-      Bad = "--stats-json";
     else if (Opts.EmitStatic)
       Bad = "--emit-static";
     else if (Opts.EmitDot)
@@ -521,20 +533,30 @@ const char *daemonPhaseName(const std::string &Phase) {
   return "compilation";
 }
 
-/// One remote compile with a bounded retry loop on queue_full (honoring
-/// the daemon's retry_after_ms backoff hint).
-driver::CompileClient::Result
-daemonCompileWithRetry(driver::CompileClient &Client,
-                       const driver::CompilerInvocation &Inv,
-                       uint64_t DeadlineMs) {
-  constexpr int MaxAttempts = 5;
-  driver::CompileClient::Result R;
-  for (int Attempt = 1;; ++Attempt) {
-    R = Client.compile(Inv, DeadlineMs);
-    if (R.ErrorCode != "queue_full" || Attempt == MaxAttempts)
-      return R;
-    uint64_t Backoff = R.RetryAfterMs ? R.RetryAfterMs : 50;
-    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+/// With --daemon --stats-json: the client-side robustness counters
+/// (retry/backoff/breaker activity). The full compile stats stay
+/// server-side; `lssd` exposes them through its stats endpoint.
+void writeDaemonClientStats(const CliOptions &Opts,
+                            const driver::CompileClient &Client) {
+  if (Opts.StatsJsonPath.empty())
+    return;
+  const driver::CompileClient::ClientStats &CS = Client.getClientStats();
+  auto Emit = [&](std::ostream &OS) {
+    OS << "{\n  \"daemon_client\": {\n"
+       << "    \"address\": \"" << jsonEscape(Opts.DaemonAddress) << "\",\n"
+       << "    \"retries\": " << CS.Retries << ",\n"
+       << "    \"queue_full_retries\": " << CS.QueueFullRetries << ",\n"
+       << "    \"transport_failures\": " << CS.TransportFailures << ",\n"
+       << "    \"breaker_trips\": " << CS.BreakerTrips << ",\n"
+       << "    \"breaker_open\": " << (CS.BreakerOpen ? "true" : "false")
+       << "\n  }\n}\n";
+  };
+  if (Opts.StatsJsonPath == "-") {
+    Emit(std::cout);
+  } else if (std::ofstream Out{Opts.StatsJsonPath}) {
+    Emit(Out);
+  } else {
+    std::cerr << "lssc: cannot write '" << Opts.StatsJsonPath << "'\n";
   }
 }
 
@@ -571,8 +593,9 @@ int reportDaemonResult(const std::string &Name,
 }
 
 /// --daemon: ship the compile(s) to a running lssd. Returns the exit code,
-/// or -1 when the daemon is unreachable and falling back in-process is
-/// allowed (the caller then compiles locally).
+/// or -1 when the daemon is unreachable (or its transport kept failing and
+/// the circuit breaker opened) and falling back in-process is allowed (the
+/// caller then compiles locally).
 int runDaemon(const CliOptions &Opts, std::ostream &Human) {
   driver::CompileClient Client(Opts.DaemonAddress);
   std::string Err;
@@ -588,6 +611,20 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
               << "' unreachable (" << Err << "); compiling in-process\n";
     return -1;
   }
+
+  // A transport-level failure that survived the retry loop (connection
+  // kept dying, breaker opened) gets the same treatment as an unreachable
+  // daemon: diagnosed fallback, or exit 1 under --no-daemon-fallback.
+  auto transportFailed = [&](const std::string &Why) -> int {
+    writeDaemonClientStats(Opts, Client);
+    if (Opts.NoDaemonFallback) {
+      std::cerr << "lssc: daemon error: " << Why << "\n";
+      return ExitOperational;
+    }
+    std::cerr << "lssc: note: daemon at '" << Opts.DaemonAddress
+              << "' failing (" << Why << "); compiling in-process\n";
+    return -1;
+  };
 
   if (!Opts.BatchFile.empty()) {
     std::vector<std::string> Paths;
@@ -606,14 +643,18 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
       Invs.push_back(std::move(Inv));
     }
     std::vector<driver::CompileClient::Result> Results =
-        Client.compileBatch(Invs, Opts.DeadlineMs);
+        Client.compileBatchWithRetry(Invs, Opts.DeadlineMs);
     // Elements the admission queue bounced get a bounded individual retry.
     for (size_t I = 0; I != Results.size(); ++I)
       if (Results[I].ErrorCode == "queue_full")
-        Results[I] = daemonCompileWithRetry(Client, Invs[I], Opts.DeadlineMs);
+        Results[I] = Client.compileWithRetry(Invs[I], Opts.DeadlineMs);
+    if (!Results.empty() && !Results.front().Error.empty() &&
+        Results.front().ErrorCode.empty())
+      return transportFailed(Results.front().Error);
     int Worst = ExitSuccess;
     for (size_t I = 0; I != Results.size(); ++I)
       Worst = std::max(Worst, reportDaemonResult(Paths[I], Results[I], Human));
+    writeDaemonClientStats(Opts, Client);
     return Worst;
   }
 
@@ -626,12 +667,16 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
     }
   }
   driver::CompileClient::Result R =
-      daemonCompileWithRetry(Client, Inv, Opts.DeadlineMs);
+      Client.compileWithRetry(Inv, Opts.DeadlineMs);
   if (!R.Error.empty() && R.ErrorCode == "queue_full") {
+    writeDaemonClientStats(Opts, Client);
     std::cerr << "lssc: daemon at '" << Opts.DaemonAddress
               << "' is overloaded (queue full after retries)\n";
     return ExitOperational;
   }
+  if (!R.Error.empty() && R.ErrorCode.empty())
+    return transportFailed(R.Error);
+  writeDaemonClientStats(Opts, Client);
   if (R.Success) {
     if (!R.Diagnostics.empty())
       std::cerr << R.Diagnostics;
@@ -653,6 +698,17 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
     return ExitUsage;
+  }
+
+  // Fault injection arms before any I/O so every disk/socket edge is
+  // covered; LSS_FAULT first, --fault-inject overrides it.
+  FaultInjection::configureFromEnv();
+  if (!Opts.FaultSpec.empty()) {
+    std::string FErr;
+    if (!FaultInjection::configure(Opts.FaultSpec, &FErr)) {
+      std::cerr << "lssc: error: bad --fault-inject spec: " << FErr << "\n";
+      return ExitUsage;
+    }
   }
 
   // With --stats-json writing to stdout, keep stdout valid JSON: route

@@ -27,6 +27,8 @@
 
 #include "driver/DaemonServer.h"
 
+#include "support/FaultInjection.h"
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +57,12 @@ void printUsage() {
                "  --retry-after-ms N   backoff hint on queue_full "
                "(default 50)\n"
                "  --max-frame-bytes N  request frame cap (default 64MiB)\n"
+               "  --read-deadline-ms N frame read deadline once a frame has\n"
+               "                       started arriving (default 10000; 0 "
+               "disables)\n"
+               "  --fault-inject SPEC  arm deterministic fault injection\n"
+               "                       (see docs/ROBUSTNESS.md; also via "
+               "LSS_FAULT)\n"
                "  --verbose            log requests to stderr\n"
                "protocol and operations guide: docs/DAEMON.md\n");
 }
@@ -68,6 +76,7 @@ bool parseUnsigned(const char *Arg, uint64_t &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  FaultInjection::configureFromEnv();
   driver::DaemonServer::Options Opts;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -119,6 +128,24 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.MaxFrameBytes = N;
+    } else if (Arg == "--read-deadline-ms") {
+      const char *V = needValue("--read-deadline-ms");
+      if (!V || !parseUnsigned(V, N)) {
+        std::fprintf(stderr,
+                     "lssd: --read-deadline-ms requires a duration\n");
+        return 2;
+      }
+      Opts.ReadDeadlineMs = N;
+    } else if (Arg == "--fault-inject") {
+      const char *V = needValue("--fault-inject");
+      if (!V)
+        return 2;
+      std::string FErr;
+      if (!FaultInjection::configure(V, &FErr)) {
+        std::fprintf(stderr, "lssd: bad --fault-inject spec: %s\n",
+                     FErr.c_str());
+        return 2;
+      }
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else if (Arg == "--help" || Arg == "-h") {
