@@ -34,6 +34,7 @@ bool CompileClient::connect(std::string *Err) {
   Json Hello = Json::object();
   Hello.set("type", msg::Hello)
       .set("version", uint64_t(DaemonProtocolVersion))
+      .set("minor", uint64_t(DaemonProtocolMinorVersion))
       .set("client", "lssc");
   Json Reply;
   if (!roundTrip(Hello, Reply, Err))
@@ -47,6 +48,9 @@ bool CompileClient::connect(std::string *Err) {
     close();
     return false;
   }
+  // Additive-feature negotiation: an old daemon's hello_ok has no "minor"
+  // field, which reads as 0 — recompile() then degrades to plain compile.
+  ServerMinor = uint32_t(Reply.getU64("minor"));
   return true;
 }
 
@@ -141,6 +145,13 @@ CompileClient::Result CompileClient::resultFromWire(const Json &Msg) {
   R.Connections = Msg.getU64("connections");
   R.QueueMs = Msg.getNumber("queue_ms");
   R.ServiceMs = Msg.getNumber("service_ms");
+  if (const Json *Inc = Msg.get("incremental")) {
+    R.IncrementalUsed = Inc->getBool("used");
+    R.IncrementalFallback = Inc->getString("fallback_reason");
+    R.ModulesReelaborated = Inc->getU64("modules_reelaborated");
+    R.GroupsResolved = Inc->getU64("groups_resolved");
+    R.GroupsSpliced = Inc->getU64("groups_spliced");
+  }
   return R;
 }
 
@@ -148,6 +159,25 @@ CompileClient::Result CompileClient::compile(const CompilerInvocation &Inv,
                                              uint64_t DeadlineMs) {
   Json Req = requestBody(Inv, DeadlineMs);
   Req.set("type", msg::Compile).set("id", NextId++);
+  Json Reply;
+  std::string Err;
+  if (!roundTrip(Req, Reply, &Err)) {
+    Result R;
+    R.Error = Err;
+    return R;
+  }
+  return resultFromWire(Reply);
+}
+
+CompileClient::Result CompileClient::recompile(const CompilerInvocation &Inv,
+                                               uint64_t DeadlineMs) {
+  // Feature-gate on the negotiated minor: a minor-0 daemon has no
+  // `recompile` handler (it would answer bad_message), but a plain
+  // compile produces the identical result bytes — just without splicing.
+  if (ServerMinor < 1)
+    return compile(Inv, DeadlineMs);
+  Json Req = requestBody(Inv, DeadlineMs);
+  Req.set("type", msg::Recompile).set("id", NextId++);
   Json Reply;
   std::string Err;
   if (!roundTrip(Req, Reply, &Err)) {
@@ -261,8 +291,8 @@ static bool isRetryable(const CompileClient::Result &R) {
   return R.ErrorCode.empty() || R.ErrorCode == errc::QueueFull;
 }
 
-CompileClient::Result CompileClient::compileWithRetry(
-    const CompilerInvocation &Inv, uint64_t DeadlineMs) {
+CompileClient::Result CompileClient::requestWithRetry(
+    bool Incremental, const CompilerInvocation &Inv, uint64_t DeadlineMs) {
   Result Last;
   for (unsigned Attempt = 1; Attempt <= Policy.MaxAttempts; ++Attempt) {
     if (Stats.BreakerOpen)
@@ -281,7 +311,7 @@ CompileClient::Result CompileClient::compileWithRetry(
       Last.Error = Err;
       continue;
     }
-    Last = compile(Inv, DeadlineMs);
+    Last = Incremental ? recompile(Inv, DeadlineMs) : compile(Inv, DeadlineMs);
     if (Last.Error.empty()) {
       noteTransportSuccess();
       return Last;
@@ -294,6 +324,16 @@ CompileClient::Result CompileClient::compileWithRetry(
       return Last;
   }
   return Last;
+}
+
+CompileClient::Result CompileClient::compileWithRetry(
+    const CompilerInvocation &Inv, uint64_t DeadlineMs) {
+  return requestWithRetry(/*Incremental=*/false, Inv, DeadlineMs);
+}
+
+CompileClient::Result CompileClient::recompileWithRetry(
+    const CompilerInvocation &Inv, uint64_t DeadlineMs) {
+  return requestWithRetry(/*Incremental=*/true, Inv, DeadlineMs);
 }
 
 std::vector<CompileClient::Result> CompileClient::compileBatchWithRetry(

@@ -80,6 +80,14 @@ public:
     std::string Diagnostics; ///< Rendered diagnostic text (may be empty).
     uint64_t Instances = 0, Connections = 0; ///< On success.
     double QueueMs = 0, ServiceMs = 0;       ///< Server-side timings.
+
+    /// The `recompile` outcome (from the reply's "incremental" object;
+    /// defaults when the request was a plain compile or the daemon was
+    /// too old to run one).
+    bool IncrementalUsed = false;
+    std::string IncrementalFallback;
+    uint64_t ModulesReelaborated = 0;
+    uint64_t GroupsResolved = 0, GroupsSpliced = 0;
   };
 
   explicit CompileClient(std::string Address) : Address(std::move(Address)) {}
@@ -97,6 +105,23 @@ public:
   /// Compiles \p Inv remotely. \p DeadlineMs is the request's service
   /// budget (queue wait + compile; 0 = none). Blocking.
   Result compile(const CompilerInvocation &Inv, uint64_t DeadlineMs = 0);
+
+  /// Incremental recompile (`recompile`, protocol minor 1): the daemon
+  /// diffs \p Inv against its cached dependency graph and replays what it
+  /// can (docs/INCREMENTAL.md). Against a minor-0 daemon this degrades to
+  /// a plain `compile` — same result bytes, no splicing — so callers can
+  /// use it unconditionally. The Result's Incremental* fields report what
+  /// the daemon actually did.
+  Result recompile(const CompilerInvocation &Inv, uint64_t DeadlineMs = 0);
+
+  /// recompile() under the retry policy (see compileWithRetry).
+  Result recompileWithRetry(const CompilerInvocation &Inv,
+                            uint64_t DeadlineMs = 0);
+
+  /// The daemon's protocol minor version from the `hello_ok` reply
+  /// (0 before connect() or against a pre-negotiation daemon). The shared
+  /// feature level is min(DaemonProtocolMinorVersion, serverMinor()).
+  uint32_t serverMinor() const { return ServerMinor; }
 
   /// Compiles a batch in one round trip; Results[i] corresponds to
   /// Invs[i]. On a transport failure every result carries the error.
@@ -138,6 +163,9 @@ private:
   /// Sends \p Msg and reads one reply frame. Returns false on transport
   /// failure (and closes: the stream state is unknown).
   bool roundTrip(const Json &Msg, Json &Reply, std::string *Err);
+  /// The shared retry loop behind compileWithRetry/recompileWithRetry.
+  Result requestWithRetry(bool Incremental, const CompilerInvocation &Inv,
+                          uint64_t DeadlineMs);
   static Result resultFromWire(const Json &Msg);
 
   /// Bookkeeping after a failed/successful transport interaction; may
@@ -150,6 +178,7 @@ private:
 
   std::string Address;
   int Fd = -1;
+  uint32_t ServerMinor = 0;
   uint64_t NextId = 1;
   RetryPolicy Policy;
   ClientStats Stats;

@@ -59,8 +59,9 @@ CompileResult CompileService::compile(const CompilerInvocation &Inv) {
       C.getDiags().note(SourceLoc(), Note);
   }
 
+  size_t DiagBase = 0;
   if (!Warm) {
-    size_t DiagStart = C.getDiags().getDiagnostics().size();
+    size_t DiagStart = DiagBase = C.getDiags().getDiagnostics().size();
     if (!C.addSources(Inv)) {
       R.Failed = CompileResult::Phase::Parse;
       return R;
@@ -147,6 +148,10 @@ CompileResult CompileService::compile(const CompilerInvocation &Inv) {
       }
     }
   }
+
+  // A live (non-warm) elaboration carries everything the incremental path
+  // needs next time; warm compiles no-op inside (no interpreter ran).
+  storeDepGraph(Inv, C, DiagBase);
 
   R.Success = true;
   return R;

@@ -168,6 +168,8 @@ void Compiler::registerSourcesWithoutParsing(const CompilerInvocation &Inv) {
 bool Compiler::elaborate(const CompilerInvocation &Inv) {
   PhaseTimer::Scope Phase(&Timer, "elaborate");
   Interp = std::make_unique<interp::Interpreter>(TC, Diags, Inv.Elab);
+  if (PendingReplayHook)
+    Interp->setReplayHook(std::move(PendingReplayHook));
   lss::SpecFile All;
   All.Modules = AllModules;
   Interp->addModules(All); // Duplicate module names are diagnosed here.
@@ -175,12 +177,14 @@ bool Compiler::elaborate(const CompilerInvocation &Inv) {
   return !Diags.hasErrors();
 }
 
-bool Compiler::inferTypes(const CompilerInvocation &Inv) {
+bool Compiler::inferTypes(const CompilerInvocation &Inv,
+                          const infer::NetlistSpliceHooks *SpliceHooks) {
   if (!NL) {
     Diags.error(SourceLoc(), "inferTypes called before elaborate");
     return false;
   }
-  InferStats = infer::inferNetlistTypes(*NL, TC, Diags, Inv.Solve, &Timer);
+  InferStats =
+      infer::inferNetlistTypes(*NL, TC, Diags, Inv.Solve, &Timer, SpliceHooks);
   return !Diags.hasErrors();
 }
 

@@ -3,6 +3,7 @@
 #include "driver/CompilerInvocation.h"
 
 #include "corelib/CoreLib.h"
+#include "driver/DepGraph.h"
 
 #include <cstdio>
 #include <fstream>
@@ -24,39 +25,16 @@ bool CompilerInvocation::addFile(const std::string &Path, std::string *Error) {
   return true;
 }
 
-namespace {
+/// The hasher moved to driver/DepGraph.h (FnvHasher) so the dependency
+/// artifact's per-module hashes share the exact same byte discipline.
+using Hasher = FnvHasher;
 
-/// FNV-1a 64. Fields are fed as `tag=value;` runs; strings are
-/// length-prefixed so adjacent fields cannot alias.
-class Hasher {
-public:
-  void bytes(const void *Data, size_t N) {
-    const unsigned char *P = static_cast<const unsigned char *>(Data);
-    for (size_t I = 0; I != N; ++I) {
-      H ^= P[I];
-      H *= 1099511628211ull;
-    }
-  }
-  void str(const std::string &S) {
-    num(S.size());
-    bytes(S.data(), S.size());
-  }
-  void num(uint64_t V) { bytes(&V, sizeof(V)); }
-  void field(const char *Tag, uint64_t V) {
-    bytes(Tag, std::char_traits<char>::length(Tag));
-    num(V);
-  }
-  uint64_t get() const { return H; }
-
-private:
-  uint64_t H = 1469598103934665603ull; // FNV offset basis.
-};
-
-} // namespace
-
-/// Bump when any cached artifact format (LSSNL/LSSSOL/LSSART) or the key
-/// contract changes: stale on-disk entries then simply miss.
-static constexpr uint64_t CacheFormatVersion = 1;
+/// Bump when any cached artifact format (LSSNL/LSSSOL/LSSART/LSSDEP) or
+/// the key contract changes: stale on-disk entries then simply miss.
+/// v2: elabKey became a Merkle fold over per-module spans, LSSSOL gained
+/// v3 records, and serialized type variables are renamed to first-use
+/// ordinals.
+static constexpr uint64_t CacheFormatVersion = 2;
 
 uint64_t CompilerInvocation::elabKey() const {
   Hasher H;
@@ -65,10 +43,34 @@ uint64_t CompilerInvocation::elabKey() const {
   if (UseCoreLibrary)
     H.str(corelib::getCoreLibraryLss());
   H.field("sources", Sources.size());
+  // Names excluded: content-addressed (see header). Each text enters as a
+  // Merkle fold over its top-level module spans (driver/DepGraph), so this
+  // key is a root over the per-module content hashes the incremental
+  // driver diffs — equal texts fold equal, and any byte change reaches the
+  // root through a module span or residual slice.
   for (const Source &S : Sources)
-    H.str(S.Text); // Names excluded: content-addressed (see header).
+    H.num(foldSourceKey(S.Text));
   H.field("elab.maxsteps", Elab.MaxSteps);
   H.field("elab.maxinstances", Elab.MaxInstances);
+  return H.get();
+}
+
+uint64_t CompilerInvocation::depKey() const {
+  // Content-INDEPENDENT: names and options only, so an edited project
+  // overwrites its own dependency entry in place and the next compile can
+  // find it without knowing the previous text.
+  Hasher H;
+  H.field("fmt", CacheFormatVersion);
+  H.field("dep", 1);
+  H.field("corelib", UseCoreLibrary ? 1 : 0);
+  H.field("sources", Sources.size());
+  for (const Source &S : Sources)
+    H.str(S.Name);
+  H.field("elab.maxsteps", Elab.MaxSteps);
+  H.field("elab.maxinstances", Elab.MaxInstances);
+  H.field("solve.reorder", Solve.ReorderSimpleFirst ? 1 : 0);
+  H.field("solve.forced", Solve.ForcedDisjunctElimination ? 1 : 0);
+  H.field("solve.partition", Solve.Partition ? 1 : 0);
   return H.get();
 }
 

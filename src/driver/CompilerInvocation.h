@@ -81,7 +81,18 @@ public:
   bool addFile(const std::string &Path, std::string *Error = nullptr);
 
   /// Key of the elaborated-netlist artifact. See the contract above.
+  /// Since format v2 this is a Merkle root over per-module content hashes
+  /// (driver/DepGraph): each source text enters as a fold of its top-level
+  /// module spans plus the residual text, so the key the incremental
+  /// driver diffs against is derived from the same per-module hashes it
+  /// stores in the dependency artifact.
   uint64_t elabKey() const;
+  /// Key of the dependency-graph artifact (LSSDEP, docs/INCREMENTAL.md).
+  /// Content-INDEPENDENT by design: hashes the source *names* (plus the
+  /// elaboration caps and solver heuristics), never the texts, so an
+  /// edited project maps to the same entry and compileIncremental can find
+  /// the previous compile's graph.
+  uint64_t depKey() const;
   /// Key of the inference-solution artifact. See the contract above.
   uint64_t solveKey() const;
   /// Whole-invocation identity (excludes NumThreads/Jobs/BuildSim).

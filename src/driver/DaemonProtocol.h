@@ -49,6 +49,15 @@ namespace driver {
 /// mismatch with `version_mismatch` so old clients fail loud, not weird.
 constexpr uint32_t DaemonProtocolVersion = 1;
 
+/// Bumped when a backward-compatible message type or field is ADDED under
+/// the same major version. Negotiation is one-sided and optional: `hello`
+/// may carry a "minor" field (absent = 0) and `hello_ok` answers with the
+/// server's minor; each side treats min(mine, peer's) as the shared
+/// feature level. Minor 1 adds the `recompile` request — a client seeing
+/// a minor-0 server (an old daemon whose hello_ok has no "minor") sends
+/// plain `compile` instead.
+constexpr uint32_t DaemonProtocolMinorVersion = 1;
+
 /// Frames larger than this default cap are rejected as `bad_frame`
 /// (DaemonServer::Options::MaxFrameBytes overrides).
 constexpr uint64_t DaemonDefaultMaxFrameBytes = 64ull << 20;
@@ -60,6 +69,7 @@ constexpr uint64_t DaemonDefaultMaxFrameBytes = 64ull << 20;
   X(Hello, "hello")                                                            \
   X(HelloOk, "hello_ok")                                                       \
   X(Compile, "compile")                                                        \
+  X(Recompile, "recompile")                                                    \
   X(Result, "result")                                                          \
   X(Batch, "batch")                                                            \
   X(BatchResult, "batch_result")                                               \

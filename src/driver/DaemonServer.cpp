@@ -233,9 +233,14 @@ bool DaemonServer::handleMessage(const Json &Msg, bool &HandshakeDone,
       return false; // Incompatible peer: close after the reply.
     }
     HandshakeDone = true;
+    // Minor versions are additive and negotiated one-sidedly: we answer
+    // with ours, the client uses min(client, server) to decide which
+    // requests to send. A client's absent "minor" (= 0) needs no special
+    // handling here — old clients simply never send the new requests.
     Reply = Json::object();
     Reply.set("type", msg::HelloOk)
         .set("version", uint64_t(DaemonProtocolVersion))
+        .set("minor", uint64_t(DaemonProtocolMinorVersion))
         .set("server", "lssd")
         .set("pid", uint64_t(::getpid()));
     return true;
@@ -247,12 +252,12 @@ bool DaemonServer::handleMessage(const Json &Msg, bool &HandshakeDone,
     return true;
   }
 
-  if (Type == msg::Compile) {
+  if (Type == msg::Compile || Type == msg::Recompile) {
     if (Draining.load()) {
       Reply = makeError(errc::ShuttingDown, "server is draining");
       return true;
     }
-    Reply = runCompile(Msg);
+    Reply = runCompile(Msg, /*Incremental=*/Type == msg::Recompile);
     return true;
   }
   if (Type == msg::Batch) {
@@ -287,6 +292,7 @@ namespace {
 struct PendingCompile {
   CompilerInvocation Inv;
   uint64_t DeadlineMs = 0; ///< Service budget; 0 = none.
+  bool Incremental = false; ///< `recompile`: route via compileIncremental.
   Clock::time_point AdmitTime;
   std::promise<Json> Done;
 };
@@ -331,8 +337,9 @@ bool invocationFromRequest(const Json &Req, CompilerInvocation &Inv,
 } // namespace
 
 bool DaemonServer::submitCompile(const Json &Req, std::future<Json> &Fut,
-                                 Json &Immediate) {
+                                 Json &Immediate, bool Incremental) {
   auto P = std::make_shared<PendingCompile>();
+  P->Incremental = Incremental;
   std::string Why;
   if (!invocationFromRequest(Req, P->Inv, P->DeadlineMs, Why)) {
     std::lock_guard<std::mutex> Lock(StatsMutex);
@@ -383,7 +390,8 @@ bool DaemonServer::submitCompile(const Json &Req, std::future<Json> &Fut,
         Inv.Solve.DeadlineMs = Remaining;
     }
 
-    CompileResult R = Service.compile(Inv);
+    CompileResult R =
+        P->Incremental ? Service.compileIncremental(Inv) : Service.compile(Inv);
     double ServiceMs = msSince(P->AdmitTime);
 
     const infer::SolveStats &Solve = R.C->getInferenceStats().Solve;
@@ -409,6 +417,17 @@ bool DaemonServer::submitCompile(const Json &Req, std::future<Json> &Fut,
       Res.set("instances", uint64_t(MS.TotalInstances));
       Res.set("connections", uint64_t(MS.Connections));
     }
+    if (P->Incremental) {
+      const IncrementalStats &I = R.Incremental;
+      Json Inc = Json::object();
+      Inc.set("used", I.Used)
+          .set("fallback_reason", I.FallbackReason)
+          .set("dep_cache_hit", I.DepCacheHit)
+          .set("modules_reelaborated", uint64_t(I.ModulesReelaborated))
+          .set("groups_resolved", uint64_t(I.GroupsResolved))
+          .set("groups_spliced", uint64_t(I.GroupsSpliced));
+      Res.set("incremental", std::move(Inc));
+    }
 
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -416,7 +435,7 @@ bool DaemonServer::submitCompile(const Json &Req, std::future<Json> &Fut,
     }
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Stats.CompileRequests;
+      (P->Incremental ? Stats.RecompileRequests : Stats.CompileRequests) += 1;
       if (Degraded && Solve.HitDeadline)
         ++Stats.DeadlineDegraded;
       (R.ElabFromCache ? Stats.ElabCacheHits : Stats.ElabCacheMisses) += 1;
@@ -433,10 +452,10 @@ bool DaemonServer::submitCompile(const Json &Req, std::future<Json> &Fut,
   return true;
 }
 
-Json DaemonServer::runCompile(const Json &Req) {
+Json DaemonServer::runCompile(const Json &Req, bool Incremental) {
   std::future<Json> Fut;
   Json Immediate;
-  if (!submitCompile(Req, Fut, Immediate))
+  if (!submitCompile(Req, Fut, Immediate, Incremental))
     return Immediate;
   Json Res = Fut.get();
   Res.set("id", Req.getNumber("id"));
@@ -505,6 +524,7 @@ DaemonStats DaemonServer::getStats() const {
     S.ActiveCompiles = ActiveCompiles;
   }
   S.Cache = const_cast<DaemonServer *>(this)->Service.getCache().getStats();
+  S.Incremental = Service.getIncrementalCounters();
   return S;
 }
 
@@ -517,6 +537,7 @@ Json DaemonServer::buildStats() const {
       .set("disk_hits", S.Cache.DiskHits)
       .set("stores", S.Cache.Stores)
       .set("evictions", S.Cache.Evictions)
+      .set("bytes_in_memory", S.Cache.BytesInMemory)
       .set("corrupt", S.Cache.Corrupt)
       .set("tmp_swept", S.Cache.TmpSwept)
       .set("quarantined", S.Cache.Quarantined)
@@ -527,11 +548,22 @@ Json DaemonServer::buildStats() const {
       .set("p50_ms", S.P50Ms)
       .set("p95_ms", S.P95Ms)
       .set("max_ms", S.MaxMs);
+  Json Incremental = Json::object();
+  Incremental.set("requests", S.Incremental.Requests)
+      .set("used", S.Incremental.Used)
+      .set("fallbacks", S.Incremental.Fallbacks)
+      .set("dep_cache_hits", S.Incremental.DepCacheHits)
+      .set("modules_reelaborated", S.Incremental.ModulesReelaborated)
+      .set("groups_resolved", S.Incremental.GroupsResolved)
+      .set("groups_spliced", S.Incremental.GroupsSpliced);
   Json Reply = Json::object();
   Reply.set("type", msg::StatsResult)
       .set("version", uint64_t(DaemonProtocolVersion))
+      .set("minor", uint64_t(DaemonProtocolMinorVersion))
+      .set("schema_version", uint64_t(StatsSchemaVersion))
       .set("requests_served", S.RequestsServed)
       .set("compile_requests", S.CompileRequests)
+      .set("recompile_requests", S.RecompileRequests)
       .set("batch_requests", S.BatchRequests)
       .set("rejected_queue_full", S.RejectedQueueFull)
       .set("deadline_degraded", S.DeadlineDegraded)
@@ -547,6 +579,7 @@ Json DaemonServer::buildStats() const {
       .set("solve_cache_hits", S.SolveCacheHits)
       .set("solve_cache_misses", S.SolveCacheMisses)
       .set("cache", std::move(Cache))
+      .set("incremental", std::move(Incremental))
       .set("latency_ms", std::move(Latency));
   return Reply;
 }

@@ -66,6 +66,7 @@ namespace driver {
 struct DaemonStats {
   uint64_t RequestsServed = 0;  ///< Frames answered (any message type).
   uint64_t CompileRequests = 0; ///< `compile` requests run (incl. failed).
+  uint64_t RecompileRequests = 0; ///< `recompile` requests run.
   uint64_t BatchRequests = 0;   ///< `batch` requests run.
   uint64_t RejectedQueueFull = 0;
   uint64_t DeadlineDegraded = 0; ///< Compiles whose deadline expired.
@@ -77,6 +78,9 @@ struct DaemonStats {
   uint64_t ElabCacheHits = 0, ElabCacheMisses = 0;
   uint64_t SolveCacheHits = 0, SolveCacheMisses = 0;
   CacheStats Cache; ///< The shared ArtifactCache's own counters.
+  /// Incremental-recompilation totals across every `recompile` request
+  /// (CompileService::getIncrementalCounters; docs/INCREMENTAL.md).
+  CompileService::IncrementalCounters Incremental;
   double P50Ms = 0, P95Ms = 0, MaxMs = 0;
   uint64_t LatencySamples = 0;
 };
@@ -143,10 +147,12 @@ private:
   /// Admission control + pool dispatch for one compile-request body.
   /// Returns true and arms \p Fut when the request was admitted; returns
   /// false with \p Immediate holding the reply (queue_full rejection or a
-  /// bad_message error) when it was not.
-  bool submitCompile(const Json &Req, std::future<Json> &Fut, Json &Immediate);
-  /// The `compile` handler: submitCompile + wait.
-  Json runCompile(const Json &Req);
+  /// bad_message error) when it was not. \p Incremental routes the work
+  /// through CompileService::compileIncremental (the `recompile` request).
+  bool submitCompile(const Json &Req, std::future<Json> &Fut, Json &Immediate,
+                     bool Incremental = false);
+  /// The `compile`/`recompile` handler: submitCompile + wait.
+  Json runCompile(const Json &Req, bool Incremental = false);
   /// The `batch` handler: every element admitted independently.
   Json runBatch(const Json &Req);
   Json buildStats() const;

@@ -2,6 +2,7 @@
 
 #include "driver/Stats.h"
 
+#include "driver/CompileService.h"
 #include "lss/AST.h"
 #include "netlist/Netlist.h"
 #include "sim/CompiledKernel.h"
@@ -114,8 +115,10 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
                                      const PhaseTimer &Timer,
                                      const sim::Simulator *Sim,
                                      const CacheReport *Cache,
-                                     double CyclesPerSec) {
+                                     double CyclesPerSec,
+                                     const IncrementalStats *Incremental) {
   OS << "{\n";
+  OS << "  \"schema_version\": " << StatsSchemaVersion << ",\n";
   OS << "  \"model\": \"" << jsonEscape(S.Name) << "\",\n";
   OS << "  \"phases\": ";
   Timer.printJson(OS);
@@ -196,6 +199,7 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << "    \"disk_hits\": " << CS.DiskHits << ",\n"
        << "    \"stores\": " << CS.Stores << ",\n"
        << "    \"evictions\": " << CS.Evictions << ",\n"
+       << "    \"bytes_in_memory\": " << CS.BytesInMemory << ",\n"
        << "    \"corrupt\": " << CS.Corrupt << ",\n"
        << "    \"tmp_swept\": " << CS.TmpSwept << ",\n"
        << "    \"quarantined\": " << CS.Quarantined << ",\n"
@@ -208,6 +212,25 @@ void liberty::driver::printStatsJson(std::ostream &OS, const ModelStats &S,
        << (Cache->SolutionFromCache ? "true" : "false") << ",\n"
        << "    \"kernel_from_cache\": "
        << (Cache->KernelFromCache ? "true" : "false") << "\n"
+       << "  },\n";
+  }
+
+  if (Incremental) {
+    const IncrementalStats &I = *Incremental;
+    OS << "  \"incremental\": {\n"
+       << "    \"used\": " << (I.Used ? "true" : "false") << ",\n"
+       << "    \"fallback_reason\": \"" << jsonEscape(I.FallbackReason)
+       << "\",\n"
+       << "    \"dep_cache_hit\": " << (I.DepCacheHit ? "true" : "false")
+       << ",\n"
+       << "    \"modules_total\": " << I.ModulesTotal << ",\n"
+       << "    \"modules_dirty\": " << I.ModulesDirty << ",\n"
+       << "    \"modules_reelaborated\": " << I.ModulesReelaborated << ",\n"
+       << "    \"instances_total\": " << I.InstancesTotal << ",\n"
+       << "    \"instances_spliced\": " << I.InstancesSpliced << ",\n"
+       << "    \"groups_total\": " << I.GroupsTotal << ",\n"
+       << "    \"groups_resolved\": " << I.GroupsResolved << ",\n"
+       << "    \"groups_spliced\": " << I.GroupsSpliced << "\n"
        << "  },\n";
   }
 

@@ -34,6 +34,15 @@ class Simulator;
 
 namespace driver {
 
+struct IncrementalStats;
+
+/// Version of the `lssc --stats-json` document and the daemon's
+/// `stats_result` message. Bumped whenever a field is added, removed, or
+/// changes meaning; both emitters stamp it as "schema_version" so
+/// dashboards can gate on the shape they understand. check_docs.sh lints
+/// the emitted field names against docs/API.md.
+constexpr uint32_t StatsSchemaVersion = 2;
+
 struct ModelStats {
   std::string Name;
 
@@ -107,13 +116,17 @@ struct CacheReport {
 /// measured it — the achieved simulation rate in cycles per second
 /// (\p CyclesPerSec; <= 0 omits the field). When \p Cache is non-null
 /// (the artifact cache was enabled), a "cache" section reports hit/miss
-/// counters and which phases were reloaded.
+/// counters and which phases were reloaded. When \p Incremental is
+/// non-null (the compile went through compileIncremental), an
+/// "incremental" section reports whether the dependency-tracked path was
+/// used and how much work it actually did (docs/INCREMENTAL.md).
 void printStatsJson(std::ostream &OS, const ModelStats &S,
                     const infer::NetlistInferenceStats &IS,
                     const PhaseTimer &Timer,
                     const sim::Simulator *Sim = nullptr,
                     const CacheReport *Cache = nullptr,
-                    double CyclesPerSec = 0.0);
+                    double CyclesPerSec = 0.0,
+                    const IncrementalStats *Incremental = nullptr);
 
 } // namespace driver
 } // namespace liberty

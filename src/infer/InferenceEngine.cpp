@@ -138,9 +138,12 @@ bool InferenceEngine::solveList(Unifier &WU, std::vector<TypePair> Work,
 }
 
 SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
-                                  const SolveOptions &Opts) {
+                                  const SolveOptions &Opts,
+                                  const SpliceRequest *Splice) {
   SolveStats Stats;
   Stats.NumConstraints = Constraints.size();
+  if (Splice && Splice->Queries)
+    Stats.QueryGroups.assign(Splice->Queries->size(), -1);
   uint64_t StepsBefore = U.getSteps();
 
   // Arm the wall-clock deadline before any work (and before group workers
@@ -325,6 +328,93 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
   }
   Stats.NumComponents = Components.size();
 
+  // Group membership: the sorted, deduped instance ids each group's
+  // constraints mention (both endpoints for connection constraints). A
+  // group with a provenance-free (synthetic) constraint has no reliable
+  // member set and is never offered for splicing.
+  const unsigned NumGroups = unsigned(Components.size());
+  std::vector<std::vector<unsigned>> Members(NumGroups);
+  std::vector<bool> MembersKnown(NumGroups, true);
+  for (unsigned G = 0; G != NumGroups; ++G) {
+    for (unsigned I : Components[G]) {
+      const Constraint *C = Residual[I].From;
+      if (!C->Inst) {
+        MembersKnown[G] = false;
+        continue;
+      }
+      Members[G].push_back(unsigned(C->Inst->Id));
+      if (C->Inst2)
+        Members[G].push_back(unsigned(C->Inst2->Id));
+    }
+  }
+
+  // Query attribution: which group does each queried (port) variable's
+  // resolution depend on? Groups reached from the same query are linked —
+  // they must splice or search together, because resolving that query
+  // reads bindings from all of them — and the query's own instance joins
+  // each group's member set (editing the instance must dirty the group).
+  std::vector<unsigned> GroupRep(NumGroups);
+  std::iota(GroupRep.begin(), GroupRep.end(), 0u);
+  std::function<unsigned(unsigned)> FindGroupRep = [&](unsigned X) {
+    while (GroupRep[X] != X)
+      X = GroupRep[X] = GroupRep[GroupRep[X]];
+    return X;
+  };
+  if (Splice && Splice->Queries) {
+    Stats.QueryGroups.assign(Splice->Queries->size(), -1);
+    std::vector<uint32_t> QVars;
+    for (size_t Q = 0; Q != Splice->Queries->size(); ++Q) {
+      const SpliceQuery &SQ = (*Splice->Queries)[Q];
+      if (!SQ.Var)
+        continue;
+      QVars.clear();
+      U.collectUnboundVars(SQ.Var, QVars);
+      int First = -1;
+      for (uint32_t V : QVars) {
+        if (V >= VarOwner.size() || VarOwner[V] == NoOwner)
+          continue;
+        unsigned G = ComponentOf[FindRep(VarOwner[V])];
+        if (First < 0)
+          First = int(G);
+        else if (unsigned(First) != G)
+          GroupRep[FindGroupRep(unsigned(First))] = FindGroupRep(G);
+        Members[G].push_back(SQ.InstId);
+      }
+      Stats.QueryGroups[Q] = First;
+    }
+  }
+  for (unsigned G = 0; G != NumGroups; ++G) {
+    if (!MembersKnown[G]) {
+      Members[G].clear();
+      continue;
+    }
+    std::sort(Members[G].begin(), Members[G].end());
+    Members[G].erase(std::unique(Members[G].begin(), Members[G].end()),
+                     Members[G].end());
+  }
+  Stats.GroupMembers = Members;
+
+  // Splice decision: the oracle is consulted per group; a group splices
+  // only if every group linked to it was also accepted (mixed closures
+  // search live, so a spliced group's bindings are never read).
+  std::vector<bool> Spliced(NumGroups, false);
+  std::vector<GroupStats> CachedGS(NumGroups);
+  if (Splice && Splice->Oracle) {
+    std::vector<bool> RootOk(NumGroups, true);
+    for (unsigned G = 0; G != NumGroups; ++G) {
+      bool Offered = !Members[G].empty() &&
+                     Splice->Oracle(G, Members[G], CachedGS[G]) &&
+                     CachedGS[G].Success && !CachedGS[G].HitLimit &&
+                     !CachedGS[G].HitDeadline &&
+                     CachedGS[G].NumConstraints == Components[G].size();
+      if (!Offered)
+        RootOk[FindGroupRep(G)] = false;
+    }
+    for (unsigned G = 0; G != NumGroups; ++G)
+      Spliced[G] = RootOk[FindGroupRep(G)];
+  }
+  Stats.GroupSpliced = Spliced;
+
   // The groups touch disjoint unbound variables, so each one searches on a
   // scratch unifier seeded with the shared bindings and never contends
   // with its siblings; the shared unifier is read-only until the join.
@@ -371,14 +461,19 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
   unsigned Threads =
       Opts.NumThreads ? Opts.NumThreads : ThreadPool::getHardwareParallelism();
   if (Threads > 1 && Components.size() > 1) {
+    // Pool size ignores splicing so ThreadsUsed (a reported statistic) is
+    // identical between a cold solve and an incremental one.
     ThreadPool Pool(std::min<unsigned>(Threads, Components.size()));
     Stats.ThreadsUsed = Pool.getThreadCount();
     for (unsigned G = 0; G != Components.size(); ++G)
-      Pool.async([&SolveGroup, G] { SolveGroup(G); });
+      if (!Spliced[G])
+        Pool.async([&SolveGroup, G] { SolveGroup(G); });
     Pool.wait();
   } else {
     Stats.ThreadsUsed = 1;
     for (unsigned G = 0; G != Components.size(); ++G) {
+      if (Spliced[G])
+        continue;
       SolveGroup(G);
       const GroupOutcome &Out = Outcomes[G];
       // A group that ran out of budget (or past the deadline) degrades
@@ -400,6 +495,16 @@ SolveStats InferenceEngine::solve(const std::vector<Constraint> &Constraints,
   // so both schedules report the same totals and diagnostic).
   uint64_t GroupSteps = 0;
   for (unsigned G = 0; G != Components.size(); ++G) {
+    if (Spliced[G]) {
+      // Spliced group: fold the cached (cold-identical) statistics so the
+      // merged totals — and therefore the exported solution — are
+      // byte-identical to a cold solve. Its variables stay free in U; the
+      // cached per-port resolutions stand in for them.
+      GroupSteps += CachedGS[G].UnifySteps;
+      Stats.BranchPoints += CachedGS[G].BranchPoints;
+      Stats.Groups.push_back(CachedGS[G]);
+      continue;
+    }
     const GroupOutcome &Out = Outcomes[G];
     if (!Out.Ran)
       break; // Serial early-exit: a preceding group was unsatisfiable.
@@ -475,13 +580,15 @@ liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
   auto MakeConstraint = [](const Type *A, const Type *B, SourceLoc Loc,
                            ConstraintOriginKind Kind,
                            const netlist::InstanceNode *Inst,
-                           int PortIdx = -1) {
+                           int PortIdx = -1,
+                           const netlist::InstanceNode *Inst2 = nullptr) {
     Constraint C;
     C.A = A;
     C.B = B;
     C.Loc = Loc;
     C.Origin = Kind;
     C.Inst = Inst;
+    C.Inst2 = Inst2;
     C.PortIdx = PortIdx;
     return C;
   };
@@ -514,11 +621,11 @@ liberty::infer::buildNetlistConstraints(netlist::Netlist &NL,
       continue;
     Cs.push_back(MakeConstraint(PF.InferVar, PT.InferVar, Conn->Loc,
                                 ConstraintOriginKind::Connection,
-                                Conn->From.Inst));
+                                Conn->From.Inst, -1, Conn->To.Inst));
     if (Conn->Annotation)
       Cs.push_back(MakeConstraint(PF.InferVar, Conn->Annotation, Conn->Loc,
                                   ConstraintOriginKind::ConnAnnotation,
-                                  Conn->From.Inst));
+                                  Conn->From.Inst, -1, Conn->To.Inst));
   }
   return Cs;
 }
@@ -557,17 +664,30 @@ NetlistInferenceStats
 liberty::infer::inferNetlistTypes(netlist::Netlist &NL, types::TypeContext &TC,
                                   DiagnosticEngine &Diags,
                                   const SolveOptions &Opts,
-                                  PhaseTimer *Timer) {
+                                  PhaseTimer *Timer,
+                                  const NetlistSpliceHooks *Hooks) {
   NetlistInferenceStats Stats;
   std::vector<Constraint> Cs;
   {
     PhaseTimer::Scope Scope(Timer, "constraint-gen");
     Cs = buildNetlistConstraints(NL, TC);
   }
+  // Group attribution is requested for every port variable on every solve:
+  // it is what LSSSOL v3 persists, and a cold compile must record exactly
+  // what a later incremental compile will need.
+  std::vector<SpliceQuery> Queries;
+  for (const auto &Inst : NL.getInstances())
+    for (const netlist::Port &P : Inst->Ports)
+      if (P.InferVar)
+        Queries.push_back(SpliceQuery{P.InferVar, unsigned(Inst->Id)});
+  SpliceRequest Req;
+  Req.Queries = &Queries;
+  if (Hooks)
+    Req.Oracle = Hooks->Oracle;
   InferenceEngine Engine(TC);
   {
     PhaseTimer::Scope Scope(Timer, "solve");
-    Stats.Solve = Engine.solve(Cs, Opts);
+    Stats.Solve = Engine.solve(Cs, Opts, &Req);
   }
   if (Timer) {
     Timer->setCounter("constraint-gen", "constraints", Cs.size());
@@ -612,24 +732,58 @@ liberty::infer::inferNetlistTypes(netlist::Netlist &NL, types::TypeContext &TC,
     }
     return Stats;
   }
+  size_t QI = 0; // Aligned with Queries (same instance/port traversal).
   for (const auto &Inst : NL.getInstances()) {
-    for (netlist::Port &P : Inst->Ports) {
+    for (size_t PI = 0; PI != Inst->Ports.size(); ++PI) {
+      netlist::Port &P = Inst->Ports[PI];
       if (!P.InferVar)
         continue;
+      int Group = QI < Stats.Solve.QueryGroups.size()
+                      ? Stats.Solve.QueryGroups[QI]
+                      : -1;
+      ++QI;
       ++Stats.NumPorts;
       if (P.Scheme && !P.Scheme->isGround())
         ++Stats.NumPolymorphicPorts;
-      const Type *R = Engine.resolve(P.InferVar);
-      if (!R->isGround()) {
-        unsigned Before = Stats.NumDefaulted;
-        R = groundDefault(R, TC, Stats.NumDefaulted);
-        if (Stats.NumDefaulted != Before && P.Width > 0)
+      unsigned PortDefaulted = 0;
+      bool SplicedPort = Group >= 0 &&
+                         size_t(Group) < Stats.Solve.GroupSpliced.size() &&
+                         Stats.Solve.GroupSpliced[size_t(Group)];
+      if (SplicedPort) {
+        // The port's group search was skipped: its variables are free in
+        // the unifier, so the resolution comes from the cached record —
+        // including the defaulting count and warning the cold run made.
+        PortSpliceData D;
+        if (!Hooks || !Hooks->Port ||
+            !Hooks->Port(unsigned(Inst->Id), unsigned(PI), D) || !D.Resolved) {
+          Stats.SpliceBroken = true;
+          continue;
+        }
+        P.Resolved = D.Resolved;
+        PortDefaulted = D.NumDefaulted;
+        Stats.NumDefaulted += D.NumDefaulted;
+        if (D.NumDefaulted && P.Width > 0)
           Diags.warning(P.Loc, "type of port '" + P.Name + "' on instance '" +
                                    Inst->Path +
                                    "' is unconstrained; defaulting to " +
-                                   R->str());
+                                   D.Resolved->str());
+      } else {
+        const Type *R = Engine.resolve(P.InferVar);
+        if (!R->isGround()) {
+          unsigned Before = Stats.NumDefaulted;
+          R = groundDefault(R, TC, Stats.NumDefaulted);
+          PortDefaulted = Stats.NumDefaulted - Before;
+          if (PortDefaulted && P.Width > 0)
+            Diags.warning(P.Loc, "type of port '" + P.Name +
+                                     "' on instance '" + Inst->Path +
+                                     "' is unconstrained; defaulting to " +
+                                     R->str());
+        }
+        P.Resolved = R;
       }
-      P.Resolved = R;
+      if (Group >= 0)
+        Stats.PortGroups[{unsigned(Inst->Id), unsigned(PI)}] = {Group,
+                                                                PortDefaulted};
     }
   }
   return Stats;

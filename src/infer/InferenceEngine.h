@@ -30,7 +30,10 @@
 #include "support/Diagnostics.h"
 
 #include <chrono>
+#include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace liberty {
@@ -74,6 +77,10 @@ struct Constraint {
   /// PortAnnotation) it came from. Only read on failure paths.
   ConstraintOriginKind Origin = ConstraintOriginKind::None;
   const netlist::InstanceNode *Inst = nullptr;
+  /// Second endpoint instance for Connection/ConnAnnotation constraints
+  /// (the `->` target side). Incremental recompilation uses it to decide
+  /// which H3 groups an edited instance invalidates.
+  const netlist::InstanceNode *Inst2 = nullptr;
   int PortIdx = -1;
 
   /// Diagnostic context text: Context if pre-rendered, else built from the
@@ -138,6 +145,32 @@ struct GroupStats {
   SourceLoc FirstLoc;
 };
 
+/// One port-resolution query for H3 group attribution: the port's
+/// inference variable plus the dense creation id of the instance it lives
+/// on. solve() records, per query, which group the query's resolution
+/// depends on, and folds the instance into that group's member set.
+struct SpliceQuery {
+  const types::Type *Var = nullptr;
+  unsigned InstId = 0;
+};
+
+/// Decides, per H3 group, whether a cached solution may be spliced in
+/// place of searching the group. Receives the group index and its sorted,
+/// deduped member instance ids; returns true — filling \p Out with the
+/// cached group statistics — to splice. Groups whose cached stats report
+/// failure or a constraint-count mismatch are searched live regardless.
+using GroupSpliceOracle = std::function<bool(
+    unsigned Group, const std::vector<unsigned> &MemberInsts,
+    GroupStats &Out)>;
+
+/// Incremental-solve request handed to InferenceEngine::solve. Queries are
+/// always allowed (attribution is cheap and what a cold compile persists);
+/// the oracle is only set on the incremental path.
+struct SpliceRequest {
+  const std::vector<SpliceQuery> *Queries = nullptr;
+  GroupSpliceOracle Oracle;
+};
+
 struct SolveStats {
   bool Success = false;
   bool HitLimit = false;
@@ -154,6 +187,18 @@ struct SolveStats {
   /// solved and committed, and only these groups' variables stay free.
   unsigned NumUnsolved = 0;
   std::vector<GroupStats> Groups; ///< One entry per searched H3 group.
+  /// Filled when solve() received a SpliceRequest with queries: per query,
+  /// the index of the H3 group the query's resolution depends on, or -1.
+  /// Queries whose variables span several groups get the lowest group and
+  /// the groups are linked (they splice or search together).
+  std::vector<int> QueryGroups;
+  /// Sorted, deduped instance ids each group's constraints (and attributed
+  /// query ports) mention. Empty when unknown (synthetic constraints
+  /// without instance provenance) — such groups never splice.
+  std::vector<std::vector<unsigned>> GroupMembers;
+  /// Per group: true when its search was skipped and cached statistics
+  /// were spliced in (incremental recompilation).
+  std::vector<bool> GroupSpliced;
   std::string FailMessage;
   SourceLoc FailLoc;
 };
@@ -163,9 +208,12 @@ public:
   explicit InferenceEngine(types::TypeContext &TC) : TC(TC), U(TC) {}
 
   /// Solves \p Constraints. On success the engine's unifier holds the
-  /// satisfying bindings; query them with resolve().
+  /// satisfying bindings; query them with resolve(). \p Splice, when
+  /// non-null, requests H3 group attribution for its queries and (when its
+  /// oracle is set) per-group solution splicing — see docs/INCREMENTAL.md.
   SolveStats solve(const std::vector<Constraint> &Constraints,
-                   const SolveOptions &Opts);
+                   const SolveOptions &Opts,
+                   const SpliceRequest *Splice = nullptr);
 
   /// Deep-resolves \p T through the current bindings.
   const types::Type *resolve(const types::Type *T) { return U.resolveDeep(T); }
@@ -198,6 +246,34 @@ struct NetlistInferenceStats {
   unsigned NumPorts = 0;
   unsigned NumPolymorphicPorts = 0; ///< Ports whose scheme had variables.
   unsigned NumDefaulted = 0; ///< Unconstrained variables defaulted to int.
+  /// Per resolved port whose resolution depends on an H3 group:
+  /// (instance id, port index) -> (group index, defaulting substitutions
+  /// its resolution made). Persisted by LSSSOL v3 so a later incremental
+  /// compile can splice the port without re-running the group search.
+  std::map<std::pair<unsigned, unsigned>, std::pair<int, unsigned>>
+      PortGroups;
+  /// Set when a splice oracle accepted a group but the cached per-port
+  /// record backing it was missing; the caller must fall back to a cold
+  /// solve (the netlist's resolved types are incomplete). Never set on
+  /// non-incremental compiles.
+  bool SpliceBroken = false;
+};
+
+/// Cached resolution of one port in a spliced group: final (post-default)
+/// type plus the defaulting-substitution count its cold resolution made.
+struct PortSpliceData {
+  const types::Type *Resolved = nullptr;
+  unsigned NumDefaulted = 0;
+};
+
+/// Incremental-solve hooks for inferNetlistTypes. Oracle gates per-group
+/// splicing; Port supplies the cached resolution for each port of a
+/// spliced group (return false if the record is missing — the run is then
+/// marked SpliceBroken).
+struct NetlistSpliceHooks {
+  GroupSpliceOracle Oracle;
+  std::function<bool(unsigned InstId, unsigned PortIdx, PortSpliceData &Out)>
+      Port;
 };
 
 /// Generates constraints from \p NL (port schemes, connections, connection
@@ -210,7 +286,9 @@ NetlistInferenceStats inferNetlistTypes(netlist::Netlist &NL,
                                         types::TypeContext &TC,
                                         DiagnosticEngine &Diags,
                                         const SolveOptions &Opts,
-                                        PhaseTimer *Timer = nullptr);
+                                        PhaseTimer *Timer = nullptr,
+                                        const NetlistSpliceHooks *Hooks =
+                                            nullptr);
 
 /// Builds (without solving) the constraint system for \p NL. Exposed so
 /// benches can measure the solver on real model constraint systems.

@@ -53,11 +53,24 @@ bool liberty::infer::exportSolution(const netlist::Netlist &NL,
      << '\n';
   OS << "nstats " << Stats.NumPorts << ' ' << Stats.NumPolymorphicPorts << ' '
      << Stats.NumDefaulted << '\n';
+  // v3 zeroes the per-group wall-time bits: a spliced incremental solve
+  // replays cached group stats, and only a time-free artifact can be
+  // byte-identical to the cold compile it splices from.
   for (const GroupStats &G : S.Groups)
     OS << "group " << G.NumConstraints << ' ' << G.UnifySteps << ' '
-       << G.BranchPoints << ' ' << doubleBits(G.WallMs) << ' '
+       << G.BranchPoints << ' '
+       << doubleBits(FormatVersion >= 3 ? 0.0 : G.WallMs) << ' '
        << (G.Success ? 1 : 0) << ' ' << (G.HitLimit ? 1 : 0) << ' '
        << (G.HitDeadline ? 1 : 0) << '\n';
+  if (FormatVersion >= 3)
+    for (size_t G = 0; G != S.GroupMembers.size(); ++G) {
+      if (S.GroupMembers[G].empty())
+        continue;
+      OS << "gm " << G << ' ' << S.GroupMembers[G].size();
+      for (unsigned Id : S.GroupMembers[G])
+        OS << ' ' << Id;
+      OS << '\n';
+    }
   for (const Diagnostic &D : Diags) {
     if (D.Level == DiagLevel::Error)
       return false; // Failed solves are never cached.
@@ -68,10 +81,22 @@ bool liberty::infer::exportSolution(const netlist::Netlist &NL,
   const auto &Instances = NL.getInstances();
   for (size_t I = 0; I != Instances.size(); ++I) {
     const auto &Ports = Instances[I]->Ports;
-    for (size_t P = 0; P != Ports.size(); ++P)
-      if (Ports[P].Resolved)
-        OS << "p " << I << ' ' << P << ' '
-           << E.tok(Ports[P].Resolved->str()) << '\n';
+    for (size_t P = 0; P != Ports.size(); ++P) {
+      if (!Ports[P].Resolved)
+        continue;
+      OS << "p " << I << ' ' << P << ' ' << E.tok(Ports[P].Resolved->str());
+      if (FormatVersion >= 3) {
+        // Group column is biased by one (0 = no group) so the record stays
+        // unsigned; the defaulting count drives warning replay on splice.
+        auto It = Stats.PortGroups.find({unsigned(I), unsigned(P)});
+        if (It == Stats.PortGroups.end())
+          OS << " 0 0";
+        else
+          OS << ' ' << unsigned(It->second.first + 1) << ' '
+             << It->second.second;
+      }
+      OS << '\n';
+    }
   }
   OS << "end\n";
 
@@ -193,6 +218,8 @@ bool liberty::infer::importSolution(const std::string &Text,
     Version = 1;
   else if (Line == "LSSSOL 2")
     Version = 2;
+  else if (Line == "LSSSOL 3")
+    Version = 3;
   else
     return false;
 
@@ -261,6 +288,20 @@ bool liberty::infer::importSolution(const std::string &Text,
           !L.boolean(6, G.HitLimit) || !L.boolean(7, G.HitDeadline))
         return false;
       Stats.Solve.Groups.push_back(G);
+    } else if (Kind == "gm") {
+      unsigned G, N;
+      if (Version < 3 || L.F.size() < 3 || !L.u32(1, G) || !L.u32(2, N) ||
+          L.F.size() != size_t(N) + 3 || G >= Stats.Solve.Groups.size())
+        return false;
+      if (Stats.Solve.GroupMembers.size() < Stats.Solve.Groups.size())
+        Stats.Solve.GroupMembers.resize(Stats.Solve.Groups.size());
+      std::vector<unsigned> &Ids = Stats.Solve.GroupMembers[G];
+      for (unsigned I = 0; I != N; ++I) {
+        unsigned Id;
+        if (!L.u32(3 + I, Id) || Id >= Instances.size())
+          return false;
+        Ids.push_back(Id);
+      }
     } else if (Kind == "diag") {
       Diagnostic D;
       uint64_t Level;
@@ -273,12 +314,24 @@ bool liberty::infer::importSolution(const std::string &Text,
     } else if (Kind == "p") {
       uint64_t InstIdx, PortIdx;
       std::string TypeText;
-      if (L.F.size() != 4 || !L.u64(1, InstIdx) || !L.u64(2, PortIdx) ||
+      size_t Want = Version >= 3 ? 6 : 4;
+      if (L.F.size() != Want || !L.u64(1, InstIdx) || !L.u64(2, PortIdx) ||
           !Dec.str(3, TypeText))
         return false;
       if (InstIdx >= Instances.size() ||
           PortIdx >= Instances[InstIdx]->Ports.size())
         return false;
+      if (Version >= 3) {
+        unsigned GroupBiased, NumDefaulted;
+        if (!L.u32(4, GroupBiased) || !L.u32(5, NumDefaulted))
+          return false;
+        if (GroupBiased) {
+          if (GroupBiased > Stats.Solve.Groups.size())
+            return false;
+          Stats.PortGroups[{unsigned(InstIdx), unsigned(PortIdx)}] = {
+              int(GroupBiased) - 1, NumDefaulted};
+        }
+      }
       const types::Type *T = types::parseTypeText(TypeText, TC, VarMap);
       if (!T)
         return false;

@@ -39,8 +39,13 @@ class Netlist;
 
 namespace infer {
 
-/// The LSSSOL version exportSolution writes by default.
-constexpr unsigned CurrentLSSSOLVersion = 2;
+/// The LSSSOL version exportSolution writes by default. v3 (incremental
+/// recompilation, docs/INCREMENTAL.md) extends v2 with per-group member
+/// instance ids ("gm" records) and per-port group/defaulting columns on
+/// the "p" records, and zeroes the per-group wall-time bits so an
+/// incrementally spliced solution is byte-identical to a cold one. The
+/// loader still accepts v1 and v2.
+constexpr unsigned CurrentLSSSOLVersion = 3;
 
 /// Renders the resolved port types of \p NL plus \p Stats and the
 /// inference-phase diagnostics \p Diags as an LSSSOL artifact
@@ -51,7 +56,7 @@ bool exportSolution(const netlist::Netlist &NL,
                     const std::vector<Diagnostic> &Diags, std::string &Out,
                     unsigned FormatVersion = CurrentLSSSOLVersion);
 
-/// Parses an LSSSOL 1 or 2 artifact and writes each recorded resolved type back
+/// Parses an LSSSOL 1, 2, or 3 artifact and writes each recorded resolved type back
 /// into \p NL's ports. Types are rebuilt in \p TC; statistics and replayed
 /// diagnostics land in \p StatsOut / \p DiagsOut. Returns false — leaving
 /// the netlist's resolved types unspecified — on any malformed input or

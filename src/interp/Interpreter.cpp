@@ -65,21 +65,58 @@ Interpreter::run(const std::vector<Stmt *> &TopLevel) {
   auto Result = std::make_unique<netlist::Netlist>();
   NL = Result.get();
   InstStack.clear();
+  BodyWindows.clear();
   ProcessingOrder.clear();
 
+  // Evaluates (or replays) one body, recording its connection/diagnostic
+  // creation window. Windows are recorded uniformly for evaluated and
+  // replayed bodies so an incremental compile can re-serialize a complete
+  // dependency artifact afterwards.
+  auto RunBody = [&](netlist::InstanceNode *Node,
+                     const std::vector<Stmt *> &Body) {
+    BodyWindow W;
+    W.ConnBegin = uint32_t(NL->getConnections().size());
+    W.DiagBegin = uint32_t(Diags.getDiagnostics().size());
+    if (Replay && Replay(Node))
+      ProcessingOrder.push_back(Node->Path.empty() ? "<top>" : Node->Path);
+    else
+      evalBody(Node, Body);
+    W.ConnEnd = uint32_t(NL->getConnections().size());
+    W.DiagEnd = uint32_t(Diags.getDiagnostics().size());
+    BodyWindows.emplace_back(Node, W);
+  };
+
   // The top level is the body of the synthetic root instance.
-  evalBody(NL->getRoot(), TopLevel);
+  RunBody(NL->getRoot(), TopLevel);
 
   // Pop and evaluate deferred instance bodies (LIFO, Section 6.2).
   while (!InstStack.empty() && !aborted()) {
     netlist::InstanceNode *Node = InstStack.back();
     InstStack.pop_back();
     assert(Node->Module && "deferred instance without a module");
-    evalBody(Node, Node->Module->getBody());
+    RunBody(Node, Node->Module->getBody());
   }
 
   NL = nullptr;
   return Result;
+}
+
+netlist::InstanceNode *Interpreter::replayChild(netlist::InstanceNode *Parent,
+                                                const std::string &Name,
+                                                const std::string &ModuleName,
+                                                SourceLoc Loc) {
+  const ModuleDecl *M = lookupModule(ModuleName);
+  if (!M)
+    return nullptr; // Caller aborts the replay; a cold compile diagnoses.
+  if (++NumInstances > Opts.MaxInstances) {
+    if (!Aborted)
+      Diags.error(Loc, "instance limit exceeded");
+    Aborted = true;
+    return nullptr;
+  }
+  netlist::InstanceNode *Child = NL->createInstance(Parent, Name, M, Loc);
+  InstStack.push_back(Child);
+  return Child;
 }
 
 void Interpreter::evalBody(netlist::InstanceNode *Node,

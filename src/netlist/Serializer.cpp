@@ -310,13 +310,72 @@ static void emitLoc(std::ostringstream &OS, SourceLoc Loc) {
 namespace {
 
 /// Extends the shared token emitter with type rendering ("-" for null).
+///
+/// Type variables are renamed on the way out: every distinct Var becomes
+/// "<hint>#<seq>" where <hint> is the source-level name (the VarName up to
+/// its first '#') and <seq> is an artifact-wide first-use counter. The
+/// in-memory VarId is a process-global allocation counter, so it drifts
+/// between compiles that mint a different number of variables beforehand —
+/// notably an incremental recompile, which deserializes the previous
+/// netlist into the same TypeContext before elaborating. First-use order,
+/// by contrast, is a pure function of the netlist's record order, so the
+/// emitted bytes are identical whenever the structures are (and the reload
+/// fixpoint becomes structural: parseTypeText re-mints variables in
+/// exactly this order).
 struct TokenEmitter : ArtifactTokenEmitter {
   explicit TokenEmitter(ArtifactStrTableBuilder *T) {
     Tab = T;
   }
   std::string type(const types::Type *T) const {
-    return T ? tok(T->str()) : std::string("-");
+    return T ? tok(renderType(T)) : std::string("-");
   }
+
+  std::string renderType(const types::Type *T) const {
+    using types::Type;
+    switch (T->getKind()) {
+    case Type::Kind::Int:
+      return "int";
+    case Type::Kind::Bool:
+      return "bool";
+    case Type::Kind::Float:
+      return "float";
+    case Type::Kind::String:
+      return "string";
+    case Type::Kind::Var: {
+      auto [It, Inserted] = VarNames.emplace(T->getVarId(), std::string());
+      if (Inserted) {
+        const std::string &Name = T->getVarName();
+        It->second = Name.substr(0, Name.find('#')) + "#" +
+                     std::to_string(VarNames.size() - 1);
+      }
+      return "'" + It->second;
+    }
+    case Type::Kind::Array:
+      return renderType(T->getElem()) + "[" +
+             std::to_string(T->getArraySize()) + "]";
+    case Type::Kind::Struct: {
+      std::string S = "struct{";
+      for (const auto &[Name, FieldTy] : T->getFields())
+        S += Name + ":" + renderType(FieldTy) + ";";
+      return S + "}";
+    }
+    case Type::Kind::Disjunct: {
+      std::string S = "(";
+      const auto &Alts = T->getAlternatives();
+      for (unsigned I = 0; I != Alts.size(); ++I) {
+        if (I)
+          S += "|";
+        S += renderType(Alts[I]);
+      }
+      return S + ")";
+    }
+    }
+    return "<invalid>";
+  }
+
+private:
+  /// VarId -> canonical artifact name, in first-use order.
+  mutable std::map<uint32_t, std::string> VarNames;
 };
 
 } // namespace
@@ -452,6 +511,16 @@ static bool decodeValue(const FieldDecoder &F, size_t I, Value &Out) {
   if (!F.str(I, Enc))
     return false;
   return ValueReader(Enc).read(Out);
+}
+
+bool liberty::netlist::artifactEncodeValue(const interp::Value &V,
+                                           std::string &Out) {
+  return encodeValue(V, Out);
+}
+
+bool liberty::netlist::artifactDecodeValue(const std::string &Text,
+                                           interp::Value &Out) {
+  return ValueReader(Text).read(Out);
 }
 
 /// Decodes a type token ("-" -> null) through the artifact-wide VarMap.

@@ -93,6 +93,17 @@ bool serializeNetlist(const Netlist &NL,
 SerializedCompile deserializeNetlist(const std::string &Text,
                                      types::TypeContext &TC);
 
+/// Renders a compile-time data Value as one raw (pre-escape) token — the
+/// encoding LSSNL param records use. Returns false on elaboration-only
+/// kinds (InstanceRef, Port), which cannot round-trip. Exposed for the
+/// LSSDEP dependency artifact (driver/DepGraph), which persists pending
+/// parameter assignments.
+bool artifactEncodeValue(const interp::Value &V, std::string &Out);
+
+/// Parses a token produced by artifactEncodeValue. Returns false on any
+/// malformed input.
+bool artifactDecodeValue(const std::string &Text, interp::Value &Out);
+
 /// %XX escaping shared by the artifact writers: escapes '%', whitespace,
 /// and every byte that is structural in an artifact line, so any string
 /// round-trips as a single space-free token. Exposed for the solution

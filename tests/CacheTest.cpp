@@ -173,7 +173,7 @@ TEST(CacheService, ColdThenWarmHitsAndMatches) {
     driver::CacheStats S = Svc.getCache().getStats();
     EXPECT_EQ(S.Hits, 0u);
     EXPECT_EQ(S.Misses, 2u);
-    EXPECT_EQ(S.Stores, 2u);
+    EXPECT_EQ(S.Stores, 3u); // elab, solve, dep
     ColdPrint = netlistText(*R.C);
   }
   {
@@ -239,7 +239,7 @@ TEST(CacheService, EditedSourceMisses) {
   ASSERT_TRUE(R.Success);
   EXPECT_FALSE(R.ElabFromCache);
   EXPECT_FALSE(R.SolutionFromCache);
-  EXPECT_EQ(Svc.getCache().getStats().Stores, 4u);
+  EXPECT_EQ(Svc.getCache().getStats().Stores, 6u); // 2 x (elab, solve, dep)
 }
 
 TEST(CacheService, DifferentThreadCountStillHits) {
@@ -293,7 +293,7 @@ TEST(CacheService, CorruptedEntriesAreDiagnosedAndRecompiled) {
     std::ofstream(E.path()) << "garbage, definitely not an artifact\n";
     ++Stomped;
   }
-  ASSERT_EQ(Stomped, 2u);
+  ASSERT_EQ(Stomped, 3u); // elab, solve, dep
   {
     driver::CompileService Svc(diskOpts(Dir));
     driver::CompileResult R = Svc.compile(chainInvocation());
@@ -330,6 +330,67 @@ TEST(CacheService, TruncatedEntryIsAMiss) {
   ASSERT_TRUE(R.Success);
   EXPECT_FALSE(R.ElabFromCache);
   EXPECT_EQ(Svc.getCache().getStats().Corrupt, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-tier accounting: bytes_in_memory and the LRU eviction counter
+//===----------------------------------------------------------------------===//
+
+TEST(CacheBudget, BytesInMemoryTracksResidentPayloads) {
+  driver::ArtifactCache Cache; // In-memory only, default budget.
+  EXPECT_EQ(Cache.getStats().BytesInMemory, 0u);
+
+  Cache.put("k1", "elab", std::string(100, 'a'));
+  Cache.put("k2", "elab", std::string(40, 'b'));
+  driver::CacheStats S = Cache.getStats();
+  EXPECT_EQ(S.BytesInMemory, 140u);
+  EXPECT_EQ(S.Evictions, 0u);
+
+  // Re-storing a key replaces its payload: the gauge must not double-count.
+  Cache.put("k1", "elab", std::string(10, 'c'));
+  EXPECT_EQ(Cache.getStats().BytesInMemory, 50u);
+
+  std::string Payload;
+  ASSERT_TRUE(Cache.get("k1", "elab", Payload));
+  EXPECT_EQ(Payload, std::string(10, 'c'));
+  EXPECT_EQ(Cache.getStats().BytesInMemory, 50u); // Reads move no bytes.
+}
+
+TEST(CacheBudget, LruBudgetEvictsOldestAndCounts) {
+  driver::ArtifactCache::Options O;
+  O.MemoryBudgetBytes = 100;
+  driver::ArtifactCache Cache(O);
+
+  Cache.put("k1", "elab", std::string(60, 'a'));
+  Cache.put("k2", "elab", std::string(60, 'b'));
+  driver::CacheStats S = Cache.getStats();
+  EXPECT_EQ(S.Evictions, 1u); // k1 dropped to fit k2.
+  EXPECT_EQ(S.BytesInMemory, 60u);
+  EXPECT_LE(S.BytesInMemory, O.MemoryBudgetBytes);
+
+  // The evicted entry is gone (no disk tier to fall back to); the
+  // survivor still hits.
+  std::string Payload;
+  EXPECT_FALSE(Cache.get("k1", "elab", Payload));
+  EXPECT_TRUE(Cache.get("k2", "elab", Payload));
+
+  // k2 (60 bytes) is resident. k3 overflows the budget and evicts it;
+  // k4 then fits alongside k3 exactly at the budget, evicting nothing.
+  Cache.put("k3", "elab", std::string(50, 'c'));
+  Cache.put("k4", "elab", std::string(50, 'd'));
+  S = Cache.getStats();
+  EXPECT_EQ(S.Evictions, 2u);
+  EXPECT_EQ(S.BytesInMemory, 100u);
+  EXPECT_FALSE(Cache.get("k2", "elab", Payload));
+  EXPECT_TRUE(Cache.get("k3", "elab", Payload));
+  EXPECT_TRUE(Cache.get("k4", "elab", Payload));
+
+  // An oversized payload still caches (the newest entry is never its own
+  // victim) and the gauge reflects the overshoot honestly.
+  Cache.put("big", "elab", std::string(500, 'e'));
+  S = Cache.getStats();
+  EXPECT_TRUE(Cache.get("big", "elab", Payload));
+  EXPECT_EQ(S.BytesInMemory, 500u);
 }
 
 //===----------------------------------------------------------------------===//

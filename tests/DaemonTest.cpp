@@ -184,6 +184,9 @@ TEST(Daemon, HandshakeAndVersioning) {
     ASSERT_TRUE(rawRoundTrip(Fd, helloMsg(), Reply));
     EXPECT_EQ(Reply.getString("type"), "hello_ok");
     EXPECT_EQ(Reply.getU64("version"), DaemonProtocolVersion);
+    // Minor-version negotiation is additive: the server advertises its
+    // minor and old clients (whose hello has none) are still served.
+    EXPECT_EQ(Reply.getU64("minor"), DaemonProtocolMinorVersion);
     ::close(Fd);
   }
 
@@ -266,6 +269,70 @@ TEST(Daemon, CompileRoundTripWarmsCache) {
   EXPECT_GT(S.get("latency_ms")->getNumber("max_ms"), 0.0);
 }
 
+TEST(Daemon, RecompileRoundTripSplicesThroughTheDaemon) {
+  // The `recompile` request (protocol minor 1, docs/INCREMENTAL.md): the
+  // first call has no dependency graph and transparently falls back to a
+  // full compile (which stores one); an edited recompile then replays the
+  // unchanged lane and splices its solved constraint group.
+  const char *kLaneA = "module laneA {\n  instance a:adder;\n"
+                       "  instance k:sink;\n  a.out -> k.in;\n}\n";
+  const char *kLaneB = "module laneB {\n  instance a:adder;\n"
+                       "  instance k:sink;\n  a.out -> k.in;\n}\n";
+  const char *kLaneBEdited = "module laneB {\n  instance a:adder;\n"
+                             "  instance k:sink;\n  instance k2:sink;\n"
+                             "  a.out -> k.in;\n  a.out -> k2.in;\n}\n";
+  const char *kTop = "instance x:laneA;\ninstance y:laneB;\n";
+  auto project = [&](const char *LaneB) {
+    CompilerInvocation Inv;
+    Inv.BuildSim = false;
+    Inv.addSource("laneA.lss", kLaneA);
+    Inv.addSource("laneB.lss", LaneB);
+    Inv.addSource("top.lss", kTop);
+    return Inv;
+  };
+
+  TempArea T("recompile");
+  DaemonServer Server(serverOptions(T));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  CompileClient Client(T.sock());
+  ASSERT_TRUE(Client.connect(&Err)) << Err;
+  EXPECT_EQ(Client.serverMinor(), DaemonProtocolMinorVersion);
+
+  CompileClient::Result R1 = Client.recompile(project(kLaneB));
+  ASSERT_TRUE(R1.Error.empty()) << R1.Error;
+  EXPECT_TRUE(R1.Success) << R1.Diagnostics;
+  EXPECT_FALSE(R1.IncrementalUsed);
+  EXPECT_EQ(R1.IncrementalFallback, "no-dependency-graph");
+
+  CompileClient::Result R2 = Client.recompile(project(kLaneBEdited));
+  ASSERT_TRUE(R2.Error.empty()) << R2.Error;
+  EXPECT_TRUE(R2.Success) << R2.Diagnostics;
+  EXPECT_TRUE(R2.IncrementalUsed) << R2.IncrementalFallback;
+  EXPECT_EQ(R2.ModulesReelaborated, 3u); // laneB, adder, sink.
+  EXPECT_EQ(R2.GroupsResolved, 1u);      // laneB's group.
+  EXPECT_EQ(R2.GroupsSpliced, 1u);       // laneA's group, replayed.
+
+  // The recompile traffic is accounted separately and the incremental
+  // totals surface in both the stats message and DaemonStats.
+  Json S;
+  ASSERT_TRUE(Client.stats(S, &Err)) << Err;
+  EXPECT_EQ(S.getU64("recompile_requests"), 2u);
+  EXPECT_EQ(S.getU64("compile_requests"), 0u);
+  ASSERT_NE(S.get("incremental"), nullptr);
+  EXPECT_EQ(S.get("incremental")->getU64("requests"), 2u);
+  EXPECT_EQ(S.get("incremental")->getU64("used"), 1u);
+  EXPECT_EQ(S.get("incremental")->getU64("fallbacks"), 1u);
+  EXPECT_EQ(S.get("incremental")->getU64("groups_spliced"), 1u);
+  EXPECT_GE(S.getU64("schema_version"), 2u);
+
+  DaemonStats DS = Server.getStats();
+  EXPECT_EQ(DS.RecompileRequests, 2u);
+  EXPECT_EQ(DS.Incremental.Requests, 2u);
+  EXPECT_EQ(DS.Incremental.Used, 1u);
+}
+
 TEST(Daemon, BatchRoundTrip) {
   TempArea T("batch");
   DaemonServer Server(serverOptions(T));
@@ -329,7 +396,7 @@ TEST(Daemon, ConcurrentClientsShareOneColdCompile) {
   EXPECT_EQ(DS.CompileRequests, N);
   EXPECT_EQ(DS.ElabCacheMisses, 1u);
   EXPECT_EQ(DS.ElabCacheHits, N - 1);
-  EXPECT_EQ(DS.Cache.Stores, 2u); // One elab artifact + one solution.
+  EXPECT_EQ(DS.Cache.Stores, 3u); // One elab + one solution + one dep graph.
 }
 
 //===--------------------------------------------------------------------===//

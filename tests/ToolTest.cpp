@@ -173,6 +173,58 @@ TEST(Lssc, NoInputsRejected) {
   EXPECT_EQ(R.ExitCode, 2);
 }
 
+TEST(Lssc, WatchFilesRequiresDaemon) {
+  // The watch mode recompiles through the daemon's dependency cache;
+  // without --daemon it is a usage error, not a silent no-op.
+  ToolResult R = runTool("--watch-files " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("--watch-files requires --daemon"),
+            std::string::npos);
+}
+
+TEST(Lssc, IncrementalRequiresSomewhereToFindThePreviousCompile) {
+  ToolResult R = runTool("--incremental " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("--incremental requires --cache-dir"),
+            std::string::npos);
+}
+
+TEST(Lssc, DeprecatedAliasesNoteTheReplacement) {
+  // The legacy engine aliases keep working but point at --sim-engine.
+  ToolResult R =
+      runTool("--run 5 --no-selective --sim-jobs 2 " + modelArgs("c.lss"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("--no-selective is deprecated"),
+            std::string::npos);
+  EXPECT_NE(R.Output.find("use --sim-engine wavefront"), std::string::npos);
+  EXPECT_NE(R.Output.find("ran 5 cycles"), std::string::npos);
+}
+
+TEST(Lssc, IncrementalCompilesThroughTheDiskCache) {
+  // Two runs in one cache dir: the first has no dependency graph yet (and
+  // says so), the second replays as already-cached. Both succeed and the
+  // incremental section lands in --stats-json.
+  char Dir[] = "/tmp/lssc_inc_cli_XXXXXX";
+  ASSERT_NE(mkdtemp(Dir), nullptr);
+  std::string Cache = std::string(Dir) + "/cache";
+  ToolResult R1 = runTool("--incremental --cache-dir " + Cache + " " +
+                          modelArgs("c.lss"));
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_NE(R1.Output.find("full compile (no-dependency-graph)"),
+            std::string::npos)
+      << R1.Output;
+  ToolResult R2 = runTool("--incremental --cache-dir " + Cache +
+                          " --stats-json - " + modelArgs("c.lss"));
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_NE(R2.Output.find("full compile (already-cached)"),
+            std::string::npos)
+      << R2.Output;
+  EXPECT_NE(R2.Output.find("\"incremental\": {"), std::string::npos);
+  EXPECT_NE(R2.Output.find("\"dep_cache_hit\": true"), std::string::npos);
+  std::string Cleanup = "rm -rf " + std::string(Dir);
+  (void)!system(Cleanup.c_str());
+}
+
 TEST(Lssc, StatsJsonToStdout) {
   ToolResult R = runTool("--stats-json - --run 10 " + modelArgs("c.lss"));
   EXPECT_EQ(R.ExitCode, 0) << R.Output;

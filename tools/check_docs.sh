@@ -80,7 +80,7 @@ else
   done
 fi
 for Flag in cache-dir no-cache batch daemon deadline-ms no-daemon-fallback \
-            sim-engine fault-inject; do
+            sim-engine fault-inject incremental watch-files; do
   grep -q -- "--$Flag" tools/lssc.cpp ||
     fail "lssc usage text does not document --$Flag"
   grep -q -- "--$Flag" README.md ||
@@ -108,6 +108,27 @@ else
         touch "$ROOT/.check_docs_failed"
       fi
     done
+  done
+  if [ -e "$ROOT/.check_docs_failed" ]; then
+    rm -f "$ROOT/.check_docs_failed"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# 5. The stats JSON schema stays documented: every field name emitted by
+# src/driver/Stats.cpp (they appear as escaped `\"name\":` keys inside
+# the C++ string literals) must appear, backtick-quoted, in docs/API.md.
+# Adding a stats counter without documenting it fails here; the schema is
+# versioned via `schema_version` (driver/Stats.h).
+STATS=src/driver/Stats.cpp
+if [ -f "$STATS" ] && [ -f "$API" ]; then
+  grep -o '\\"[a-z_][a-z0-9_]*\\":' "$STATS" | sed 's/^\\"//; s/\\":$//' |
+  sort -u |
+  while IFS= read -r Field; do
+    if ! grep -q "\`$Field\`" "$API"; then
+      echo "check_docs: $API does not document stats field '$Field'" >&2
+      touch "$ROOT/.check_docs_failed"
+    fi
   done
   if [ -e "$ROOT/.check_docs_failed" ]; then
     rm -f "$ROOT/.check_docs_failed"

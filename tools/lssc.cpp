@@ -17,7 +17,8 @@
 ///                       threads (wavefront engine; 1 = serial)
 ///   --watch PATTERN     with --run: count events matching "path event"
 ///   --no-selective      with --run: exhaustive evaluation (disable the
-///                       selective-trace engine)
+///                       selective-trace engine); deprecated alias for
+///                       --sim-engine interp
 ///   --no-infer-heuristics  solve types with the naive algorithm (slow!)
 ///   --trace-order       print the instantiation-stack processing order
 ///   --max-errors N      stop after N errors (0 = unlimited; default 50)
@@ -31,6 +32,17 @@
 ///   --no-daemon-fallback  with --daemon: exit 1 instead of falling back
 ///   --deadline-ms N     with --daemon: per-request service budget (queue
 ///                       wait + compile); expiry degrades inference
+///   --incremental       recompile incrementally against the dependency
+///                       graph of the previous compile (with --cache-dir
+///                       in-process, or server-side with --daemon); see
+///                       docs/INCREMENTAL.md
+///   --watch-files       with --daemon: poll the inputs' mtimes and send
+///                       an incremental recompile per edit (watch mode)
+///   --fault-inject SPEC arm deterministic fault injection (testing)
+///
+/// Flag parsing is the shared driver::FlagParser table (tools/lssd.cpp
+/// uses the same helper), so flags both tools expose — the cache flags,
+/// --fault-inject, the watch mode — are declared exactly once.
 ///
 /// The tool is a thin shell over driver::CompileService: it builds one
 /// CompilerInvocation per model and lets the service run (or reload from
@@ -48,6 +60,7 @@
 #include "driver/CompileClient.h"
 #include "driver/CompileService.h"
 #include "driver/Compiler.h"
+#include "driver/FlagParser.h"
 #include "driver/Stats.h"
 #include "netlist/DotEmitter.h"
 #include "sim/CompiledKernel.h"
@@ -55,6 +68,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +77,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace liberty;
 
@@ -101,6 +117,9 @@ struct CliOptions {
   std::string StatsJsonPath;
   uint64_t RunCycles = 0;
   bool Selective = true;
+  /// The deprecated --no-selective alias (mapped onto Selective after
+  /// parsing so the alias and --sim-engine cannot fight mid-parse).
+  bool NoSelectiveAlias = false;
   unsigned SimJobs = 1; ///< Wavefront worker threads; 1 = serial engine.
   /// Explicit engine selection; Auto derives the engine from the legacy
   /// --no-selective / --sim-jobs flags.
@@ -127,236 +146,173 @@ struct CliOptions {
   /// Fault-injection schedule (see support/FaultInjection.h); also
   /// settable via the LSS_FAULT environment variable.
   std::string FaultSpec;
+  /// Incremental recompilation against the previous compile's dependency
+  /// graph (docs/INCREMENTAL.md). In-process this needs --cache-dir to
+  /// find the previous compile; with --daemon it sends `recompile`.
+  bool Incremental = false;
+  /// Watch mode: poll input mtimes, recompile through the daemon.
+  bool WatchFiles = false;
+  uint64_t WatchPollMs = 200;
+  uint64_t WatchMax = 0; ///< Stop after N recompiles (testing; 0 = never).
 };
 
-void printUsage() {
-  std::cerr <<
-      "usage: lssc [options] file.lss [more.lss ...]\n"
-      "  --print-netlist        dump the elaborated hierarchy\n"
-      "  --stats                print reuse statistics\n"
-      "  --stats-json FILE      write per-phase/per-group stats as JSON\n"
-      "                         ('-' writes to stdout; status output\n"
-      "                         then moves to stderr)\n"
-      "  --time-phases          print per-phase wall times to stderr\n"
-      "  --j1                   solve type inference on one thread\n"
-      "  --jobs N               solve H3 inference groups on N threads\n"
-      "                         (default: one per hardware thread);\n"
-      "                         with --batch, also the number of\n"
-      "                         concurrent model compiles\n"
-      "  --emit-static          print the flattened static spec\n"
-      "  --emit-dot             print a Graphviz digraph of the model\n"
-      "  --run N                simulate N cycles\n"
-      "  --sim-jobs N           simulate with N worker threads (wavefront\n"
-      "                         engine; identical traces for any N)\n"
-      "  --sim-engine E         select the simulation engine: interp,\n"
-      "                         selective, wavefront, or compiled (all\n"
-      "                         produce identical traces); default picks\n"
-      "                         from --no-selective / --sim-jobs\n"
-      "  --watch 'PATH EVENT'   count matching events while running\n"
-      "  --no-selective         evaluate every component every cycle\n"
-      "                         (disable change-driven evaluation)\n"
-      "  --no-infer-heuristics  use the naive exponential solver\n"
-      "  --trace-order          print instance processing order\n"
-      "                         (disables the artifact cache: the order\n"
-      "                         only exists in a live elaboration)\n"
-      "  --max-errors N         stop after N errors (0 = unlimited;\n"
-      "                         default 50); shared by parsing,\n"
-      "                         elaboration, and inference\n"
-      "  --infer-deadline-ms N  abandon inference groups still unsolved\n"
-      "                         after N ms of wall-clock time (other\n"
-      "                         groups are still solved and reported)\n"
-      "  --cache-dir DIR        memoize parse/elaborate/solve results in\n"
-      "                         a content-addressed artifact cache under\n"
-      "                         DIR; later runs of unchanged sources\n"
-      "                         reload them instead of recompiling\n"
-      "  --no-cache             ignore --cache-dir; always compile cold\n"
-      "  --batch FILE           compile every .lss path listed in FILE\n"
-      "                         (one per line, '#' comments) concurrently\n"
-      "                         and report per-model status in list\n"
-      "                         order; exits with the worst model's code\n"
-      "  --daemon ADDR          compile via the lssd daemon at ADDR (a\n"
-      "                         Unix socket path or localhost TCP port)\n"
-      "                         and share its warm artifact cache; falls\n"
-      "                         back to an in-process compile (with a\n"
-      "                         note) when the daemon is unreachable\n"
-      "  --no-daemon-fallback   with --daemon: exit 1 when the daemon is\n"
-      "                         unreachable instead of falling back\n"
-      "  --deadline-ms N        with --daemon: total service budget per\n"
-      "                         request (queue wait + compile); on expiry\n"
-      "                         inference degrades rather than hangs\n"
-      "  --fault-inject SPEC    arm deterministic fault injection at the\n"
-      "                         named I/O sites (testing; e.g.\n"
-      "                         'cache.disk.rename@1,seed=7'; also via\n"
-      "                         the LSS_FAULT environment variable)\n"
-      "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
-      "            4 inference failure, 5 simulation fault\n";
+const char *const UsageSynopsis = "lssc [options] file.lss [more.lss ...]";
+const char *const UsageEpilog =
+    "exit codes: 0 ok, 1 operational, 2 usage, 3 parse/semantic,\n"
+    "            4 inference failure, 5 simulation fault\n";
+
+/// Registers every lssc flag on the shared table. Flags that lssd also
+/// exposes (cache, fault injection, the watch mode) come from the
+/// FlagParser add*Flags() helpers so both tools stay in lockstep.
+void registerFlags(driver::FlagParser &P, CliOptions &Opts) {
+  P.boolean("--print-netlist", &Opts.PrintNetlist,
+            "dump the elaborated hierarchy");
+  P.boolean("--stats", &Opts.Stats, "print reuse statistics");
+  P.string("--stats-json", "FILE", &Opts.StatsJsonPath,
+           "write per-phase/per-group stats as JSON\n"
+           "('-' writes to stdout; status output\n"
+           "then moves to stderr)");
+  P.boolean("--time-phases", &Opts.TimePhases,
+            "print per-phase wall times to stderr");
+  P.custom("--j1", nullptr, "solve type inference on one thread",
+           [&Opts](const std::string &) {
+             Opts.Jobs = 1;
+             return true;
+           });
+  P.unsignedNum("--jobs", "N", &Opts.Jobs,
+                "solve H3 inference groups on N threads\n"
+                "(default: one per hardware thread);\n"
+                "with --batch, also the number of\n"
+                "concurrent model compiles",
+                "thread count", /*RequirePositive=*/true);
+  P.boolean("--emit-static", &Opts.EmitStatic,
+            "print the flattened static spec");
+  P.boolean("--emit-dot", &Opts.EmitDot,
+            "print a Graphviz digraph of the model");
+  P.unsignedNum("--run", "N", &Opts.RunCycles, "simulate N cycles",
+                "cycle count");
+  P.unsignedNum("--sim-jobs", "N", &Opts.SimJobs,
+                "simulate with N worker threads (wavefront\n"
+                "engine; identical traces for any N)",
+                "thread count", /*RequirePositive=*/true);
+  P.custom("--sim-engine", "E",
+           "select the simulation engine: interp,\n"
+           "selective, wavefront, or compiled (all\n"
+           "produce identical traces); default picks\n"
+           "from --no-selective / --sim-jobs",
+           [&Opts](const std::string &Name) {
+             if (!sim::parseEngineName(Name, Opts.SimEngine)) {
+               std::cerr << "lssc: unknown engine '" << Name
+                         << "' (expected interp, selective, wavefront, or "
+                            "compiled)\n";
+               return false;
+             }
+             return true;
+           });
+  P.custom("--watch", "'PATH EVENT'",
+           "count matching events while running",
+           [&Opts](const std::string &Spec) {
+             size_t Space = Spec.find(' ');
+             if (Space == std::string::npos)
+               Opts.Watches.emplace_back(Spec, "*");
+             else
+               Opts.Watches.emplace_back(Spec.substr(0, Space),
+                                         Spec.substr(Space + 1));
+             return true;
+           });
+  P.boolean("--no-selective", &Opts.NoSelectiveAlias,
+            "evaluate every component every cycle\n"
+            "(disable change-driven evaluation)");
+  P.deprecate("--no-selective", "use --sim-engine interp");
+  P.boolean("--no-infer-heuristics", &Opts.NaiveInference,
+            "use the naive exponential solver");
+  P.boolean("--trace-order", &Opts.TraceOrder,
+            "print instance processing order\n"
+            "(disables the artifact cache: the order\n"
+            "only exists in a live elaboration)");
+  P.unsignedNum("--max-errors", "N", &Opts.MaxErrors,
+                "stop after N errors (0 = unlimited;\n"
+                "default 50); shared by parsing,\n"
+                "elaboration, and inference",
+                "count");
+  P.unsignedNum("--infer-deadline-ms", "N", &Opts.InferDeadlineMs,
+                "abandon inference groups still unsolved\n"
+                "after N ms of wall-clock time (other\n"
+                "groups are still solved and reported)",
+                "duration", /*RequirePositive=*/true);
+  P.addCacheFlags(&Opts.CacheDir, &Opts.NoCache);
+  P.string("--batch", "FILE", &Opts.BatchFile,
+           "compile every .lss path listed in FILE\n"
+           "(one per line, '#' comments) concurrently\n"
+           "and report per-model status in list\n"
+           "order; exits with the worst model's code");
+  P.string("--daemon", "ADDR", &Opts.DaemonAddress,
+           "compile via the lssd daemon at ADDR (a\n"
+           "Unix socket path or localhost TCP port)\n"
+           "and share its warm artifact cache; falls\n"
+           "back to an in-process compile (with a\n"
+           "note) when the daemon is unreachable");
+  P.boolean("--no-daemon-fallback", &Opts.NoDaemonFallback,
+            "with --daemon: exit 1 when the daemon is\n"
+            "unreachable instead of falling back");
+  P.unsignedNum("--deadline-ms", "N", &Opts.DeadlineMs,
+                "with --daemon: total service budget per\n"
+                "request (queue wait + compile); on expiry\n"
+                "inference degrades rather than hangs",
+                "duration", /*RequirePositive=*/true);
+  P.boolean("--incremental", &Opts.Incremental,
+            "recompile against the previous compile's\n"
+            "dependency graph, re-elaborating only\n"
+            "dirty modules and re-solving only their\n"
+            "inference groups (docs/INCREMENTAL.md);\n"
+            "in-process this needs --cache-dir, with\n"
+            "--daemon it sends `recompile`");
+  P.addWatchFilesFlags(&Opts.WatchFiles, &Opts.WatchPollMs, &Opts.WatchMax);
+  P.addFaultInjectFlag(&Opts.FaultSpec);
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--print-netlist") {
-      Opts.PrintNetlist = true;
-    } else if (Arg == "--stats") {
-      Opts.Stats = true;
-    } else if (Arg == "--emit-static") {
-      Opts.EmitStatic = true;
-    } else if (Arg == "--emit-dot") {
-      Opts.EmitDot = true;
-    } else if (Arg == "--trace-order") {
-      Opts.TraceOrder = true;
-    } else if (Arg == "--no-infer-heuristics") {
-      Opts.NaiveInference = true;
-    } else if (Arg == "--time-phases") {
-      Opts.TimePhases = true;
-    } else if (Arg == "--j1") {
-      Opts.Jobs = 1;
-    } else if (Arg == "--jobs") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --jobs requires a thread count\n";
-        return false;
-      }
-      Opts.Jobs = unsigned(std::strtoul(Argv[I], nullptr, 10));
-      if (Opts.Jobs == 0) {
-        std::cerr << "lssc: --jobs requires a positive thread count\n";
-        return false;
-      }
-    } else if (Arg == "--stats-json") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --stats-json requires a file path\n";
-        return false;
-      }
-      Opts.StatsJsonPath = Argv[I];
-    } else if (Arg == "--run") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --run requires a cycle count\n";
-        return false;
-      }
-      Opts.RunCycles = std::strtoull(Argv[I], nullptr, 10);
-    } else if (Arg == "--sim-jobs") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --sim-jobs requires a thread count\n";
-        return false;
-      }
-      Opts.SimJobs = unsigned(std::strtoul(Argv[I], nullptr, 10));
-      if (Opts.SimJobs == 0) {
-        std::cerr << "lssc: --sim-jobs requires a positive thread count\n";
-        return false;
-      }
-    } else if (Arg == "--sim-engine" || Arg.rfind("--sim-engine=", 0) == 0) {
-      std::string Name;
-      if (Arg == "--sim-engine") {
-        if (++I >= Argc) {
-          std::cerr << "lssc: --sim-engine requires an engine name\n";
-          return false;
-        }
-        Name = Argv[I];
-      } else {
-        Name = Arg.substr(std::strlen("--sim-engine="));
-      }
-      if (!sim::parseEngineName(Name, Opts.SimEngine)) {
-        std::cerr << "lssc: unknown engine '" << Name
-                  << "' (expected interp, selective, wavefront, or "
-                     "compiled)\n";
-        return false;
-      }
-    } else if (Arg == "--max-errors") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --max-errors requires a count\n";
-        return false;
-      }
-      Opts.MaxErrors = unsigned(std::strtoul(Argv[I], nullptr, 10));
-    } else if (Arg == "--infer-deadline-ms") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --infer-deadline-ms requires a duration\n";
-        return false;
-      }
-      Opts.InferDeadlineMs = std::strtoull(Argv[I], nullptr, 10);
-      if (Opts.InferDeadlineMs == 0) {
-        std::cerr << "lssc: --infer-deadline-ms requires a positive "
-                     "duration\n";
-        return false;
-      }
-    } else if (Arg == "--no-selective") {
-      Opts.Selective = false;
-    } else if (Arg == "--cache-dir") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --cache-dir requires a directory\n";
-        return false;
-      }
-      Opts.CacheDir = Argv[I];
-    } else if (Arg == "--no-cache") {
-      Opts.NoCache = true;
-    } else if (Arg == "--batch") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --batch requires a file list\n";
-        return false;
-      }
-      Opts.BatchFile = Argv[I];
-    } else if (Arg == "--daemon") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --daemon requires an address\n";
-        return false;
-      }
-      Opts.DaemonAddress = Argv[I];
-    } else if (Arg == "--no-daemon-fallback") {
-      Opts.NoDaemonFallback = true;
-    } else if (Arg == "--deadline-ms") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --deadline-ms requires a duration\n";
-        return false;
-      }
-      Opts.DeadlineMs = std::strtoull(Argv[I], nullptr, 10);
-      if (Opts.DeadlineMs == 0) {
-        std::cerr << "lssc: --deadline-ms requires a positive duration\n";
-        return false;
-      }
-    } else if (Arg == "--fault-inject") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --fault-inject requires a fault spec\n";
-        return false;
-      }
-      Opts.FaultSpec = Argv[I];
-    } else if (Arg == "--watch") {
-      if (++I >= Argc) {
-        std::cerr << "lssc: --watch requires 'PATH EVENT'\n";
-        return false;
-      }
-      std::string Spec = Argv[I];
-      size_t Space = Spec.find(' ');
-      if (Space == std::string::npos) {
-        Opts.Watches.emplace_back(Spec, "*");
-      } else {
-        Opts.Watches.emplace_back(Spec.substr(0, Space),
-                                  Spec.substr(Space + 1));
-      }
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      std::exit(0);
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::cerr << "lssc: unknown option '" << Arg << "'\n";
-      return false;
-    } else {
-      Opts.Inputs.push_back(Arg);
-    }
+/// Parses the command line and validates flag combinations.
+/// Returns -1 to proceed, or the exit code to return at once (--help
+/// exits 0 after printing the usage text; errors exit 2).
+int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  driver::FlagParser P("lssc");
+  registerFlags(P, Opts);
+  auto usage = [&] { P.printUsage(std::cerr, UsageSynopsis, UsageEpilog); };
+  if (!P.parse(Argc, Argv, &Opts.Inputs)) {
+    usage();
+    return ExitUsage;
   }
-  if (!Opts.BatchFile.empty() && !Opts.Inputs.empty()) {
-    std::cerr << "lssc: --batch cannot be combined with input files\n";
-    return false;
+  if (P.helpRequested()) {
+    usage();
+    return ExitSuccess;
   }
-  if (Opts.Inputs.empty() && Opts.BatchFile.empty()) {
-    std::cerr << "lssc: no input files\n";
-    return false;
-  }
+  auto reject = [&](const std::string &Why) {
+    std::cerr << "lssc: " << Why << "\n";
+    usage();
+    return ExitUsage;
+  };
+  // The deprecated engine aliases map onto the explicit selection here.
+  // --no-selective already printed its note; --sim-jobs only notes when
+  // it is actually selecting the engine (the flag keeps its worker-count
+  // role under --sim-engine wavefront).
+  if (Opts.NoSelectiveAlias)
+    Opts.Selective = false;
+  if (Opts.SimJobs > 1 && Opts.SimEngine == sim::EngineKind::Auto)
+    std::cerr << "lssc: note: selecting the engine via --sim-jobs is "
+                 "deprecated; use --sim-engine wavefront (with --sim-jobs "
+                 "N for the worker count)\n";
+  if (!Opts.BatchFile.empty() && !Opts.Inputs.empty())
+    return reject("--batch cannot be combined with input files");
+  if (Opts.Inputs.empty() && Opts.BatchFile.empty())
+    return reject("no input files");
   if (Opts.DaemonAddress.empty()) {
-    if (Opts.NoDaemonFallback) {
-      std::cerr << "lssc: --no-daemon-fallback requires --daemon\n";
-      return false;
-    }
-    if (Opts.DeadlineMs) {
-      std::cerr << "lssc: --deadline-ms requires --daemon\n";
-      return false;
-    }
+    if (Opts.NoDaemonFallback)
+      return reject("--no-daemon-fallback requires --daemon");
+    if (Opts.DeadlineMs)
+      return reject("--deadline-ms requires --daemon");
+    if (Opts.WatchFiles)
+      return reject("--watch-files requires --daemon (the watch mode "
+                    "recompiles through the lssd dependency cache)");
   } else {
     // The daemon returns a compile verdict, not artifacts: flags that need
     // the netlist/simulator in this process cannot be served remotely.
@@ -379,10 +335,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       std::cerr << "lssc: " << Bad
                 << " cannot be combined with --daemon (the daemon keeps "
                    "artifacts server-side)\n";
-      return false;
+      usage();
+      return ExitUsage;
     }
   }
-  return true;
+  if (Opts.WatchFiles && !Opts.BatchFile.empty())
+    return reject("--watch-files cannot be combined with --batch");
+  if (Opts.Incremental && !Opts.BatchFile.empty())
+    return reject("--incremental cannot be combined with --batch");
+  if (Opts.Incremental && Opts.TraceOrder)
+    return reject("--incremental cannot be combined with --trace-order "
+                  "(which disables the artifact cache)");
+  if (Opts.Incremental && Opts.DaemonAddress.empty() && Opts.CacheDir.empty())
+    return reject("--incremental requires --cache-dir (or --daemon): the "
+                  "previous compile's dependency graph lives in the "
+                  "artifact cache");
+  return -1;
 }
 
 /// Everything of the invocation except the sources: the per-phase options
@@ -592,6 +560,100 @@ int reportDaemonResult(const std::string &Name,
   return R.ExitCode;
 }
 
+/// One status line for an incremental recompile's splice outcome
+/// (watch mode and `--daemon --incremental`).
+void reportIncremental(const driver::CompileClient::Result &R,
+                       std::ostream &Human) {
+  if (R.IncrementalUsed)
+    Human << "lssc: incremental: re-elaborated " << R.ModulesReelaborated
+          << " modules, re-solved " << R.GroupsResolved
+          << " groups, spliced " << R.GroupsSpliced << "\n";
+  else
+    Human << "lssc: incremental: full compile ("
+          << (R.IncrementalFallback.empty() ? "unknown"
+                                            : R.IncrementalFallback)
+          << ")\n";
+}
+
+volatile std::sig_atomic_t WatchInterrupted = 0;
+void onWatchSignal(int) { WatchInterrupted = 1; }
+
+/// --watch-files: stay resident, poll the input files' mtimes, and send
+/// an incremental `recompile` through the daemon for every edit
+/// (docs/INCREMENTAL.md "watch mode"). Stops on SIGINT/SIGTERM or after
+/// --watch-max recompiles; a transport failure ends the session with an
+/// operational error (there is no in-process fallback to watch with).
+int runWatchFiles(const CliOptions &Opts, driver::CompileClient &Client,
+                  std::ostream &Human) {
+  std::signal(SIGINT, onWatchSignal);
+  std::signal(SIGTERM, onWatchSignal);
+  if (Client.serverMinor() < 1)
+    std::cerr << "lssc: note: daemon predates the recompile request "
+                 "(protocol minor 0); watch mode degrades to full "
+                 "compiles\n";
+
+  // mtime snapshot per input; nanosecond resolution so back-to-back edits
+  // within one second are still seen.
+  auto stamp = [&](std::vector<std::pair<int64_t, int64_t>> &Stamps) {
+    Stamps.clear();
+    for (const std::string &Path : Opts.Inputs) {
+      struct stat St;
+      if (::stat(Path.c_str(), &St) != 0) {
+        // A file mid-save (editors rename over the target) can be briefly
+        // absent; treat the round as unchanged and re-poll.
+        return false;
+      }
+      Stamps.emplace_back(int64_t(St.st_mtim.tv_sec),
+                          int64_t(St.st_mtim.tv_nsec));
+    }
+    return true;
+  };
+
+  std::vector<std::pair<int64_t, int64_t>> Last, Now;
+  uint64_t Recompiles = 0;
+  bool First = true;
+  while (!WatchInterrupted) {
+    bool Changed = false;
+    if (stamp(Now)) {
+      Changed = First || Now != Last;
+      if (Changed)
+        Last = Now;
+    }
+    if (Changed) {
+      First = false;
+      driver::CompilerInvocation Inv = makeInvocation(Opts);
+      bool Readable = true;
+      for (const std::string &Path : Opts.Inputs) {
+        std::string FileErr;
+        if (!Inv.addFile(Path, &FileErr)) {
+          // Transient: the next poll retries (the mtime will tick again
+          // when the editor finishes writing).
+          std::cerr << "lssc: note: cannot read '" << Path
+                    << "'; waiting for the next change\n";
+          Readable = false;
+          break;
+        }
+      }
+      if (Readable) {
+        driver::CompileClient::Result R =
+            Client.recompileWithRetry(Inv, Opts.DeadlineMs);
+        if (!R.Error.empty()) {
+          std::cerr << "lssc: daemon error: " << R.Error << "\n";
+          return ExitOperational;
+        }
+        reportDaemonResult(Opts.Inputs.front(), R, Human);
+        reportIncremental(R, Human);
+        ++Recompiles;
+        if (Opts.WatchMax && Recompiles >= Opts.WatchMax)
+          break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(Opts.WatchPollMs));
+  }
+  Human << "lssc: watch ended after " << Recompiles << " recompile(s)\n";
+  return ExitSuccess;
+}
+
 /// --daemon: ship the compile(s) to a running lssd. Returns the exit code,
 /// or -1 when the daemon is unreachable (or its transport kept failing and
 /// the circuit breaker opened) and falling back in-process is allowed (the
@@ -600,6 +662,13 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
   driver::CompileClient Client(Opts.DaemonAddress);
   std::string Err;
   if (!Client.connect(&Err)) {
+    if (Opts.WatchFiles) {
+      // Watch mode has nothing to fall back to: the whole point is the
+      // daemon's dependency cache.
+      std::cerr << "lssc: error: daemon at '" << Opts.DaemonAddress
+                << "' unreachable: " << Err << "\n";
+      return ExitOperational;
+    }
     if (Opts.NoDaemonFallback) {
       std::cerr << "lssc: error: daemon at '" << Opts.DaemonAddress
                 << "' unreachable: " << Err << "\n";
@@ -658,6 +727,9 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
     return Worst;
   }
 
+  if (Opts.WatchFiles)
+    return runWatchFiles(Opts, Client, Human);
+
   driver::CompilerInvocation Inv = makeInvocation(Opts);
   for (const std::string &Path : Opts.Inputs) {
     std::string FileErr;
@@ -667,7 +739,10 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
     }
   }
   driver::CompileClient::Result R =
-      Client.compileWithRetry(Inv, Opts.DeadlineMs);
+      Opts.Incremental ? Client.recompileWithRetry(Inv, Opts.DeadlineMs)
+                       : Client.compileWithRetry(Inv, Opts.DeadlineMs);
+  if (Opts.Incremental && R.Error.empty())
+    reportIncremental(R, Human);
   if (!R.Error.empty() && R.ErrorCode == "queue_full") {
     writeDaemonClientStats(Opts, Client);
     std::cerr << "lssc: daemon at '" << Opts.DaemonAddress
@@ -695,10 +770,8 @@ int runDaemon(const CliOptions &Opts, std::ostream &Human) {
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
-    return ExitUsage;
-  }
+  if (int Code = parseArgs(Argc, Argv, Opts); Code >= 0)
+    return Code;
 
   // Fault injection arms before any I/O so every disk/socket edge is
   // covered; LSS_FAULT first, --fault-inject overrides it.
@@ -749,7 +822,24 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  driver::CompileResult R = Svc.compile(Inv);
+  driver::CompileResult R =
+      Opts.Incremental ? Svc.compileIncremental(Inv) : Svc.compile(Inv);
+  if (Opts.Incremental) {
+    // The splice outcome goes to stderr so stdout stays byte-identical
+    // to a plain compile (the byte-identity contract, observed by
+    // check_cache_stability.sh, covers the human output too).
+    const driver::IncrementalStats &IS = R.Incremental;
+    if (IS.Used)
+      std::cerr << "lssc: incremental: re-elaborated "
+                << IS.ModulesReelaborated << "/" << IS.ModulesTotal
+                << " modules, re-solved " << IS.GroupsResolved << "/"
+                << IS.GroupsTotal << " groups\n";
+    else
+      std::cerr << "lssc: incremental: full compile ("
+                << (IS.FallbackReason.empty() ? "unknown"
+                                              : IS.FallbackReason)
+                << ")\n";
+  }
   driver::Compiler &C = *R.C;
   auto Bail = [&](const char *Phase, int Code) {
     std::cerr << "lssc: " << Phase << " failed\n" << C.diagnosticsText();
@@ -787,12 +877,16 @@ int main(int Argc, char **Argv) {
       driver::ModelStats S = driver::computeModelStats(
           *C.getNetlist(), C.getLibraryModules(),
           C.getNumUserTypeAnnotations(), Opts.Inputs.front());
+      const driver::IncrementalStats *Inc =
+          Opts.Incremental ? &R.Incremental : nullptr;
       if (JsonToStdout) {
         driver::printStatsJson(std::cout, S, C.getInferenceStats(),
-                               C.getPhaseTimer(), nullptr, cacheReport());
+                               C.getPhaseTimer(), nullptr, cacheReport(),
+                               0.0, Inc);
       } else if (std::ofstream Out{Opts.StatsJsonPath}) {
         driver::printStatsJson(Out, S, C.getInferenceStats(),
-                               C.getPhaseTimer(), nullptr, cacheReport());
+                               C.getPhaseTimer(), nullptr, cacheReport(),
+                               0.0, Inc);
       }
     }
     return Bail("type inference", ExitInference);
@@ -885,10 +979,12 @@ int main(int Argc, char **Argv) {
     driver::ModelStats S = driver::computeModelStats(
         *C.getNetlist(), C.getLibraryModules(), C.getNumUserTypeAnnotations(),
         Opts.Inputs.front());
+    const driver::IncrementalStats *Inc =
+        Opts.Incremental ? &R.Incremental : nullptr;
     if (Opts.StatsJsonPath == "-") {
       driver::printStatsJson(std::cout, S, C.getInferenceStats(),
                              C.getPhaseTimer(), C.getSimulator(),
-                             cacheReport(), CyclesPerSec);
+                             cacheReport(), CyclesPerSec, Inc);
     } else {
       std::ofstream Out(Opts.StatsJsonPath);
       if (!Out) {
@@ -897,7 +993,7 @@ int main(int Argc, char **Argv) {
       }
       driver::printStatsJson(Out, S, C.getInferenceStats(),
                              C.getPhaseTimer(), C.getSimulator(),
-                             cacheReport(), CyclesPerSec);
+                             cacheReport(), CyclesPerSec, Inc);
     }
   }
   if (Opts.TimePhases)

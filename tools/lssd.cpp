@@ -27,12 +27,14 @@
 
 #include "driver/DaemonServer.h"
 
+#include "driver/FlagParser.h"
 #include "support/FaultInjection.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include <unistd.h>
@@ -45,32 +47,38 @@ volatile std::sig_atomic_t SignalledShutdown = 0;
 
 void onSignal(int) { SignalledShutdown = 1; }
 
-void printUsage() {
-  std::fprintf(stderr,
-               "usage: lssd --listen ADDR [options]\n"
-               "  --listen ADDR        Unix socket path or localhost TCP "
-               "port (0 = ephemeral)\n"
-               "  --cache-dir DIR      persist compile artifacts under DIR\n"
-               "  --workers N          compile worker threads (0 = one per "
-               "hardware thread)\n"
-               "  --queue-bound N      admission queue bound (default 64)\n"
-               "  --retry-after-ms N   backoff hint on queue_full "
-               "(default 50)\n"
-               "  --max-frame-bytes N  request frame cap (default 64MiB)\n"
-               "  --read-deadline-ms N frame read deadline once a frame has\n"
-               "                       started arriving (default 10000; 0 "
-               "disables)\n"
-               "  --fault-inject SPEC  arm deterministic fault injection\n"
-               "                       (see docs/ROBUSTNESS.md; also via "
-               "LSS_FAULT)\n"
-               "  --verbose            log requests to stderr\n"
-               "protocol and operations guide: docs/DAEMON.md\n");
-}
+const char *const UsageSynopsis = "lssd --listen ADDR [options]";
+const char *const UsageEpilog =
+    "protocol and operations guide: docs/DAEMON.md\n";
 
-bool parseUnsigned(const char *Arg, uint64_t &Out) {
-  char *End = nullptr;
-  Out = std::strtoull(Arg, &End, 10);
-  return End && *End == '\0' && End != Arg;
+/// lssd's flag table over the shared driver::FlagParser. The cache and
+/// fault-injection flags come from the same add*Flags() declarations lssc
+/// uses, so the two tools cannot drift.
+void registerFlags(driver::FlagParser &P, driver::DaemonServer::Options &Opts,
+                   std::string *FaultSpec) {
+  P.string("--listen", "ADDR", &Opts.Address,
+           "Unix socket path or localhost TCP port\n"
+           "(0 = ephemeral; the bound port is printed)");
+  P.addCacheFlags(&Opts.Service.Cache.DiskDir, /*NoCache=*/nullptr);
+  P.unsignedNum("--workers", "N", &Opts.Workers,
+                "compile worker threads (0 = one per\n"
+                "hardware thread)",
+                "count");
+  P.unsignedNum("--queue-bound", "N", &Opts.QueueBound,
+                "admission queue bound (default 64)", "count");
+  P.unsignedNum("--retry-after-ms", "N", &Opts.RetryAfterMs,
+                "backoff hint on queue_full (default 50)", "duration",
+                /*RequirePositive=*/true);
+  P.unsignedNum("--max-frame-bytes", "N", &Opts.MaxFrameBytes,
+                "request frame cap (default 64MiB)", "size",
+                /*RequirePositive=*/true);
+  P.unsignedNum("--read-deadline-ms", "N", &Opts.ReadDeadlineMs,
+                "frame read deadline once a frame has\n"
+                "started arriving (default 10000; 0\n"
+                "disables)",
+                "duration");
+  P.addFaultInjectFlag(FaultSpec);
+  P.boolean("--verbose", &Opts.Verbose, "log requests to stderr");
 }
 
 } // namespace
@@ -78,88 +86,29 @@ bool parseUnsigned(const char *Arg, uint64_t &Out) {
 int main(int Argc, char **Argv) {
   FaultInjection::configureFromEnv();
   driver::DaemonServer::Options Opts;
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto needValue = [&](const char *Flag) -> const char * {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "lssd: %s requires a value\n", Flag);
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    uint64_t N = 0;
-    if (Arg == "--listen") {
-      const char *V = needValue("--listen");
-      if (!V)
-        return 2;
-      Opts.Address = V;
-    } else if (Arg == "--cache-dir") {
-      const char *V = needValue("--cache-dir");
-      if (!V)
-        return 2;
-      Opts.Service.Cache.DiskDir = V;
-    } else if (Arg == "--workers") {
-      const char *V = needValue("--workers");
-      if (!V || !parseUnsigned(V, N)) {
-        std::fprintf(stderr, "lssd: --workers requires a count\n");
-        return 2;
-      }
-      Opts.Workers = unsigned(N);
-    } else if (Arg == "--queue-bound") {
-      const char *V = needValue("--queue-bound");
-      if (!V || !parseUnsigned(V, N)) {
-        std::fprintf(stderr, "lssd: --queue-bound requires a count\n");
-        return 2;
-      }
-      Opts.QueueBound = unsigned(N);
-    } else if (Arg == "--retry-after-ms") {
-      const char *V = needValue("--retry-after-ms");
-      if (!V || !parseUnsigned(V, N) || N == 0) {
-        std::fprintf(stderr,
-                     "lssd: --retry-after-ms requires a positive duration\n");
-        return 2;
-      }
-      Opts.RetryAfterMs = N;
-    } else if (Arg == "--max-frame-bytes") {
-      const char *V = needValue("--max-frame-bytes");
-      if (!V || !parseUnsigned(V, N) || N == 0) {
-        std::fprintf(stderr,
-                     "lssd: --max-frame-bytes requires a positive size\n");
-        return 2;
-      }
-      Opts.MaxFrameBytes = N;
-    } else if (Arg == "--read-deadline-ms") {
-      const char *V = needValue("--read-deadline-ms");
-      if (!V || !parseUnsigned(V, N)) {
-        std::fprintf(stderr,
-                     "lssd: --read-deadline-ms requires a duration\n");
-        return 2;
-      }
-      Opts.ReadDeadlineMs = N;
-    } else if (Arg == "--fault-inject") {
-      const char *V = needValue("--fault-inject");
-      if (!V)
-        return 2;
-      std::string FErr;
-      if (!FaultInjection::configure(V, &FErr)) {
-        std::fprintf(stderr, "lssd: bad --fault-inject spec: %s\n",
-                     FErr.c_str());
-        return 2;
-      }
-    } else if (Arg == "--verbose") {
-      Opts.Verbose = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "lssd: unknown option '%s'\n", Arg.c_str());
-      printUsage();
+  std::string FaultSpec;
+  driver::FlagParser Parser("lssd");
+  registerFlags(Parser, Opts, &FaultSpec);
+  auto usage = [&] { Parser.printUsage(std::cerr, UsageSynopsis, UsageEpilog); };
+  if (!Parser.parse(Argc, Argv, /*Positionals=*/nullptr)) {
+    usage();
+    return 2;
+  }
+  if (Parser.helpRequested()) {
+    usage();
+    return 0;
+  }
+  if (!FaultSpec.empty()) {
+    std::string FErr;
+    if (!FaultInjection::configure(FaultSpec, &FErr)) {
+      std::fprintf(stderr, "lssd: bad --fault-inject spec: %s\n",
+                   FErr.c_str());
       return 2;
     }
   }
   if (Opts.Address.empty()) {
     std::fprintf(stderr, "lssd: --listen ADDR is required\n");
-    printUsage();
+    usage();
     return 2;
   }
 
